@@ -1,0 +1,78 @@
+//! Dead reckoning: odometry integration from a known start pose.
+
+use crate::{BaselineLocalizer, BaselineResult};
+use mcl_gridmap::Pose2;
+use mcl_num::RunningStats;
+use mcl_sim::Sequence;
+
+/// Integrates the (drifting) odometry from the true initial pose — the best any
+/// infrastructure-less, exteroception-less system can do.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadReckoningLocalizer;
+
+impl DeadReckoningLocalizer {
+    /// Creates the localizer.
+    pub fn new() -> Self {
+        DeadReckoningLocalizer
+    }
+}
+
+impl BaselineLocalizer for DeadReckoningLocalizer {
+    fn name(&self) -> &'static str {
+        "dead reckoning (Flow-deck odometry)"
+    }
+
+    fn evaluate(&mut self, sequence: &Sequence) -> BaselineResult {
+        let mut stats = RunningStats::new();
+        let mut pose = sequence
+            .steps
+            .first()
+            .map(|s| s.ground_truth)
+            .unwrap_or_default();
+        for step in &sequence.steps {
+            pose = pose.compose(&Pose2::new(
+                step.odometry.dx,
+                step.odometry.dy,
+                step.odometry.dtheta,
+            ));
+            stats.push(f64::from(pose.translation_distance(&step.ground_truth)));
+        }
+        BaselineResult {
+            mean_error_m: stats.mean(),
+            max_error_m: stats.max(),
+            steps: sequence.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_sim::PaperScenario;
+
+    #[test]
+    fn dead_reckoning_error_grows_with_time() {
+        let scenario = PaperScenario::with_settings(31, 1, 40.0);
+        let sequence = &scenario.sequences()[0];
+        let mut localizer = DeadReckoningLocalizer::new();
+        let result = localizer.evaluate(sequence);
+        assert_eq!(result.steps, sequence.len());
+        assert!(result.max_error_m >= result.mean_error_m);
+        // Over a 40 s flight the drift is clearly visible.
+        assert!(
+            result.max_error_m > 0.1,
+            "odometry drift implausibly small: {result:?}"
+        );
+        assert_eq!(localizer.name(), "dead reckoning (Flow-deck odometry)");
+    }
+
+    #[test]
+    fn perfect_start_means_zero_initial_error() {
+        let scenario = PaperScenario::quick(32);
+        let sequence = &scenario.sequences()[0];
+        let mut localizer = DeadReckoningLocalizer::new();
+        let result = localizer.evaluate(sequence);
+        // The first step contributes ~zero error, so the mean stays below max.
+        assert!(result.mean_error_m < result.max_error_m + 1e-9);
+    }
+}

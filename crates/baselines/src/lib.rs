@@ -1,0 +1,47 @@
+//! Baseline localizers the paper compares against.
+//!
+//! The paper positions its ToF-based MCL against two alternatives commonly used
+//! on nano-UAVs:
+//!
+//! * **Dead reckoning** — the Flow-deck odometry alone (what most prior
+//!   nano-UAV navigation systems rely on). It needs no infrastructure but
+//!   cannot correct its own drift ([`DeadReckoningLocalizer`]).
+//! * **UWB anchor localization** — ranging to pre-installed ultra-wideband
+//!   anchors; the referenced systems report mean errors of 0.22 m [7] and
+//!   0.28 m [6]. It bounds the error but depends on infrastructure
+//!   ([`UwbLocalizer`]).
+//!
+//! Both baselines run on the same simulated sequences as the MCL so that the
+//! comparison row in `EXPERIMENTS.md` is generated rather than copied from the
+//! papers.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod dead_reckoning;
+pub mod uwb;
+
+pub use dead_reckoning::DeadReckoningLocalizer;
+pub use uwb::{UwbAnchor, UwbConfig, UwbLocalizer};
+
+use mcl_sim::Sequence;
+
+/// Mean and maximum translation error of a baseline over a sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineResult {
+    /// Mean translation error over all steps, metres.
+    pub mean_error_m: f64,
+    /// Maximum translation error over all steps, metres.
+    pub max_error_m: f64,
+    /// Number of steps evaluated.
+    pub steps: usize,
+}
+
+/// A localizer that can be replayed over a recorded sequence.
+pub trait BaselineLocalizer {
+    /// Human-readable name for result tables.
+    fn name(&self) -> &'static str;
+
+    /// Replays the sequence and returns the error statistics.
+    fn evaluate(&mut self, sequence: &Sequence) -> BaselineResult;
+}

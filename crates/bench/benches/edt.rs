@@ -1,0 +1,31 @@
+//! Benchmark of the Euclidean distance transform precomputation and of the
+//! quantization / fp16 conversions of the resulting field.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcl_gridmap::{DroneMaze, EuclideanDistanceField, MazeConfig};
+
+fn bench_edt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edt_precompute");
+    group.sample_size(10);
+    for &size in &[2.0f32, 4.0, 7.8] {
+        let maze = DroneMaze::generate(MazeConfig {
+            width_m: size,
+            height_m: 4.0,
+            ..MazeConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{size}x4m")),
+            maze.map(),
+            |b, map| b.iter(|| EuclideanDistanceField::compute(map, 1.5)),
+        );
+    }
+    group.finish();
+
+    let maze = DroneMaze::paper_layout(1);
+    let edt = EuclideanDistanceField::compute(maze.map(), 1.5);
+    c.bench_function("edt_quantize_paper_map", |b| b.iter(|| edt.quantize()));
+    c.bench_function("edt_to_f16_paper_map", |b| b.iter(|| edt.to_f16()));
+}
+
+criterion_group!(benches, bench_edt);
+criterion_main!(benches);

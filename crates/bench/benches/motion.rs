@@ -1,0 +1,31 @@
+//! Host micro-benchmark of the motion (prediction) step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcl_core::{MotionDelta, MotionModel, Particle};
+use mcl_gridmap::Pose2;
+
+fn bench_motion(c: &mut Criterion) {
+    let model = MotionModel::new([0.1, 0.1, 0.1]);
+    let delta = MotionDelta::new(0.1, 0.02, 0.05);
+    let mut group = c.benchmark_group("motion_step");
+    group.sample_size(20);
+    for &n in &[64usize, 1024, 4096, 16_384] {
+        let particles: Vec<Particle<f32>> = (0..n)
+            .map(|i| Particle::from_pose(&Pose2::new(i as f32 * 0.001, 0.5, 0.1), 1.0 / n as f32))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &particles, |b, particles| {
+            b.iter_batched(
+                || particles.clone(),
+                |mut batch| {
+                    model.apply(&mut batch, &delta, 7, 3, 0);
+                    batch
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_motion);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Host micro-benchmark of the observation (correction) step.
+//!
+//! Complements Table I: the GAP9 numbers come from the analytic cost model, this
+//! bench measures the same per-particle work on the host for each particle count
+//! and for the three distance-field storage precisions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcl_core::{BeamEndPointModel, Particle};
+use mcl_gridmap::{EuclideanDistanceField, Pose2};
+use mcl_sim::PaperScenario;
+
+fn bench_observation(c: &mut Criterion) {
+    let scenario = PaperScenario::quick(1);
+    let sequence = &scenario.sequences()[0];
+    let beams = sequence.beams(sequence.len() / 2);
+    let model = BeamEndPointModel::new(0.1, 1.5);
+    let mut group = c.benchmark_group("observation_step");
+    group.sample_size(20);
+
+    for &n in &[64usize, 1024, 4096] {
+        let particles: Vec<Particle<f32>> = (0..n)
+            .map(|i| {
+                Particle::from_pose(
+                    &Pose2::new(1.0 + (i % 50) as f32 * 0.05, 1.0 + (i / 50) as f32 * 0.02, 0.3),
+                    1.0 / n as f32,
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("fp32_edt", n), &particles, |b, particles| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for p in particles {
+                    acc += model.observation_log_likelihood(
+                        scenario.edt_fp32(),
+                        &p.pose(),
+                        &beams,
+                    );
+                }
+                acc
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("quantized_edt", n),
+            &particles,
+            |b, particles| {
+                b.iter(|| {
+                    let mut acc = 0.0f32;
+                    for p in particles {
+                        acc += model.observation_log_likelihood(
+                            scenario.edt_quantized(),
+                            &p.pose(),
+                            &beams,
+                        );
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Per-beam cost in isolation, with a locally computed field.
+    let edt = EuclideanDistanceField::compute(scenario.map(), 1.5);
+    c.bench_function("observation_single_beam", |b| {
+        let pose = Pose2::new(1.5, 1.5, 0.7);
+        b.iter(|| model.beam_log_likelihood(&edt, &pose, &beams[0]))
+    });
+}
+
+criterion_group!(benches, bench_observation);
+criterion_main!(benches);

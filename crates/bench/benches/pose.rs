@@ -1,0 +1,36 @@
+//! Host micro-benchmark of the pose-computation step (weighted average with a
+//! circular mean over the yaw).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcl_core::{Particle, PoseEstimate};
+use mcl_gridmap::Pose2;
+use mcl_num::F16;
+
+fn bench_pose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pose_computation");
+    group.sample_size(20);
+    for &n in &[64usize, 1024, 4096, 16_384] {
+        let fp32: Vec<Particle<f32>> = (0..n)
+            .map(|i| {
+                Particle::from_pose(
+                    &Pose2::new((i % 80) as f32 * 0.05, (i / 80) as f32 * 0.05, i as f32 * 0.01),
+                    1.0 / n as f32,
+                )
+            })
+            .collect();
+        let fp16: Vec<Particle<F16>> = fp32
+            .iter()
+            .map(|p| Particle::from_pose(&p.pose(), p.weight_f32()))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("fp32", n), &fp32, |b, particles| {
+            b.iter(|| PoseEstimate::from_particles(particles))
+        });
+        group.bench_with_input(BenchmarkId::new("fp16", n), &fp16, |b, particles| {
+            b.iter(|| PoseEstimate::from_particles(particles))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pose);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmark of grid ray casting (the simulator's sensor model and the
+//! expensive alternative to the beam-end-point observation model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcl_gridmap::{DroneMaze, Point2, Pose2};
+use mcl_sensor::{raycast_distance, SensorConfig, SensorRig};
+use rand::SeedableRng;
+
+fn bench_raycast(c: &mut Criterion) {
+    let maze = DroneMaze::paper_layout(2);
+    let map = maze.map();
+    let origin = Point2::new(2.0, 2.0);
+
+    let mut group = c.benchmark_group("raycast");
+    group.sample_size(30);
+    for &range in &[1.5f32, 4.0] {
+        group.bench_with_input(BenchmarkId::new("36_rays", range), &range, |b, &range| {
+            b.iter(|| {
+                let mut sum = 0.0f32;
+                for i in 0..36 {
+                    sum += raycast_distance(map, origin, i as f32 * 0.1745, range);
+                }
+                sum
+            })
+        });
+    }
+    group.finish();
+
+    let rig = SensorRig::front_and_rear(SensorConfig::default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    c.bench_function("sensor_rig_full_frame_capture", |b| {
+        b.iter(|| rig.capture(map, &Pose2::new(2.0, 2.0, 0.4), &mut rng))
+    });
+}
+
+criterion_group!(benches, bench_raycast);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Host micro-benchmark of the resampling step: sequential wheel vs. the
+//! partial-sum decomposition used for the 8-core cluster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcl_core::{systematic_resample, PartialSumResampler};
+
+fn weights(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((i as f32 * 0.37).sin().abs() + 0.01) / n as f32)
+        .collect()
+}
+
+fn bench_resampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resampling_step");
+    group.sample_size(20);
+    for &n in &[64usize, 1024, 4096, 16_384] {
+        let w = weights(n);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &w, |b, w| {
+            b.iter(|| systematic_resample(w, 0.37))
+        });
+        let resampler = PartialSumResampler::new(8);
+        group.bench_with_input(BenchmarkId::new("partial_sums_8", n), &w, |b, w| {
+            b.iter(|| resampler.plan(w, 0.37))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resampling);
+criterion_main!(benches);

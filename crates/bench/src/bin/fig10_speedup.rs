@@ -1,0 +1,39 @@
+//! Fig. 10 — Parallel speedup of each MCL step on the 8-core cluster.
+//!
+//! For every particle count the speedup of the observation, motion, resampling
+//! and pose-computation steps (and of the whole update including the fixed
+//! overhead) when moving from 1 to 8 worker cores, from the calibrated GAP9 cost
+//! model.
+//!
+//! Run with `cargo run -p mcl-bench --release --bin fig10_speedup`.
+
+use mcl_bench::print_header;
+use mcl_core::precision::MemoryFootprint;
+use mcl_gap9::{CostModel, Gap9Spec, McStep, MemoryPlanner};
+
+const BEAMS: usize = 16;
+const PAPER_MAP_CELLS: usize = 12_480;
+
+fn main() {
+    let cost = CostModel::default();
+    let planner = MemoryPlanner::new(Gap9Spec::default(), MemoryFootprint::full_precision());
+
+    print_header("Fig. 10 — Speedup (1 core -> 8 cores)");
+    println!(
+        "{:>10} {:>13} {:>10} {:>12} {:>12} {:>10}",
+        "particles", "observation", "motion", "resampling", "pose comp.", "total"
+    );
+    for &n in &[64usize, 256, 1024, 4096, 16_384] {
+        let in_l2 = planner.place(n, PAPER_MAP_CELLS).particles_in_l2();
+        println!(
+            "{n:>10} {:>13.2} {:>10.2} {:>12.2} {:>12.2} {:>10.2}",
+            cost.step_speedup(McStep::Observation, n, BEAMS, 8, in_l2),
+            cost.step_speedup(McStep::Motion, n, BEAMS, 8, in_l2),
+            cost.step_speedup(McStep::Resampling, n, BEAMS, 8, in_l2),
+            cost.step_speedup(McStep::PoseComputation, n, BEAMS, 8, in_l2),
+            cost.total_speedup(n, BEAMS, 8, in_l2),
+        );
+    }
+    println!("\nPaper reference: the resampling step scales worst (but exceeds 5x at");
+    println!("high particle counts) and the total speedup approaches 7x.");
+}

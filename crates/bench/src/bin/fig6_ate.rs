@@ -1,0 +1,40 @@
+//! Fig. 6 — Absolute trajectory error vs. particle number.
+//!
+//! Reproduces the paper's Fig. 6: the ATE after convergence, averaged over all
+//! sequences and seeds, for the four configurations `fp32`, `fp32 1tof`,
+//! `fp32qm` and `fp16qm` at particle counts from 64 to 16384.
+//!
+//! Run with `cargo run -p mcl-bench --release --bin fig6_ate` (add `--full` for
+//! the paper-scale sweep).
+
+use mcl_bench::{paper_pipelines, print_header, sweep_configuration, SweepSettings};
+
+fn main() {
+    let settings = SweepSettings::from_args();
+    let scenario = settings.scenario();
+    print_header("Fig. 6 — ATE (m) vs. particle number");
+    println!(
+        "({} sequences x {} seeds, {:.0} s each; '-' = no run converged)",
+        settings.num_sequences, settings.num_seeds, settings.duration_s
+    );
+
+    print!("{:>10}", "particles");
+    for pipeline in paper_pipelines() {
+        print!("{:>12}", pipeline.name);
+    }
+    println!();
+
+    for &particles in &settings.particle_counts {
+        print!("{particles:>10}");
+        for pipeline in paper_pipelines() {
+            let agg = sweep_configuration(&scenario, &settings, pipeline, particles);
+            match agg.mean_ate_m() {
+                Some(ate) => print!("{ate:>12.3}"),
+                None => print!("{:>12}", "-"),
+            }
+        }
+        println!();
+    }
+    println!("\nPaper reference: ~0.15 m for >=1024 particles with two sensors;");
+    println!("the single-sensor configuration is less accurate and less reliable.");
+}

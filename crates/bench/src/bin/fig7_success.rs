@@ -1,0 +1,37 @@
+//! Fig. 7 — Success rate vs. particle number.
+//!
+//! A run is successful when the filter converges (0.2 m / 36°) and its error
+//! never exceeds 1 m afterwards. The paper reports >95 % success with two
+//! sensors and enough particles, and markedly lower rates with a single sensor.
+//!
+//! Run with `cargo run -p mcl-bench --release --bin fig7_success` (add `--full`
+//! for the paper-scale sweep).
+
+use mcl_bench::{paper_pipelines, print_header, sweep_configuration, SweepSettings};
+
+fn main() {
+    let settings = SweepSettings::from_args();
+    let scenario = settings.scenario();
+    print_header("Fig. 7 — Success rate (%) vs. particle number");
+    println!(
+        "({} sequences x {} seeds, {:.0} s each)",
+        settings.num_sequences, settings.num_seeds, settings.duration_s
+    );
+
+    print!("{:>10}", "particles");
+    for pipeline in paper_pipelines() {
+        print!("{:>12}", pipeline.name);
+    }
+    println!();
+
+    for &particles in &settings.particle_counts {
+        print!("{particles:>10}");
+        for pipeline in paper_pipelines() {
+            let agg = sweep_configuration(&scenario, &settings, pipeline, particles);
+            print!("{:>12.1}", agg.success_rate_percent());
+        }
+        println!();
+    }
+    println!("\nPaper reference: above 95 % for the two-sensor configurations at");
+    println!("sufficient particle counts; clearly lower for 'fp32 1tof'.");
+}

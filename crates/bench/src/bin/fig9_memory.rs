@@ -1,0 +1,53 @@
+//! Fig. 9 — Particle count vs. map size fitting into L1 / L2.
+//!
+//! Reproduces the memory trade-off plot: for map sizes from 2 m² to 2048 m² at
+//! 0.05 m/cell, the largest particle count that fits into GAP9's 128 kB L1 and
+//! 1.5 MB L2 for the full-precision (`fp32`) and optimized (`fp16qm`) layouts.
+//!
+//! Run with `cargo run -p mcl-bench --release --bin fig9_memory`.
+
+use mcl_bench::print_header;
+use mcl_core::precision::MemoryFootprint;
+use mcl_gap9::{Gap9Spec, MemoryLevel, MemoryPlanner};
+
+fn main() {
+    let resolution = 0.05;
+    let full = MemoryPlanner::new(Gap9Spec::default(), MemoryFootprint::full_precision());
+    let optimized = MemoryPlanner::new(Gap9Spec::default(), MemoryFootprint::optimized());
+
+    print_header("Fig. 9 — Max particles vs. map size (0.05 m/cell)");
+    println!(
+        "{:>12} {:>14} {:>14} {:>14} {:>14}",
+        "map (m^2)", "fp32 L1", "fp16qm L1", "fp32 L2", "fp16qm L2"
+    );
+    let mut area = 2.0f64;
+    while area <= 2048.0 {
+        let cells = |planner: &MemoryPlanner, level| {
+            planner
+                .max_particles_with_map(level, area, resolution)
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".to_string())
+        };
+        println!(
+            "{area:>12.0} {:>14} {:>14} {:>14} {:>14}",
+            cells(&full, MemoryLevel::L1),
+            cells(&optimized, MemoryLevel::L1),
+            cells(&full, MemoryLevel::L2),
+            cells(&optimized, MemoryLevel::L2),
+        );
+        area *= 2.0;
+    }
+
+    println!("\nKey working points:");
+    let paper_area = 31.2;
+    for (name, planner) in [("fp32", &full), ("fp16qm", &optimized)] {
+        let l1 = planner.max_particles_with_map(MemoryLevel::L1, paper_area, resolution);
+        let l2 = planner.max_particles_with_map(MemoryLevel::L2, paper_area, resolution);
+        println!(
+            "  {name:<8} with the 31.2 m^2 paper map: L1 holds {:?} particles, L2 holds {:?}",
+            l1, l2
+        );
+    }
+    println!("\nPaper reference: quantizing the map (5 B -> 2 B per cell) and storing");
+    println!("particles in fp16 (32 B -> 16 B each) roughly doubles both capacities.");
+}

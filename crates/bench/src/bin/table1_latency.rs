@@ -1,0 +1,56 @@
+//! Table I — Execution time per particle for each step, 1 core vs. 8 cores.
+//!
+//! Prints, for every particle count of the paper, the modelled per-particle
+//! execution time of the observation, motion, resampling and pose-computation
+//! steps at 400 MHz, in nanoseconds, in the same `1 core / 8 cores` format as
+//! the paper's Table I, plus the total update latency.
+//!
+//! Run with `cargo run -p mcl-bench --release --bin table1_latency`.
+
+use mcl_bench::print_header;
+use mcl_core::precision::MemoryFootprint;
+use mcl_gap9::{CostModel, Gap9Spec, McStep, MemoryPlanner};
+
+const BEAMS: usize = 16;
+const PAPER_MAP_CELLS: usize = 12_480;
+const F400: f64 = 400e6;
+
+fn main() {
+    let cost = CostModel::default();
+    let planner = MemoryPlanner::new(Gap9Spec::default(), MemoryFootprint::full_precision());
+    let particle_counts = [64usize, 256, 1024, 4096, 16_384];
+
+    print_header("Table I — execution time per particle (ns), 1 core / 8 cores, GAP9 @ 400 MHz");
+    print!("{:<14}", "Particles");
+    for &n in &particle_counts {
+        print!("{n:>16}");
+    }
+    println!();
+
+    for step in McStep::ALL {
+        print!("{:<14}", step.name());
+        for &n in &particle_counts {
+            let in_l2 = planner.place(n, PAPER_MAP_CELLS).particles_in_l2();
+            let single = cost
+                .update_breakdown(n, BEAMS, 1, in_l2)
+                .per_particle_ns(step, n, F400);
+            let multi = cost
+                .update_breakdown(n, BEAMS, 8, in_l2)
+                .per_particle_ns(step, n, F400);
+            print!("{:>16}", format!("{single:.0}/{multi:.0}"));
+        }
+        println!();
+    }
+
+    print!("{:<14}", "Total (ms)");
+    for &n in &particle_counts {
+        let in_l2 = planner.place(n, PAPER_MAP_CELLS).particles_in_l2();
+        let total = cost.update_breakdown(n, BEAMS, 8, in_l2).total_time_s(F400) * 1e3;
+        print!("{:>16}", format!("{total:.3}"));
+    }
+    println!();
+    println!("\n(4096 and 16384 particles are stored in L2, as in the paper's footnote;");
+    println!("every update additionally pays the fixed ~40 us orchestration overhead.)");
+    println!("\nPaper reference @1024 particles: observation 8518/1283 ns, motion 2689/357 ns,");
+    println!("resampling 161/84 ns, pose computation 604/86 ns.");
+}

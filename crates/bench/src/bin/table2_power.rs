@@ -1,0 +1,63 @@
+//! Table II — Average power of the MCL on GAP9 at different operating points.
+//!
+//! Reproduces the paper's Table II (average power and execution time at four
+//! DVFS operating points) and the §IV-E system budget: sensors + electronics +
+//! GAP9 as a share of the whole drone's power.
+//!
+//! Run with `cargo run -p mcl-bench --release --bin table2_power`.
+
+use mcl_bench::print_header;
+use mcl_core::precision::MemoryFootprint;
+use mcl_gap9::{
+    CostModel, Gap9Spec, MemoryPlanner, OperatingPoint, PowerModel, SystemPowerBudget,
+};
+
+const BEAMS: usize = 16;
+const PAPER_MAP_CELLS: usize = 12_480;
+
+fn main() {
+    let cost = CostModel::default();
+    let power = PowerModel::default();
+    let planner = MemoryPlanner::new(Gap9Spec::default(), MemoryFootprint::full_precision());
+
+    let rows = [
+        ("GAP9@400MHz / 1,024 particles", 1024usize, OperatingPoint::MAX_400MHZ),
+        ("GAP9@12MHz  / 1,024 particles", 1024, OperatingPoint::MIN_12MHZ),
+        ("GAP9@400MHz / 16,384 particles", 16_384, OperatingPoint::MAX_400MHZ),
+        ("GAP9@200MHz / 16,384 particles", 16_384, OperatingPoint::MID_200MHZ),
+    ];
+
+    print_header("Table II — average power and execution time of the MCL on GAP9");
+    println!(
+        "{:<34} {:>16} {:>18} {:>14}",
+        "Operating point", "avg. power (mW)", "exec. time (ms)", "meets 15 Hz"
+    );
+    for (label, particles, point) in rows {
+        let in_l2 = planner.place(particles, PAPER_MAP_CELLS).particles_in_l2();
+        let breakdown = cost.update_breakdown(particles, BEAMS, 8, in_l2);
+        let time_ms = breakdown.total_time_s(point.frequency_hz()) * 1e3;
+        let p = power.average_power_mw(point);
+        let ok = time_ms * 1e-3 <= Gap9Spec::REAL_TIME_BUDGET_S;
+        println!("{label:<34} {p:>16.0} {time_ms:>18.3} {:>14}", if ok { "yes" } else { "NO" });
+    }
+    println!("\nPaper reference: 61 mW / 1.901 ms, 13 mW / 59.898 ms, 61 mW / 30.880 ms,");
+    println!("38 mW / 61.524 ms for the same four operating points.");
+
+    print_header("System power budget (paper section IV-E)");
+    let gap9 = power.average_power_mw(OperatingPoint::MAX_400MHZ);
+    let budget = SystemPowerBudget::paper(gap9);
+    println!("  2 x ToF sensor        : {:>7.0} mW", 2.0 * budget.sensor_power_mw);
+    println!("  Crazyflie electronics : {:>7.0} mW", budget.electronics_power_mw);
+    println!("  GAP9 (400 MHz)        : {:>7.0} mW", budget.gap9_power_mw);
+    println!(
+        "  total sensing+processing: {:.0} mW = {:.1} % of the {:.0} W drone",
+        budget.sensing_and_processing_mw(),
+        budget.sensing_and_processing_percent(),
+        budget.total_drone_power_mw / 1000.0
+    );
+    println!(
+        "  added payload (sensors + GAP9): {:.1} % of the drone's power",
+        budget.payload_increase_percent()
+    );
+    println!("\nPaper reference: 981 mW total, around 7 % of the overall power consumption.");
+}

@@ -1,0 +1,167 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each table/figure has its own binary (see `src/bin/`); this library holds the
+//! shared pieces: the sweep settings (a fast default and a `--full` paper-scale
+//! mode), the accuracy-sweep driver used by Figs. 6–8, and small text-table
+//! helpers so every binary prints the same rows/series the paper reports.
+//!
+//! | paper artifact | binary |
+//! |---|---|
+//! | Fig. 6 (ATE vs particles) | `fig6_ate` |
+//! | Fig. 7 (success rate vs particles) | `fig7_success` |
+//! | Fig. 8 (convergence probability vs time) | `fig8_convergence` |
+//! | Fig. 9 (memory trade-off) | `fig9_memory` |
+//! | Fig. 10 (parallel speedup) | `fig10_speedup` |
+//! | Table I (per-step latency) | `table1_latency` |
+//! | Table II (power) | `table2_power` |
+//! | §IV-B baseline comparison | `baseline_comparison` |
+//!
+//! Run any of them with `cargo run -p mcl-bench --release --bin <name>`; add
+//! `--full` for the paper-scale sweep (6 sequences × 6 seeds × all particle
+//! counts, which takes considerably longer).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use mcl_core::precision::PipelineConfig;
+use mcl_sim::{PaperScenario, ResultAggregator};
+
+/// Sweep dimensions shared by the accuracy experiments (Figs. 6–8).
+#[derive(Debug, Clone)]
+pub struct SweepSettings {
+    /// Particle counts on the x-axis.
+    pub particle_counts: Vec<usize>,
+    /// Number of flight sequences.
+    pub num_sequences: usize,
+    /// Number of random seeds per sequence.
+    pub num_seeds: usize,
+    /// Sequence duration in seconds.
+    pub duration_s: f32,
+    /// Base seed of the scenario.
+    pub scenario_seed: u64,
+}
+
+impl SweepSettings {
+    /// The paper-scale sweep: 64–16384 particles, 6 sequences × 6 seeds, 60 s.
+    pub fn paper() -> Self {
+        SweepSettings {
+            particle_counts: vec![64, 256, 1024, 4096, 16_384],
+            num_sequences: 6,
+            num_seeds: 6,
+            duration_s: 60.0,
+            scenario_seed: 2023,
+        }
+    }
+
+    /// A reduced sweep that finishes in a few minutes on a laptop while
+    /// preserving the qualitative trends.
+    pub fn quick() -> Self {
+        SweepSettings {
+            particle_counts: vec![64, 256, 1024, 4096],
+            num_sequences: 2,
+            num_seeds: 3,
+            duration_s: 45.0,
+            scenario_seed: 2023,
+        }
+    }
+
+    /// Picks the sweep from the command line: `--full` selects
+    /// [`SweepSettings::paper`], anything else the quick sweep.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            SweepSettings::paper()
+        } else {
+            SweepSettings::quick()
+        }
+    }
+
+    /// Builds the scenario for this sweep.
+    pub fn scenario(&self) -> PaperScenario {
+        PaperScenario::with_settings(self.scenario_seed, self.num_sequences, self.duration_s)
+    }
+
+    /// Total number of runs one configuration needs.
+    pub fn runs_per_configuration(&self) -> usize {
+        self.num_sequences * self.num_seeds
+    }
+}
+
+/// Runs the accuracy sweep for one pipeline configuration at one particle count,
+/// aggregating over all sequences and seeds.
+pub fn sweep_configuration(
+    scenario: &PaperScenario,
+    settings: &SweepSettings,
+    pipeline: PipelineConfig,
+    particles: usize,
+) -> ResultAggregator {
+    let mut aggregator = ResultAggregator::new();
+    for sequence in scenario.sequences() {
+        for seed in 0..settings.num_seeds as u64 {
+            let result = scenario.evaluate(sequence, pipeline, particles, seed + 1);
+            aggregator.push(result);
+        }
+    }
+    aggregator
+}
+
+/// The four configurations of Figs. 6–8, in the paper's plotting order.
+pub fn paper_pipelines() -> [PipelineConfig; 4] {
+    PipelineConfig::paper_configs()
+}
+
+/// Formats one row of a fixed-width text table.
+pub fn format_row(cells: &[String], widths: &[usize]) -> String {
+    let mut row = String::new();
+    for (cell, width) in cells.iter().zip(widths.iter()) {
+        row.push_str(&format!("{cell:>width$}  ", width = width));
+    }
+    row.trim_end().to_string()
+}
+
+/// Prints a header line followed by a separator of the same width.
+pub fn print_header(title: &str) {
+    println!("\n{title}");
+    println!("{}", "=".repeat(title.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_settings_defaults() {
+        let quick = SweepSettings::quick();
+        let paper = SweepSettings::paper();
+        assert!(quick.particle_counts.len() < paper.particle_counts.len());
+        assert_eq!(paper.particle_counts.last(), Some(&16_384));
+        assert_eq!(paper.runs_per_configuration(), 36);
+        assert_eq!(quick.runs_per_configuration(), 6);
+    }
+
+    #[test]
+    fn quick_sweep_produces_results_for_every_run() {
+        let mut settings = SweepSettings::quick();
+        settings.num_sequences = 1;
+        settings.num_seeds = 1;
+        settings.duration_s = 8.0;
+        let scenario = settings.scenario();
+        let agg = sweep_configuration(
+            &scenario,
+            &settings,
+            PipelineConfig::FP32,
+            128,
+        );
+        assert_eq!(agg.len(), 1);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        let row = format_row(
+            &["a".to_string(), "42".to_string()],
+            &[4, 6],
+        );
+        assert!(row.contains("a"));
+        assert!(row.ends_with("42"));
+        assert_eq!(paper_pipelines().len(), 4);
+    }
+}

@@ -1,0 +1,527 @@
+//! The Monte Carlo localization filter tying all four steps together.
+//!
+//! [`MonteCarloLocalization`] owns the particle set, the motion and observation
+//! models, the distance field and the parallel layout, and exposes the
+//! asynchronous interface the firmware pipeline drives:
+//!
+//! * [`MonteCarloLocalization::predict`] is called whenever new odometry arrives
+//!   and merely accumulates the body-frame increment.
+//! * [`MonteCarloLocalization::update`] is called whenever a ToF observation
+//!   arrives; it applies the full prediction–correction–resampling–pose sequence
+//!   **only** when the accumulated motion exceeds the `d_xy` / `d_θ` gate,
+//!   otherwise the observation is skipped (the paper's strategy for not wasting
+//!   compute while hovering).
+
+use crate::config::{MclConfig, MclError};
+use crate::estimate::PoseEstimate;
+use crate::motion::{MotionDelta, MotionModel};
+use crate::observation::BeamEndPointModel;
+use crate::parallel::ClusterLayout;
+use crate::particle::ParticleSet;
+use crate::resampling::PartialSumResampler;
+use crate::rng::CounterRng;
+use mcl_gridmap::{DistanceField, OccupancyGrid, Pose2};
+use mcl_num::Scalar;
+use mcl_sensor::Beam;
+
+/// Result of offering an observation to the filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateOutcome {
+    /// The observation was processed; the new pose estimate is attached.
+    Applied(PoseEstimate),
+    /// The observation was skipped because the drone has not moved past the
+    /// `d_xy` / `d_θ` gate since the previous update.
+    Skipped,
+}
+
+impl UpdateOutcome {
+    /// The estimate if the update was applied.
+    pub fn estimate(&self) -> Option<&PoseEstimate> {
+        match self {
+            UpdateOutcome::Applied(e) => Some(e),
+            UpdateOutcome::Skipped => None,
+        }
+    }
+
+    /// Returns `true` when the observation was processed.
+    pub fn is_applied(&self) -> bool {
+        matches!(self, UpdateOutcome::Applied(_))
+    }
+}
+
+/// Counters describing how the filter has been exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilterCounters {
+    /// Number of observation updates actually applied.
+    pub updates_applied: u64,
+    /// Number of observations skipped by the motion gate.
+    pub updates_skipped: u64,
+    /// Number of odometry increments accumulated.
+    pub predictions: u64,
+}
+
+/// The Monte Carlo localization filter, generic over particle storage precision
+/// `S` (`f32` / binary16) and distance-field storage `D`.
+#[derive(Debug, Clone)]
+pub struct MonteCarloLocalization<S: Scalar, D: DistanceField> {
+    config: MclConfig,
+    motion: MotionModel,
+    observation: BeamEndPointModel,
+    resampler: PartialSumResampler,
+    cluster: ClusterLayout,
+    particles: ParticleSet<S>,
+    field: D,
+    pending: MotionDelta,
+    update_counter: u64,
+    counters: FilterCounters,
+}
+
+impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
+    /// Creates a filter from a configuration and a precomputed distance field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MclError::InvalidConfig`] when the configuration is invalid.
+    pub fn new(config: MclConfig, field: D) -> Result<Self, MclError> {
+        config.validate()?;
+        Ok(MonteCarloLocalization {
+            motion: MotionModel::new(config.sigma_odom),
+            observation: BeamEndPointModel::new(config.sigma_obs, config.r_max),
+            resampler: PartialSumResampler::new(config.workers),
+            cluster: ClusterLayout::new(config.workers),
+            particles: ParticleSet::with_capacity(config.num_particles)?,
+            field,
+            pending: MotionDelta::default(),
+            update_counter: 0,
+            counters: FilterCounters::default(),
+            config,
+        })
+    }
+
+    /// The filter configuration.
+    pub fn config(&self) -> &MclConfig {
+        &self.config
+    }
+
+    /// The distance field the observation model reads.
+    pub fn distance_field(&self) -> &D {
+        &self.field
+    }
+
+    /// The particle set (empty before initialization).
+    pub fn particles(&self) -> &ParticleSet<S> {
+        &self.particles
+    }
+
+    /// Usage counters.
+    pub fn counters(&self) -> FilterCounters {
+        self.counters
+    }
+
+    /// Spreads the particles uniformly over the free space of `map` — global
+    /// localization with no prior, as in the paper's kidnapped start (Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MclError::NoFreeSpace`] when the map has no free cell.
+    pub fn initialize_uniform(&mut self, map: &OccupancyGrid, seed: u64) -> Result<(), MclError> {
+        self.particles
+            .initialize_uniform(self.config.num_particles, map, seed)
+    }
+
+    /// Concentrates the particles around a known starting pose (pose tracking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MclError::InvalidConfig`] when the configured particle count is
+    /// zero (already rejected at construction, listed for completeness).
+    pub fn initialize_gaussian(
+        &mut self,
+        pose: &Pose2,
+        std_xy: f32,
+        std_theta: f32,
+        seed: u64,
+    ) -> Result<(), MclError> {
+        self.particles.initialize_gaussian(
+            self.config.num_particles,
+            pose,
+            std_xy,
+            std_theta,
+            seed,
+        )
+    }
+
+    /// Accumulates an odometry increment (body frame). Cheap; call at odometry
+    /// rate.
+    pub fn predict(&mut self, delta: MotionDelta) {
+        self.pending = self.pending.accumulate(&delta);
+        self.counters.predictions += 1;
+    }
+
+    /// The motion accumulated since the last applied update.
+    pub fn pending_motion(&self) -> MotionDelta {
+        self.pending
+    }
+
+    /// Returns `true` when the accumulated motion has passed the update gate.
+    pub fn gate_open(&self) -> bool {
+        self.pending.translation() >= self.config.d_xy
+            || self.pending.rotation() >= self.config.d_theta
+    }
+
+    /// Offers an observation to the filter. Applies the full MCL iteration when
+    /// the motion gate is open, otherwise skips it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MclError::NotInitialized`] before the particles have been
+    /// initialized.
+    pub fn update(&mut self, beams: &[Beam]) -> Result<UpdateOutcome, MclError> {
+        if !self.particles.is_initialized() {
+            return Err(MclError::NotInitialized);
+        }
+        if !self.gate_open() {
+            self.counters.updates_skipped += 1;
+            return Ok(UpdateOutcome::Skipped);
+        }
+        Ok(UpdateOutcome::Applied(self.apply_iteration(beams)))
+    }
+
+    /// Applies one full MCL iteration regardless of the motion gate (used for the
+    /// very first observation and by the benchmarks that time a full iteration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the particles have not been initialized; use
+    /// [`MonteCarloLocalization::update`] for the checked variant.
+    pub fn force_update(&mut self, beams: &[Beam]) -> PoseEstimate {
+        assert!(
+            self.particles.is_initialized(),
+            "initialize the particle set before updating"
+        );
+        self.apply_iteration(beams)
+    }
+
+    /// The current pose estimate (weighted particle average).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the particle set has not been initialized.
+    pub fn estimate(&self) -> PoseEstimate {
+        PoseEstimate::from_particles(self.particles.particles())
+    }
+
+    fn apply_iteration(&mut self, beams: &[Beam]) -> PoseEstimate {
+        let delta = self.pending;
+        self.pending = MotionDelta::default();
+        self.update_counter += 1;
+        let update_index = self.update_counter;
+        let seed = self.config.seed;
+
+        // 1. Prediction: sample every particle through the motion model.
+        let motion = self.motion;
+        self.cluster
+            .for_each_chunk(self.particles.particles_mut(), |start, chunk| {
+                motion.apply(chunk, &delta, seed, update_index, start as u64);
+            });
+
+        // 2. Correction: beam-end-point re-weighting. Log-likelihoods are
+        // computed per particle and exponentiated relative to the maximum over
+        // the whole set, so a sharp observation model cannot underflow f32.
+        let observation = self.observation;
+        let field = &self.field;
+        let log_likelihoods: Vec<f32> = self
+            .cluster
+            .map_chunks(self.particles.particles(), |_, chunk| {
+                chunk
+                    .iter()
+                    .map(|p| observation.observation_log_likelihood(field, &p.pose(), beams))
+                    .collect::<Vec<f32>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let max_log = log_likelihoods
+            .iter()
+            .fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let log_ref = &log_likelihoods;
+        self.cluster
+            .for_each_chunk(self.particles.particles_mut(), |start, chunk| {
+                for (i, p) in chunk.iter_mut().enumerate() {
+                    let scaled = (log_ref[start + i] - max_log).exp();
+                    p.weight = S::from_f32(p.weight.to_f32() * scaled);
+                }
+            });
+
+        // 3. Weight normalization + systematic resampling over partial sums.
+        self.particles.normalize_weights();
+        let mut offset_rng = CounterRng::for_update(seed, update_index);
+        let offset = offset_rng.uniform();
+        let weights: Vec<f32> = self
+            .particles
+            .particles()
+            .iter()
+            .map(|p| p.weight.to_f32())
+            .collect();
+        let plan = self.resampler.plan(&weights, offset);
+        let uniform_weight = S::from_f32(1.0 / weights.len() as f32);
+        {
+            let (current, scratch) = self.particles.buffers_mut();
+            self.cluster.scatter_resample(
+                current,
+                scratch,
+                &plan.indices,
+                &plan.worker_output_ranges,
+            );
+            for p in scratch.iter_mut() {
+                p.weight = uniform_weight;
+            }
+        }
+        self.particles.swap_buffers();
+        self.counters.updates_applied += 1;
+
+        // 4. Pose computation.
+        self.estimate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_gridmap::{EuclideanDistanceField, MapBuilder, OccupancyGrid};
+    use mcl_num::F16;
+    use mcl_sensor::{SensorConfig, SensorRig};
+    use rand::SeedableRng;
+
+    fn arena() -> OccupancyGrid {
+        MapBuilder::new(4.0, 4.0, 0.05)
+            .border_walls()
+            .wall((2.0, 0.0), (2.0, 2.4))
+            .wall((0.0, 3.0), (1.2, 3.0))
+            .filled_rect((2.8, 2.8), (3.2, 3.2))
+            .build()
+    }
+
+    fn edt(map: &OccupancyGrid) -> EuclideanDistanceField {
+        EuclideanDistanceField::compute(map, 1.5)
+    }
+
+    fn rig() -> SensorRig {
+        SensorRig::front_and_rear(
+            SensorConfig::default()
+                .with_range_noise(0.01)
+                .with_interference_probability(0.0),
+        )
+    }
+
+    fn config(n: usize) -> MclConfig {
+        MclConfig::default().with_particles(n).with_seed(5)
+    }
+
+    #[test]
+    fn construction_validates_the_configuration() {
+        let map = arena();
+        let bad = MclConfig::default().with_particles(0);
+        assert!(MonteCarloLocalization::<f32, _>::new(bad, edt(&map)).is_err());
+        let ok = MonteCarloLocalization::<f32, _>::new(config(64), edt(&map)).unwrap();
+        assert_eq!(ok.config().num_particles, 64);
+    }
+
+    #[test]
+    fn update_before_initialization_is_an_error() {
+        let map = arena();
+        let mut mcl = MonteCarloLocalization::<f32, _>::new(config(64), edt(&map)).unwrap();
+        assert_eq!(mcl.update(&[]).unwrap_err(), MclError::NotInitialized);
+    }
+
+    #[test]
+    fn gate_skips_updates_until_the_drone_moves() {
+        let map = arena();
+        let mut mcl = MonteCarloLocalization::<f32, _>::new(config(128), edt(&map)).unwrap();
+        mcl.initialize_uniform(&map, 1).unwrap();
+        // No motion at all: skipped.
+        assert_eq!(mcl.update(&[]).unwrap(), UpdateOutcome::Skipped);
+        // Small motion below both gates: still skipped.
+        mcl.predict(MotionDelta::new(0.04, 0.0, 0.02));
+        assert!(!mcl.gate_open());
+        assert_eq!(mcl.update(&[]).unwrap(), UpdateOutcome::Skipped);
+        // Enough translation: applied.
+        mcl.predict(MotionDelta::new(0.07, 0.0, 0.0));
+        assert!(mcl.gate_open());
+        assert!(mcl.update(&[]).unwrap().is_applied());
+        // The pending motion is consumed by the applied update.
+        assert!(mcl.pending_motion().is_zero());
+        let counters = mcl.counters();
+        assert_eq!(counters.updates_applied, 1);
+        assert_eq!(counters.updates_skipped, 2);
+        assert_eq!(counters.predictions, 2);
+    }
+
+    #[test]
+    fn rotation_alone_opens_the_gate() {
+        let map = arena();
+        let mut mcl = MonteCarloLocalization::<f32, _>::new(config(64), edt(&map)).unwrap();
+        mcl.initialize_uniform(&map, 1).unwrap();
+        mcl.predict(MotionDelta::new(0.0, 0.0, 0.15));
+        assert!(mcl.gate_open());
+        assert!(mcl.update(&[]).unwrap().is_applied());
+    }
+
+    #[test]
+    fn tracking_converges_to_the_true_pose() {
+        // Pose-tracking scenario: particles start around the true pose, the drone
+        // moves along a short path, and the estimate must follow it closely.
+        let map = arena();
+        let mut mcl = MonteCarloLocalization::<f32, _>::new(config(1024), edt(&map)).unwrap();
+        let mut truth = Pose2::new(1.0, 1.0, 0.0);
+        mcl.initialize_gaussian(&truth, 0.3, 0.3, 2).unwrap();
+        let rig = rig();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for step in 0..30 {
+            let next = Pose2::new(
+                1.0 + 0.04 * (step + 1) as f32,
+                1.0 + 0.02 * (step + 1) as f32,
+                0.05 * (step + 1) as f32,
+            );
+            let delta = MotionDelta::between(&truth, &next);
+            truth = next;
+            mcl.predict(delta);
+            let beams = rig.observe(&map, &truth, step as f64 / 15.0, &mut rng);
+            let _ = mcl.update(&beams).unwrap();
+        }
+        let estimate = mcl.estimate();
+        let err = estimate.pose.translation_distance(&truth);
+        assert!(err < 0.3, "tracking error too large: {err} m ({estimate})");
+    }
+
+    #[test]
+    fn global_localization_converges_with_enough_particles() {
+        let map = arena();
+        let mut mcl = MonteCarloLocalization::<f32, _>::new(
+            config(4096).with_workers(4),
+            edt(&map),
+        )
+        .unwrap();
+        mcl.initialize_uniform(&map, 9).unwrap();
+        let rig = rig();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        // Drive a loop through the left room.
+        let mut truth = Pose2::new(0.6, 0.6, 0.0);
+        let waypoints = [
+            Pose2::new(1.6, 0.6, 0.0),
+            Pose2::new(1.6, 1.6, core::f32::consts::FRAC_PI_2),
+            Pose2::new(0.7, 1.9, core::f32::consts::PI),
+            Pose2::new(0.6, 0.8, -core::f32::consts::FRAC_PI_2),
+        ];
+        let mut t = 0.0;
+        for waypoint in waypoints.iter().cycle().take(16) {
+            // Move towards the waypoint in ~0.12 m steps.
+            for _ in 0..12 {
+                let to_wp = MotionDelta::between(&truth, waypoint);
+                if to_wp.translation() < 0.12 && to_wp.rotation() < 0.2 {
+                    break;
+                }
+                let scale = (0.12 / to_wp.translation().max(0.12)).min(1.0);
+                let step = MotionDelta::new(
+                    to_wp.dx * scale,
+                    to_wp.dy * scale,
+                    to_wp.dtheta.clamp(-0.3, 0.3),
+                );
+                let next = truth.compose(&Pose2::new(step.dx, step.dy, step.dtheta));
+                let delta = MotionDelta::between(&truth, &next);
+                truth = next;
+                t += 1.0 / 15.0;
+                mcl.predict(delta);
+                let beams = rig.observe(&map, &truth, t, &mut rng);
+                let _ = mcl.update(&beams).unwrap();
+            }
+        }
+        let estimate = mcl.estimate();
+        let err = estimate.pose.translation_distance(&truth);
+        assert!(
+            err < 0.35,
+            "global localization failed to converge: error {err} m ({estimate})"
+        );
+    }
+
+    #[test]
+    fn sequential_and_parallel_execution_agree_exactly() {
+        let map = arena();
+        let mut seq =
+            MonteCarloLocalization::<f32, _>::new(config(512).with_workers(1), edt(&map)).unwrap();
+        let mut par =
+            MonteCarloLocalization::<f32, _>::new(config(512).with_workers(8), edt(&map)).unwrap();
+        seq.initialize_uniform(&map, 21).unwrap();
+        par.initialize_uniform(&map, 21).unwrap();
+        let rig = rig();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut truth = Pose2::new(1.0, 1.2, 0.2);
+        for step in 0..10 {
+            let next = truth.compose(&Pose2::new(0.11, 0.0, 0.05));
+            let delta = MotionDelta::between(&truth, &next);
+            truth = next;
+            let beams = rig.observe(&map, &truth, step as f64 / 15.0, &mut rng);
+            seq.predict(delta);
+            par.predict(delta);
+            let _ = seq.update(&beams).unwrap();
+            let _ = par.update(&beams).unwrap();
+        }
+        assert_eq!(seq.particles().particles(), par.particles().particles());
+    }
+
+    #[test]
+    fn half_precision_filter_runs_and_stays_reasonable() {
+        let map = arena();
+        let quantized = edt(&map).quantize();
+        let mut mcl =
+            MonteCarloLocalization::<F16, _>::new(config(1024), quantized).unwrap();
+        let mut truth = Pose2::new(1.0, 1.0, 0.0);
+        mcl.initialize_gaussian(&truth, 0.3, 0.3, 2).unwrap();
+        let rig = rig();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for step in 0..25 {
+            let next = truth.compose(&Pose2::new(0.08, 0.0, 0.02));
+            let delta = MotionDelta::between(&truth, &next);
+            truth = next;
+            mcl.predict(delta);
+            let beams = rig.observe(&map, &truth, step as f64 / 15.0, &mut rng);
+            let _ = mcl.update(&beams).unwrap();
+        }
+        let err = mcl.estimate().pose.translation_distance(&truth);
+        assert!(err < 0.35, "fp16 tracking error too large: {err}");
+    }
+
+    #[test]
+    fn force_update_works_without_motion() {
+        let map = arena();
+        let mut mcl = MonteCarloLocalization::<f32, _>::new(config(256), edt(&map)).unwrap();
+        mcl.initialize_uniform(&map, 3).unwrap();
+        let rig = rig();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let truth = Pose2::new(0.8, 0.8, 0.4);
+        let beams = rig.observe(&map, &truth, 0.0, &mut rng);
+        let before = mcl.estimate();
+        let after = mcl.force_update(&beams);
+        // The update ran (weights were reset, resampling happened) even though
+        // the drone never moved.
+        assert_eq!(mcl.counters().updates_applied, 1);
+        assert!(before.pose.translation_distance(&after.pose) >= 0.0);
+        assert!((mcl.particles().weight_sum() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn weights_are_uniform_after_resampling() {
+        let map = arena();
+        let mut mcl = MonteCarloLocalization::<f32, _>::new(config(128), edt(&map)).unwrap();
+        mcl.initialize_uniform(&map, 6).unwrap();
+        let rig = rig();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let beams = rig.observe(&map, &Pose2::new(1.0, 1.0, 0.0), 0.0, &mut rng);
+        let _ = mcl.force_update(&beams);
+        let expected = 1.0 / 128.0;
+        for p in mcl.particles().particles() {
+            assert!((p.weight_f32() - expected).abs() < 1e-6);
+        }
+        assert!((mcl.particles().effective_sample_size() - 128.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,83 @@
+//! Monte Carlo Localization for nano-UAVs with multizone ToF sensors.
+//!
+//! This crate is the reproduction of the paper's primary contribution: a particle
+//! filter that localizes a nano-UAV on a 2D occupancy grid map using the sparse
+//! range measurements of one or two VL53L5CX multizone ToF sensors, designed to
+//! run in real time on the GAP9 parallel ultra-low-power SoC.
+//!
+//! The filter follows the classic MCL structure (Fig. 3 of the paper) with the
+//! paper's embedded-specific adaptations:
+//!
+//! 1. **Prediction** — sample each particle through the odometry motion model
+//!    with noise `σ_odom` ([`motion`]).
+//! 2. **Correction** — re-weight each particle with the beam-end-point
+//!    observation model of Eq. 1, looking the beam end points up in a truncated
+//!    Euclidean distance transform ([`observation`]).
+//! 3. **Resampling** — systematic ("wheel") resampling, decomposed over per-core
+//!    partial weight sums exactly like the paper's Fig. 4 so it parallelizes over
+//!    the 8 cluster cores ([`resampling`]).
+//! 4. **Pose computation** — weighted average over all particles, with a circular
+//!    mean for the yaw ([`estimate`]).
+//!
+//! Updates are asynchronous and gated: observations are only processed after the
+//! drone moved more than `d_xy` or rotated more than `d_θ` ([`filter`]).
+//!
+//! The memory/precision design space of the paper is captured by two generic
+//! parameters: the particle storage scalar (`f32` or binary16, see
+//! [`mcl_num::Scalar`]) and the distance-field storage
+//! ([`mcl_gridmap::DistanceField`]: `f32`, binary16 or 8-bit quantized). The
+//! [`precision`] module names the paper's configurations (`fp32`, `fp32qm`,
+//! `fp16qm`, single-ToF) and [`precision::MemoryFootprint`] reproduces the
+//! memory accounting behind Fig. 9.
+//!
+//! # Example
+//!
+//! ```
+//! use mcl_core::{MclConfig, MonteCarloLocalization};
+//! use mcl_gridmap::{EuclideanDistanceField, MapBuilder, Pose2};
+//! use mcl_sensor::{SensorConfig, SensorRig};
+//! use rand::SeedableRng;
+//!
+//! // Map and its distance transform.
+//! let map = MapBuilder::new(4.0, 4.0, 0.05).border_walls()
+//!     .wall((2.0, 0.0), (2.0, 2.5)).build();
+//! let edt = EuclideanDistanceField::compute(&map, 1.5);
+//!
+//! // Filter with 512 particles spread over the free space.
+//! let config = MclConfig { num_particles: 512, ..MclConfig::default() };
+//! let mut mcl = MonteCarloLocalization::<f32, _>::new(config, edt).unwrap();
+//! mcl.initialize_uniform(&map, 7);
+//!
+//! // One simulated observation from the true pose re-weights the particles.
+//! let rig = SensorRig::front_and_rear(SensorConfig::default());
+//! let truth = Pose2::new(1.0, 2.0, 0.0);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let beams = rig.observe(&map, &truth, 0.0, &mut rng);
+//! mcl.force_update(&beams);
+//! let estimate = mcl.estimate();
+//! assert!(estimate.neff > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod estimate;
+pub mod filter;
+pub mod motion;
+pub mod observation;
+pub mod parallel;
+pub mod particle;
+pub mod precision;
+pub mod resampling;
+pub mod rng;
+
+pub use config::{MclConfig, MclError};
+pub use estimate::PoseEstimate;
+pub use filter::{MonteCarloLocalization, UpdateOutcome};
+pub use motion::{MotionDelta, MotionModel};
+pub use observation::BeamEndPointModel;
+pub use parallel::ClusterLayout;
+pub use particle::{Particle, ParticleSet};
+pub use precision::{MapPrecision, MemoryFootprint, ParticlePrecision, PipelineConfig};
+pub use resampling::{multinomial_resample, systematic_resample, PartialSumResampler};

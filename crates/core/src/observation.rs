@@ -1,0 +1,308 @@
+//! Beam-end-point observation model (the correction step).
+//!
+//! For a particle pose `x_t` and a beam measurement `z_t^k`, the beam end point
+//! `ẑ_t^k` is where the measured range lands in the map when shot from the
+//! hypothesised pose. The paper scores it with Eq. 1:
+//!
+//! ```text
+//! p(z_t^k | x_t, m) = 1/√(2π σ_obs²) · exp( − EDT(ẑ_t^k)² / (2 σ_obs²) )
+//! ```
+//!
+//! where `EDT` is the precomputed Euclidean distance transform truncated at
+//! `r_max`. If the hypothesis is right, end points land on obstacles (EDT ≈ 0)
+//! and the particle keeps a high weight; wrong hypotheses scatter end points into
+//! open space (EDT → r_max) and are down-weighted. Beams flagged invalid by the
+//! sensor never reach this model ([`mcl_sensor::ToFFrame::to_beams`] drops them),
+//! and measured ranges at or beyond `r_max` are skipped here, matching the
+//! truncated field.
+
+use crate::particle::Particle;
+use mcl_gridmap::DistanceField;
+use mcl_num::Scalar;
+use mcl_sensor::Beam;
+
+/// The beam-end-point likelihood model of Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeamEndPointModel {
+    sigma_obs: f32,
+    r_max: f32,
+    log_normalizer: f32,
+}
+
+impl BeamEndPointModel {
+    /// Creates the model with the paper's `σ_obs` and `r_max` parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_obs` or `r_max` is not positive and finite; these are
+    /// static configuration values.
+    pub fn new(sigma_obs: f32, r_max: f32) -> Self {
+        assert!(
+            sigma_obs.is_finite() && sigma_obs > 0.0,
+            "sigma_obs must be positive"
+        );
+        assert!(r_max.is_finite() && r_max > 0.0, "r_max must be positive");
+        BeamEndPointModel {
+            sigma_obs,
+            r_max,
+            log_normalizer: -(core::f32::consts::TAU.sqrt() * sigma_obs).ln(),
+        }
+    }
+
+    /// The observation standard deviation.
+    pub fn sigma_obs(&self) -> f32 {
+        self.sigma_obs
+    }
+
+    /// The range truncation.
+    pub fn r_max(&self) -> f32 {
+        self.r_max
+    }
+
+    /// Log-likelihood of a single beam for a particle at `pose`.
+    ///
+    /// Returns `None` when the beam is skipped (measured range ≥ `r_max`).
+    pub fn beam_log_likelihood<D: DistanceField + ?Sized>(
+        &self,
+        field: &D,
+        pose: &mcl_gridmap::Pose2,
+        beam: &Beam,
+    ) -> Option<f32> {
+        if beam.range_m >= self.r_max {
+            return None;
+        }
+        let end = beam.end_point(pose);
+        let edt = field.distance_at_world(end.x, end.y).min(self.r_max);
+        Some(self.log_normalizer - (edt * edt) / (2.0 * self.sigma_obs * self.sigma_obs))
+    }
+
+    /// Log-likelihood of a full observation `z_t` for a particle at `pose`: the
+    /// sum of the per-beam log-likelihoods of Eq. 1.
+    ///
+    /// When every beam is skipped the method returns 0.0 (likelihood 1), leaving
+    /// the particle's weight untouched — with no usable information the posterior
+    /// equals the prior.
+    ///
+    /// The filter exponentiates these values only after subtracting the maximum
+    /// across the particle set, so sharp observation models (small `σ_obs`) never
+    /// underflow `f32` even with many beams.
+    pub fn observation_log_likelihood<D: DistanceField + ?Sized>(
+        &self,
+        field: &D,
+        pose: &mcl_gridmap::Pose2,
+        beams: &[Beam],
+    ) -> f32 {
+        let mut log_sum = 0.0f32;
+        let mut used = 0usize;
+        for beam in beams {
+            if let Some(ll) = self.beam_log_likelihood(field, pose, beam) {
+                log_sum += ll;
+                used += 1;
+            }
+        }
+        if used == 0 {
+            return 0.0;
+        }
+        log_sum
+    }
+
+    /// Likelihood (not log) of a full observation `z_t` for a particle at `pose`:
+    /// the product of the per-beam likelihoods of Eq. 1.
+    ///
+    /// When every beam is skipped the method returns 1.0, leaving the particle's
+    /// weight untouched — with no usable information the posterior equals the
+    /// prior.
+    pub fn observation_likelihood<D: DistanceField + ?Sized>(
+        &self,
+        field: &D,
+        pose: &mcl_gridmap::Pose2,
+        beams: &[Beam],
+    ) -> f32 {
+        self.observation_log_likelihood(field, pose, beams).exp()
+    }
+
+    /// Re-weights one particle in place: `w ← w · p(z_t | x_t, m)`.
+    pub fn reweight_particle<S: Scalar, D: DistanceField + ?Sized>(
+        &self,
+        field: &D,
+        particle: &mut Particle<S>,
+        beams: &[Beam],
+    ) {
+        let pose = particle.pose();
+        let likelihood = self.observation_likelihood(field, &pose, beams);
+        particle.weight = S::from_f32(particle.weight.to_f32() * likelihood);
+    }
+
+    /// Re-weights a slice of particles in place (one chunk of the cluster's
+    /// data-parallel correction step).
+    pub fn reweight<S: Scalar, D: DistanceField + ?Sized>(
+        &self,
+        field: &D,
+        particles: &mut [Particle<S>],
+        beams: &[Beam],
+    ) {
+        for p in particles {
+            self.reweight_particle(field, p, beams);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_gridmap::{EuclideanDistanceField, MapBuilder, OccupancyGrid, Pose2};
+    use mcl_sensor::{SensorConfig, SensorRig};
+    use rand::SeedableRng;
+
+    fn room() -> OccupancyGrid {
+        MapBuilder::new(4.0, 4.0, 0.05).border_walls().build()
+    }
+
+    fn clean_rig() -> SensorRig {
+        SensorRig::front_and_rear(
+            SensorConfig::default()
+                .with_range_noise(0.0)
+                .with_interference_probability(0.0),
+        )
+    }
+
+    fn beams_at(map: &OccupancyGrid, pose: &Pose2) -> Vec<Beam> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        clean_rig().observe(map, pose, 0.0, &mut rng)
+    }
+
+    #[test]
+    fn model_rejects_bad_parameters() {
+        let ok = BeamEndPointModel::new(2.0, 1.5);
+        assert_eq!(ok.sigma_obs(), 2.0);
+        assert_eq!(ok.r_max(), 1.5);
+        assert!(std::panic::catch_unwind(|| BeamEndPointModel::new(0.0, 1.5)).is_err());
+        assert!(std::panic::catch_unwind(|| BeamEndPointModel::new(2.0, -1.0)).is_err());
+    }
+
+    #[test]
+    fn true_pose_scores_higher_than_a_wrong_pose() {
+        let map = room();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let model = BeamEndPointModel::new(0.5, 1.5);
+        // Near a corner so several beams are within r_max.
+        let truth = Pose2::new(1.0, 1.0, 0.0);
+        let beams = beams_at(&map, &truth);
+        let l_true = model.observation_likelihood(&edt, &truth, &beams);
+        let l_wrong = model.observation_likelihood(&edt, &Pose2::new(2.0, 2.4, 1.2), &beams);
+        assert!(
+            l_true > l_wrong,
+            "true {l_true} should beat wrong {l_wrong}"
+        );
+    }
+
+    #[test]
+    fn beams_beyond_rmax_are_skipped() {
+        let map = room();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let model = BeamEndPointModel::new(2.0, 1.5);
+        let pose = Pose2::new(2.0, 2.0, 0.0);
+        let long_beam = Beam {
+            azimuth_body_rad: 0.0,
+            range_m: 3.0,
+            origin_body: Pose2::default(),
+        };
+        assert!(model.beam_log_likelihood(&edt, &pose, &long_beam).is_none());
+        // An observation consisting only of skipped beams leaves weights alone.
+        assert_eq!(
+            model.observation_likelihood(&edt, &pose, &[long_beam]),
+            1.0
+        );
+    }
+
+    #[test]
+    fn beam_landing_on_an_obstacle_gets_the_maximum_likelihood() {
+        let map = room();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let model = BeamEndPointModel::new(2.0, 1.5);
+        let pose = Pose2::new(3.0, 2.0, 0.0); // 0.95 m from the east wall
+        let on_wall = Beam {
+            azimuth_body_rad: 0.0,
+            range_m: 0.97,
+            origin_body: Pose2::default(),
+        };
+        let into_space = Beam {
+            azimuth_body_rad: core::f32::consts::PI, // points at open space 0.97 m away
+            range_m: 0.97,
+            origin_body: Pose2::default(),
+        };
+        let l_wall = model.beam_log_likelihood(&edt, &pose, &on_wall).unwrap();
+        let l_space = model.beam_log_likelihood(&edt, &pose, &into_space).unwrap();
+        assert!(l_wall > l_space);
+        // The on-wall log likelihood is close to the normalizer (EDT ≈ 0).
+        assert!((l_wall - (-(core::f32::consts::TAU.sqrt() * 2.0).ln())).abs() < 0.05);
+    }
+
+    #[test]
+    fn likelihood_is_monotone_in_end_point_distance() {
+        let map = room();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let model = BeamEndPointModel::new(2.0, 1.5);
+        let pose = Pose2::new(3.0, 2.0, 0.0);
+        let mut previous = f32::INFINITY;
+        // Sweep the measured range from "lands on the wall" to "falls short".
+        for range in [0.95, 0.8, 0.6, 0.4, 0.2] {
+            let beam = Beam {
+                azimuth_body_rad: 0.0,
+                range_m: range,
+                origin_body: Pose2::default(),
+            };
+            let ll = model.beam_log_likelihood(&edt, &pose, &beam).unwrap();
+            assert!(
+                ll <= previous + 1e-6,
+                "likelihood should not increase as the end point moves off the wall"
+            );
+            previous = ll;
+        }
+    }
+
+    #[test]
+    fn reweight_prefers_particles_at_the_true_pose() {
+        let map = room();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let model = BeamEndPointModel::new(0.5, 1.5);
+        let truth = Pose2::new(1.0, 1.0, 0.0);
+        let beams = beams_at(&map, &truth);
+        let mut particles = vec![
+            Particle::<f32>::from_pose(&truth, 1.0),
+            Particle::<f32>::from_pose(&Pose2::new(2.2, 2.7, 0.6), 1.0),
+            Particle::<f32>::from_pose(&Pose2::new(3.2, 1.1, 3.0), 1.0),
+        ];
+        model.reweight(&edt, &mut particles, &beams);
+        assert!(particles[0].weight > particles[1].weight);
+        assert!(particles[0].weight > particles[2].weight);
+    }
+
+    #[test]
+    fn quantized_field_gives_nearly_the_same_weights() {
+        let map = room();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let quantized = edt.quantize();
+        let model = BeamEndPointModel::new(2.0, 1.5);
+        let truth = Pose2::new(1.3, 2.1, 0.8);
+        let beams = beams_at(&map, &truth);
+        for pose in [truth, Pose2::new(2.0, 2.0, 0.0), Pose2::new(3.0, 1.0, 2.0)] {
+            let full = model.observation_likelihood(&edt, &pose, &beams);
+            let quant = model.observation_likelihood(&quantized, &pose, &beams);
+            assert!(
+                (full - quant).abs() / full < 0.05,
+                "quantized likelihood deviates: {full} vs {quant}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_beam_list_leaves_weights_unchanged() {
+        let map = room();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let model = BeamEndPointModel::new(2.0, 1.5);
+        let mut p = Particle::<f32>::from_pose(&Pose2::new(1.0, 1.0, 0.0), 0.7);
+        model.reweight_particle(&edt, &mut p, &[]);
+        assert_eq!(p.weight, 0.7);
+    }
+}

@@ -1,0 +1,231 @@
+//! Host-side parallel execution mirroring the GAP9 cluster usage.
+//!
+//! On GAP9 the four MCL steps are distributed over the 8 worker cores of the
+//! compute cluster (a ninth core orchestrates). This module reproduces that
+//! execution shape on the host with `crossbeam` scoped threads: particles are
+//! split into one contiguous chunk per worker, each worker processes its chunk
+//! independently, and the per-particle counter-based RNG guarantees that the
+//! result is bit-identical to sequential execution — a property the integration
+//! tests rely on (and which the real firmware needs so single-core and multi-core
+//! builds are interchangeable).
+//!
+//! The wall-clock speedups measured on the host by the Criterion benches are
+//! *not* the paper's numbers (different silicon); the GAP9 latency figures of
+//! Table I and Fig. 10 come from the analytic cost model in `mcl-gap9`, which
+//! uses the same chunking and the same resampling critical path as this module.
+
+use serde::{Deserialize, Serialize};
+
+/// How particles are distributed over worker cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterLayout {
+    workers: usize,
+}
+
+impl ClusterLayout {
+    /// The 8-worker layout of the GAP9 cluster.
+    pub const GAP9: ClusterLayout = ClusterLayout { workers: 8 };
+
+    /// A single-core layout (the paper's sequential baseline).
+    pub const SINGLE: ClusterLayout = ClusterLayout { workers: 1 };
+
+    /// Creates a layout with `workers` worker cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "at least one worker is required");
+        ClusterLayout { workers }
+    }
+
+    /// Number of worker cores.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The contiguous `(start, end)` chunk of each worker for `n` items;
+    /// chunks are as even as possible and cover `0..n` exactly.
+    pub fn chunks(&self, n: usize) -> Vec<(usize, usize)> {
+        let workers = self.workers.min(n.max(1));
+        let chunk = n.div_ceil(workers);
+        (0..workers)
+            .map(|w| (w * chunk, ((w + 1) * chunk).min(n)))
+            .filter(|(s, e)| s <= e)
+            .collect()
+    }
+
+    /// Runs `work` on every chunk of `items`, in parallel when more than one
+    /// worker is configured. `work` receives the chunk's start index (needed to
+    /// derive per-particle RNG streams) and the mutable chunk itself.
+    pub fn for_each_chunk<T, F>(&self, items: &mut [T], work: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Send + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return;
+        }
+        if self.workers == 1 {
+            work(0, items);
+            return;
+        }
+        let chunk = n.div_ceil(self.workers.min(n));
+        crossbeam::thread::scope(|scope| {
+            for (w, slice) in items.chunks_mut(chunk).enumerate() {
+                let work = &work;
+                scope.spawn(move |_| work(w * chunk, slice));
+            }
+        })
+        .expect("cluster worker panicked");
+    }
+
+    /// Runs `work` on every chunk and collects one result per chunk, in chunk
+    /// order. Used for the per-chunk partial weight sums of the resampling step.
+    pub fn map_chunks<T, R, F>(&self, items: &[T], work: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Send + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.workers == 1 {
+            return vec![work(0, items)];
+        }
+        let chunk = n.div_ceil(self.workers.min(n));
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .enumerate()
+                .map(|(w, slice)| {
+                    let work = &work;
+                    scope.spawn(move |_| work(w * chunk, slice))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cluster worker panicked"))
+                .collect()
+        })
+        .expect("cluster scope failed")
+    }
+
+    /// Scatters `source[indices[i]]` into `target[i]` for the output ranges of a
+    /// resampling plan, one range per worker.
+    pub fn scatter_resample<T>(
+        &self,
+        source: &[T],
+        target: &mut [T],
+        indices: &[usize],
+        ranges: &[(usize, usize)],
+    ) where
+        T: Copy + Send + Sync,
+    {
+        assert_eq!(target.len(), indices.len());
+        if self.workers == 1 || ranges.len() <= 1 {
+            for (i, &src) in indices.iter().enumerate() {
+                target[i] = source[src];
+            }
+            return;
+        }
+        // Split the target into the per-worker output ranges; they are contiguous
+        // and disjoint, so safe to hand each to its own thread.
+        crossbeam::thread::scope(|scope| {
+            let mut remaining = target;
+            let mut consumed = 0usize;
+            for &(start, end) in ranges {
+                debug_assert_eq!(start, consumed, "ranges must be contiguous");
+                let (mine, rest) = remaining.split_at_mut(end - start);
+                remaining = rest;
+                consumed = end;
+                let indices = &indices[start..end];
+                scope.spawn(move |_| {
+                    for (offset, &src) in indices.iter().enumerate() {
+                        mine[offset] = source[src];
+                    }
+                });
+            }
+        })
+        .expect("cluster worker panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_the_range_exactly() {
+        let layout = ClusterLayout::new(8);
+        for n in [0usize, 1, 7, 8, 9, 64, 1000, 4096] {
+            let chunks = layout.chunks(n);
+            let mut covered = 0usize;
+            for (s, e) in &chunks {
+                assert_eq!(*s, covered);
+                covered = *e;
+            }
+            assert_eq!(covered, n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn single_and_multi_worker_for_each_produce_identical_results() {
+        let base: Vec<u64> = (0..1000).collect();
+        let work = |start: usize, slice: &mut [u64]| {
+            for (i, v) in slice.iter_mut().enumerate() {
+                *v = (*v).wrapping_mul(31).wrapping_add((start + i) as u64);
+            }
+        };
+        let mut sequential = base.clone();
+        ClusterLayout::SINGLE.for_each_chunk(&mut sequential, work);
+        let mut parallel = base;
+        ClusterLayout::GAP9.for_each_chunk(&mut parallel, work);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn map_chunks_returns_results_in_chunk_order() {
+        let items: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let sums = ClusterLayout::new(4).map_chunks(&items, |_, chunk| {
+            chunk.iter().sum::<f32>()
+        });
+        assert_eq!(sums.len(), 4);
+        let total: f32 = sums.iter().sum();
+        assert_eq!(total, items.iter().sum::<f32>());
+        // First chunk (0..25) has the smallest sum, last the largest.
+        assert!(sums[0] < sums[3]);
+    }
+
+    #[test]
+    fn scatter_resample_matches_sequential_gather() {
+        let source: Vec<u32> = (0..64).map(|i| i * 3).collect();
+        let indices: Vec<usize> = (0..64).map(|i| (i * 7) % 64).collect();
+        let ranges = vec![(0usize, 16usize), (16, 32), (32, 48), (48, 64)];
+        let mut sequential = vec![0u32; 64];
+        ClusterLayout::SINGLE.scatter_resample(&source, &mut sequential, &indices, &ranges);
+        let mut parallel = vec![0u32; 64];
+        ClusterLayout::new(4).scatter_resample(&source, &mut parallel, &indices, &ranges);
+        assert_eq!(sequential, parallel);
+        for (i, &v) in sequential.iter().enumerate() {
+            assert_eq!(v, source[indices[i]]);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let mut empty: Vec<u8> = vec![];
+        ClusterLayout::GAP9.for_each_chunk(&mut empty, |_, _| panic!("must not be called"));
+        let results = ClusterLayout::GAP9.map_chunks(&empty, |_, _: &[u8]| 1u8);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        ClusterLayout::new(0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Particles and the double-buffered particle set.
+//!
+//! A particle is a pose hypothesis plus an importance weight. The paper stores
+//! four numbers per particle (x, y, yaw, weight) in either full (`f32`, 16 B) or
+//! half precision (binary16, 8 B), and keeps **two** buffers because systematic
+//! resampling reads the old particle set while writing the new one — hence
+//! 32 B/particle (fp32) or 16 B/particle (fp16) in the paper's memory accounting,
+//! which [`ParticleSet::memory_bytes`] reproduces.
+
+use crate::config::MclError;
+use crate::rng::CounterRng;
+use mcl_gridmap::{CellState, OccupancyGrid, Pose2};
+use mcl_num::Scalar;
+
+/// One pose hypothesis with an importance weight, stored at precision `S`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Particle<S: Scalar> {
+    /// X position, metres.
+    pub x: S,
+    /// Y position, metres.
+    pub y: S,
+    /// Yaw angle, radians in `[0, 2π)`.
+    pub theta: S,
+    /// Importance weight (normalized across the set after every correction).
+    pub weight: S,
+}
+
+impl<S: Scalar> Particle<S> {
+    /// Creates a particle from an `f32` pose and weight, rounding to `S`.
+    pub fn from_pose(pose: &Pose2, weight: f32) -> Self {
+        Particle {
+            x: S::from_f32(pose.x),
+            y: S::from_f32(pose.y),
+            theta: S::from_f32(pose.theta),
+            weight: S::from_f32(weight),
+        }
+    }
+
+    /// The particle's pose in `f32`.
+    pub fn pose(&self) -> Pose2 {
+        Pose2::new(self.x.to_f32(), self.y.to_f32(), self.theta.to_f32())
+    }
+
+    /// The particle's weight in `f32`.
+    pub fn weight_f32(&self) -> f32 {
+        self.weight.to_f32()
+    }
+
+    /// Bytes one particle occupies at this precision (4 stored scalars).
+    pub const fn bytes() -> usize {
+        4 * S::BYTES
+    }
+}
+
+/// The double-buffered particle population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParticleSet<S: Scalar> {
+    particles: Vec<Particle<S>>,
+    scratch: Vec<Particle<S>>,
+    initialized: bool,
+}
+
+impl<S: Scalar> ParticleSet<S> {
+    /// Creates an uninitialized set with capacity for `n` particles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MclError::InvalidConfig`] when `n` is zero.
+    pub fn with_capacity(n: usize) -> Result<Self, MclError> {
+        if n == 0 {
+            return Err(MclError::InvalidConfig("num_particles must be > 0"));
+        }
+        Ok(ParticleSet {
+            particles: Vec::with_capacity(n),
+            scratch: Vec::with_capacity(n),
+            initialized: false,
+        })
+    }
+
+    /// Number of particles currently in the set (0 before initialization).
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Returns `true` before initialization.
+    pub fn is_empty(&self) -> bool {
+        self.particles.is_empty()
+    }
+
+    /// Returns `true` once the set has been initialized.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Read access to the particles.
+    pub fn particles(&self) -> &[Particle<S>] {
+        &self.particles
+    }
+
+    /// Mutable access to the particles (used by the motion / observation steps).
+    pub fn particles_mut(&mut self) -> &mut [Particle<S>] {
+        &mut self.particles
+    }
+
+    /// Both buffers at once: `(current, scratch)`. The resampler writes the new
+    /// generation into `scratch`, then [`ParticleSet::swap_buffers`] makes it
+    /// current — exactly the double-buffering scheme the paper accounts 2× the
+    /// particle memory for.
+    pub fn buffers_mut(&mut self) -> (&mut [Particle<S>], &mut [Particle<S>]) {
+        (&mut self.particles, &mut self.scratch)
+    }
+
+    /// Swaps the current and scratch buffers after a resampling pass.
+    pub fn swap_buffers(&mut self) {
+        core::mem::swap(&mut self.particles, &mut self.scratch);
+    }
+
+    /// Initializes the set with `n` particles drawn uniformly over the free cells
+    /// of `map` with uniform random headings and equal weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MclError::NoFreeSpace`] when the map has no free cell.
+    pub fn initialize_uniform(
+        &mut self,
+        n: usize,
+        map: &OccupancyGrid,
+        seed: u64,
+    ) -> Result<(), MclError> {
+        let free: Vec<_> = map
+            .indices()
+            .filter(|&i| map.state(i) == CellState::Free)
+            .collect();
+        if free.is_empty() {
+            return Err(MclError::NoFreeSpace);
+        }
+        let weight = 1.0 / n as f32;
+        self.particles.clear();
+        for i in 0..n {
+            let mut rng = CounterRng::for_particle(seed, u64::MAX - 1, i as u64);
+            let cell = free[(rng.next_u64() % free.len() as u64) as usize];
+            let centre = map.cell_to_world(cell);
+            // Jitter inside the cell so particles do not snap to cell centres.
+            let half = map.resolution() * 0.5;
+            let pose = Pose2::new(
+                centre.x + rng.uniform_range(-half, half),
+                centre.y + rng.uniform_range(-half, half),
+                rng.uniform_range(0.0, core::f32::consts::TAU),
+            );
+            self.particles.push(Particle::from_pose(&pose, weight));
+        }
+        self.scratch = self.particles.clone();
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Initializes the set with `n` particles drawn from a Gaussian around
+    /// `pose` (position std `std_xy`, yaw std `std_theta`) — the "tracking"
+    /// initialization used when the take-off position is approximately known.
+    pub fn initialize_gaussian(
+        &mut self,
+        n: usize,
+        pose: &Pose2,
+        std_xy: f32,
+        std_theta: f32,
+        seed: u64,
+    ) -> Result<(), MclError> {
+        if n == 0 {
+            return Err(MclError::InvalidConfig("num_particles must be > 0"));
+        }
+        let weight = 1.0 / n as f32;
+        self.particles.clear();
+        for i in 0..n {
+            let mut rng = CounterRng::for_particle(seed, u64::MAX - 2, i as u64);
+            let p = Pose2::new(
+                rng.normal(pose.x, std_xy),
+                rng.normal(pose.y, std_xy),
+                rng.normal(pose.theta, std_theta),
+            );
+            self.particles.push(Particle::from_pose(&p, weight));
+        }
+        self.scratch = self.particles.clone();
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Sum of all weights (in `f32`).
+    pub fn weight_sum(&self) -> f32 {
+        self.particles.iter().map(|p| p.weight.to_f32()).sum()
+    }
+
+    /// Normalizes the weights to sum to one. If the sum has collapsed to zero
+    /// (every particle is impossible under the observation), the weights are
+    /// reset to uniform — the standard MCL recovery behaviour.
+    pub fn normalize_weights(&mut self) {
+        let sum = self.weight_sum();
+        if sum <= f32::MIN_POSITIVE {
+            let uniform = S::from_f32(1.0 / self.particles.len().max(1) as f32);
+            for p in &mut self.particles {
+                p.weight = uniform;
+            }
+            return;
+        }
+        for p in &mut self.particles {
+            p.weight = S::from_f32(p.weight.to_f32() / sum);
+        }
+    }
+
+    /// Effective sample size `1 / Σ wᵢ²` of the (normalized) weights.
+    pub fn effective_sample_size(&self) -> f32 {
+        let sum_sq: f32 = self
+            .particles
+            .iter()
+            .map(|p| {
+                let w = p.weight.to_f32();
+                w * w
+            })
+            .sum();
+        if sum_sq <= f32::MIN_POSITIVE {
+            0.0
+        } else {
+            1.0 / sum_sq
+        }
+    }
+
+    /// Memory used by the particle storage: both buffers, 4 scalars each, which
+    /// is the paper's 32 B/particle for fp32 and 16 B/particle for fp16.
+    pub fn memory_bytes(&self) -> usize {
+        2 * self.particles.capacity().max(self.particles.len()) * Particle::<S>::bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_gridmap::MapBuilder;
+    use mcl_num::F16;
+
+    fn map() -> OccupancyGrid {
+        MapBuilder::new(2.0, 2.0, 0.05).border_walls().build()
+    }
+
+    #[test]
+    fn particle_bytes_match_the_paper() {
+        assert_eq!(Particle::<f32>::bytes(), 16);
+        assert_eq!(Particle::<F16>::bytes(), 8);
+    }
+
+    #[test]
+    fn uniform_initialization_places_particles_in_free_space() {
+        let map = map();
+        let mut set = ParticleSet::<f32>::with_capacity(256).unwrap();
+        set.initialize_uniform(256, &map, 3).unwrap();
+        assert_eq!(set.len(), 256);
+        assert!(set.is_initialized());
+        for p in set.particles() {
+            assert_eq!(
+                map.state_at_world(p.x, p.y),
+                CellState::Free,
+                "particle at {:?} is not in free space",
+                p.pose()
+            );
+            assert!((0.0..core::f32::consts::TAU).contains(&p.theta));
+        }
+        // Weights start uniform.
+        assert!((set.weight_sum() - 1.0).abs() < 1e-4);
+        assert!((set.effective_sample_size() - 256.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn uniform_initialization_is_deterministic_in_the_seed() {
+        let map = map();
+        let mut a = ParticleSet::<f32>::with_capacity(64).unwrap();
+        let mut b = ParticleSet::<f32>::with_capacity(64).unwrap();
+        a.initialize_uniform(64, &map, 42).unwrap();
+        b.initialize_uniform(64, &map, 42).unwrap();
+        assert_eq!(a.particles(), b.particles());
+        let mut c = ParticleSet::<f32>::with_capacity(64).unwrap();
+        c.initialize_uniform(64, &map, 43).unwrap();
+        assert_ne!(a.particles(), c.particles());
+    }
+
+    #[test]
+    fn gaussian_initialization_clusters_around_the_pose() {
+        let pose = Pose2::new(1.0, 1.0, 0.5);
+        let mut set = ParticleSet::<f32>::with_capacity(2000).unwrap();
+        set.initialize_gaussian(2000, &pose, 0.2, 0.05, 7).unwrap();
+        let mean_x: f32 =
+            set.particles().iter().map(|p| p.x).sum::<f32>() / set.len() as f32;
+        let mean_y: f32 =
+            set.particles().iter().map(|p| p.y).sum::<f32>() / set.len() as f32;
+        assert!((mean_x - 1.0).abs() < 0.02);
+        assert!((mean_y - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn no_free_space_is_reported() {
+        let blocked = MapBuilder::new(0.3, 0.3, 0.1)
+            .filled_rect((0.0, 0.0), (0.3, 0.3))
+            .build();
+        let mut set = ParticleSet::<f32>::with_capacity(16).unwrap();
+        assert_eq!(
+            set.initialize_uniform(16, &blocked, 0).unwrap_err(),
+            MclError::NoFreeSpace
+        );
+        assert!(!set.is_initialized());
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        assert!(ParticleSet::<f32>::with_capacity(0).is_err());
+        let mut set = ParticleSet::<f32>::with_capacity(4).unwrap();
+        assert!(set
+            .initialize_gaussian(0, &Pose2::default(), 0.1, 0.1, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn normalize_weights_sums_to_one_and_recovers_from_collapse() {
+        let map = map();
+        let mut set = ParticleSet::<f32>::with_capacity(10).unwrap();
+        set.initialize_uniform(10, &map, 1).unwrap();
+        for (i, p) in set.particles_mut().iter_mut().enumerate() {
+            p.weight = (i as f32) * 0.3;
+        }
+        set.normalize_weights();
+        assert!((set.weight_sum() - 1.0).abs() < 1e-5);
+        // Collapse: all weights zero → reset to uniform.
+        for p in set.particles_mut() {
+            p.weight = 0.0;
+        }
+        set.normalize_weights();
+        assert!((set.weight_sum() - 1.0).abs() < 1e-5);
+        assert!((set.effective_sample_size() - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn effective_sample_size_drops_when_one_particle_dominates() {
+        let map = map();
+        let mut set = ParticleSet::<f32>::with_capacity(100).unwrap();
+        set.initialize_uniform(100, &map, 2).unwrap();
+        for p in set.particles_mut() {
+            p.weight = 1e-9;
+        }
+        set.particles_mut()[0].weight = 1.0;
+        set.normalize_weights();
+        assert!(set.effective_sample_size() < 1.5);
+    }
+
+    #[test]
+    fn memory_accounting_doubles_for_the_two_buffers() {
+        let map = map();
+        let mut set = ParticleSet::<f32>::with_capacity(1024).unwrap();
+        set.initialize_uniform(1024, &map, 0).unwrap();
+        assert_eq!(set.memory_bytes(), 2 * 1024 * 16);
+        let mut half = ParticleSet::<F16>::with_capacity(1024).unwrap();
+        half.initialize_uniform(1024, &map, 0).unwrap();
+        assert_eq!(half.memory_bytes(), 2 * 1024 * 8);
+    }
+
+    #[test]
+    fn buffer_swap_exchanges_generations() {
+        let map = map();
+        let mut set = ParticleSet::<f32>::with_capacity(8).unwrap();
+        set.initialize_uniform(8, &map, 5).unwrap();
+        let first = set.particles()[0];
+        {
+            let (_current, scratch) = set.buffers_mut();
+            scratch[0].x = 9.0;
+        }
+        set.swap_buffers();
+        assert_eq!(set.particles()[0].x, 9.0);
+        set.swap_buffers();
+        assert_eq!(set.particles()[0], first);
+    }
+
+    #[test]
+    fn f16_particles_round_their_storage() {
+        let pose = Pose2::new(1.0 + 1e-4, 2.0, 0.3);
+        let p = Particle::<F16>::from_pose(&pose, 0.1);
+        // 1.0001 is not representable in binary16 and rounds back to 1.0.
+        assert_eq!(p.x.to_f32(), 1.0);
+        assert!(p.pose().translation_distance(&pose) < 1e-3);
+    }
+}

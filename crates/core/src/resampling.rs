@@ -1,0 +1,393 @@
+//! Resampling: systematic ("wheel") resampling and its parallel decomposition.
+//!
+//! After the correction step, particles with negligible weight are replaced by
+//! copies of high-weight particles. The paper uses systematic resampling
+//! [Douc & Cappé 2005]: one random number `r ∈ [0, 1)` positions the first of
+//! `N` equally spaced arrows on the weight wheel, and each arrow selects the
+//! particle whose cumulative-weight slice it falls into.
+//!
+//! On GAP9 the step is parallelized as in the paper's Fig. 4: the particles are
+//! split evenly across the 8 worker cores, each core computes the partial sum of
+//! its chunk during weight normalization, and from those partial sums every core
+//! can determine **which arrows fall into its chunk** — and therefore which new
+//! particles it must produce and where they go in the output buffer — without
+//! synchronizing with the other cores. [`PartialSumResampler`] implements exactly
+//! that decomposition; the tests verify it selects the same particles as the
+//! sequential wheel.
+
+use serde::{Deserialize, Serialize};
+
+/// Sequential systematic resampling.
+///
+/// `weights` need not be normalized; `offset` is the single random draw in
+/// `[0, 1)`. Returns, for every slot in the new particle set, the index of the
+/// source particle to copy.
+///
+/// # Panics
+///
+/// Panics when `weights` is empty or `offset` is outside `[0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use mcl_core::systematic_resample;
+/// // One dominant particle captures (almost) every slot.
+/// let picks = systematic_resample(&[0.001, 0.996, 0.001, 0.002], 0.5);
+/// assert_eq!(picks.len(), 4);
+/// assert!(picks.iter().filter(|&&i| i == 1).count() >= 3);
+/// ```
+pub fn systematic_resample(weights: &[f32], offset: f32) -> Vec<usize> {
+    assert!(!weights.is_empty(), "cannot resample an empty particle set");
+    assert!(
+        (0.0..1.0).contains(&offset),
+        "resampling offset must be in [0, 1)"
+    );
+    let n = weights.len();
+    let total: f64 = weights.iter().map(|&w| f64::from(w.max(0.0))).sum();
+    if total <= 0.0 {
+        // Degenerate weights: keep the identity assignment.
+        return (0..n).collect();
+    }
+    let step = total / n as f64;
+    let mut indices = Vec::with_capacity(n);
+    let mut cumulative = f64::from(weights[0].max(0.0));
+    let mut source = 0usize;
+    for arrow in 0..n {
+        let position = (f64::from(offset) + arrow as f64) * step;
+        while position >= cumulative && source + 1 < n {
+            source += 1;
+            cumulative += f64::from(weights[source].max(0.0));
+        }
+        indices.push(source);
+    }
+    indices
+}
+
+/// Multinomial resampling (each slot draws independently), used by the ablation
+/// benchmarks as the baseline against the paper's systematic scheme.
+///
+/// `uniforms` must contain one uniform `[0, 1)` draw per output slot.
+///
+/// # Panics
+///
+/// Panics when `weights` is empty or `uniforms.len() != weights.len()`.
+pub fn multinomial_resample(weights: &[f32], uniforms: &[f32]) -> Vec<usize> {
+    assert!(!weights.is_empty(), "cannot resample an empty particle set");
+    assert_eq!(
+        weights.len(),
+        uniforms.len(),
+        "one uniform draw per output slot is required"
+    );
+    let total: f64 = weights.iter().map(|&w| f64::from(w.max(0.0))).sum();
+    if total <= 0.0 {
+        return (0..weights.len()).collect();
+    }
+    // Cumulative distribution, then binary search per draw.
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0f64;
+    for &w in weights {
+        acc += f64::from(w.max(0.0)) / total;
+        cdf.push(acc);
+    }
+    uniforms
+        .iter()
+        .map(|&u| {
+            let target = f64::from(u.clamp(0.0, 1.0 - f32::EPSILON));
+            match cdf.binary_search_by(|c| c.partial_cmp(&target).unwrap()) {
+                Ok(i) | Err(i) => i.min(weights.len() - 1),
+            }
+        })
+        .collect()
+}
+
+/// How the resampling work is split across worker cores (the paper's Fig. 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResamplePlan {
+    /// For every output slot, the index of the source particle to copy.
+    pub indices: Vec<usize>,
+    /// Output-slot ranges produced by each worker: worker `w` writes
+    /// `indices[ranges[w].0 .. ranges[w].1]`. Ranges are contiguous, disjoint and
+    /// ordered, so every worker can write its slice without synchronization.
+    pub worker_output_ranges: Vec<(usize, usize)>,
+}
+
+impl ResamplePlan {
+    /// Number of new particles each worker produces — the load-balance figure the
+    /// paper discusses ("we can not plan the workload distribution optimally").
+    pub fn per_worker_draws(&self) -> Vec<usize> {
+        self.worker_output_ranges
+            .iter()
+            .map(|(start, end)| end - start)
+            .collect()
+    }
+
+    /// The largest number of draws any single worker has to perform — the
+    /// critical path of the parallel resampling step.
+    pub fn critical_path_draws(&self) -> usize {
+        self.per_worker_draws().into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Parallel systematic resampling via per-chunk partial weight sums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialSumResampler {
+    workers: usize,
+}
+
+impl PartialSumResampler {
+    /// Creates a resampler that decomposes the wheel over `workers` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "at least one worker is required");
+        PartialSumResampler { workers }
+    }
+
+    /// Number of workers the plan is computed for.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Computes the resampling plan for the given (unnormalized) weights and the
+    /// single random offset `r ∈ [0, 1)`.
+    ///
+    /// Worker `w` owns the source chunk `[w·⌈N/W⌉, …)`. From the partial sums of
+    /// the chunks it derives which arrows of the wheel land inside its chunk;
+    /// those arrows are exactly the output slots it fills. The concatenation of
+    /// all workers' outputs equals the sequential [`systematic_resample`] result.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights` is empty or `offset` is outside `[0, 1)`.
+    pub fn plan(&self, weights: &[f32], offset: f32) -> ResamplePlan {
+        assert!(!weights.is_empty(), "cannot resample an empty particle set");
+        assert!(
+            (0.0..1.0).contains(&offset),
+            "resampling offset must be in [0, 1)"
+        );
+        let n = weights.len();
+        let chunk = n.div_ceil(self.workers.min(n));
+        // With the chunk size fixed, only this many chunks are non-empty (e.g.
+        // 8 particles over 5 workers give 4 chunks of 2, not 5).
+        let workers = n.div_ceil(chunk);
+
+        // Step 1 (done during weight normalization on GAP9): per-chunk partial
+        // sums and the exclusive prefix over chunks.
+        let mut chunk_sums = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(n);
+            let sum: f64 = weights[start..end]
+                .iter()
+                .map(|&x| f64::from(x.max(0.0)))
+                .sum();
+            chunk_sums.push(sum);
+        }
+        let total: f64 = chunk_sums.iter().sum();
+        if total <= 0.0 {
+            let indices: Vec<usize> = (0..n).collect();
+            let mut ranges = Vec::with_capacity(workers);
+            for w in 0..workers {
+                ranges.push((w * chunk, ((w + 1) * chunk).min(n)));
+            }
+            return ResamplePlan {
+                indices,
+                worker_output_ranges: ranges,
+            };
+        }
+        let step = total / n as f64;
+
+        // Step 2: every worker independently determines the arrows that fall in
+        // its cumulative-weight span and walks only its own chunk.
+        let mut indices = vec![0usize; n];
+        let mut worker_output_ranges = Vec::with_capacity(workers);
+        let mut prefix = 0.0f64;
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(n);
+            let span_start = prefix;
+            let span_end = prefix + chunk_sums[w];
+            prefix = span_end;
+
+            // Arrows are at (offset + i) * step; the first arrow ≥ span_start has
+            // index ceil(span_start/step - offset) and arrows stay in this chunk
+            // while (offset + i) * step < span_end.
+            let first_arrow = ((span_start / step) - f64::from(offset)).ceil().max(0.0) as usize;
+            let mut arrow = first_arrow;
+            let mut cumulative = span_start + f64::from(weights[start].max(0.0));
+            let mut source = start;
+            let out_start = arrow.min(n);
+            while arrow < n {
+                let position = (f64::from(offset) + arrow as f64) * step;
+                if position >= span_end {
+                    break;
+                }
+                while position >= cumulative && source + 1 < end {
+                    source += 1;
+                    cumulative += f64::from(weights[source].max(0.0));
+                }
+                indices[arrow] = source;
+                arrow += 1;
+            }
+            worker_output_ranges.push((out_start, arrow.min(n).max(out_start)));
+        }
+        ResamplePlan {
+            indices,
+            worker_output_ranges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights_from_pattern(n: usize, seed: u64) -> Vec<f32> {
+        // Deterministic pseudo-random positive weights.
+        let mut state = seed.wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) + 1e-3
+            })
+            .collect()
+    }
+
+    #[test]
+    fn systematic_preserves_count_and_orders_sources() {
+        let weights = weights_from_pattern(100, 3);
+        let picks = systematic_resample(&weights, 0.37);
+        assert_eq!(picks.len(), 100);
+        // Systematic resampling visits sources in non-decreasing order.
+        for pair in picks.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        // Every index is valid.
+        assert!(picks.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn heavy_particle_is_copied_proportionally() {
+        let mut weights = vec![0.5f32 / 999.0; 1000];
+        weights[500] = 0.5;
+        let picks = systematic_resample(&weights, 0.123);
+        let copies = picks.iter().filter(|&&i| i == 500).count();
+        // Half the total weight → roughly half the slots (systematic resampling
+        // guarantees within ±1 of the expectation).
+        assert!((499..=501).contains(&copies), "copies = {copies}");
+    }
+
+    #[test]
+    fn uniform_weights_reproduce_every_particle_once() {
+        let weights = vec![1.0f32; 64];
+        let picks = systematic_resample(&weights, 0.5);
+        let mut counts = vec![0usize; 64];
+        for &i in &picks {
+            counts[i] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_identity() {
+        let picks = systematic_resample(&[0.0, 0.0, 0.0], 0.2);
+        assert_eq!(picks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_weights_panic() {
+        systematic_resample(&[], 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset")]
+    fn offset_out_of_range_panics() {
+        systematic_resample(&[1.0], 1.0);
+    }
+
+    #[test]
+    fn multinomial_uses_one_draw_per_slot() {
+        let weights = [0.1f32, 0.7, 0.2];
+        let picks = multinomial_resample(&weights, &[0.05, 0.5, 0.95]);
+        assert_eq!(picks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn multinomial_degenerate_weights_fall_back_to_identity() {
+        assert_eq!(multinomial_resample(&[0.0, 0.0], &[0.3, 0.9]), vec![0, 1]);
+    }
+
+    #[test]
+    fn partial_sum_plan_matches_sequential_systematic() {
+        for &n in &[8usize, 64, 100, 1024, 4096] {
+            for &workers in &[1usize, 2, 3, 8] {
+                for &offset in &[0.0f32, 0.25, 0.73, 0.999] {
+                    let weights = weights_from_pattern(n, n as u64 + workers as u64);
+                    let sequential = systematic_resample(&weights, offset);
+                    let plan = PartialSumResampler::new(workers).plan(&weights, offset);
+                    assert_eq!(
+                        plan.indices, sequential,
+                        "mismatch for n={n} workers={workers} offset={offset}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_output_ranges_partition_the_output() {
+        let weights = weights_from_pattern(1000, 5);
+        let plan = PartialSumResampler::new(8).plan(&weights, 0.4);
+        let mut covered = 0usize;
+        for (i, (start, end)) in plan.worker_output_ranges.iter().enumerate() {
+            assert!(start <= end, "worker {i} range is inverted");
+            assert_eq!(*start, covered, "worker {i} range is not contiguous");
+            covered = *end;
+        }
+        assert_eq!(covered, 1000);
+        assert_eq!(plan.per_worker_draws().iter().sum::<usize>(), 1000);
+        assert!(plan.critical_path_draws() >= 1000 / 8);
+    }
+
+    #[test]
+    fn skewed_weights_give_an_unbalanced_plan() {
+        // All the weight in the first chunk: worker 0 draws every new particle,
+        // which is exactly the load imbalance the paper's Fig. 10 shows for the
+        // resampling step.
+        let mut weights = vec![1e-7f32; 800];
+        for w in weights.iter_mut().take(100) {
+            *w = 1.0;
+        }
+        let plan = PartialSumResampler::new(8).plan(&weights, 0.5);
+        let draws = plan.per_worker_draws();
+        assert_eq!(draws.iter().sum::<usize>(), 800);
+        assert!(draws[0] > 700, "first worker should carry almost all draws");
+        assert_eq!(plan.critical_path_draws(), draws[0]);
+    }
+
+    #[test]
+    fn more_workers_than_particles_is_handled() {
+        let weights = weights_from_pattern(3, 9);
+        let plan = PartialSumResampler::new(8).plan(&weights, 0.1);
+        assert_eq!(plan.indices.len(), 3);
+        assert_eq!(plan.indices, systematic_resample(&weights, 0.1));
+    }
+
+    #[test]
+    fn zero_total_weight_plan_is_identity() {
+        let plan = PartialSumResampler::new(4).plan(&[0.0; 16], 0.3);
+        assert_eq!(plan.indices, (0..16).collect::<Vec<_>>());
+        assert_eq!(plan.per_worker_draws().iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        PartialSumResampler::new(0);
+    }
+}

@@ -1,0 +1,545 @@
+//! Euclidean distance transforms (EDT) of occupancy grid maps.
+//!
+//! The beam-end-point observation model (Eq. 1 of the paper) scores a particle by
+//! looking up, for every ToF beam end point, the distance to the nearest obstacle.
+//! Those distances are precomputed once per map with the exact algorithm of
+//! Felzenszwalb & Huttenlocher ("Distance Transforms of Sampled Functions",
+//! Theory of Computing 2012) and truncated at the sensor's maximum range `rmax`.
+//!
+//! The paper compares three ways of *storing* the precomputed field:
+//!
+//! | configuration | storage | bytes/cell |
+//! |---|---|---|
+//! | `fp32`   | [`EuclideanDistanceField`] (f32) | 4 |
+//! | `fp16`   | [`F16DistanceField`] (binary16)  | 2 |
+//! | `…qm`    | [`QuantizedDistanceField`] (u8, linear code over `[0, rmax]`) | 1 |
+//!
+//! All three implement [`DistanceField`], which is what the observation model in
+//! `mcl-core` is generic over.
+
+use crate::grid::{CellIndex, CellState, OccupancyGrid};
+use mcl_num::{Quantizer, F16};
+
+/// Read access to a (possibly lossily stored) truncated distance field.
+///
+/// Lookups outside the map return the truncation distance `rmax`: a beam that
+/// ends outside the mapped area is as unlikely as one ending in open space far
+/// from any obstacle, which is what the paper's model needs.
+pub trait DistanceField: Send + Sync {
+    /// Distance (metres) from the centre of `cell` to the nearest occupied cell,
+    /// truncated at [`DistanceField::max_distance`].
+    fn distance_at(&self, cell: CellIndex) -> f32;
+
+    /// Distance lookup by world coordinates (metres).
+    fn distance_at_world(&self, x: f32, y: f32) -> f32;
+
+    /// The truncation distance `rmax` used when the field was computed.
+    fn max_distance(&self) -> f32;
+
+    /// Bytes used to store one cell of the field (4, 2 or 1).
+    fn bytes_per_cell(&self) -> usize;
+
+    /// Total bytes used by the field.
+    fn memory_bytes(&self) -> usize;
+
+    /// Short label used in experiment output ("fp32", "fp16", "quantized").
+    fn storage_name(&self) -> &'static str;
+}
+
+/// Shared dimensional bookkeeping for the three storage back-ends.
+#[derive(Debug, Clone, PartialEq)]
+struct FieldGeometry {
+    width: usize,
+    height: usize,
+    resolution: f32,
+    max_distance: f32,
+}
+
+impl FieldGeometry {
+    fn index_of_world(&self, x: f32, y: f32) -> Option<usize> {
+        if x < 0.0 || y < 0.0 || !x.is_finite() || !y.is_finite() {
+            return None;
+        }
+        let col = (x / self.resolution) as usize;
+        let row = (y / self.resolution) as usize;
+        if col < self.width && row < self.height {
+            Some(row * self.width + col)
+        } else {
+            None
+        }
+    }
+
+    fn index_of_cell(&self, cell: CellIndex) -> Option<usize> {
+        if cell.col < self.width && cell.row < self.height {
+            Some(cell.row * self.width + cell.col)
+        } else {
+            None
+        }
+    }
+}
+
+/// Exact truncated EDT stored as `f32` (the paper's full-precision map, 4 B/cell).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EuclideanDistanceField {
+    geometry: FieldGeometry,
+    distances: Vec<f32>,
+}
+
+impl EuclideanDistanceField {
+    /// Computes the exact EDT of `map`, truncating every distance at `max_distance`
+    /// metres (the paper uses `rmax` = 1.5 m).
+    ///
+    /// Occupied cells have distance 0; distances are measured between cell
+    /// centres. Unknown cells are treated like free cells: the sensor cannot see
+    /// into unmapped space, so they only matter through the truncation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_distance` is not a positive finite number.
+    pub fn compute(map: &OccupancyGrid, max_distance: f32) -> Self {
+        assert!(
+            max_distance.is_finite() && max_distance > 0.0,
+            "max_distance must be positive and finite"
+        );
+        let width = map.width();
+        let height = map.height();
+        let res = map.resolution();
+        // Squared distance in *cell* units, +inf where no source.
+        const INF: f32 = f32::MAX / 4.0;
+        let mut sq = vec![INF; width * height];
+        for (idx, state) in map.iter() {
+            if state == CellState::Occupied {
+                sq[idx.row * width + idx.col] = 0.0;
+            }
+        }
+
+        // Pass 1: 1D transform along every column (vertical direction).
+        let mut column = vec![0.0f32; height];
+        let mut out_col = vec![0.0f32; height];
+        for col in 0..width {
+            for row in 0..height {
+                column[row] = sq[row * width + col];
+            }
+            distance_transform_1d(&column, &mut out_col);
+            for row in 0..height {
+                sq[row * width + col] = out_col[row];
+            }
+        }
+
+        // Pass 2: 1D transform along every row (horizontal direction).
+        let mut row_buf = vec![0.0f32; width];
+        let mut out_row = vec![0.0f32; width];
+        for row in 0..height {
+            row_buf.copy_from_slice(&sq[row * width..(row + 1) * width]);
+            distance_transform_1d(&row_buf, &mut out_row);
+            sq[row * width..(row + 1) * width].copy_from_slice(&out_row);
+        }
+
+        let distances = sq
+            .into_iter()
+            .map(|d2| (d2.sqrt() * res).min(max_distance))
+            .collect();
+        EuclideanDistanceField {
+            geometry: FieldGeometry {
+                width,
+                height,
+                resolution: res,
+                max_distance,
+            },
+            distances,
+        }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.geometry.width
+    }
+
+    /// Number of rows.
+    pub fn height(&self) -> usize {
+        self.geometry.height
+    }
+
+    /// Cell size in metres.
+    pub fn resolution(&self) -> f32 {
+        self.geometry.resolution
+    }
+
+    /// Quantizes this field into a 1-byte-per-cell [`QuantizedDistanceField`].
+    pub fn quantize(&self) -> QuantizedDistanceField {
+        let quantizer = Quantizer::new(self.geometry.max_distance)
+            .expect("max_distance was validated at construction");
+        let codes = self.distances.iter().map(|&d| quantizer.quantize(d)).collect();
+        QuantizedDistanceField {
+            geometry: self.geometry.clone(),
+            quantizer,
+            codes,
+        }
+    }
+
+    /// Converts this field into a 2-byte-per-cell [`F16DistanceField`].
+    pub fn to_f16(&self) -> F16DistanceField {
+        let values = self.distances.iter().map(|&d| F16::from_f32(d)).collect();
+        F16DistanceField {
+            geometry: self.geometry.clone(),
+            values,
+        }
+    }
+}
+
+/// The exact 1D squared distance transform of Felzenszwalb & Huttenlocher.
+///
+/// `input[i]` is the squared distance already accumulated at sample `i`
+/// (`0` at sources, `+inf` elsewhere); `output[i]` receives
+/// `min_j (i - j)² + input[j]`.
+fn distance_transform_1d(input: &[f32], output: &mut [f32]) {
+    let n = input.len();
+    debug_assert_eq!(n, output.len());
+    if n == 0 {
+        return;
+    }
+    // v[k]: abscissa of the k-th parabola in the lower envelope;
+    // z[k]..z[k+1]: range where that parabola is the envelope.
+    let mut v = vec![0usize; n];
+    let mut z = vec![0.0f32; n + 1];
+    let mut k = 0usize;
+    v[0] = 0;
+    z[0] = f32::NEG_INFINITY;
+    z[1] = f32::INFINITY;
+    for q in 1..n {
+        loop {
+            let p = v[k];
+            // Intersection of parabola q with parabola p.
+            let s = ((input[q] + (q * q) as f32) - (input[p] + (p * p) as f32))
+                / (2.0 * q as f32 - 2.0 * p as f32);
+            if s <= z[k] {
+                if k == 0 {
+                    // Parabola q dominates everywhere so far.
+                    v[0] = q;
+                    z[0] = f32::NEG_INFINITY;
+                    z[1] = f32::INFINITY;
+                    break;
+                }
+                k -= 1;
+                continue;
+            }
+            k += 1;
+            v[k] = q;
+            z[k] = s;
+            z[k + 1] = f32::INFINITY;
+            break;
+        }
+    }
+    let mut k = 0usize;
+    for (q, out) in output.iter_mut().enumerate() {
+        while z[k + 1] < q as f32 {
+            k += 1;
+        }
+        let p = v[k];
+        let dq = q as f32 - p as f32;
+        *out = dq * dq + input[p];
+    }
+}
+
+impl DistanceField for EuclideanDistanceField {
+    fn distance_at(&self, cell: CellIndex) -> f32 {
+        match self.geometry.index_of_cell(cell) {
+            Some(i) => self.distances[i],
+            None => self.geometry.max_distance,
+        }
+    }
+
+    fn distance_at_world(&self, x: f32, y: f32) -> f32 {
+        match self.geometry.index_of_world(x, y) {
+            Some(i) => self.distances[i],
+            None => self.geometry.max_distance,
+        }
+    }
+
+    fn max_distance(&self) -> f32 {
+        self.geometry.max_distance
+    }
+
+    fn bytes_per_cell(&self) -> usize {
+        4
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.distances.len() * 4
+    }
+
+    fn storage_name(&self) -> &'static str {
+        "fp32"
+    }
+}
+
+/// Truncated EDT stored as binary16 (2 B/cell).
+#[derive(Debug, Clone, PartialEq)]
+pub struct F16DistanceField {
+    geometry: FieldGeometry,
+    values: Vec<F16>,
+}
+
+impl DistanceField for F16DistanceField {
+    fn distance_at(&self, cell: CellIndex) -> f32 {
+        match self.geometry.index_of_cell(cell) {
+            Some(i) => self.values[i].to_f32(),
+            None => self.geometry.max_distance,
+        }
+    }
+
+    fn distance_at_world(&self, x: f32, y: f32) -> f32 {
+        match self.geometry.index_of_world(x, y) {
+            Some(i) => self.values[i].to_f32(),
+            None => self.geometry.max_distance,
+        }
+    }
+
+    fn max_distance(&self) -> f32 {
+        self.geometry.max_distance
+    }
+
+    fn bytes_per_cell(&self) -> usize {
+        2
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.values.len() * 2
+    }
+
+    fn storage_name(&self) -> &'static str {
+        "fp16"
+    }
+}
+
+/// Truncated EDT stored as 8-bit codes over `[0, rmax]` (1 B/cell).
+///
+/// This is the map representation of the paper's `fp32qm` and `fp16qm`
+/// configurations: together with the 1-byte occupancy grid it brings the map cost
+/// down from 5 to 2 bytes per cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedDistanceField {
+    geometry: FieldGeometry,
+    quantizer: Quantizer,
+    codes: Vec<u8>,
+}
+
+impl QuantizedDistanceField {
+    /// The worst-case absolute error introduced by quantization, in metres.
+    pub fn quantization_error(&self) -> f32 {
+        self.quantizer.max_error()
+    }
+}
+
+impl DistanceField for QuantizedDistanceField {
+    fn distance_at(&self, cell: CellIndex) -> f32 {
+        match self.geometry.index_of_cell(cell) {
+            Some(i) => self.quantizer.dequantize(self.codes[i]),
+            None => self.geometry.max_distance,
+        }
+    }
+
+    fn distance_at_world(&self, x: f32, y: f32) -> f32 {
+        match self.geometry.index_of_world(x, y) {
+            Some(i) => self.quantizer.dequantize(self.codes[i]),
+            None => self.geometry.max_distance,
+        }
+    }
+
+    fn max_distance(&self) -> f32 {
+        self.geometry.max_distance
+    }
+
+    fn bytes_per_cell(&self) -> usize {
+        1
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.codes.len()
+    }
+
+    fn storage_name(&self) -> &'static str {
+        "quantized"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MapBuilder;
+    use crate::grid::OccupancyGrid;
+
+    /// Brute-force reference EDT used to validate the fast implementation.
+    fn brute_force_edt(map: &OccupancyGrid, rmax: f32) -> Vec<f32> {
+        let occupied: Vec<CellIndex> = map
+            .iter()
+            .filter(|(_, s)| *s == CellState::Occupied)
+            .map(|(i, _)| i)
+            .collect();
+        map.indices()
+            .map(|idx| {
+                occupied
+                    .iter()
+                    .map(|o| {
+                        let dc = idx.col as f32 - o.col as f32;
+                        let dr = idx.row as f32 - o.row as f32;
+                        (dc * dc + dr * dr).sqrt() * map.resolution()
+                    })
+                    .fold(rmax, f32::min)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_map() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut map = OccupancyGrid::new(1.5, 1.0, 0.05).unwrap();
+        for idx in map.indices().collect::<Vec<_>>() {
+            if rng.gen_bool(0.07) {
+                map.set(idx, CellState::Occupied).unwrap();
+            }
+        }
+        let rmax = 1.5;
+        let edt = EuclideanDistanceField::compute(&map, rmax);
+        let reference = brute_force_edt(&map, rmax);
+        for (i, idx) in map.indices().enumerate() {
+            let fast = edt.distance_at(idx);
+            assert!(
+                (fast - reference[i]).abs() < 1e-4,
+                "mismatch at {idx:?}: fast {fast} reference {}",
+                reference[i]
+            );
+        }
+    }
+
+    #[test]
+    fn occupied_cells_have_zero_distance() {
+        let map = MapBuilder::new(1.0, 1.0, 0.1).border_walls().build();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        for (idx, state) in map.iter() {
+            if state == CellState::Occupied {
+                assert_eq!(edt.distance_at(idx), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn distances_grow_away_from_a_single_wall() {
+        // Wall along the left edge: distance should equal the x coordinate of the
+        // cell centre minus half a cell.
+        let map = MapBuilder::new(2.0, 0.5, 0.05)
+            .wall((0.0, 0.0), (0.0, 0.5))
+            .build();
+        let edt = EuclideanDistanceField::compute(&map, 10.0);
+        for col in 1..map.width() {
+            let idx = CellIndex::new(col, 5);
+            let expected = col as f32 * 0.05;
+            assert!(
+                (edt.distance_at(idx) - expected).abs() < 1e-4,
+                "col {col}: {} vs {expected}",
+                edt.distance_at(idx)
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_caps_distances_at_rmax() {
+        let map = MapBuilder::new(5.0, 5.0, 0.05)
+            .wall((0.0, 0.0), (0.0, 5.0))
+            .build();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        assert_eq!(edt.max_distance(), 1.5);
+        let far = map.world_to_cell(4.5, 2.5).unwrap();
+        assert_eq!(edt.distance_at(far), 1.5);
+        // No value anywhere exceeds rmax.
+        for idx in map.indices() {
+            assert!(edt.distance_at(idx) <= 1.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn map_with_no_obstacles_is_rmax_everywhere() {
+        let map = OccupancyGrid::new(1.0, 1.0, 0.1).unwrap();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        for idx in map.indices() {
+            assert_eq!(edt.distance_at(idx), 1.5);
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_lookups_return_rmax() {
+        let map = MapBuilder::new(1.0, 1.0, 0.1).border_walls().build();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        assert_eq!(edt.distance_at(CellIndex::new(100, 0)), 1.5);
+        assert_eq!(edt.distance_at_world(-0.5, 0.5), 1.5);
+        assert_eq!(edt.distance_at_world(0.5, 7.0), 1.5);
+    }
+
+    #[test]
+    fn world_and_cell_lookups_agree() {
+        let map = MapBuilder::new(1.0, 1.0, 0.05)
+            .filled_rect((0.4, 0.4), (0.6, 0.6))
+            .build();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        for idx in map.indices() {
+            let centre = map.cell_to_world(idx);
+            assert_eq!(edt.distance_at(idx), edt.distance_at_world(centre.x, centre.y));
+        }
+    }
+
+    #[test]
+    fn quantized_field_is_within_half_step_of_fp32() {
+        let map = MapBuilder::new(2.0, 2.0, 0.05)
+            .border_walls()
+            .filled_rect((0.9, 0.9), (1.1, 1.1))
+            .build();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let quantized = edt.quantize();
+        assert_eq!(quantized.bytes_per_cell(), 1);
+        for idx in map.indices() {
+            let err = (edt.distance_at(idx) - quantized.distance_at(idx)).abs();
+            assert!(err <= quantized.quantization_error() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn f16_field_is_within_relative_error_of_fp32() {
+        let map = MapBuilder::new(2.0, 2.0, 0.05).border_walls().build();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let half = edt.to_f16();
+        assert_eq!(half.bytes_per_cell(), 2);
+        for idx in map.indices() {
+            let full = edt.distance_at(idx);
+            let approx = half.distance_at(idx);
+            assert!((full - approx).abs() <= full * mcl_num::F16::RELATIVE_ERROR_BOUND + 1e-6);
+        }
+    }
+
+    #[test]
+    fn memory_accounting_matches_bytes_per_cell() {
+        let map = OccupancyGrid::new(1.0, 1.0, 0.05).unwrap();
+        let cells = map.cell_count();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        assert_eq!(edt.memory_bytes(), cells * 4);
+        assert_eq!(edt.to_f16().memory_bytes(), cells * 2);
+        assert_eq!(edt.quantize().memory_bytes(), cells);
+        assert_eq!(edt.storage_name(), "fp32");
+        assert_eq!(edt.to_f16().storage_name(), "fp16");
+        assert_eq!(edt.quantize().storage_name(), "quantized");
+    }
+
+    #[test]
+    fn one_dimensional_transform_handles_edge_cases() {
+        let mut out = vec![0.0; 0];
+        distance_transform_1d(&[], &mut out); // must not panic
+
+        let input = [f32::MAX / 4.0, 0.0, f32::MAX / 4.0, f32::MAX / 4.0];
+        let mut out = vec![0.0; 4];
+        distance_transform_1d(&input, &mut out);
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[2], 1.0);
+        assert_eq!(out[3], 4.0);
+    }
+}

@@ -1,0 +1,464 @@
+//! Deterministic "drone maze" environments reproducing the paper's test arena.
+//!
+//! The paper evaluates in a physical 16 m² maze built from wall panels, mapped by
+//! hand at 0.05 m resolution, and extends the map with **three artificial mazes**
+//! to a total of 31.2 m² of structured area. The extension makes global
+//! localization genuinely ambiguous: Fig. 1 of the paper shows the filter first
+//! converging in the *wrong* maze before the correct one wins once enough
+//! observations arrive.
+//!
+//! [`DroneMaze::paper_layout`] reproduces that setup: a 7.8 m × 4.0 m map
+//! (= 31.2 m²) containing four maze sections of roughly 4 m × 2 m each, generated
+//! with a recursive-division algorithm from fixed seeds so that the sections are
+//! structurally similar (ambiguous at first glance) but not identical (eventually
+//! distinguishable). [`DroneMaze::generate`] produces arbitrary seeded variants
+//! for the wider experiments and the property-based tests.
+
+use crate::builder::MapBuilder;
+use crate::grid::{CellIndex, CellState, OccupancyGrid};
+
+/// Configuration for the procedural maze generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MazeConfig {
+    /// Total map width in metres.
+    pub width_m: f32,
+    /// Total map height in metres.
+    pub height_m: f32,
+    /// Grid cell size in metres (the paper uses 0.05 m).
+    pub resolution: f32,
+    /// Smallest corridor width the generator may create, in metres. Must be
+    /// comfortably larger than the drone (the Crazyflie is ~0.1 m across);
+    /// the default 0.7 m mirrors the paper's maze panels.
+    pub min_corridor_m: f32,
+    /// Seed for the deterministic wall layout.
+    pub seed: u64,
+    /// Wall thickness in metres (one cell when ≤ resolution).
+    pub wall_thickness_m: f32,
+}
+
+impl Default for MazeConfig {
+    fn default() -> Self {
+        MazeConfig {
+            width_m: 4.0,
+            height_m: 4.0,
+            resolution: 0.05,
+            min_corridor_m: 0.7,
+            seed: 1,
+            wall_thickness_m: 0.05,
+        }
+    }
+}
+
+/// A generated maze environment: the occupancy map plus metadata used by the
+/// simulator (free interior cells, the physical-maze sub-region).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DroneMaze {
+    map: OccupancyGrid,
+    physical_region: (f32, f32, f32, f32),
+    config: MazeConfig,
+}
+
+impl DroneMaze {
+    /// Generates a maze from an arbitrary configuration.
+    ///
+    /// The whole map is treated as one maze section and surrounded by border
+    /// walls. The result is deterministic in `config.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions cannot hold a single corridor.
+    pub fn generate(config: MazeConfig) -> Self {
+        assert!(
+            config.width_m >= 2.0 * config.min_corridor_m
+                && config.height_m >= 2.0 * config.min_corridor_m,
+            "maze must be at least two corridors wide"
+        );
+        let mut builder = MapBuilder::new(config.width_m, config.height_m, config.resolution)
+            .border_walls();
+        let mut rng = SplitMix64::new(config.seed);
+        builder = carve_section(
+            builder,
+            &config,
+            &mut rng,
+            (
+                config.resolution,
+                config.resolution,
+                config.width_m - config.resolution,
+                config.height_m - config.resolution,
+            ),
+        );
+        DroneMaze {
+            map: builder.build(),
+            physical_region: (0.0, 0.0, config.width_m, config.height_m),
+            config,
+        }
+    }
+
+    /// Reproduces the paper's evaluation arena: 31.2 m² of structured area made of
+    /// the 16 m² "physical" maze plus three artificial maze sections, at 0.05 m
+    /// resolution.
+    ///
+    /// The layout is fully deterministic; `seed` only varies the *artificial*
+    /// sections so that repeated experiments (the paper uses six random seeds per
+    /// sequence) can randomise the ambiguity while keeping the physical maze
+    /// fixed.
+    pub fn paper_layout(seed: u64) -> Self {
+        // 7.8 m × 4.0 m = 31.2 m². The left 4.0 m × 4.0 m block is the
+        // "physical" maze covered by the motion-capture system in the paper.
+        let config = MazeConfig {
+            width_m: 7.8,
+            height_m: 4.0,
+            resolution: 0.05,
+            min_corridor_m: 0.7,
+            seed,
+            wall_thickness_m: 0.05,
+        };
+        let mut builder = MapBuilder::new(config.width_m, config.height_m, config.resolution)
+            .border_walls()
+            // Dividing wall between the physical maze and the artificial area,
+            // with a doorway so trajectories could in principle cross.
+            .wall((4.0, 0.0), (4.0, 1.6))
+            .wall((4.0, 2.4), (4.0, 4.0));
+
+        // The physical maze layout is fixed (measured by hand in the paper); we
+        // use a fixed seed so it never changes between runs. Like the real maze
+        // (paper Fig. 5) it also contains diagonal wall panels and free-standing
+        // obstacles, which break the rotational ambiguity of an all-rectilinear
+        // layout and give the observation model distinctive geometry to latch on.
+        let mut physical_rng = SplitMix64::new(0xD05E_CAFE);
+        builder = carve_section(
+            builder,
+            &config,
+            &mut physical_rng,
+            (0.05, 0.05, 4.0, 3.95),
+        );
+        builder = builder
+            .thick_wall((0.6, 3.4), (1.3, 2.7), 0.05)
+            .thick_wall((3.4, 0.6), (2.8, 1.2), 0.05)
+            .filled_rect((2.25, 2.45), (2.5, 2.7))
+            .filled_rect((1.05, 0.9), (1.25, 1.1));
+
+        // Three artificial maze sections on the right half (3.8 m × 4.0 m):
+        // one full-width section on top and two side-by-side sections below,
+        // mimicking "similar but not identical" maze geometry. They are seeded
+        // from the experiment seed so repeated runs randomise the ambiguity, and
+        // they use a slightly narrower corridor width so that — as in the real
+        // arena — the mazes are ambiguous at first glance but distinguishable
+        // once enough observations accumulate.
+        builder = builder
+            .wall((4.0, 2.0), (7.8, 2.0))
+            .wall((5.9, 0.0), (5.9, 2.0));
+        let artificial_config = MazeConfig {
+            min_corridor_m: 0.55,
+            ..config
+        };
+        let mut rng = SplitMix64::new(seed ^ 0xA5A5_5A5A_0000_0001);
+        builder = carve_section(builder, &artificial_config, &mut rng, (4.05, 0.05, 5.85, 1.95));
+        builder = carve_section(builder, &artificial_config, &mut rng, (5.95, 0.05, 7.75, 1.95));
+        builder = carve_section(builder, &artificial_config, &mut rng, (4.05, 2.05, 7.75, 3.95));
+
+        DroneMaze {
+            map: builder.build(),
+            physical_region: (0.0, 0.0, 4.0, 4.0),
+            config,
+        }
+    }
+
+    /// The occupancy grid map of the maze.
+    pub fn map(&self) -> &OccupancyGrid {
+        &self.map
+    }
+
+    /// Consumes the maze and returns the map.
+    pub fn into_map(self) -> OccupancyGrid {
+        self.map
+    }
+
+    /// The configuration the maze was generated from.
+    pub fn config(&self) -> &MazeConfig {
+        &self.config
+    }
+
+    /// Bounding box `(x0, y0, x1, y1)` of the physical-maze region (the part that
+    /// was covered by the motion-capture system in the paper).
+    pub fn physical_region(&self) -> (f32, f32, f32, f32) {
+        self.physical_region
+    }
+
+    /// Total structured area in square metres.
+    pub fn area_m2(&self) -> f32 {
+        self.map.area_m2()
+    }
+
+    /// All free cells that have at least `clearance_m` of space to the nearest
+    /// obstacle on the four cardinal neighbours — candidate flight positions.
+    pub fn free_cells_with_clearance(&self, clearance_m: f32) -> Vec<CellIndex> {
+        let cells_needed = (clearance_m / self.map.resolution()).ceil() as i64;
+        self.map
+            .indices()
+            .filter(|&idx| self.has_clearance(idx, cells_needed))
+            .collect()
+    }
+
+    fn has_clearance(&self, idx: CellIndex, cells: i64) -> bool {
+        if self.map.state(idx) != CellState::Free {
+            return false;
+        }
+        for dr in -cells..=cells {
+            for dc in -cells..=cells {
+                let col = idx.col as i64 + dc;
+                let row = idx.row as i64 + dr;
+                if col < 0 || row < 0 {
+                    return false;
+                }
+                let n = CellIndex::new(col as usize, row as usize);
+                if !self.map.contains(n) || self.map.state(n) == CellState::Occupied {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Recursive-division maze carving inside a rectangular region (metres).
+///
+/// Splits the region with a wall parallel to its shorter side, leaves a doorway
+/// of at least one corridor width, and recurses until regions are smaller than
+/// two corridor widths.
+fn carve_section(
+    mut builder: MapBuilder,
+    config: &MazeConfig,
+    rng: &mut SplitMix64,
+    region: (f32, f32, f32, f32),
+) -> MapBuilder {
+    let (x0, y0, x1, y1) = region;
+    let width = x1 - x0;
+    let height = y1 - y0;
+    let corridor = config.min_corridor_m;
+    if width < 2.0 * corridor + config.wall_thickness_m
+        || height < 2.0 * corridor + config.wall_thickness_m
+    {
+        return builder;
+    }
+
+    // Split perpendicular to the longer dimension.
+    if width >= height {
+        // Vertical wall at x = split.
+        let split = x0 + corridor + rng.uniform() * (width - 2.0 * corridor);
+        let split = snap(split, config.resolution);
+        let door_centre = y0 + corridor * 0.5 + rng.uniform() * (height - corridor);
+        let door_half = corridor * 0.5;
+        let (d0, d1) = (
+            (door_centre - door_half).max(y0),
+            (door_centre + door_half).min(y1),
+        );
+        if d0 > y0 {
+            builder = builder.thick_wall((split, y0), (split, d0), config.wall_thickness_m);
+        }
+        if d1 < y1 {
+            builder = builder.thick_wall((split, d1), (split, y1), config.wall_thickness_m);
+        }
+        builder = carve_section(builder, config, rng, (x0, y0, split, y1));
+        carve_section(builder, config, rng, (split, y0, x1, y1))
+    } else {
+        // Horizontal wall at y = split.
+        let split = y0 + corridor + rng.uniform() * (height - 2.0 * corridor);
+        let split = snap(split, config.resolution);
+        let door_centre = x0 + corridor * 0.5 + rng.uniform() * (width - corridor);
+        let door_half = corridor * 0.5;
+        let (d0, d1) = (
+            (door_centre - door_half).max(x0),
+            (door_centre + door_half).min(x1),
+        );
+        if d0 > x0 {
+            builder = builder.thick_wall((x0, split), (d0, split), config.wall_thickness_m);
+        }
+        if d1 < x1 {
+            builder = builder.thick_wall((d1, split), (x1, split), config.wall_thickness_m);
+        }
+        builder = carve_section(builder, config, rng, (x0, y0, x1, split));
+        carve_section(builder, config, rng, (x0, split, x1, y1))
+    }
+}
+
+fn snap(value: f32, resolution: f32) -> f32 {
+    (value / resolution).round() * resolution
+}
+
+/// Minimal deterministic PRNG (SplitMix64) so map generation does not depend on
+/// the `rand` crate; determinism of the map layout is what matters here, not
+/// statistical quality.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    fn uniform(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Flood fill over free cells starting from `start`, returning the number of
+    /// reachable free cells.
+    fn reachable_free_cells(map: &OccupancyGrid, start: CellIndex) -> usize {
+        let mut visited = vec![false; map.cell_count()];
+        let mut queue = VecDeque::new();
+        let at = |idx: CellIndex| idx.row * map.width() + idx.col;
+        if map.state(start) != CellState::Free {
+            return 0;
+        }
+        visited[at(start)] = true;
+        queue.push_back(start);
+        let mut count = 0;
+        while let Some(idx) = queue.pop_front() {
+            count += 1;
+            let neighbours = [
+                (idx.col as i64 - 1, idx.row as i64),
+                (idx.col as i64 + 1, idx.row as i64),
+                (idx.col as i64, idx.row as i64 - 1),
+                (idx.col as i64, idx.row as i64 + 1),
+            ];
+            for (c, r) in neighbours {
+                if c < 0 || r < 0 {
+                    continue;
+                }
+                let n = CellIndex::new(c as usize, r as usize);
+                if map.contains(n) && map.state(n) == CellState::Free && !visited[at(n)] {
+                    visited[at(n)] = true;
+                    queue.push_back(n);
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn paper_layout_has_the_published_area() {
+        let maze = DroneMaze::paper_layout(42);
+        assert!((maze.area_m2() - 31.2).abs() < 0.3, "area {}", maze.area_m2());
+        assert_eq!(maze.map().resolution(), 0.05);
+        let (x0, y0, x1, y1) = maze.physical_region();
+        assert!(((x1 - x0) * (y1 - y0) - 16.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn paper_layout_is_deterministic_per_seed() {
+        let a = DroneMaze::paper_layout(3);
+        let b = DroneMaze::paper_layout(3);
+        let c = DroneMaze::paper_layout(4);
+        assert_eq!(a.map(), b.map());
+        assert_ne!(a.map(), c.map(), "different seeds must vary the artificial mazes");
+    }
+
+    #[test]
+    fn physical_maze_is_identical_across_seeds() {
+        let a = DroneMaze::paper_layout(3);
+        let b = DroneMaze::paper_layout(99);
+        // Cells in the physical region (x < 4.0 m) must match between seeds.
+        for (idx, state) in a.map().iter() {
+            let p = a.map().cell_to_world(idx);
+            if p.x < 3.95 {
+                assert_eq!(state, b.map().state(idx), "physical maze changed at {idx:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_maze_has_enclosing_walls_and_free_interior() {
+        let maze = DroneMaze::generate(MazeConfig::default());
+        let map = maze.map();
+        assert_eq!(map.state(CellIndex::new(0, 0)), CellState::Occupied);
+        let free = map.free_count();
+        assert!(free > map.cell_count() / 3, "maze should be mostly corridors");
+        assert!(map.occupied_count() > map.width() * 2, "maze should have interior walls");
+    }
+
+    #[test]
+    fn all_free_space_is_connected() {
+        // Recursive division always leaves a doorway, so the free space must be
+        // a single connected component — otherwise a flight sequence could start
+        // in a region the map says is unreachable.
+        for seed in [1, 7, 123, 4096] {
+            let maze = DroneMaze::generate(MazeConfig {
+                seed,
+                ..MazeConfig::default()
+            });
+            let map = maze.map();
+            let start = map
+                .indices()
+                .find(|&i| map.state(i) == CellState::Free)
+                .unwrap();
+            let reachable = reachable_free_cells(map, start);
+            assert_eq!(
+                reachable,
+                map.free_count(),
+                "seed {seed}: free space is disconnected"
+            );
+        }
+    }
+
+    #[test]
+    fn free_cells_with_clearance_are_actually_clear() {
+        let maze = DroneMaze::paper_layout(11);
+        let cells = maze.free_cells_with_clearance(0.2);
+        assert!(!cells.is_empty());
+        for idx in cells.iter().take(200) {
+            assert_eq!(maze.map().state(*idx), CellState::Free);
+        }
+        // Clearance-filtered set is a strict subset of all free cells.
+        assert!(cells.len() < maze.map().free_count());
+    }
+
+    #[test]
+    fn corridors_respect_minimum_width() {
+        // With a 0.7 m corridor constraint there must exist free cells that are
+        // at least 0.3 m away from every wall (corridor centres).
+        let maze = DroneMaze::generate(MazeConfig::default());
+        let roomy = maze.free_cells_with_clearance(0.25);
+        assert!(
+            !roomy.is_empty(),
+            "maze corridors are narrower than the configured minimum"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two corridors")]
+    fn degenerate_dimensions_are_rejected() {
+        DroneMaze::generate(MazeConfig {
+            width_m: 0.5,
+            height_m: 4.0,
+            ..MazeConfig::default()
+        });
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_in_range() {
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        for _ in 0..100 {
+            let x = a.uniform();
+            assert_eq!(x, b.uniform());
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Linear 8-bit quantization of the Euclidean distance transform.
+//!
+//! The paper's `fp32qm` and `fp16qm` configurations store the precomputed,
+//! truncated EDT as 8-bit unsigned integers instead of `f32`, reducing map memory
+//! from 5 bytes/cell (1 byte occupancy + 4 bytes EDT) to 2 bytes/cell. Because the
+//! EDT is truncated at the sensor's maximum range `rmax` (1.5 m in the paper), a
+//! linear code over `[0, rmax]` with 256 levels gives a worst-case quantization
+//! error of `rmax / 255 / 2` ≈ 3 mm — far below the map resolution of 5 cm, which
+//! is why the paper observes no accuracy loss.
+
+use core::fmt;
+
+/// Error returned when constructing a [`Quantizer`] with an invalid range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantError {
+    /// The maximum value must be strictly positive and finite.
+    InvalidMax,
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::InvalidMax => write!(f, "quantizer maximum must be finite and > 0"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// A linear quantizer mapping `[0, max_value]` onto `u8` codes `0..=255`.
+///
+/// Values outside the range are clamped (the EDT is truncated at `rmax` before
+/// quantization anyway, so clamping only protects against rounding slop).
+///
+/// # Example
+///
+/// ```
+/// use mcl_num::Quantizer;
+///
+/// let q = Quantizer::new(1.5).unwrap();
+/// assert_eq!(q.quantize(0.0), 0);
+/// assert_eq!(q.quantize(1.5), 255);
+/// let code = q.quantize(0.75);
+/// assert!((q.dequantize(code) - 0.75).abs() < q.step());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    max_value: f32,
+    scale: f32,
+    inv_scale: f32,
+}
+
+impl Quantizer {
+    /// Creates a quantizer for values in `[0, max_value]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidMax`] if `max_value` is not finite and positive.
+    pub fn new(max_value: f32) -> Result<Self, QuantError> {
+        if !max_value.is_finite() || max_value <= 0.0 {
+            return Err(QuantError::InvalidMax);
+        }
+        let scale = 255.0 / max_value;
+        Ok(Quantizer {
+            max_value,
+            scale,
+            inv_scale: max_value / 255.0,
+        })
+    }
+
+    /// The upper end of the representable range.
+    pub fn max_value(&self) -> f32 {
+        self.max_value
+    }
+
+    /// Quantizes a value to its nearest 8-bit code, clamping to `[0, max_value]`.
+    #[inline]
+    pub fn quantize(&self, value: f32) -> u8 {
+        let clamped = value.clamp(0.0, self.max_value);
+        (clamped * self.scale + 0.5) as u8
+    }
+
+    /// Reconstructs the representative value of a code.
+    #[inline]
+    pub fn dequantize(&self, code: u8) -> f32 {
+        f32::from(code) * self.inv_scale
+    }
+
+    /// Worst-case absolute reconstruction error for in-range values: half a step.
+    pub fn max_error(&self) -> f32 {
+        0.5 * self.inv_scale
+    }
+
+    /// The step size between adjacent codes.
+    pub fn step(&self) -> f32 {
+        self.inv_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rejects_bad_ranges() {
+        assert_eq!(Quantizer::new(0.0).unwrap_err(), QuantError::InvalidMax);
+        assert_eq!(Quantizer::new(-1.0).unwrap_err(), QuantError::InvalidMax);
+        assert_eq!(Quantizer::new(f32::NAN).unwrap_err(), QuantError::InvalidMax);
+        assert_eq!(
+            Quantizer::new(f32::INFINITY).unwrap_err(),
+            QuantError::InvalidMax
+        );
+        assert!(Quantizer::new(1.5).is_ok());
+    }
+
+    #[test]
+    fn endpoints_map_to_extreme_codes() {
+        let q = Quantizer::new(1.5).unwrap();
+        assert_eq!(q.quantize(0.0), 0);
+        assert_eq!(q.quantize(1.5), 255);
+        assert_eq!(q.dequantize(0), 0.0);
+        assert!((q.dequantize(255) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let q = Quantizer::new(1.5).unwrap();
+        assert_eq!(q.quantize(-3.0), 0);
+        assert_eq!(q.quantize(10.0), 255);
+    }
+
+    #[test]
+    fn roundtrip_error_is_within_half_step() {
+        let q = Quantizer::new(1.5).unwrap();
+        let mut v = 0.0f32;
+        while v <= 1.5 {
+            let rec = q.dequantize(q.quantize(v));
+            assert!(
+                (rec - v).abs() <= q.max_error() + 1e-6,
+                "error at {v}: rec {rec}"
+            );
+            v += 0.001;
+        }
+    }
+
+    #[test]
+    fn paper_parameters_give_millimetre_error() {
+        // rmax = 1.5 m as in the paper: worst-case error must be ~3 mm,
+        // well below the 5 cm map resolution.
+        let q = Quantizer::new(1.5).unwrap();
+        assert!(q.max_error() < 0.003);
+        assert!(q.step() < 0.006);
+    }
+
+    #[test]
+    fn codes_are_monotonic_in_value() {
+        let q = Quantizer::new(2.0).unwrap();
+        let mut prev = q.quantize(0.0);
+        let mut v = 0.0f32;
+        while v <= 2.0 {
+            let c = q.quantize(v);
+            assert!(c >= prev, "quantizer must be monotone");
+            prev = c;
+            v += 0.01;
+        }
+    }
+}

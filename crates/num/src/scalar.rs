@@ -1,0 +1,139 @@
+//! The [`Scalar`] abstraction over particle storage precision.
+//!
+//! The particle filter in `mcl-core` is generic over the type used to *store* a
+//! particle's pose and weight. The paper evaluates two storage precisions:
+//! `f32` (16 bytes/particle) and binary16 (8 bytes/particle). All arithmetic is
+//! performed in `f32` on GAP9 regardless of storage precision — only loads and
+//! stores round — and [`Scalar`] mirrors that: every operation converts to `f32`,
+//! computes, and converts back, so `F16` incurs exactly one rounding per store.
+
+use crate::F16;
+
+/// A scalar type usable as particle storage (pose components and weight).
+///
+/// Implemented for `f32` (full precision) and [`F16`] (half precision). The trait
+/// is deliberately minimal: the particle filter converts to `f32` for arithmetic
+/// and only uses the trait for storage round-trips and a few fused helpers.
+///
+/// # Example
+///
+/// ```
+/// use mcl_num::{Scalar, F16};
+///
+/// fn lerp<S: Scalar>(a: S, b: S, t: f32) -> S {
+///     S::from_f32(a.to_f32() + (b.to_f32() - a.to_f32()) * t)
+/// }
+///
+/// assert_eq!(lerp(0.0f32, 10.0f32, 0.25), 2.5);
+/// assert_eq!(lerp(F16::from_f32(0.0), F16::from_f32(10.0), 0.25).to_f32(), 2.5);
+/// ```
+pub trait Scalar: Copy + Clone + PartialOrd + core::fmt::Debug + Send + Sync + 'static {
+    /// Number of bytes one stored value occupies (4 for `f32`, 2 for `F16`).
+    const BYTES: usize;
+    /// Human-readable name used in experiment labels ("fp32" / "fp16").
+    const NAME: &'static str;
+
+    /// Converts from `f32`, rounding to the storage precision.
+    fn from_f32(value: f32) -> Self;
+    /// Converts to `f32` (exact for both implementations).
+    fn to_f32(self) -> f32;
+
+    /// The additive identity in storage precision.
+    fn zero() -> Self {
+        Self::from_f32(0.0)
+    }
+    /// The multiplicative identity in storage precision.
+    fn one() -> Self {
+        Self::from_f32(1.0)
+    }
+    /// Stored addition: compute in f32, round back.
+    fn add(self, rhs: Self) -> Self {
+        Self::from_f32(self.to_f32() + rhs.to_f32())
+    }
+    /// Stored subtraction: compute in f32, round back.
+    fn sub(self, rhs: Self) -> Self {
+        Self::from_f32(self.to_f32() - rhs.to_f32())
+    }
+    /// Stored multiplication: compute in f32, round back.
+    fn mul(self, rhs: Self) -> Self {
+        Self::from_f32(self.to_f32() * rhs.to_f32())
+    }
+    /// Stored division: compute in f32, round back.
+    fn div(self, rhs: Self) -> Self {
+        Self::from_f32(self.to_f32() / rhs.to_f32())
+    }
+    /// Returns `true` when the stored value is finite.
+    fn is_finite(self) -> bool {
+        self.to_f32().is_finite()
+    }
+}
+
+impl Scalar for f32 {
+    const BYTES: usize = 4;
+    const NAME: &'static str = "fp32";
+
+    #[inline]
+    fn from_f32(value: f32) -> Self {
+        value
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+}
+
+impl Scalar for F16 {
+    const BYTES: usize = 2;
+    const NAME: &'static str = "fp16";
+
+    #[inline]
+    fn from_f32(value: f32) -> Self {
+        F16::from_f32(value)
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        F16::to_f32(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_is_identity() {
+        assert_eq!(<f32 as Scalar>::from_f32(1.25), 1.25);
+        assert_eq!(1.25f32.to_f32(), 1.25);
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f32::NAME, "fp32");
+    }
+
+    #[test]
+    fn f16_rounds_on_store() {
+        let x = <F16 as Scalar>::from_f32(1.0 + 1e-4);
+        // 1.0001 is below half of binary16 epsilon above 1.0, so it rounds to 1.0.
+        assert_eq!(x.to_f32(), 1.0);
+        assert_eq!(F16::BYTES, 2);
+        assert_eq!(F16::NAME, "fp16");
+    }
+
+    #[test]
+    fn generic_arithmetic_matches_between_precisions_for_exact_values() {
+        fn compute<S: Scalar>() -> f32 {
+            let a = S::from_f32(3.0);
+            let b = S::from_f32(0.5);
+            a.mul(b).add(S::one()).sub(S::from_f32(0.25)).to_f32()
+        }
+        assert_eq!(compute::<f32>(), 2.25);
+        assert_eq!(compute::<F16>(), 2.25);
+    }
+
+    #[test]
+    fn zero_one_and_finiteness() {
+        assert_eq!(<F16 as Scalar>::zero().to_f32(), 0.0);
+        assert_eq!(<F16 as Scalar>::one().to_f32(), 1.0);
+        assert!(<F16 as Scalar>::one().is_finite());
+        assert!(!F16::INFINITY.is_finite());
+        assert!(<f32 as Scalar>::one().is_finite());
+    }
+}

@@ -1,0 +1,408 @@
+//! Streaming statistics used by the evaluation harness.
+//!
+//! The paper reports aggregate metrics over 6 sequences × 6 seeds: absolute
+//! trajectory error (ATE) after convergence, success rates, convergence times and
+//! per-step execution times. [`RunningStats`] (Welford's algorithm) accumulates
+//! mean/variance/min/max without storing samples, [`Histogram`] supports the
+//! convergence-probability-over-time curves (Fig. 8), and [`Percentiles`] gives
+//! the median/95th-percentile summaries used in `EXPERIMENTS.md`.
+
+/// Streaming mean / variance / min / max accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use mcl_num::RunningStats;
+/// let mut s = RunningStats::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] { s.push(v); }
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-9);
+/// assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for RunningStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Collapses the accumulator into a plain [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            stddev: self.stddev(),
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+/// Plain-old-data summary of a sample, convenient for printing result tables.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} max={:.4}",
+            self.count, self.mean, self.stddev, self.min, self.max
+        )
+    }
+}
+
+/// Fixed-width histogram over `[low, high)` with saturation bins at both ends.
+///
+/// Used for the convergence-probability-over-time curve: each run contributes its
+/// convergence time, and the cumulative distribution of the histogram is the
+/// probability of having converged by time *t*.
+///
+/// # Example
+///
+/// ```
+/// use mcl_num::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// h.add(0.5);
+/// h.add(3.2);
+/// h.add(100.0); // clamps into the last bin
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.bin_count(0), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `high <= low` or `bins == 0`.
+    pub fn new(low: f64, high: f64, bins: usize) -> Self {
+        assert!(high > low, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram must have at least one bin");
+        Histogram {
+            low,
+            high,
+            bins: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds one observation, clamping out-of-range values into the edge bins.
+    pub fn add(&mut self, value: f64) {
+        let nbins = self.bins.len();
+        let span = self.high - self.low;
+        let idx = ((value - self.low) / span * nbins as f64).floor();
+        let idx = idx.clamp(0.0, (nbins - 1) as f64) as usize;
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Returns `true` when the histogram has no bins (never true for a
+    /// constructed histogram, provided for `len`/`is_empty` symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Count in bin `i`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// The `[low, high)` interval covered by bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.high - self.low) / self.bins.len() as f64;
+        (
+            self.low + width * i as f64,
+            self.low + width * (i + 1) as f64,
+        )
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Cumulative fraction of observations at or below the upper edge of bin `i`,
+    /// relative to `denominator` (pass [`Histogram::total`] for an empirical CDF,
+    /// or the number of *attempted* runs to get a convergence-probability curve
+    /// where non-converged runs never count).
+    pub fn cumulative_fraction(&self, i: usize, denominator: u64) -> f64 {
+        if denominator == 0 {
+            return 0.0;
+        }
+        let cum: u64 = self.bins[..=i].iter().sum();
+        cum as f64 / denominator as f64
+    }
+}
+
+/// Exact percentiles computed from a stored sample.
+///
+/// Keeps all samples; intended for the evaluation harness (thousands of values),
+/// not for on-board use.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Percentiles {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty sample.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no observations were added.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The `q`-th percentile (0–100) by linear interpolation, `None` when empty.
+    pub fn percentile(&mut self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 100.0) / 100.0;
+        let pos = q * (self.values.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.values[lo] * (1.0 - frac) + self.values[hi] * frac)
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_matches_closed_form() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &v in &data {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population variance of this classic dataset is 4.0 → sample variance 32/7.
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        let sum = s.summary();
+        assert_eq!(sum.count, 0);
+        assert_eq!(sum.min, 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential_push() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let mut all = RunningStats::new();
+        for &v in &data {
+            all.push(v);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &v in &data[..37] {
+            a.push(v);
+        }
+        for &v in &data[37..] {
+            b.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn histogram_bins_and_cdf() {
+        let mut h = Histogram::new(0.0, 60.0, 12);
+        for t in [1.0, 2.0, 6.0, 30.0, 59.9, 70.0, -5.0] {
+            h.add(t);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_count(0), 3); // 1.0, 2.0 and the clamped -5.0
+        assert_eq!(h.bin_count(1), 1); // 6.0
+        assert_eq!(h.bin_count(11), 2); // 59.9 and the clamped 70.0
+        assert!((h.cumulative_fraction(11, h.total()) - 1.0).abs() < 1e-12);
+        // Against a larger denominator (e.g. runs that never converged).
+        assert!((h.cumulative_fraction(11, 14) - 0.5).abs() < 1e-12);
+        let (lo, hi) = h.bin_range(1);
+        assert!((lo - 5.0).abs() < 1e-12 && (hi - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram range")]
+    fn histogram_rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut p = Percentiles::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            p.push(v);
+        }
+        assert_eq!(p.median(), Some(3.0));
+        assert_eq!(p.percentile(0.0), Some(1.0));
+        assert_eq!(p.percentile(100.0), Some(5.0));
+        assert_eq!(p.percentile(25.0), Some(2.0));
+        assert_eq!(p.percentile(87.5), Some(4.5));
+        assert!(Percentiles::new().median().is_none());
+    }
+}

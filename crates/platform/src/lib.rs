@@ -1,0 +1,45 @@
+//! Firmware pipeline model: the data flow of the paper's Fig. 2.
+//!
+//! On the real system the STM32 of the Crazyflie reads the multizone ToF sensors
+//! over I²C, runs its extended-Kalman-filter state estimation from the Flow-deck,
+//! and forwards both — frames and state increments — over SPI to the GAP9 deck,
+//! where the parallel MCL runs; estimates are logged over the nRF radio. None of
+//! that hardware exists in this reproduction, so this crate models the pipeline
+//! around the algorithm:
+//!
+//! * [`link`] — transfer-time model of the I²C sensor bus and the STM32↔GAP9 SPI
+//!   link (where part of the paper's fixed ~40 µs per-update overhead comes
+//!   from).
+//! * [`state`] — the odometry integrator on the STM32 side, optionally fused
+//!   with the MCL estimate (what a planner on the drone would consume).
+//! * [`pipeline`] — the asynchronous on-board loop: acquire, transfer, gate,
+//!   update, publish; with per-update latency accounting against the 15 Hz
+//!   deadline using the GAP9 cost model.
+//! * [`logging`] — the estimate/latency log that the nRF radio would stream to
+//!   the ground station.
+//!
+//! # Example
+//!
+//! ```
+//! use mcl_platform::{OnboardPipeline, PipelineConfig};
+//! use mcl_sim::PaperScenario;
+//!
+//! let scenario = PaperScenario::quick(3);
+//! let mut pipeline = OnboardPipeline::new(PipelineConfig::default(), &scenario).unwrap();
+//! let report = pipeline.fly(&scenario.sequences()[0]);
+//! assert_eq!(report.steps, scenario.sequences()[0].len());
+//! assert_eq!(report.missed_deadlines, 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod link;
+pub mod logging;
+pub mod pipeline;
+pub mod state;
+
+pub use link::{I2cLink, SpiLink};
+pub use logging::{FlightLog, LogRecord};
+pub use pipeline::{FlightReport, OnboardPipeline, PipelineConfig};
+pub use state::StateEstimator;

@@ -1,0 +1,270 @@
+//! Ray casting against an occupancy grid map.
+//!
+//! The simulated sensor needs the true distance from the drone to the nearest
+//! obstacle along a beam; the ablation benchmarks also use ray casting as an
+//! alternative (more expensive) observation model. The implementation is the
+//! standard DDA / Amanatides–Woo grid traversal: visit every cell the ray passes
+//! through in order and stop at the first occupied one.
+
+use mcl_gridmap::{CellIndex, CellState, OccupancyGrid, Point2};
+
+/// Result of casting a single ray.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RaycastHit {
+    /// The ray hit an occupied cell at the given distance (metres) and cell.
+    Obstacle {
+        /// Distance from the ray origin to the intersection point, in metres.
+        distance_m: f32,
+        /// The occupied cell that was hit.
+        cell: CellIndex,
+    },
+    /// No obstacle within `max_range`; the ray either left the map or travelled
+    /// the full range through free space.
+    Miss,
+}
+
+impl RaycastHit {
+    /// The hit distance, or `None` for a miss.
+    pub fn distance(&self) -> Option<f32> {
+        match self {
+            RaycastHit::Obstacle { distance_m, .. } => Some(*distance_m),
+            RaycastHit::Miss => None,
+        }
+    }
+}
+
+/// Casts a ray from `origin` along `angle_rad` (world frame) and returns the
+/// first obstacle hit within `max_range_m`.
+///
+/// Rays that start outside the map immediately miss — the drone never flies
+/// outside the mapped area, and a defensive miss is the safest interpretation.
+pub fn raycast(
+    map: &OccupancyGrid,
+    origin: Point2,
+    angle_rad: f32,
+    max_range_m: f32,
+) -> RaycastHit {
+    let res = map.resolution();
+    let dir_x = angle_rad.cos();
+    let dir_y = angle_rad.sin();
+
+    let Some(mut cell) = map.world_to_cell(origin.x, origin.y) else {
+        return RaycastHit::Miss;
+    };
+    // Starting inside an obstacle counts as an immediate hit (distance 0); this
+    // happens when a particle hypothesis lies inside a wall.
+    if map.state(cell) == CellState::Occupied {
+        return RaycastHit::Obstacle {
+            distance_m: 0.0,
+            cell,
+        };
+    }
+
+    // Amanatides–Woo setup: distance along the ray to the next vertical /
+    // horizontal cell boundary, and the distance increment per cell step.
+    let step_col: i64 = if dir_x > 0.0 { 1 } else { -1 };
+    let step_row: i64 = if dir_y > 0.0 { 1 } else { -1 };
+
+    let next_col_boundary = if dir_x > 0.0 {
+        (cell.col as f32 + 1.0) * res
+    } else {
+        cell.col as f32 * res
+    };
+    let next_row_boundary = if dir_y > 0.0 {
+        (cell.row as f32 + 1.0) * res
+    } else {
+        cell.row as f32 * res
+    };
+
+    let mut t_max_x = if dir_x.abs() < 1e-12 {
+        f32::INFINITY
+    } else {
+        (next_col_boundary - origin.x) / dir_x
+    };
+    let mut t_max_y = if dir_y.abs() < 1e-12 {
+        f32::INFINITY
+    } else {
+        (next_row_boundary - origin.y) / dir_y
+    };
+    let t_delta_x = if dir_x.abs() < 1e-12 {
+        f32::INFINITY
+    } else {
+        res / dir_x.abs()
+    };
+    let t_delta_y = if dir_y.abs() < 1e-12 {
+        f32::INFINITY
+    } else {
+        res / dir_y.abs()
+    };
+
+    loop {
+        // Advance to the next cell along the ray.
+        let t;
+        if t_max_x < t_max_y {
+            t = t_max_x;
+            t_max_x += t_delta_x;
+            let col = cell.col as i64 + step_col;
+            if col < 0 {
+                return RaycastHit::Miss;
+            }
+            cell = CellIndex::new(col as usize, cell.row);
+        } else {
+            t = t_max_y;
+            t_max_y += t_delta_y;
+            let row = cell.row as i64 + step_row;
+            if row < 0 {
+                return RaycastHit::Miss;
+            }
+            cell = CellIndex::new(cell.col, row as usize);
+        }
+        if t > max_range_m {
+            return RaycastHit::Miss;
+        }
+        if !map.contains(cell) {
+            return RaycastHit::Miss;
+        }
+        if map.state(cell) == CellState::Occupied {
+            return RaycastHit::Obstacle {
+                distance_m: t,
+                cell,
+            };
+        }
+    }
+}
+
+/// Convenience wrapper returning the distance to the first obstacle, or
+/// `max_range_m` when nothing is hit (the saturation behaviour of a real ToF
+/// sensor pointed into open space).
+pub fn raycast_distance(
+    map: &OccupancyGrid,
+    origin: Point2,
+    angle_rad: f32,
+    max_range_m: f32,
+) -> f32 {
+    raycast(map, origin, angle_rad, max_range_m)
+        .distance()
+        .unwrap_or(max_range_m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f32::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+    use mcl_gridmap::MapBuilder;
+
+    fn square_room() -> OccupancyGrid {
+        // 4 m × 4 m room with border walls at 5 cm resolution.
+        MapBuilder::new(4.0, 4.0, 0.05).border_walls().build()
+    }
+
+    #[test]
+    fn axis_aligned_distances_match_geometry() {
+        let map = square_room();
+        let origin = Point2::new(2.0, 2.0);
+        // The wall cells span [0, 0.05) and [3.95, 4.0); the reported distance is
+        // to the first occupied cell boundary.
+        let east = raycast_distance(&map, origin, 0.0, 10.0);
+        assert!((east - 1.95).abs() < 0.06, "east {east}");
+        let north = raycast_distance(&map, origin, FRAC_PI_2, 10.0);
+        assert!((north - 1.95).abs() < 0.06, "north {north}");
+        let west = raycast_distance(&map, origin, PI, 10.0);
+        assert!((west - 1.95).abs() < 0.06, "west {west}");
+        let south = raycast_distance(&map, origin, -FRAC_PI_2, 10.0);
+        assert!((south - 1.95).abs() < 0.06, "south {south}");
+    }
+
+    #[test]
+    fn diagonal_distance_is_sqrt_two_longer() {
+        let map = square_room();
+        let origin = Point2::new(2.0, 2.0);
+        let diag = raycast_distance(&map, origin, FRAC_PI_4, 10.0);
+        let axis = raycast_distance(&map, origin, 0.0, 10.0);
+        assert!(
+            (diag - axis * core::f32::consts::SQRT_2).abs() < 0.1,
+            "diag {diag} axis {axis}"
+        );
+    }
+
+    #[test]
+    fn range_limit_truncates_to_miss() {
+        let map = square_room();
+        let origin = Point2::new(2.0, 2.0);
+        assert_eq!(raycast(&map, origin, 0.0, 1.0), RaycastHit::Miss);
+        assert_eq!(raycast_distance(&map, origin, 0.0, 1.0), 1.0);
+        // Just long enough to reach the wall.
+        assert!(raycast(&map, origin, 0.0, 2.0).distance().is_some());
+    }
+
+    #[test]
+    fn interior_obstacle_is_hit_before_the_far_wall() {
+        let map = MapBuilder::new(4.0, 4.0, 0.05)
+            .border_walls()
+            .filled_rect((2.9, 1.5), (3.1, 2.5))
+            .build();
+        let d = raycast_distance(&map, Point2::new(2.0, 2.0), 0.0, 10.0);
+        assert!((d - 0.9).abs() < 0.06, "hit the pillar, got {d}");
+    }
+
+    #[test]
+    fn ray_from_inside_a_wall_reports_zero() {
+        let map = square_room();
+        let hit = raycast(&map, Point2::new(0.02, 2.0), 0.0, 10.0);
+        assert_eq!(hit.distance(), Some(0.0));
+    }
+
+    #[test]
+    fn ray_starting_outside_the_map_misses() {
+        let map = square_room();
+        assert_eq!(raycast(&map, Point2::new(-1.0, 2.0), 0.0, 10.0), RaycastHit::Miss);
+        assert_eq!(raycast(&map, Point2::new(2.0, 5.0), 0.0, 10.0), RaycastHit::Miss);
+    }
+
+    #[test]
+    fn ray_leaving_an_open_map_misses() {
+        // No walls at all: every ray runs out of map or range.
+        let map = OccupancyGrid::new(2.0, 2.0, 0.05).unwrap();
+        assert_eq!(raycast(&map, Point2::new(1.0, 1.0), 0.3, 10.0), RaycastHit::Miss);
+        assert_eq!(raycast_distance(&map, Point2::new(1.0, 1.0), 0.3, 10.0), 10.0);
+    }
+
+    #[test]
+    fn all_directions_hit_the_border_of_a_closed_room() {
+        let map = square_room();
+        let origin = Point2::new(1.3, 2.7);
+        for i in 0..72 {
+            let angle = i as f32 * PI / 36.0;
+            let hit = raycast(&map, origin, angle, 10.0);
+            assert!(
+                hit.distance().is_some(),
+                "direction {angle} escaped a closed room"
+            );
+        }
+    }
+
+    #[test]
+    fn hit_cell_is_actually_occupied() {
+        let map = MapBuilder::new(2.0, 2.0, 0.05)
+            .border_walls()
+            .wall((1.0, 0.5), (1.0, 1.5))
+            .build();
+        for i in 0..36 {
+            let angle = i as f32 * PI / 18.0;
+            if let RaycastHit::Obstacle { cell, .. } =
+                raycast(&map, Point2::new(0.5, 1.0), angle, 5.0)
+            {
+                assert_eq!(map.state(cell), CellState::Occupied);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_agrees_with_euclidean_geometry_for_oblique_ray() {
+        // Wall along x = 1.0..1.05; ray at 30° from (0.2, 1.0) should travel
+        // (1.0 - 0.2) / cos(30°) ≈ 0.924 m before hitting it.
+        let map = MapBuilder::new(2.0, 2.0, 0.05)
+            .wall((1.0, 0.0), (1.0, 2.0))
+            .build();
+        let d = raycast_distance(&map, Point2::new(0.2, 1.0), 30f32.to_radians(), 5.0);
+        assert!((d - 0.8 / 30f32.to_radians().cos()).abs() < 0.07, "got {d}");
+    }
+}

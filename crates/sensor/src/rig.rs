@@ -1,0 +1,244 @@
+//! Sensor rigs: the mounting configurations evaluated in the paper.
+//!
+//! The multizone-ToF deck carries up to two VL53L5CX sensors. The paper's main
+//! configuration uses both (forward and rear facing); the `fp32 1tof` ablation
+//! uses only the forward one and shows markedly lower success rates and slower
+//! convergence. [`SensorRig`] bundles the mounted sensors and produces, per
+//! capture instant, the set of frames and the flattened beam list the particle
+//! filter consumes.
+
+use crate::config::{SensorConfig, SENSOR_POWER_MW};
+use crate::measurement::{Beam, ToFFrame};
+use crate::model::ToFSensor;
+use mcl_gridmap::{OccupancyGrid, Pose2};
+use rand::Rng;
+
+/// A set of ToF sensors mounted on the drone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorRig {
+    sensors: Vec<ToFSensor>,
+}
+
+impl SensorRig {
+    /// A rig with a single forward-facing sensor (the paper's `1tof` ablation).
+    pub fn front_only(config: SensorConfig) -> Self {
+        SensorRig {
+            sensors: vec![ToFSensor::forward(config)],
+        }
+    }
+
+    /// A rig with forward- and rear-facing sensors (the paper's main setup).
+    pub fn front_and_rear(config: SensorConfig) -> Self {
+        SensorRig {
+            sensors: vec![ToFSensor::forward(config), ToFSensor::rear(config)],
+        }
+    }
+
+    /// A rig with custom sensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sensors` is empty: a rig without sensors cannot localize.
+    pub fn custom(sensors: Vec<ToFSensor>) -> Self {
+        assert!(!sensors.is_empty(), "a sensor rig needs at least one sensor");
+        SensorRig { sensors }
+    }
+
+    /// The mounted sensors.
+    pub fn sensors(&self) -> &[ToFSensor] {
+        &self.sensors
+    }
+
+    /// Number of mounted sensors.
+    pub fn sensor_count(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Total electrical power drawn by the rig, in milliwatts (320 mW/sensor).
+    pub fn power_mw(&self) -> f32 {
+        self.sensors.len() as f32 * SENSOR_POWER_MW
+    }
+
+    /// The slowest effective frame rate across the rig, which bounds the MCL
+    /// observation-update rate (15 Hz for the paper's 8×8 configuration).
+    pub fn update_rate_hz(&self) -> f32 {
+        self.sensors
+            .iter()
+            .map(|s| s.config().effective_rate_hz())
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// Captures one frame from every sensor at the given pose and time.
+    pub fn capture<R: Rng + ?Sized>(
+        &self,
+        map: &OccupancyGrid,
+        drone_pose: &Pose2,
+        rng: &mut R,
+    ) -> Vec<ToFFrame> {
+        self.capture_at(map, drone_pose, 0.0, rng)
+    }
+
+    /// Captures one frame from every sensor, stamping them with `timestamp_s`.
+    pub fn capture_at<R: Rng + ?Sized>(
+        &self,
+        map: &OccupancyGrid,
+        drone_pose: &Pose2,
+        timestamp_s: f64,
+        rng: &mut R,
+    ) -> Vec<ToFFrame> {
+        self.sensors
+            .iter()
+            .map(|s| s.measure(map, drone_pose, timestamp_s, rng))
+            .collect()
+    }
+
+    /// Flattens a set of frames into the beam list consumed by the particle
+    /// filter. Frames must come from this rig (same mounting order); in practice
+    /// callers pass the result of [`SensorRig::capture`] straight through.
+    pub fn beams_from_frames(&self, frames: &[ToFFrame]) -> Vec<Beam> {
+        frames
+            .iter()
+            .zip(self.sensors.iter())
+            .flat_map(|(frame, sensor)| frame.to_beams(sensor.geometry()))
+            .collect()
+    }
+
+    /// Convenience for callers that only have frames (all sensors in this
+    /// workspace share one zone geometry per mode): rebuilds the geometry from
+    /// each frame's mode and converts.
+    pub fn frames_to_beams(frames: &[ToFFrame]) -> Vec<Beam> {
+        frames
+            .iter()
+            .flat_map(|frame| {
+                let config = SensorConfig {
+                    mode: frame.mode,
+                    ..SensorConfig::default()
+                };
+                let geometry = crate::zones::ZoneGeometry::new(&config);
+                frame.to_beams(&geometry)
+            })
+            .collect()
+    }
+
+    /// Captures frames and immediately reduces them to beams.
+    pub fn observe<R: Rng + ?Sized>(
+        &self,
+        map: &OccupancyGrid,
+        drone_pose: &Pose2,
+        timestamp_s: f64,
+        rng: &mut R,
+    ) -> Vec<Beam> {
+        let frames = self.capture_at(map, drone_pose, timestamp_s, rng);
+        self.beams_from_frames(&frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f32::consts::PI;
+    use mcl_gridmap::MapBuilder;
+    use mcl_num::normalize_angle;
+    use rand::SeedableRng;
+
+    fn room() -> OccupancyGrid {
+        MapBuilder::new(4.0, 4.0, 0.05).border_walls().build()
+    }
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn clean_config() -> SensorConfig {
+        SensorConfig::default()
+            .with_range_noise(0.0)
+            .with_interference_probability(0.0)
+    }
+
+    #[test]
+    fn rig_sizes_and_power() {
+        let one = SensorRig::front_only(SensorConfig::default());
+        let two = SensorRig::front_and_rear(SensorConfig::default());
+        assert_eq!(one.sensor_count(), 1);
+        assert_eq!(two.sensor_count(), 2);
+        assert_eq!(one.power_mw(), 320.0);
+        assert_eq!(two.power_mw(), 640.0);
+        assert_eq!(two.update_rate_hz(), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sensor")]
+    fn empty_rig_is_rejected() {
+        let _ = SensorRig::custom(vec![]);
+    }
+
+    #[test]
+    fn two_sensor_rig_produces_twice_the_frames_and_beams() {
+        let rig = SensorRig::front_and_rear(clean_config());
+        let frames = rig.capture(&room(), &Pose2::new(2.0, 2.0, 0.0), &mut rng(1));
+        assert_eq!(frames.len(), 2);
+        let beams = rig.beams_from_frames(&frames);
+        // All 8 columns of both sensors are valid in an empty room well within
+        // range → 16 beams.
+        assert_eq!(beams.len(), 16);
+        let single = SensorRig::front_only(clean_config());
+        let beams_single = single.observe(&room(), &Pose2::new(2.0, 2.0, 0.0), 0.0, &mut rng(1));
+        assert_eq!(beams_single.len(), 8);
+    }
+
+    #[test]
+    fn front_and_rear_beams_point_in_opposite_directions() {
+        let rig = SensorRig::front_and_rear(clean_config());
+        let beams = rig.observe(&room(), &Pose2::new(2.0, 2.0, 0.0), 0.0, &mut rng(2));
+        let forward: Vec<&Beam> = beams
+            .iter()
+            .filter(|b| normalize_angle(b.azimuth_body_rad).cos() > 0.5)
+            .collect();
+        let rear: Vec<&Beam> = beams
+            .iter()
+            .filter(|b| normalize_angle(b.azimuth_body_rad).cos() < -0.5)
+            .collect();
+        assert_eq!(forward.len(), 8);
+        assert_eq!(rear.len(), 8);
+    }
+
+    #[test]
+    fn beams_measure_the_correct_wall_distances() {
+        // Drone at (1, 2) facing east (+X): the forward sensor sees the east wall
+        // at ~2.95 m, the rear sensor the west wall at ~0.95 m.
+        let rig = SensorRig::front_and_rear(clean_config());
+        let beams = rig.observe(&room(), &Pose2::new(1.0, 2.0, 0.0), 0.0, &mut rng(3));
+        let front_centre = beams
+            .iter()
+            .filter(|b| b.azimuth_body_rad.abs() < 0.1)
+            .map(|b| b.range_m)
+            .next();
+        let rear_centre = beams
+            .iter()
+            .filter(|b| (normalize_angle(b.azimuth_body_rad) - PI).abs() < 0.1)
+            .map(|b| b.range_m)
+            .next();
+        assert!((front_centre.unwrap() - 2.95).abs() < 0.15);
+        assert!((rear_centre.unwrap() - 0.95).abs() < 0.15);
+    }
+
+    #[test]
+    fn frames_to_beams_matches_rig_conversion() {
+        let rig = SensorRig::front_and_rear(clean_config());
+        let frames = rig.capture(&room(), &Pose2::new(2.0, 2.0, 0.7), &mut rng(4));
+        let a = rig.beams_from_frames(&frames);
+        let b = SensorRig::frames_to_beams(&frames);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x.azimuth_body_rad - y.azimuth_body_rad).abs() < 1e-6);
+            assert!((x.range_m - y.range_m).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn capture_timestamps_are_propagated() {
+        let rig = SensorRig::front_only(SensorConfig::default());
+        let frames = rig.capture_at(&room(), &Pose2::new(2.0, 2.0, 0.0), 1.25, &mut rng(5));
+        assert_eq!(frames[0].timestamp_s, 1.25);
+    }
+}

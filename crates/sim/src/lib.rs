@@ -1,0 +1,51 @@
+//! Flight simulation and evaluation for the ToF-MCL reproduction.
+//!
+//! The paper evaluates on six recorded flight sequences (ToF frames, Flow-deck
+//! odometry, Vicon ground truth) flown in a 16 m² physical maze, with the map
+//! extended to 31.2 m². Those recordings are not available, so this crate
+//! produces statistically equivalent synthetic sequences and the exact metric
+//! pipeline the paper reports:
+//!
+//! * [`trajectory`] — waypoint flights through the free space of the maze at
+//!   realistic nano-UAV speeds, sampled at the 15 Hz sensor rate.
+//! * [`odometry`] — a Flow-deck-style odometry model with per-step noise, a
+//!   per-sequence scale error and a slow yaw drift (the drift MCL must correct).
+//! * [`sequence`] — the recorded dataset: ground truth, odometry increments and
+//!   ToF frames for every step; generation is deterministic in the seed.
+//! * [`metrics`] — convergence detection (0.2 m / 36°), absolute trajectory
+//!   error after convergence, success (ATE never exceeds 1 m after convergence)
+//!   and time-to-convergence — the quantities plotted in Figs. 6–8.
+//! * [`runner`] — drives a filter configuration over a sequence and produces a
+//!   [`metrics::SequenceResult`].
+//! * [`scenario`] — the paper's full evaluation scenario: the 31.2 m² maze, six
+//!   sequences, six seeds, the four pipeline configurations.
+//!
+//! # Example
+//!
+//! ```
+//! use mcl_sim::{PaperScenario, SequenceConfig};
+//! use mcl_core::precision::PipelineConfig;
+//!
+//! // A scaled-down scenario: one short sequence, 256 particles.
+//! let scenario = PaperScenario::quick(1);
+//! let sequence = &scenario.sequences()[0];
+//! let result = scenario.evaluate(sequence, PipelineConfig::FP32, 256, 7);
+//! assert!(result.steps > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod metrics;
+pub mod odometry;
+pub mod runner;
+pub mod scenario;
+pub mod sequence;
+pub mod trajectory;
+
+pub use metrics::{ConvergenceCriterion, ResultAggregator, SequenceResult, TrajectoryErrorTracker};
+pub use odometry::{OdometryConfig, OdometryModel};
+pub use runner::{run_sequence, RunnerConfig};
+pub use scenario::PaperScenario;
+pub use sequence::{Sequence, SequenceConfig, SequenceGenerator, SequenceStep};
+pub use trajectory::{Trajectory, TrajectoryConfig, TrajectoryGenerator};

@@ -1,0 +1,350 @@
+//! Evaluation metrics: convergence, ATE and success, as defined in §IV-A.
+//!
+//! The paper evaluates every run with three metrics:
+//!
+//! * **Time to convergence** — the first time the estimated pose is within
+//!   0.2 m and 36° of the ground truth.
+//! * **Absolute trajectory error (ATE)** — the mean translation error between
+//!   the estimate and the ground truth over all steps *after* convergence.
+//! * **Success** — a run counts as successful if, after converging, the pose
+//!   tracking stays reliable until the end of the sequence, i.e. the error never
+//!   exceeds 1 m again.
+//!
+//! [`TrajectoryErrorTracker`] accumulates these online, one estimate at a time,
+//! so the runner never has to store the whole estimate history.
+
+use mcl_core::PoseEstimate;
+use mcl_gridmap::Pose2;
+use mcl_num::RunningStats;
+use serde::{Deserialize, Serialize};
+
+/// The convergence gate of the paper: 0.2 m translation, 36° yaw.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceCriterion {
+    /// Maximum translation error for the estimate to count as converged, metres.
+    pub distance_m: f32,
+    /// Maximum yaw error for the estimate to count as converged, radians.
+    pub yaw_rad: f32,
+    /// Error above which tracking counts as lost after convergence, metres.
+    pub failure_distance_m: f32,
+}
+
+impl Default for ConvergenceCriterion {
+    fn default() -> Self {
+        ConvergenceCriterion {
+            distance_m: 0.2,
+            yaw_rad: 36f32.to_radians(),
+            failure_distance_m: 1.0,
+        }
+    }
+}
+
+/// Outcome of evaluating one filter configuration on one sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SequenceResult {
+    /// Number of estimate samples that were scored.
+    pub steps: usize,
+    /// Whether the filter ever converged.
+    pub converged: bool,
+    /// Time of first convergence, seconds (`None` when it never converged).
+    pub convergence_time_s: Option<f64>,
+    /// Mean absolute trajectory error after convergence, metres (`None` when the
+    /// run never converged).
+    pub ate_m: Option<f64>,
+    /// Largest translation error observed after convergence, metres.
+    pub max_error_after_convergence_m: Option<f64>,
+    /// Whether the run counts as a success (converged and never lost tracking).
+    pub success: bool,
+}
+
+impl SequenceResult {
+    /// ATE as a plain number, using `default` when the run never converged
+    /// (convenient for aggregate tables where failures are reported separately).
+    pub fn ate_or(&self, default: f64) -> f64 {
+        self.ate_m.unwrap_or(default)
+    }
+}
+
+/// Online accumulator for the paper's metrics.
+#[derive(Debug, Clone)]
+pub struct TrajectoryErrorTracker {
+    criterion: ConvergenceCriterion,
+    converged_at: Option<f64>,
+    errors_after_convergence: RunningStats,
+    max_error_after_convergence: f64,
+    steps: usize,
+}
+
+impl TrajectoryErrorTracker {
+    /// Creates a tracker with the paper's default criterion.
+    pub fn new(criterion: ConvergenceCriterion) -> Self {
+        TrajectoryErrorTracker {
+            criterion,
+            converged_at: None,
+            errors_after_convergence: RunningStats::new(),
+            max_error_after_convergence: 0.0,
+            steps: 0,
+        }
+    }
+
+    /// The criterion in use.
+    pub fn criterion(&self) -> &ConvergenceCriterion {
+        &self.criterion
+    }
+
+    /// Whether the filter has converged so far.
+    pub fn has_converged(&self) -> bool {
+        self.converged_at.is_some()
+    }
+
+    /// Records one estimate against the ground truth at time `timestamp_s`.
+    pub fn record(&mut self, timestamp_s: f64, estimate: &PoseEstimate, truth: &Pose2) {
+        self.steps += 1;
+        let translation_error = f64::from(estimate.pose.translation_distance(truth));
+        if self.converged_at.is_none() {
+            if estimate.is_close_to(truth, self.criterion.distance_m, self.criterion.yaw_rad) {
+                self.converged_at = Some(timestamp_s);
+                self.errors_after_convergence.push(translation_error);
+                self.max_error_after_convergence = translation_error;
+            }
+            return;
+        }
+        self.errors_after_convergence.push(translation_error);
+        if translation_error > self.max_error_after_convergence {
+            self.max_error_after_convergence = translation_error;
+        }
+    }
+
+    /// Finalizes the metrics.
+    pub fn finish(&self) -> SequenceResult {
+        let converged = self.converged_at.is_some();
+        let ate = if converged {
+            Some(self.errors_after_convergence.mean())
+        } else {
+            None
+        };
+        let max_error = if converged {
+            Some(self.max_error_after_convergence)
+        } else {
+            None
+        };
+        let success = converged
+            && self.max_error_after_convergence <= f64::from(self.criterion.failure_distance_m);
+        SequenceResult {
+            steps: self.steps,
+            converged,
+            convergence_time_s: self.converged_at,
+            ate_m: ate,
+            max_error_after_convergence_m: max_error,
+            success,
+        }
+    }
+}
+
+/// Aggregates results across sequences and seeds into the numbers the paper
+/// plots: mean ATE (Fig. 6), success rate in percent (Fig. 7) and the
+/// distribution of convergence times (Fig. 8).
+#[derive(Debug, Clone, Default)]
+pub struct ResultAggregator {
+    results: Vec<SequenceResult>,
+}
+
+impl ResultAggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one run's result.
+    pub fn push(&mut self, result: SequenceResult) {
+        self.results.push(result);
+    }
+
+    /// Number of runs recorded.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True when no runs have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Mean ATE over the runs that converged, metres.
+    pub fn mean_ate_m(&self) -> Option<f64> {
+        let mut stats = RunningStats::new();
+        for r in self.results.iter().filter(|r| r.ate_m.is_some()) {
+            stats.push(r.ate_m.unwrap());
+        }
+        if stats.count() == 0 {
+            None
+        } else {
+            Some(stats.mean())
+        }
+    }
+
+    /// Success rate in percent (the paper's Fig. 7 y-axis).
+    pub fn success_rate_percent(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.results.iter().filter(|r| r.success).count() as f64
+            / self.results.len() as f64
+    }
+
+    /// Fraction of runs that have converged by time `t` seconds — one point of
+    /// the paper's Fig. 8 curve.
+    pub fn convergence_probability_at(&self, t_s: f64) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results
+            .iter()
+            .filter(|r| r.convergence_time_s.map_or(false, |c| c <= t_s))
+            .count() as f64
+            / self.results.len() as f64
+    }
+
+    /// Mean convergence time over converged runs, seconds.
+    pub fn mean_convergence_time_s(&self) -> Option<f64> {
+        let mut stats = RunningStats::new();
+        for r in &self.results {
+            if let Some(t) = r.convergence_time_s {
+                stats.push(t);
+            }
+        }
+        if stats.count() == 0 {
+            None
+        } else {
+            Some(stats.mean())
+        }
+    }
+
+    /// The raw results.
+    pub fn results(&self) -> &[SequenceResult] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_core::Particle;
+
+    fn estimate_at(x: f32, y: f32, theta: f32) -> PoseEstimate {
+        PoseEstimate::from_particles(&[Particle::<f32> {
+            x,
+            y,
+            theta,
+            weight: 1.0,
+        }])
+    }
+
+    #[test]
+    fn default_criterion_matches_the_paper() {
+        let c = ConvergenceCriterion::default();
+        assert_eq!(c.distance_m, 0.2);
+        assert!((c.yaw_rad.to_degrees() - 36.0).abs() < 1e-4);
+        assert_eq!(c.failure_distance_m, 1.0);
+    }
+
+    #[test]
+    fn never_converged_run_is_not_successful() {
+        let mut tracker = TrajectoryErrorTracker::new(ConvergenceCriterion::default());
+        let truth = Pose2::new(0.0, 0.0, 0.0);
+        for i in 0..10 {
+            tracker.record(i as f64, &estimate_at(2.0, 2.0, 0.0), &truth);
+        }
+        let result = tracker.finish();
+        assert!(!result.converged);
+        assert!(!result.success);
+        assert!(result.ate_m.is_none());
+        assert!(result.convergence_time_s.is_none());
+        assert_eq!(result.steps, 10);
+        assert_eq!(result.ate_or(9.9), 9.9);
+    }
+
+    #[test]
+    fn convergence_time_is_the_first_close_estimate() {
+        let mut tracker = TrajectoryErrorTracker::new(ConvergenceCriterion::default());
+        let truth = Pose2::new(1.0, 1.0, 0.0);
+        tracker.record(0.0, &estimate_at(3.0, 1.0, 0.0), &truth);
+        tracker.record(1.0, &estimate_at(1.5, 1.0, 0.0), &truth);
+        tracker.record(2.0, &estimate_at(1.1, 1.0, 0.05), &truth);
+        tracker.record(3.0, &estimate_at(1.05, 1.0, 0.0), &truth);
+        let result = tracker.finish();
+        assert!(result.converged);
+        assert_eq!(result.convergence_time_s, Some(2.0));
+        // ATE averages the errors from convergence onwards: 0.1 and 0.05.
+        assert!((result.ate_m.unwrap() - 0.075).abs() < 1e-5);
+        assert!(result.success);
+    }
+
+    #[test]
+    fn close_position_but_wrong_heading_does_not_converge() {
+        let mut tracker = TrajectoryErrorTracker::new(ConvergenceCriterion::default());
+        let truth = Pose2::new(1.0, 1.0, 0.0);
+        tracker.record(0.0, &estimate_at(1.05, 1.0, 2.0), &truth);
+        assert!(!tracker.has_converged());
+        tracker.record(1.0, &estimate_at(1.05, 1.0, 0.1), &truth);
+        assert!(tracker.has_converged());
+    }
+
+    #[test]
+    fn losing_track_after_convergence_fails_the_run() {
+        let mut tracker = TrajectoryErrorTracker::new(ConvergenceCriterion::default());
+        let truth = Pose2::new(0.0, 0.0, 0.0);
+        tracker.record(0.0, &estimate_at(0.1, 0.0, 0.0), &truth);
+        tracker.record(1.0, &estimate_at(0.1, 0.0, 0.0), &truth);
+        tracker.record(2.0, &estimate_at(1.5, 0.0, 0.0), &truth); // lost
+        let result = tracker.finish();
+        assert!(result.converged);
+        assert!(!result.success);
+        assert!(result.max_error_after_convergence_m.unwrap() > 1.0);
+    }
+
+    #[test]
+    fn aggregator_computes_figure_quantities() {
+        let mut agg = ResultAggregator::new();
+        assert!(agg.is_empty());
+        assert_eq!(agg.success_rate_percent(), 0.0);
+        assert_eq!(agg.convergence_probability_at(10.0), 0.0);
+        agg.push(SequenceResult {
+            steps: 100,
+            converged: true,
+            convergence_time_s: Some(5.0),
+            ate_m: Some(0.1),
+            max_error_after_convergence_m: Some(0.3),
+            success: true,
+        });
+        agg.push(SequenceResult {
+            steps: 100,
+            converged: true,
+            convergence_time_s: Some(20.0),
+            ate_m: Some(0.2),
+            max_error_after_convergence_m: Some(1.5),
+            success: false,
+        });
+        agg.push(SequenceResult {
+            steps: 100,
+            converged: false,
+            convergence_time_s: None,
+            ate_m: None,
+            max_error_after_convergence_m: None,
+            success: false,
+        });
+        assert_eq!(agg.len(), 3);
+        assert!((agg.mean_ate_m().unwrap() - 0.15).abs() < 1e-9);
+        assert!((agg.success_rate_percent() - 100.0 / 3.0).abs() < 1e-9);
+        assert!((agg.convergence_probability_at(10.0) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((agg.convergence_probability_at(30.0) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((agg.mean_convergence_time_s().unwrap() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_aggregator_returns_none_means() {
+        let agg = ResultAggregator::new();
+        assert!(agg.mean_ate_m().is_none());
+        assert!(agg.mean_convergence_time_s().is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! Driving a filter over a recorded sequence.
+//!
+//! [`run_sequence`] replays a [`Sequence`](crate::Sequence) through an
+//! initialized filter exactly like the on-board pipeline would see it: the
+//! odometry increment of every 15 Hz step is fed to
+//! [`MonteCarloLocalization::predict`], the ToF frames are reduced to beams and
+//! offered to [`MonteCarloLocalization::update`] (which applies its own `d_xy` /
+//! `d_θ` gating), and the published estimate is scored against the ground truth
+//! by a [`TrajectoryErrorTracker`].
+
+use crate::metrics::{ConvergenceCriterion, SequenceResult, TrajectoryErrorTracker};
+use crate::sequence::Sequence;
+use mcl_core::MonteCarloLocalization;
+use mcl_gridmap::DistanceField;
+use mcl_num::Scalar;
+use mcl_sensor::SensorRig;
+use serde::{Deserialize, Serialize};
+
+/// Options of the sequence runner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunnerConfig {
+    /// How many of the recorded sensors the filter may use (1 reproduces the
+    /// paper's `fp32 1tof` ablation on the same recordings, 2 uses both).
+    pub sensor_count: usize,
+    /// The convergence / success criterion.
+    pub criterion: ConvergenceCriterion,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            sensor_count: 2,
+            criterion: ConvergenceCriterion::default(),
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// A runner restricted to the forward sensor only.
+    pub fn single_sensor() -> Self {
+        RunnerConfig {
+            sensor_count: 1,
+            ..RunnerConfig::default()
+        }
+    }
+}
+
+/// Replays `sequence` through `filter` and returns the paper's metrics.
+///
+/// The filter must already be initialized (uniform over the map for global
+/// localization, Gaussian for pose tracking).
+///
+/// # Panics
+///
+/// Panics if the filter has not been initialized.
+pub fn run_sequence<S: Scalar, D: DistanceField>(
+    filter: &mut MonteCarloLocalization<S, D>,
+    sequence: &Sequence,
+    runner: &RunnerConfig,
+) -> SequenceResult {
+    assert!(
+        filter.particles().is_initialized(),
+        "initialize the filter before replaying a sequence"
+    );
+    let mut tracker = TrajectoryErrorTracker::new(runner.criterion);
+    for step in &sequence.steps {
+        filter.predict(step.odometry);
+        let frame_limit = runner.sensor_count.min(step.frames.len());
+        let beams = SensorRig::frames_to_beams(&step.frames[..frame_limit]);
+        let _ = filter
+            .update(&beams)
+            .expect("filter was initialized, update cannot fail");
+        let estimate = filter.estimate();
+        tracker.record(step.timestamp_s, &estimate, &step.ground_truth);
+    }
+    tracker.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::{SequenceConfig, SequenceGenerator};
+    use crate::trajectory::TrajectoryConfig;
+    use mcl_core::MclConfig;
+    use mcl_gridmap::{DroneMaze, EuclideanDistanceField};
+
+    fn scenario() -> (DroneMaze, Sequence) {
+        let maze = DroneMaze::paper_layout(17);
+        let config = SequenceConfig {
+            trajectory: TrajectoryConfig {
+                duration_s: 25.0,
+                region: Some(maze.physical_region()),
+                ..TrajectoryConfig::default()
+            },
+            ..SequenceConfig::default()
+        };
+        let sequence = SequenceGenerator::new(config).generate(maze.map(), 0, 3);
+        (maze, sequence)
+    }
+
+    #[test]
+    fn tracking_run_converges_and_reports_low_ate() {
+        let (maze, sequence) = scenario();
+        let edt = EuclideanDistanceField::compute(maze.map(), 1.5);
+        let mut filter = MonteCarloLocalization::<f32, _>::new(
+            MclConfig::default().with_particles(1024).with_seed(1),
+            edt,
+        )
+        .unwrap();
+        // Pose tracking: start around the true initial pose.
+        filter
+            .initialize_gaussian(&sequence.steps[0].ground_truth, 0.2, 0.2, 4)
+            .unwrap();
+        let result = run_sequence(&mut filter, &sequence, &RunnerConfig::default());
+        assert_eq!(result.steps, sequence.len());
+        assert!(result.converged, "tracking run must converge: {result:?}");
+        assert!(result.success, "tracking run must stay converged: {result:?}");
+        assert!(
+            result.ate_m.unwrap() < 0.35,
+            "ATE too high: {:?}",
+            result.ate_m
+        );
+        // It converged quickly (started at the right pose).
+        assert!(result.convergence_time_s.unwrap() < 5.0);
+    }
+
+    #[test]
+    fn single_sensor_runner_uses_only_the_front_frames() {
+        let (maze, sequence) = scenario();
+        let edt = EuclideanDistanceField::compute(maze.map(), 1.5);
+        let mut filter = MonteCarloLocalization::<f32, _>::new(
+            MclConfig::default().with_particles(512).with_seed(2),
+            edt,
+        )
+        .unwrap();
+        filter
+            .initialize_gaussian(&sequence.steps[0].ground_truth, 0.2, 0.2, 5)
+            .unwrap();
+        let result = run_sequence(&mut filter, &sequence, &RunnerConfig::single_sensor());
+        // The run completes and scores every step; accuracy assertions live in
+        // the experiment harness where statistics over seeds are available.
+        assert_eq!(result.steps, sequence.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "initialize the filter")]
+    fn uninitialized_filter_is_rejected() {
+        let (maze, sequence) = scenario();
+        let edt = EuclideanDistanceField::compute(maze.map(), 1.5);
+        let mut filter = MonteCarloLocalization::<f32, _>::new(
+            MclConfig::default().with_particles(64),
+            edt,
+        )
+        .unwrap();
+        let _ = run_sequence(&mut filter, &sequence, &RunnerConfig::default());
+    }
+}

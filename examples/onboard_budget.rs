@@ -1,0 +1,70 @@
+//! On-board budget report: latency, memory and power of the full pipeline.
+//!
+//! Runs the modelled firmware pipeline (Fig. 2 of the paper) over a simulated
+//! flight and prints the budget a system integrator cares about: per-update
+//! latency against the 15 Hz deadline, where the working set lives in the GAP9
+//! memory hierarchy, and the sensing + processing share of the drone's power.
+//!
+//! Run with `cargo run --release --example onboard_budget`.
+
+use tof_mcl::gap9::{OperatingPoint, PowerModel};
+use tof_mcl::platform::{OnboardPipeline, PipelineConfig};
+use tof_mcl::sim::PaperScenario;
+
+fn main() {
+    let scenario = PaperScenario::with_settings(5, 1, 20.0);
+
+    for (label, particles, point) in [
+        ("1,024 particles @ 400 MHz", 1024usize, OperatingPoint::MAX_400MHZ),
+        ("1,024 particles @ 12 MHz", 1024, OperatingPoint::MIN_12MHZ),
+        ("16,384 particles @ 400 MHz", 16_384, OperatingPoint::MAX_400MHZ),
+    ] {
+        let mut pipeline = OnboardPipeline::new(
+            PipelineConfig {
+                particles,
+                operating_point: point,
+                ..PipelineConfig::default()
+            },
+            &scenario,
+        )
+        .expect("pipeline configuration is valid");
+        let report = pipeline.fly(&scenario.sequences()[0]);
+        println!("=== {label} ===");
+        println!(
+            "  particles stored in {}",
+            if pipeline.particles_in_l2() { "L2" } else { "L1" }
+        );
+        println!(
+            "  MCL updates applied: {} of {} steps ({} skipped by the d_xy/d_theta gate)",
+            report.updates_applied,
+            report.steps,
+            report.steps - report.updates_applied
+        );
+        println!(
+            "  mean on-board latency per applied update: {:.2} ms (deadline 66.7 ms, {} missed)",
+            report.mean_update_latency_s * 1e3,
+            report.missed_deadlines
+        );
+        println!(
+            "  GAP9 power {:.0} mW; sensing + processing = {:.1} % of the drone's power",
+            report.gap9_power_mw, report.power_share_percent
+        );
+        match (report.result.convergence_time_s, report.result.ate_m) {
+            (Some(t), Some(ate)) => {
+                println!("  localization: converged after {t:.1} s, ATE {ate:.3} m")
+            }
+            _ => println!("  localization: did not converge on this short flight"),
+        }
+        println!();
+    }
+
+    let power = PowerModel::default();
+    println!("GAP9 power curve (average while running the MCL):");
+    for mhz in [12.0, 50.0, 100.0, 200.0, 300.0, 400.0] {
+        println!(
+            "  {:>5.0} MHz -> {:>5.1} mW",
+            mhz,
+            power.average_power_mw(OperatingPoint::new(mhz * 1e6))
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: localize one simulated flight in the paper's drone maze.
+//!
+//! Builds the 31.2 m² evaluation maze, simulates a short flight with two
+//! multizone ToF sensors and drifting Flow-deck odometry, runs the particle
+//! filter at 4096 particles from a global (uniform) initialization, and prints
+//! the paper's three metrics: convergence time, ATE after convergence and
+//! success.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use tof_mcl::core::precision::PipelineConfig;
+use tof_mcl::sim::PaperScenario;
+
+fn main() {
+    println!("Building the 31.2 m^2 drone maze and simulating a 30 s flight...");
+    let scenario = PaperScenario::with_settings(42, 1, 30.0);
+    let sequence = &scenario.sequences()[0];
+    println!(
+        "  map: {:.1} m x {:.1} m at {:.2} m/cell ({} cells)",
+        scenario.map().width_m(),
+        scenario.map().height_m(),
+        scenario.map().resolution(),
+        scenario.map().cell_count()
+    );
+    println!(
+        "  sequence: {} steps over {:.1} s, {:.1} m of flight path",
+        sequence.len(),
+        sequence.duration_s(),
+        sequence
+            .ground_truth()
+            .windows(2)
+            .map(|w| w[0].translation_distance(&w[1]))
+            .sum::<f32>()
+    );
+
+    println!("\nRunning Monte Carlo localization (fp16qm, 4096 particles)...");
+    let result = scenario.evaluate(sequence, PipelineConfig::FP16_QM, 4096, 1);
+
+    match result.convergence_time_s {
+        Some(t) => println!("  converged after {t:.1} s"),
+        None => println!("  did not converge within the sequence"),
+    }
+    if let Some(ate) = result.ate_m {
+        println!("  absolute trajectory error after convergence: {ate:.3} m");
+    }
+    println!("  success: {}", if result.success { "yes" } else { "no" });
+    println!("\n(The paper reports ~0.15 m ATE and >95 % success for this configuration.)");
+}

@@ -1,0 +1,51 @@
+//! One vs. two ToF sensors (the paper's `fp32 1tof` ablation).
+//!
+//! Evaluates the same flights once with both the forward and rear sensors and
+//! once with the forward sensor only. The paper finds that the second sensor
+//! significantly improves the success rate and the convergence speed; this
+//! example shows the same trend on simulated sequences.
+//!
+//! Run with `cargo run --release --example single_sensor`.
+
+use tof_mcl::core::precision::PipelineConfig;
+use tof_mcl::sim::{PaperScenario, ResultAggregator};
+
+fn main() {
+    let scenario = PaperScenario::with_settings(13, 2, 30.0);
+    let particles = 4096;
+    let seeds = 2u64;
+
+    let mut both = ResultAggregator::new();
+    let mut single = ResultAggregator::new();
+    for sequence in scenario.sequences() {
+        for seed in 1..=seeds {
+            both.push(scenario.evaluate(sequence, PipelineConfig::FP32, particles, seed));
+            single.push(scenario.evaluate(sequence, PipelineConfig::FP32_1TOF, particles, seed));
+        }
+    }
+
+    println!(
+        "Front + rear vs. front-only ToF ({} runs each, {} particles)\n",
+        both.len(),
+        particles
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>20}",
+        "configuration", "ATE (m)", "success (%)", "mean conv. time (s)"
+    );
+    for (name, agg) in [("two sensors (fp32)", &both), ("one sensor (fp32 1tof)", &single)] {
+        println!(
+            "{:<22} {:>12} {:>12.1} {:>20}",
+            name,
+            agg.mean_ate_m()
+                .map(|a| format!("{a:.3}"))
+                .unwrap_or_else(|| "-".into()),
+            agg.success_rate_percent(),
+            agg.mean_convergence_time_s()
+                .map(|t| format!("{t:.1}"))
+                .unwrap_or_else(|| "never".into()),
+        );
+    }
+    println!("\nThe paper observes the same ordering: the rear sensor markedly improves");
+    println!("the success rate and shortens the time to convergence.");
+}

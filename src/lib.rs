@@ -1,0 +1,35 @@
+//! # tof-mcl — Fully on-board low-power localization with multizone ToF sensors
+//!
+//! Umbrella crate for the reproduction of *"Fully On-board Low-Power Localization
+//! with Multizone Time-of-Flight Sensors on Nano-UAVs"* (DATE 2023). It re-exports
+//! every workspace crate under one roof so the examples and integration tests can
+//! use a single dependency, mirroring how a downstream user would consume the
+//! project.
+//!
+//! The individual crates are:
+//!
+//! * [`num`] — software binary16, quantization, running statistics, angle math.
+//! * [`gridmap`] — occupancy grid maps, Euclidean distance transforms, maze maps.
+//! * [`sensor`] — VL53L5CX multizone ToF sensor model.
+//! * [`core`] — Monte Carlo Localization (the paper's contribution).
+//! * [`gap9`] — GAP9 SoC platform model (latency, memory, power).
+//! * [`sim`] — flight simulation, sequence generation and evaluation metrics.
+//! * [`platform`] — the Crazyflie/GAP9 firmware pipeline of the paper's Fig. 2.
+//! * [`baselines`] — UWB trilateration and dead-reckoning baselines.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete, runnable walk-through: it builds
+//! the paper's drone-maze map, simulates a flight, runs the particle filter at
+//! 4096 particles and prints the absolute trajectory error.
+
+#![deny(unsafe_code)]
+
+pub use mcl_baselines as baselines;
+pub use mcl_core as core;
+pub use mcl_gap9 as gap9;
+pub use mcl_gridmap as gridmap;
+pub use mcl_num as num;
+pub use mcl_platform as platform;
+pub use mcl_sensor as sensor;
+pub use mcl_sim as sim;

@@ -1,0 +1,115 @@
+//! Scaled-down checks of the paper's four experimental claims.
+//!
+//! The full reproductions live in the `mcl-bench` binaries (one per table and
+//! figure); these tests pin the *direction* of each claim at a scale small
+//! enough for CI:
+//!
+//! 1. accurate localization with low-element-count sensors and no infrastructure,
+//! 2. quantization / half precision without a significant accuracy drop,
+//! 3. ~7× latency reduction from parallelization, real-time on-board,
+//! 4. sensing + processing below 7 % of the drone's power.
+
+use tof_mcl::core::precision::{MemoryFootprint, PipelineConfig};
+use tof_mcl::gap9::{
+    CostModel, Gap9Spec, MemoryLevel, MemoryPlanner, OperatingPoint, PowerModel,
+    SystemPowerBudget,
+};
+use tof_mcl::sim::{PaperScenario, ResultAggregator};
+
+const BEAMS: usize = 16;
+
+#[test]
+fn claim_1_localizes_accurately_without_infrastructure() {
+    // Global localization on the synthetic arena is the weakest part of the
+    // reproduction (see EXPERIMENTS.md "Known gaps"): the procedurally generated
+    // maze is more self-similar than the paper's hand-built one, so not every
+    // short run converges. The claim checked here is therefore directional: a
+    // meaningful fraction of runs converges without any infrastructure, and the
+    // converged runs reach the paper's accuracy level.
+    let scenario = PaperScenario::with_settings(200, 2, 45.0);
+    let mut agg = ResultAggregator::new();
+    for sequence in scenario.sequences() {
+        for seed in 1..=2 {
+            agg.push(scenario.evaluate(sequence, PipelineConfig::FP32, 4096, seed));
+        }
+    }
+    let converged = agg
+        .results()
+        .iter()
+        .filter(|r| r.converged)
+        .count();
+    assert!(
+        converged >= 1,
+        "no run converged at all ({} attempted)",
+        agg.len()
+    );
+    let ate = agg.mean_ate_m().expect("at least one run converged");
+    assert!(ate < 0.35, "mean ATE {ate:.3} m is far from the paper's 0.15 m");
+}
+
+#[test]
+fn claim_2_memory_optimizations_do_not_break_accuracy_and_halve_memory() {
+    let scenario = PaperScenario::with_settings(201, 1, 30.0);
+    let sequence = &scenario.sequences()[0];
+    let mut full = ResultAggregator::new();
+    let mut optimized = ResultAggregator::new();
+    for seed in 1..=3 {
+        full.push(scenario.evaluate(sequence, PipelineConfig::FP32, 2048, seed));
+        optimized.push(scenario.evaluate(sequence, PipelineConfig::FP16_QM, 2048, seed));
+    }
+    // Accuracy: the optimized configuration stays in the same ballpark (the
+    // paper actually observes it slightly *better*).
+    if let (Some(a), Some(b)) = (full.mean_ate_m(), optimized.mean_ate_m()) {
+        assert!(b < a + 0.15, "optimized ATE {b:.3} m much worse than fp32 {a:.3} m");
+    }
+    // Memory: map 5 B → 2 B per cell, particles 32 B → 16 B.
+    let cells = scenario.map().cell_count();
+    assert_eq!(
+        MemoryFootprint::full_precision().map_bytes(cells),
+        5 * cells
+    );
+    assert_eq!(MemoryFootprint::optimized().map_bytes(cells), 2 * cells);
+    assert_eq!(
+        MemoryFootprint::optimized().particle_bytes(4096) * 2,
+        MemoryFootprint::full_precision().particle_bytes(4096)
+    );
+}
+
+#[test]
+fn claim_3_parallelization_gives_about_seven_x_and_meets_real_time() {
+    let cost = CostModel::default();
+    let planner = MemoryPlanner::new(Gap9Spec::default(), MemoryFootprint::full_precision());
+    let in_l2 = planner.place(16_384, 12_480).particles_in_l2();
+    let speedup = cost.total_speedup(16_384, BEAMS, 8, in_l2);
+    assert!(
+        (6.0..8.0).contains(&speedup),
+        "total speedup {speedup:.2} is not ≈7×"
+    );
+    // Real time at 15 Hz: the largest configuration at 400 MHz and the small one
+    // even at 12 MHz.
+    let budget = Gap9Spec::REAL_TIME_BUDGET_S;
+    assert!(cost.update_breakdown(16_384, BEAMS, 8, true).total_time_s(400e6) < budget);
+    assert!(cost.update_breakdown(1024, BEAMS, 8, false).total_time_s(12e6) < budget);
+    // Latency range quoted in the abstract: 0.2–30 ms depending on particles.
+    let small = cost.update_breakdown(64, BEAMS, 8, false).total_time_s(400e6);
+    assert!(small < 1e-3, "64-particle update should be well below 1 ms");
+}
+
+#[test]
+fn claim_4_power_budget_stays_below_seven_percent() {
+    let power = PowerModel::default();
+    let gap9 = power.average_power_mw(OperatingPoint::MAX_400MHZ);
+    let budget = SystemPowerBudget::paper(gap9);
+    assert!(budget.sensing_and_processing_percent() <= 7.5);
+    assert!(budget.payload_increase_percent() <= 7.0);
+    assert!(budget.payload_increase_percent() >= 3.0);
+}
+
+#[test]
+fn memory_planner_reproduces_the_l1_l2_working_points() {
+    // Table I footnote: 4096 and 16384 particles live in L2, 1024 and below in L1.
+    let planner = MemoryPlanner::new(Gap9Spec::default(), MemoryFootprint::full_precision());
+    assert_eq!(planner.place(1024, 12_480).particles, MemoryLevel::L1);
+    assert_eq!(planner.place(4096, 12_480).particles, MemoryLevel::L2);
+    assert_eq!(planner.place(16_384, 12_480).particles, MemoryLevel::L2);
+}

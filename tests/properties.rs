@@ -1,0 +1,195 @@
+//! Property-based tests (proptest) on the core data structures and invariants.
+//!
+//! These complement the unit tests with randomized coverage of the numeric
+//! primitives (binary16, quantization, angles), the geometry, the resampling
+//! schemes, the distance transform and the memory accounting.
+
+use proptest::prelude::*;
+use tof_mcl::core::precision::MemoryFootprint;
+use tof_mcl::core::{systematic_resample, PartialSumResampler};
+use tof_mcl::gridmap::{
+    CellIndex, CellState, DistanceField, EuclideanDistanceField, OccupancyGrid, Point2, Pose2,
+};
+use tof_mcl::num::{angular_difference, normalize_angle, Quantizer, F16};
+use tof_mcl::sensor::raycast_distance;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// binary16 round-trips within the documented relative error bound for all
+    /// values in the normal range.
+    #[test]
+    fn f16_roundtrip_error_is_bounded(value in 7e-5f32..60000.0) {
+        let roundtrip = F16::from_f32(value).to_f32();
+        let rel = (roundtrip - value).abs() / value;
+        prop_assert!(rel <= F16::RELATIVE_ERROR_BOUND, "rel error {rel} at {value}");
+    }
+
+    /// Negating a binary16 value only flips its sign.
+    #[test]
+    fn f16_negation_is_exact(value in -60000.0f32..60000.0) {
+        let x = F16::from_f32(value);
+        prop_assert_eq!((-x).to_f32(), -x.to_f32());
+    }
+
+    /// Quantization reconstructs within half a step for in-range values.
+    #[test]
+    fn quantizer_roundtrip_is_within_half_step(
+        max in 0.1f32..10.0,
+        frac in 0.0f32..1.0,
+    ) {
+        let q = Quantizer::new(max).unwrap();
+        let value = frac * max;
+        let rec = q.dequantize(q.quantize(value));
+        prop_assert!((rec - value).abs() <= q.max_error() + 1e-5);
+    }
+
+    /// Angle normalization always lands in [0, 2π) and preserves the direction.
+    #[test]
+    fn normalized_angles_are_canonical(angle in -100.0f32..100.0) {
+        let n = normalize_angle(angle);
+        prop_assert!((0.0..std::f32::consts::TAU).contains(&n));
+        prop_assert!(angular_difference(n, angle).abs() < 1e-3);
+    }
+
+    /// The angular difference is the shortest signed rotation.
+    #[test]
+    fn angular_difference_is_bounded_by_pi(a in -10.0f32..10.0, b in -10.0f32..10.0) {
+        let d = angular_difference(a, b);
+        prop_assert!(d > -std::f32::consts::PI - 1e-5);
+        prop_assert!(d <= std::f32::consts::PI + 1e-5);
+        // Rotating b by d reaches a (mod 2π).
+        prop_assert!(angular_difference(a, b + d).abs() < 1e-3);
+    }
+
+    /// Composing a pose with a local pose and expressing the result relative to
+    /// the original recovers the local pose.
+    #[test]
+    fn pose_compose_relative_roundtrip(
+        x in -10.0f32..10.0, y in -10.0f32..10.0, t in -7.0f32..7.0,
+        lx in -2.0f32..2.0, ly in -2.0f32..2.0, lt in -3.0f32..3.0,
+    ) {
+        let parent = Pose2::new(x, y, t);
+        let local = Pose2::new(lx, ly, lt);
+        let world = parent.compose(&local);
+        let back = parent.relative_to(&world);
+        prop_assert!((back.x - local.x).abs() < 1e-3);
+        prop_assert!((back.y - local.y).abs() < 1e-3);
+        prop_assert!(angular_difference(back.theta, local.theta).abs() < 1e-3);
+    }
+
+    /// Systematic resampling returns one valid, non-decreasing source index per
+    /// slot, and a particle holding half the weight receives about half the slots.
+    #[test]
+    fn systematic_resampling_invariants(
+        weights in prop::collection::vec(0.0f32..1.0, 2..300),
+        offset in 0.0f32..0.999,
+        heavy in any::<prop::sample::Index>(),
+    ) {
+        let mut weights = weights;
+        let heavy = heavy.index(weights.len());
+        let others: f32 = weights.iter().enumerate()
+            .filter(|(i, _)| *i != heavy)
+            .map(|(_, w)| *w)
+            .sum();
+        weights[heavy] = others.max(0.01); // the heavy particle holds ~half the mass
+        let picks = systematic_resample(&weights, offset);
+        prop_assert_eq!(picks.len(), weights.len());
+        prop_assert!(picks.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(picks.iter().all(|&i| i < weights.len()));
+        let copies = picks.iter().filter(|&&i| i == heavy).count();
+        let expected = weights.len() as f32 * weights[heavy]
+            / (weights[heavy] + others.max(0.0));
+        prop_assert!((copies as f32 - expected).abs() <= 1.0 + 1e-3);
+    }
+
+    /// The per-chunk partial-sum decomposition selects exactly the same particles
+    /// as the sequential wheel, for any worker count.
+    #[test]
+    fn partial_sum_resampler_matches_sequential(
+        weights in prop::collection::vec(1e-6f32..1.0, 2..400),
+        offset in 0.0f32..0.999,
+        workers in 1usize..12,
+    ) {
+        let sequential = systematic_resample(&weights, offset);
+        let plan = PartialSumResampler::new(workers).plan(&weights, offset);
+        prop_assert_eq!(&plan.indices, &sequential);
+        prop_assert_eq!(plan.per_worker_draws().iter().sum::<usize>(), weights.len());
+    }
+
+    /// The fast EDT equals the brute-force distance (truncated) on random maps.
+    #[test]
+    fn edt_matches_brute_force(
+        occupied in prop::collection::vec((0usize..20, 0usize..15), 1..25),
+    ) {
+        let mut map = OccupancyGrid::new(1.0, 0.75, 0.05).unwrap();
+        for (col, row) in &occupied {
+            map.set(CellIndex::new(*col, *row), CellState::Occupied).unwrap();
+        }
+        let rmax = 1.5f32;
+        let edt = EuclideanDistanceField::compute(&map, rmax);
+        for idx in map.indices() {
+            let brute = occupied.iter().map(|(c, r)| {
+                let dc = idx.col as f32 - *c as f32;
+                let dr = idx.row as f32 - *r as f32;
+                (dc * dc + dr * dr).sqrt() * 0.05
+            }).fold(rmax, f32::min);
+            prop_assert!((edt.distance_at(idx) - brute).abs() < 1e-3);
+        }
+    }
+
+    /// Quantizing a distance field never changes a value by more than the
+    /// quantization error, and out-of-range lookups return rmax.
+    #[test]
+    fn quantized_edt_stays_close(seed in 0u64..50) {
+        let maze = tof_mcl::gridmap::DroneMaze::generate(tof_mcl::gridmap::MazeConfig {
+            width_m: 2.0,
+            height_m: 2.0,
+            seed,
+            ..Default::default()
+        });
+        let edt = EuclideanDistanceField::compute(maze.map(), 1.5);
+        let quantized = edt.quantize();
+        for idx in maze.map().indices().step_by(7) {
+            let err = (edt.distance_at(idx) - quantized.distance_at(idx)).abs();
+            prop_assert!(err <= quantized.quantization_error() + 1e-6);
+        }
+        prop_assert_eq!(quantized.distance_at(CellIndex::new(9999, 0)), 1.5);
+    }
+
+    /// Ray casting never reports more than the requested range and, in a closed
+    /// room, always hits an occupied cell within the diagonal.
+    #[test]
+    fn raycast_respects_range_and_geometry(
+        x in 0.3f32..3.7, y in 0.3f32..3.7, angle in 0.0f32..6.28, range in 0.2f32..6.0,
+    ) {
+        let map = tof_mcl::gridmap::MapBuilder::new(4.0, 4.0, 0.05).border_walls().build();
+        let d = raycast_distance(&map, Point2::new(x, y), angle, range);
+        prop_assert!(d <= range + 1e-6);
+        // With an unbounded range the border is always hit within the diagonal.
+        let d_full = raycast_distance(&map, Point2::new(x, y), angle, 20.0);
+        prop_assert!(d_full <= (32.0f32).sqrt() + 0.1);
+    }
+
+    /// Memory accounting: whatever `max_particles` returns actually fits in the
+    /// budget, and one more particle does not.
+    #[test]
+    fn memory_footprint_max_particles_is_tight(
+        budget in 10_000usize..2_000_000,
+        cells in 100usize..50_000,
+        optimized in any::<bool>(),
+    ) {
+        let footprint = if optimized {
+            MemoryFootprint::optimized()
+        } else {
+            MemoryFootprint::full_precision()
+        };
+        match footprint.max_particles(budget, cells) {
+            Some(n) => {
+                prop_assert!(footprint.total_bytes(n, cells) <= budget);
+                prop_assert!(footprint.total_bytes(n + 1, cells) > budget);
+            }
+            None => prop_assert!(footprint.map_bytes(cells) > budget),
+        }
+    }
+}
