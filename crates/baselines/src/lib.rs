@@ -7,8 +7,8 @@
 //!   nano-UAV navigation systems rely on). It needs no infrastructure but
 //!   cannot correct its own drift ([`DeadReckoningLocalizer`]).
 //! * **UWB anchor localization** — ranging to pre-installed ultra-wideband
-//!   anchors; the referenced systems report mean errors of 0.22 m [7] and
-//!   0.28 m [6]. It bounds the error but depends on infrastructure
+//!   anchors; the referenced systems report mean errors of 0.22 m \[7\] and
+//!   0.28 m \[6\]. It bounds the error but depends on infrastructure
 //!   ([`UwbLocalizer`]).
 //!
 //! Both baselines run on the same simulated sequences as the MCL so that the

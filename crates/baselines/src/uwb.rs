@@ -2,7 +2,7 @@
 //!
 //! Infrastructure-based localization for nano-UAVs typically ranges against
 //! pre-installed ultra-wideband anchors; the systems the paper cites report mean
-//! errors of 0.22 m [7] and 0.28 m [6]. This baseline reproduces that behaviour:
+//! errors of 0.22 m \[7\] and 0.28 m \[6\]. This baseline reproduces that behaviour:
 //! four anchors in the corners of the arena, per-step ranges corrupted with the
 //! noise and bias typical of indoor UWB, and a Gauss–Newton least-squares
 //! position solve. Yaw is unobservable from ranges alone and is taken from
@@ -230,11 +230,8 @@ mod tests {
         let scenario = PaperScenario::with_settings(41, 1, 30.0);
         let sequence = &scenario.sequences()[0];
         let map = scenario.map();
-        let mut localizer = UwbLocalizer::corner_anchors(
-            map.width_m(),
-            map.height_m(),
-            UwbConfig::default(),
-        );
+        let mut localizer =
+            UwbLocalizer::corner_anchors(map.width_m(), map.height_m(), UwbConfig::default());
         let result = localizer.evaluate(sequence);
         assert_eq!(result.steps, sequence.len());
         assert!(

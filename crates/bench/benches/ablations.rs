@@ -7,8 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcl_core::{
-    multinomial_resample, systematic_resample, BeamEndPointModel, MclConfig,
-    MonteCarloLocalization,
+    multinomial_resample, systematic_resample, BeamEndPointModel, MclConfig, MonteCarloLocalization,
 };
 use mcl_gridmap::{EuclideanDistanceField, Pose2};
 use mcl_sensor::raycast_distance;
@@ -55,7 +54,9 @@ fn bench_resampling_schemes(c: &mut Criterion) {
     let uniforms: Vec<f32> = (0..n).map(|i| (i as f32 + 0.5) / n as f32).collect();
     let mut group = c.benchmark_group("ablation_resampling");
     group.sample_size(20);
-    group.bench_function("systematic", |b| b.iter(|| systematic_resample(&weights, 0.4)));
+    group.bench_function("systematic", |b| {
+        b.iter(|| systematic_resample(&weights, 0.4))
+    });
     group.bench_function("multinomial", |b| {
         b.iter(|| multinomial_resample(&weights, &uniforms))
     });
@@ -87,11 +88,9 @@ fn bench_update_gating(c: &mut Criterion) {
                 let mut config = MclConfig::default().with_particles(512);
                 config.d_xy = d_xy;
                 config.d_theta = d_theta;
-                let mut filter = MonteCarloLocalization::<f32, _>::new(
-                    config,
-                    scenario.edt_quantized().clone(),
-                )
-                .unwrap();
+                let mut filter =
+                    MonteCarloLocalization::<f32, _>::new(config, scenario.edt_quantized().clone())
+                        .unwrap();
                 filter.initialize_uniform(scenario.map(), 1).unwrap();
                 for step in &sequence.steps {
                     filter.predict(step.odometry);

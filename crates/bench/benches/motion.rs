@@ -13,16 +13,20 @@ fn bench_motion(c: &mut Criterion) {
         let particles: Vec<Particle<f32>> = (0..n)
             .map(|i| Particle::from_pose(&Pose2::new(i as f32 * 0.001, 0.5, 0.1), 1.0 / n as f32))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &particles, |b, particles| {
-            b.iter_batched(
-                || particles.clone(),
-                |mut batch| {
-                    model.apply(&mut batch, &delta, 7, 3, 0);
-                    batch
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &particles,
+            |b, particles| {
+                b.iter_batched(
+                    || particles.clone(),
+                    |mut batch| {
+                        model.apply(&mut batch, &delta, 7, 3, 0);
+                        batch
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }

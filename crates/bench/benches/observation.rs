@@ -21,24 +21,32 @@ fn bench_observation(c: &mut Criterion) {
         let particles: Vec<Particle<f32>> = (0..n)
             .map(|i| {
                 Particle::from_pose(
-                    &Pose2::new(1.0 + (i % 50) as f32 * 0.05, 1.0 + (i / 50) as f32 * 0.02, 0.3),
+                    &Pose2::new(
+                        1.0 + (i % 50) as f32 * 0.05,
+                        1.0 + (i / 50) as f32 * 0.02,
+                        0.3,
+                    ),
                     1.0 / n as f32,
                 )
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("fp32_edt", n), &particles, |b, particles| {
-            b.iter(|| {
-                let mut acc = 0.0f32;
-                for p in particles {
-                    acc += model.observation_log_likelihood(
-                        scenario.edt_fp32(),
-                        &p.pose(),
-                        &beams,
-                    );
-                }
-                acc
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fp32_edt", n),
+            &particles,
+            |b, particles| {
+                b.iter(|| {
+                    let mut acc = 0.0f32;
+                    for p in particles {
+                        acc += model.observation_log_likelihood(
+                            scenario.edt_fp32(),
+                            &p.pose(),
+                            &beams,
+                        );
+                    }
+                    acc
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("quantized_edt", n),
             &particles,

@@ -13,7 +13,11 @@ fn bench_pose(c: &mut Criterion) {
         let fp32: Vec<Particle<f32>> = (0..n)
             .map(|i| {
                 Particle::from_pose(
-                    &Pose2::new((i % 80) as f32 * 0.05, (i / 80) as f32 * 0.05, i as f32 * 0.01),
+                    &Pose2::new(
+                        (i % 80) as f32 * 0.05,
+                        (i / 80) as f32 * 0.05,
+                        i as f32 * 0.01,
+                    ),
                     1.0 / n as f32,
                 )
             })

@@ -8,9 +8,7 @@
 
 use mcl_bench::print_header;
 use mcl_core::precision::MemoryFootprint;
-use mcl_gap9::{
-    CostModel, Gap9Spec, MemoryPlanner, OperatingPoint, PowerModel, SystemPowerBudget,
-};
+use mcl_gap9::{CostModel, Gap9Spec, MemoryPlanner, OperatingPoint, PowerModel, SystemPowerBudget};
 
 const BEAMS: usize = 16;
 const PAPER_MAP_CELLS: usize = 12_480;
@@ -21,10 +19,26 @@ fn main() {
     let planner = MemoryPlanner::new(Gap9Spec::default(), MemoryFootprint::full_precision());
 
     let rows = [
-        ("GAP9@400MHz / 1,024 particles", 1024usize, OperatingPoint::MAX_400MHZ),
-        ("GAP9@12MHz  / 1,024 particles", 1024, OperatingPoint::MIN_12MHZ),
-        ("GAP9@400MHz / 16,384 particles", 16_384, OperatingPoint::MAX_400MHZ),
-        ("GAP9@200MHz / 16,384 particles", 16_384, OperatingPoint::MID_200MHZ),
+        (
+            "GAP9@400MHz / 1,024 particles",
+            1024usize,
+            OperatingPoint::MAX_400MHZ,
+        ),
+        (
+            "GAP9@12MHz  / 1,024 particles",
+            1024,
+            OperatingPoint::MIN_12MHZ,
+        ),
+        (
+            "GAP9@400MHz / 16,384 particles",
+            16_384,
+            OperatingPoint::MAX_400MHZ,
+        ),
+        (
+            "GAP9@200MHz / 16,384 particles",
+            16_384,
+            OperatingPoint::MID_200MHZ,
+        ),
     ];
 
     print_header("Table II — average power and execution time of the MCL on GAP9");
@@ -38,7 +52,10 @@ fn main() {
         let time_ms = breakdown.total_time_s(point.frequency_hz()) * 1e3;
         let p = power.average_power_mw(point);
         let ok = time_ms * 1e-3 <= Gap9Spec::REAL_TIME_BUDGET_S;
-        println!("{label:<34} {p:>16.0} {time_ms:>18.3} {:>14}", if ok { "yes" } else { "NO" });
+        println!(
+            "{label:<34} {p:>16.0} {time_ms:>18.3} {:>14}",
+            if ok { "yes" } else { "NO" }
+        );
     }
     println!("\nPaper reference: 61 mW / 1.901 ms, 13 mW / 59.898 ms, 61 mW / 30.880 ms,");
     println!("38 mW / 61.524 ms for the same four operating points.");
@@ -46,8 +63,14 @@ fn main() {
     print_header("System power budget (paper section IV-E)");
     let gap9 = power.average_power_mw(OperatingPoint::MAX_400MHZ);
     let budget = SystemPowerBudget::paper(gap9);
-    println!("  2 x ToF sensor        : {:>7.0} mW", 2.0 * budget.sensor_power_mw);
-    println!("  Crazyflie electronics : {:>7.0} mW", budget.electronics_power_mw);
+    println!(
+        "  2 x ToF sensor        : {:>7.0} mW",
+        2.0 * budget.sensor_power_mw
+    );
+    println!(
+        "  Crazyflie electronics : {:>7.0} mW",
+        budget.electronics_power_mw
+    );
     println!("  GAP9 (400 MHz)        : {:>7.0} mW", budget.gap9_power_mw);
     println!(
         "  total sensing+processing: {:.0} mW = {:.1} % of the {:.0} W drone",

@@ -145,21 +145,13 @@ mod tests {
         settings.num_seeds = 1;
         settings.duration_s = 8.0;
         let scenario = settings.scenario();
-        let agg = sweep_configuration(
-            &scenario,
-            &settings,
-            PipelineConfig::FP32,
-            128,
-        );
+        let agg = sweep_configuration(&scenario, &settings, PipelineConfig::FP32, 128);
         assert_eq!(agg.len(), 1);
     }
 
     #[test]
     fn formatting_helpers() {
-        let row = format_row(
-            &["a".to_string(), "42".to_string()],
-            &[4, 6],
-        );
+        let row = format_row(&["a".to_string(), "42".to_string()], &[4, 6]);
         assert!(row.contains("a"));
         assert!(row.ends_with("42"));
         assert_eq!(paper_pipelines().len(), 4);

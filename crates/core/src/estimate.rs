@@ -61,7 +61,11 @@ impl PoseEstimate {
         let mean_x = (sum_x / sum_w) as f32;
         let mean_y = (sum_y / sum_w) as f32;
         let mean_theta = weighted_circular_mean(particles.iter().map(|p| {
-            let w = if uniform { 1.0 } else { p.weight.to_f32().max(0.0) };
+            let w = if uniform {
+                1.0
+            } else {
+                p.weight.to_f32().max(0.0)
+            };
             (p.theta.to_f32(), w)
         }))
         .unwrap_or_else(|| particles[0].theta.to_f32());

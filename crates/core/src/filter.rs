@@ -142,13 +142,8 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
         std_theta: f32,
         seed: u64,
     ) -> Result<(), MclError> {
-        self.particles.initialize_gaussian(
-            self.config.num_particles,
-            pose,
-            std_xy,
-            std_theta,
-            seed,
-        )
+        self.particles
+            .initialize_gaussian(self.config.num_particles, pose, std_xy, std_theta, seed)
     }
 
     /// Accumulates an odometry increment (body frame). Cheap; call at odometry
@@ -397,11 +392,8 @@ mod tests {
     #[test]
     fn global_localization_converges_with_enough_particles() {
         let map = arena();
-        let mut mcl = MonteCarloLocalization::<f32, _>::new(
-            config(4096).with_workers(4),
-            edt(&map),
-        )
-        .unwrap();
+        let mut mcl =
+            MonteCarloLocalization::<f32, _>::new(config(4096).with_workers(4), edt(&map)).unwrap();
         mcl.initialize_uniform(&map, 9).unwrap();
         let rig = rig();
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
@@ -473,8 +465,7 @@ mod tests {
     fn half_precision_filter_runs_and_stays_reasonable() {
         let map = arena();
         let quantized = edt(&map).quantize();
-        let mut mcl =
-            MonteCarloLocalization::<F16, _>::new(config(1024), quantized).unwrap();
+        let mut mcl = MonteCarloLocalization::<F16, _>::new(config(1024), quantized).unwrap();
         let mut truth = Pose2::new(1.0, 1.0, 0.0);
         mcl.initialize_gaussian(&truth, 0.3, 0.3, 2).unwrap();
         let rig = rig();

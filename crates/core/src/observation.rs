@@ -209,10 +209,7 @@ mod tests {
         };
         assert!(model.beam_log_likelihood(&edt, &pose, &long_beam).is_none());
         // An observation consisting only of skipped beams leaves weights alone.
-        assert_eq!(
-            model.observation_likelihood(&edt, &pose, &[long_beam]),
-            1.0
-        );
+        assert_eq!(model.observation_likelihood(&edt, &pose, &[long_beam]), 1.0);
     }
 
     #[test]

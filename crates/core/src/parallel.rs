@@ -2,7 +2,7 @@
 //!
 //! On GAP9 the four MCL steps are distributed over the 8 worker cores of the
 //! compute cluster (a ninth core orchestrates). This module reproduces that
-//! execution shape on the host with `crossbeam` scoped threads: particles are
+//! execution shape on the host with `std::thread::scope`: particles are
 //! split into one contiguous chunk per worker, each worker processes its chunk
 //! independently, and the per-particle counter-based RNG guarantees that the
 //! result is bit-identical to sequential execution — a property the integration
@@ -72,13 +72,12 @@ impl ClusterLayout {
             return;
         }
         let chunk = n.div_ceil(self.workers.min(n));
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (w, slice) in items.chunks_mut(chunk).enumerate() {
                 let work = &work;
-                scope.spawn(move |_| work(w * chunk, slice));
+                scope.spawn(move || work(w * chunk, slice));
             }
-        })
-        .expect("cluster worker panicked");
+        });
     }
 
     /// Runs `work` on every chunk and collects one result per chunk, in chunk
@@ -97,13 +96,13 @@ impl ClusterLayout {
             return vec![work(0, items)];
         }
         let chunk = n.div_ceil(self.workers.min(n));
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .chunks(chunk)
                 .enumerate()
                 .map(|(w, slice)| {
                     let work = &work;
-                    scope.spawn(move |_| work(w * chunk, slice))
+                    scope.spawn(move || work(w * chunk, slice))
                 })
                 .collect();
             handles
@@ -111,7 +110,6 @@ impl ClusterLayout {
                 .map(|h| h.join().expect("cluster worker panicked"))
                 .collect()
         })
-        .expect("cluster scope failed")
     }
 
     /// Scatters `source[indices[i]]` into `target[i]` for the output ranges of a
@@ -134,7 +132,7 @@ impl ClusterLayout {
         }
         // Split the target into the per-worker output ranges; they are contiguous
         // and disjoint, so safe to hand each to its own thread.
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut remaining = target;
             let mut consumed = 0usize;
             for &(start, end) in ranges {
@@ -143,14 +141,13 @@ impl ClusterLayout {
                 remaining = rest;
                 consumed = end;
                 let indices = &indices[start..end];
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (offset, &src) in indices.iter().enumerate() {
                         mine[offset] = source[src];
                     }
                 });
             }
-        })
-        .expect("cluster worker panicked");
+        });
     }
 }
 
@@ -190,9 +187,7 @@ mod tests {
     #[test]
     fn map_chunks_returns_results_in_chunk_order() {
         let items: Vec<f32> = (0..100).map(|i| i as f32).collect();
-        let sums = ClusterLayout::new(4).map_chunks(&items, |_, chunk| {
-            chunk.iter().sum::<f32>()
-        });
+        let sums = ClusterLayout::new(4).map_chunks(&items, |_, chunk| chunk.iter().sum::<f32>());
         assert_eq!(sums.len(), 4);
         let total: f32 = sums.iter().sum();
         assert_eq!(total, items.iter().sum::<f32>());

@@ -285,10 +285,8 @@ mod tests {
         let pose = Pose2::new(1.0, 1.0, 0.5);
         let mut set = ParticleSet::<f32>::with_capacity(2000).unwrap();
         set.initialize_gaussian(2000, &pose, 0.2, 0.05, 7).unwrap();
-        let mean_x: f32 =
-            set.particles().iter().map(|p| p.x).sum::<f32>() / set.len() as f32;
-        let mean_y: f32 =
-            set.particles().iter().map(|p| p.y).sum::<f32>() / set.len() as f32;
+        let mean_x: f32 = set.particles().iter().map(|p| p.x).sum::<f32>() / set.len() as f32;
+        let mean_y: f32 = set.particles().iter().map(|p| p.y).sum::<f32>() / set.len() as f32;
         assert!((mean_x - 1.0).abs() < 0.02);
         assert!((mean_y - 1.0).abs() < 0.02);
     }

@@ -188,23 +188,13 @@ impl MemoryFootprint {
         if map > budget_bytes {
             return None;
         }
-        Some(
-            (budget_bytes - map)
-                / self
-                    .particle_precision
-                    .bytes_per_particle_double_buffered(),
-        )
+        Some((budget_bytes - map) / self.particle_precision.bytes_per_particle_double_buffered())
     }
 
     /// The largest map area (m²) at `resolution` m/cell that fits in
     /// `budget_bytes` alongside `n` particles; `None` when the particles alone do
     /// not fit. This is the quantity on the x-axis of the paper's Fig. 9.
-    pub fn max_map_area_m2(
-        &self,
-        budget_bytes: usize,
-        n: usize,
-        resolution: f64,
-    ) -> Option<f64> {
+    pub fn max_map_area_m2(&self, budget_bytes: usize, n: usize, resolution: f64) -> Option<f64> {
         let particles = self.particle_bytes(n);
         if particles > budget_bytes {
             return None;
@@ -223,8 +213,14 @@ mod tests {
         assert_eq!(MapPrecision::Fp32.map_bytes_per_cell(), 5);
         assert_eq!(MapPrecision::Fp16.map_bytes_per_cell(), 3);
         assert_eq!(MapPrecision::Quantized.map_bytes_per_cell(), 2);
-        assert_eq!(ParticlePrecision::Fp32.bytes_per_particle_double_buffered(), 32);
-        assert_eq!(ParticlePrecision::Fp16.bytes_per_particle_double_buffered(), 16);
+        assert_eq!(
+            ParticlePrecision::Fp32.bytes_per_particle_double_buffered(),
+            32
+        );
+        assert_eq!(
+            ParticlePrecision::Fp16.bytes_per_particle_double_buffered(),
+            16
+        );
     }
 
     #[test]
@@ -245,10 +241,7 @@ mod tests {
         let optimized = MemoryFootprint::optimized();
         assert_eq!(full.map_bytes(cells), cells * 5);
         assert_eq!(optimized.map_bytes(cells), cells * 2);
-        assert_eq!(
-            full.map_bytes_for_area(31.2, 0.05),
-            full.map_bytes(cells)
-        );
+        assert_eq!(full.map_bytes_for_area(31.2, 0.05), full.map_bytes(cells));
     }
 
     #[test]

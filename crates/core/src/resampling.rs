@@ -204,11 +204,11 @@ impl PartialSumResampler {
         let mut indices = vec![0usize; n];
         let mut worker_output_ranges = Vec::with_capacity(workers);
         let mut prefix = 0.0f64;
-        for w in 0..workers {
+        for (w, &chunk_sum) in chunk_sums.iter().enumerate() {
             let start = w * chunk;
             let end = ((w + 1) * chunk).min(n);
             let span_start = prefix;
-            let span_end = prefix + chunk_sums[w];
+            let span_end = prefix + chunk_sum;
             prefix = span_end;
 
             // Arrows are at (offset + i) * step; the first arrow ≥ span_start has

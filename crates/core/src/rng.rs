@@ -140,7 +140,10 @@ mod tests {
             lo = lo.min(v);
             hi = hi.max(v);
         }
-        assert!(lo < -1.5 && hi > 3.5, "samples should cover most of the range");
+        assert!(
+            lo < -1.5 && hi > 3.5,
+            "samples should cover most of the range"
+        );
     }
 
     #[test]

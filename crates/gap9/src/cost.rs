@@ -201,13 +201,13 @@ impl CostModel {
                     cores,
                     self.resampling_parallel_efficiency,
                 );
-                self.resampling_serial_cycles + parallel as f64
+                self.resampling_serial_cycles + parallel
             }
             McStep::PoseComputation => {
                 let per_particle = self.pose_cycles + l2(3);
                 self.data_parallel(per_particle * n, cores, self.parallel_efficiency[2])
             }
-        } as f64;
+        };
         cycles.round() as u64
     }
 
@@ -227,8 +227,13 @@ impl CostModel {
         cores: usize,
         particles_in_l2: bool,
     ) -> StepBreakdown {
-        let observation_cycles =
-            self.step_cycles(McStep::Observation, particles, beams, cores, particles_in_l2);
+        let observation_cycles = self.step_cycles(
+            McStep::Observation,
+            particles,
+            beams,
+            cores,
+            particles_in_l2,
+        );
         let motion_cycles =
             self.step_cycles(McStep::Motion, particles, beams, cores, particles_in_l2);
         let resampling_cycles =
@@ -362,7 +367,13 @@ mod tests {
     fn total_speedup_grows_with_particle_count_and_approaches_seven() {
         let model = CostModel::default();
         let mut previous = 0.0;
-        for &(n, in_l2) in &[(64usize, false), (256, false), (1024, false), (4096, true), (16384, true)] {
+        for &(n, in_l2) in &[
+            (64usize, false),
+            (256, false),
+            (1024, false),
+            (4096, true),
+            (16384, true),
+        ] {
             let s = model.total_speedup(n, BEAMS, 8, in_l2);
             assert!(s > previous, "speedup must grow with n (n={n}, s={s})");
             previous = s;
@@ -380,7 +391,10 @@ mod tests {
         let res_small = model.step_speedup(McStep::Resampling, 64, BEAMS, 8, false);
         let res_large = model.step_speedup(McStep::Resampling, 16384, BEAMS, 8, true);
         let obs_large = model.step_speedup(McStep::Observation, 16384, BEAMS, 8, true);
-        assert!(res_small < 2.5, "resampling speedup at 64 particles {res_small}");
+        assert!(
+            res_small < 2.5,
+            "resampling speedup at 64 particles {res_small}"
+        );
         assert!(res_large > res_small);
         assert!(
             res_large < obs_large,
@@ -401,14 +415,26 @@ mod tests {
         // Table II: 1024 particles at 400 MHz run in ~1.9 ms; 16384 particles at
         // 400 MHz in ~31 ms; both within the 67 ms real-time budget.
         let model = CostModel::default();
-        let small = model.update_breakdown(1024, BEAMS, 8, false).total_time_s(400e6);
-        let large = model.update_breakdown(16_384, BEAMS, 8, true).total_time_s(400e6);
-        assert!((small - 1.9e-3).abs() < 1.0e-3, "1024-particle update {small}s");
-        assert!((large - 30.9e-3).abs() < 12.0e-3, "16384-particle update {large}s");
+        let small = model
+            .update_breakdown(1024, BEAMS, 8, false)
+            .total_time_s(400e6);
+        let large = model
+            .update_breakdown(16_384, BEAMS, 8, true)
+            .total_time_s(400e6);
+        assert!(
+            (small - 1.9e-3).abs() < 1.0e-3,
+            "1024-particle update {small}s"
+        );
+        assert!(
+            (large - 30.9e-3).abs() < 12.0e-3,
+            "16384-particle update {large}s"
+        );
         assert!(large < crate::Gap9Spec::REAL_TIME_BUDGET_S);
         // At 12 MHz the 1024-particle update takes tens of milliseconds but still
         // meets the budget, as Table II reports (59.9 ms).
-        let slow = model.update_breakdown(1024, BEAMS, 8, false).total_time_s(12e6);
+        let slow = model
+            .update_breakdown(1024, BEAMS, 8, false)
+            .total_time_s(12e6);
         assert!(slow < crate::Gap9Spec::REAL_TIME_BUDGET_S);
     }
 

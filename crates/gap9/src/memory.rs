@@ -153,7 +153,8 @@ impl MemoryPlanner {
         resolution: f64,
     ) -> Option<f64> {
         let budget = self.level_budget(level)?;
-        self.footprint.max_map_area_m2(budget, particles, resolution)
+        self.footprint
+            .max_map_area_m2(budget, particles, resolution)
     }
 
     /// Usable capacity of a memory level (L1 minus the runtime reservation).

@@ -266,7 +266,7 @@ pub fn nearest_free_point(map: &OccupancyGrid, x: f32, y: f32) -> Option<Point2>
                 }
                 let p = map.cell_to_world(idx);
                 let d = p.distance(&Point2::new(x, y));
-                if best.map_or(true, |(bd, _)| d < bd) {
+                if best.is_none_or(|(bd, _)| d < bd) {
                     best = Some((d, p));
                 }
             }

@@ -169,7 +169,11 @@ impl EuclideanDistanceField {
     pub fn quantize(&self) -> QuantizedDistanceField {
         let quantizer = Quantizer::new(self.geometry.max_distance)
             .expect("max_distance was validated at construction");
-        let codes = self.distances.iter().map(|&d| quantizer.quantize(d)).collect();
+        let codes = self
+            .distances
+            .iter()
+            .map(|&d| quantizer.quantize(d))
+            .collect();
         QuantizedDistanceField {
             geometry: self.geometry.clone(),
             quantizer,
@@ -484,7 +488,10 @@ mod tests {
         let edt = EuclideanDistanceField::compute(&map, 1.5);
         for idx in map.indices() {
             let centre = map.cell_to_world(idx);
-            assert_eq!(edt.distance_at(idx), edt.distance_at_world(centre.x, centre.y));
+            assert_eq!(
+                edt.distance_at(idx),
+                edt.distance_at_world(centre.x, centre.y)
+            );
         }
     }
 

@@ -176,10 +176,7 @@ pub fn load(path: impl AsRef<Path>) -> Result<OccupancyGrid, MapIoError> {
     from_text(&text)
 }
 
-fn parse_field<T: core::str::FromStr>(
-    field: Option<&str>,
-    name: &str,
-) -> Result<T, MapIoError> {
+fn parse_field<T: core::str::FromStr>(field: Option<&str>, name: &str) -> Result<T, MapIoError> {
     field
         .ok_or_else(|| MapIoError::Parse(format!("missing {name}")))?
         .parse()

@@ -73,8 +73,8 @@ impl DroneMaze {
                 && config.height_m >= 2.0 * config.min_corridor_m,
             "maze must be at least two corridors wide"
         );
-        let mut builder = MapBuilder::new(config.width_m, config.height_m, config.resolution)
-            .border_walls();
+        let mut builder =
+            MapBuilder::new(config.width_m, config.height_m, config.resolution).border_walls();
         let mut rng = SplitMix64::new(config.seed);
         builder = carve_section(
             builder,
@@ -126,12 +126,7 @@ impl DroneMaze {
         // obstacles, which break the rotational ambiguity of an all-rectilinear
         // layout and give the observation model distinctive geometry to latch on.
         let mut physical_rng = SplitMix64::new(0xD05E_CAFE);
-        builder = carve_section(
-            builder,
-            &config,
-            &mut physical_rng,
-            (0.05, 0.05, 4.0, 3.95),
-        );
+        builder = carve_section(builder, &config, &mut physical_rng, (0.05, 0.05, 4.0, 3.95));
         builder = builder
             .thick_wall((0.6, 3.4), (1.3, 2.7), 0.05)
             .thick_wall((3.4, 0.6), (2.8, 1.2), 0.05)
@@ -153,9 +148,24 @@ impl DroneMaze {
             ..config
         };
         let mut rng = SplitMix64::new(seed ^ 0xA5A5_5A5A_0000_0001);
-        builder = carve_section(builder, &artificial_config, &mut rng, (4.05, 0.05, 5.85, 1.95));
-        builder = carve_section(builder, &artificial_config, &mut rng, (5.95, 0.05, 7.75, 1.95));
-        builder = carve_section(builder, &artificial_config, &mut rng, (4.05, 2.05, 7.75, 3.95));
+        builder = carve_section(
+            builder,
+            &artificial_config,
+            &mut rng,
+            (4.05, 0.05, 5.85, 1.95),
+        );
+        builder = carve_section(
+            builder,
+            &artificial_config,
+            &mut rng,
+            (5.95, 0.05, 7.75, 1.95),
+        );
+        builder = carve_section(
+            builder,
+            &artificial_config,
+            &mut rng,
+            (4.05, 2.05, 7.75, 3.95),
+        );
 
         DroneMaze {
             map: builder.build(),
@@ -355,7 +365,11 @@ mod tests {
     #[test]
     fn paper_layout_has_the_published_area() {
         let maze = DroneMaze::paper_layout(42);
-        assert!((maze.area_m2() - 31.2).abs() < 0.3, "area {}", maze.area_m2());
+        assert!(
+            (maze.area_m2() - 31.2).abs() < 0.3,
+            "area {}",
+            maze.area_m2()
+        );
         assert_eq!(maze.map().resolution(), 0.05);
         let (x0, y0, x1, y1) = maze.physical_region();
         assert!(((x1 - x0) * (y1 - y0) - 16.0).abs() < 1e-3);
@@ -367,7 +381,11 @@ mod tests {
         let b = DroneMaze::paper_layout(3);
         let c = DroneMaze::paper_layout(4);
         assert_eq!(a.map(), b.map());
-        assert_ne!(a.map(), c.map(), "different seeds must vary the artificial mazes");
+        assert_ne!(
+            a.map(),
+            c.map(),
+            "different seeds must vary the artificial mazes"
+        );
     }
 
     #[test]
@@ -378,7 +396,11 @@ mod tests {
         for (idx, state) in a.map().iter() {
             let p = a.map().cell_to_world(idx);
             if p.x < 3.95 {
-                assert_eq!(state, b.map().state(idx), "physical maze changed at {idx:?}");
+                assert_eq!(
+                    state,
+                    b.map().state(idx),
+                    "physical maze changed at {idx:?}"
+                );
             }
         }
     }
@@ -389,8 +411,14 @@ mod tests {
         let map = maze.map();
         assert_eq!(map.state(CellIndex::new(0, 0)), CellState::Occupied);
         let free = map.free_count();
-        assert!(free > map.cell_count() / 3, "maze should be mostly corridors");
-        assert!(map.occupied_count() > map.width() * 2, "maze should have interior walls");
+        assert!(
+            free > map.cell_count() / 3,
+            "maze should be mostly corridors"
+        );
+        assert!(
+            map.occupied_count() > map.width() * 2,
+            "maze should have interior walls"
+        );
     }
 
     #[test]

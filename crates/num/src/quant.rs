@@ -105,7 +105,10 @@ mod tests {
     fn construction_rejects_bad_ranges() {
         assert_eq!(Quantizer::new(0.0).unwrap_err(), QuantError::InvalidMax);
         assert_eq!(Quantizer::new(-1.0).unwrap_err(), QuantError::InvalidMax);
-        assert_eq!(Quantizer::new(f32::NAN).unwrap_err(), QuantError::InvalidMax);
+        assert_eq!(
+            Quantizer::new(f32::NAN).unwrap_err(),
+            QuantError::InvalidMax
+        );
         assert_eq!(
             Quantizer::new(f32::INFINITY).unwrap_err(),
             QuantError::InvalidMax

@@ -106,6 +106,9 @@ mod tests {
         assert!(t > 20e-6 && t < 1e-3, "SPI transfer {t}s");
         assert!(link.transfer_s(0) >= link.transaction_latency_s);
         // More sensors → strictly more time.
-        assert!(link.update_transfer_s(ZoneMode::Grid8x8, 2) > link.update_transfer_s(ZoneMode::Grid8x8, 1));
+        assert!(
+            link.update_transfer_s(ZoneMode::Grid8x8, 2)
+                > link.update_transfer_s(ZoneMode::Grid8x8, 1)
+        );
     }
 }

@@ -61,7 +61,9 @@ impl FlightLog {
 
     /// Exports the log as CSV (one line per record).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("t_s,x_m,y_m,yaw_rad,mcl_x_m,mcl_y_m,mcl_yaw_rad,latency_s,deadline_met\n");
+        let mut out = String::from(
+            "t_s,x_m,y_m,yaw_rad,mcl_x_m,mcl_y_m,mcl_yaw_rad,latency_s,deadline_met\n",
+        );
         for r in self.records.lock().iter() {
             let (mx, my, myaw) = match r.mcl_pose {
                 Some(p) => (p.x.to_string(), p.y.to_string(), p.theta.to_string()),

@@ -14,7 +14,9 @@ use mcl_core::{MclConfig, MclError, MonteCarloLocalization, UpdateOutcome};
 use mcl_gap9::{CostModel, MemoryPlanner, OperatingPoint, PowerModel, SystemPowerBudget};
 use mcl_gridmap::QuantizedDistanceField;
 use mcl_sensor::SensorRig;
-use mcl_sim::{ConvergenceCriterion, PaperScenario, Sequence, SequenceResult, TrajectoryErrorTracker};
+use mcl_sim::{
+    ConvergenceCriterion, PaperScenario, Sequence, SequenceResult, TrajectoryErrorTracker,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the on-board pipeline.
@@ -94,8 +96,7 @@ impl OnboardPipeline {
             .with_particles(config.particles)
             .with_workers(config.workers)
             .with_seed(config.seed);
-        let mut filter =
-            MonteCarloLocalization::new(mcl_config, scenario.edt_quantized().clone())?;
+        let mut filter = MonteCarloLocalization::new(mcl_config, scenario.edt_quantized().clone())?;
         filter.initialize_uniform(scenario.map(), config.seed)?;
         let planner = MemoryPlanner::new(
             mcl_gap9::Gap9Spec::default(),
@@ -151,8 +152,8 @@ impl OnboardPipeline {
             let beams = SensorRig::frames_to_beams(&step.frames[..frame_limit]);
 
             // Data movement happens every step, compute only when the gate opens.
-            let mut latency =
-                self.i2c.rig_transfer_s(mode, frame_limit) + self.spi.update_transfer_s(mode, frame_limit);
+            let mut latency = self.i2c.rig_transfer_s(mode, frame_limit)
+                + self.spi.update_transfer_s(mode, frame_limit);
             let outcome = self
                 .filter
                 .update(&beams)
@@ -178,7 +179,11 @@ impl OnboardPipeline {
             if !deadline_met {
                 missed_deadlines += 1;
             }
-            tracker.record(step.timestamp_s, &self.filter.estimate(), &step.ground_truth);
+            tracker.record(
+                step.timestamp_s,
+                &self.filter.estimate(),
+                &step.ground_truth,
+            );
             log.push(LogRecord {
                 timestamp_s: step.timestamp_s,
                 fused_pose: state.pose(),
@@ -249,7 +254,10 @@ mod tests {
         .unwrap();
         assert!(pipeline.particles_in_l2());
         let report = pipeline.fly(&scenario.sequences()[0]);
-        assert_eq!(report.missed_deadlines, 0, "16384 particles at 400 MHz meet 15 Hz");
+        assert_eq!(
+            report.missed_deadlines, 0,
+            "16384 particles at 400 MHz meet 15 Hz"
+        );
     }
 
     #[test]

@@ -147,7 +147,8 @@ impl SensorConfig {
         if !(0.0..=1.0).contains(&self.interference_probability) {
             return Err("interference probability must be in [0, 1]".to_owned());
         }
-        if !(self.frame_rate_hz > 0.0) {
+        // NaN must fail validation too, hence the explicit is_nan check.
+        if self.frame_rate_hz <= 0.0 || self.frame_rate_hz.is_nan() {
             return Err("frame rate must be positive".to_owned());
         }
         Ok(())
@@ -179,8 +180,10 @@ mod tests {
 
     #[test]
     fn effective_rate_is_clamped_by_mode() {
-        let mut cfg = SensorConfig::default();
-        cfg.frame_rate_hz = 100.0;
+        let cfg = SensorConfig {
+            frame_rate_hz: 100.0,
+            ..SensorConfig::default()
+        };
         assert_eq!(cfg.effective_rate_hz(), 15.0);
         let cfg = cfg.with_mode(ZoneMode::Grid4x4);
         assert_eq!(cfg.effective_rate_hz(), 60.0);

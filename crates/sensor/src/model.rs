@@ -252,7 +252,11 @@ mod tests {
         let mut stats = mcl_num::RunningStats::new();
         for _ in 0..300 {
             let frame = sensor.measure(&map, &Pose2::new(2.0, 2.0, 0.0), 0.0, &mut r);
-            let z = frame.zones.iter().find(|z| z.row == 3 && z.col == 3).unwrap();
+            let z = frame
+                .zones
+                .iter()
+                .find(|z| z.row == 3 && z.col == 3)
+                .unwrap();
             if z.status.is_valid() {
                 stats.push(f64::from(z.distance_m));
             }
@@ -291,8 +295,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "valid")]
     fn invalid_configuration_is_rejected() {
-        let mut cfg = SensorConfig::default();
-        cfg.max_range_m = -1.0;
+        let cfg = SensorConfig {
+            max_range_m: -1.0,
+            ..SensorConfig::default()
+        };
         let _ = ToFSensor::forward(cfg);
     }
 }

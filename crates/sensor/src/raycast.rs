@@ -215,16 +215,28 @@ mod tests {
     #[test]
     fn ray_starting_outside_the_map_misses() {
         let map = square_room();
-        assert_eq!(raycast(&map, Point2::new(-1.0, 2.0), 0.0, 10.0), RaycastHit::Miss);
-        assert_eq!(raycast(&map, Point2::new(2.0, 5.0), 0.0, 10.0), RaycastHit::Miss);
+        assert_eq!(
+            raycast(&map, Point2::new(-1.0, 2.0), 0.0, 10.0),
+            RaycastHit::Miss
+        );
+        assert_eq!(
+            raycast(&map, Point2::new(2.0, 5.0), 0.0, 10.0),
+            RaycastHit::Miss
+        );
     }
 
     #[test]
     fn ray_leaving_an_open_map_misses() {
         // No walls at all: every ray runs out of map or range.
         let map = OccupancyGrid::new(2.0, 2.0, 0.05).unwrap();
-        assert_eq!(raycast(&map, Point2::new(1.0, 1.0), 0.3, 10.0), RaycastHit::Miss);
-        assert_eq!(raycast_distance(&map, Point2::new(1.0, 1.0), 0.3, 10.0), 10.0);
+        assert_eq!(
+            raycast(&map, Point2::new(1.0, 1.0), 0.3, 10.0),
+            RaycastHit::Miss
+        );
+        assert_eq!(
+            raycast_distance(&map, Point2::new(1.0, 1.0), 0.3, 10.0),
+            10.0
+        );
     }
 
     #[test]

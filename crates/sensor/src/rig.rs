@@ -40,7 +40,10 @@ impl SensorRig {
     ///
     /// Panics when `sensors` is empty: a rig without sensors cannot localize.
     pub fn custom(sensors: Vec<ToFSensor>) -> Self {
-        assert!(!sensors.is_empty(), "a sensor rig needs at least one sensor");
+        assert!(
+            !sensors.is_empty(),
+            "a sensor rig needs at least one sensor"
+        );
         SensorRig { sensors }
     }
 

@@ -120,7 +120,11 @@ mod tests {
             }
         }
         // Mean azimuth over a row is zero.
-        let mean: f32 = g.directions()[..8].iter().map(|d| d.azimuth_rad).sum::<f32>() / 8.0;
+        let mean: f32 = g.directions()[..8]
+            .iter()
+            .map(|d| d.azimuth_rad)
+            .sum::<f32>()
+            / 8.0;
         assert!(mean.abs() < 1e-6);
     }
 

@@ -188,8 +188,7 @@ impl ResultAggregator {
         if self.results.is_empty() {
             return 0.0;
         }
-        100.0 * self.results.iter().filter(|r| r.success).count() as f64
-            / self.results.len() as f64
+        100.0 * self.results.iter().filter(|r| r.success).count() as f64 / self.results.len() as f64
     }
 
     /// Fraction of runs that have converged by time `t` seconds — one point of
@@ -200,7 +199,7 @@ impl ResultAggregator {
         }
         self.results
             .iter()
-            .filter(|r| r.convergence_time_s.map_or(false, |c| c <= t_s))
+            .filter(|r| r.convergence_time_s.is_some_and(|c| c <= t_s))
             .count() as f64
             / self.results.len() as f64
     }

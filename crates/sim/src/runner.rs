@@ -1,6 +1,6 @@
 //! Driving a filter over a recorded sequence.
 //!
-//! [`run_sequence`] replays a [`Sequence`](crate::Sequence) through an
+//! [`run_sequence`] replays a [`Sequence`] through an
 //! initialized filter exactly like the on-board pipeline would see it: the
 //! odometry increment of every 15 Hz step is fed to
 //! [`MonteCarloLocalization::predict`], the ToF frames are reduced to beams and
@@ -114,7 +114,10 @@ mod tests {
         let result = run_sequence(&mut filter, &sequence, &RunnerConfig::default());
         assert_eq!(result.steps, sequence.len());
         assert!(result.converged, "tracking run must converge: {result:?}");
-        assert!(result.success, "tracking run must stay converged: {result:?}");
+        assert!(
+            result.success,
+            "tracking run must stay converged: {result:?}"
+        );
         assert!(
             result.ate_m.unwrap() < 0.35,
             "ATE too high: {:?}",
@@ -147,11 +150,9 @@ mod tests {
     fn uninitialized_filter_is_rejected() {
         let (maze, sequence) = scenario();
         let edt = EuclideanDistanceField::compute(maze.map(), 1.5);
-        let mut filter = MonteCarloLocalization::<f32, _>::new(
-            MclConfig::default().with_particles(64),
-            edt,
-        )
-        .unwrap();
+        let mut filter =
+            MonteCarloLocalization::<f32, _>::new(MclConfig::default().with_particles(64), edt)
+                .unwrap();
         let _ = run_sequence(&mut filter, &sequence, &RunnerConfig::default());
     }
 }

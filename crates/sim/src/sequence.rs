@@ -275,11 +275,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "one or two sensors")]
     fn invalid_sensor_count_is_rejected() {
-        let mut config = SequenceConfig::default();
-        config.sensor_count = 3;
+        let config = SequenceConfig {
+            sensor_count: 3,
+            ..SequenceConfig::default()
+        };
         let _ = SequenceGenerator::new(config);
     }
-
 }
 
 #[cfg(test)]

@@ -190,12 +190,10 @@ impl TrajectoryGenerator {
     /// the configured region.
     fn waypoint_candidates(&self, map: &OccupancyGrid) -> Vec<Point2> {
         let clearance_cells = (self.config.waypoint_clearance_m / map.resolution()).ceil() as i64;
-        let region = self.config.region.unwrap_or((
-            0.0,
-            0.0,
-            map.width_m(),
-            map.height_m(),
-        ));
+        let region = self
+            .config
+            .region
+            .unwrap_or((0.0, 0.0, map.width_m(), map.height_m()));
         map.indices()
             .filter_map(|idx| {
                 let centre = map.cell_to_world(idx);
@@ -214,9 +212,7 @@ impl TrajectoryGenerator {
                             return None;
                         }
                         let n = mcl_gridmap::CellIndex::new(col as usize, row as usize);
-                        if !map.contains(n)
-                            || map.state(n) != mcl_gridmap::CellState::Free
-                        {
+                        if !map.contains(n) || map.state(n) != mcl_gridmap::CellState::Free {
                             return None;
                         }
                     }
@@ -311,7 +307,11 @@ mod tests {
             );
         }
         // The drone actually moves.
-        assert!(t.path_length_m() > 1.0, "path too short: {}", t.path_length_m());
+        assert!(
+            t.path_length_m() > 1.0,
+            "path too short: {}",
+            t.path_length_m()
+        );
     }
 
     #[test]
@@ -368,7 +368,7 @@ mod tests {
         let blocked = MapBuilder::new(1.0, 1.0, 0.05)
             .filled_rect((0.0, 0.0), (1.0, 1.0))
             .build();
-        let _ = TrajectoryGenerator::new(TrajectoryConfig::default())
-            .generate(&blocked, &mut rng(0));
+        let _ =
+            TrajectoryGenerator::new(TrajectoryConfig::default()).generate(&blocked, &mut rng(0));
     }
 }

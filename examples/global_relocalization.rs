@@ -28,7 +28,10 @@ fn main() {
 
     println!("Global localization with 4096 particles over the full 31.2 m^2 map");
     println!("(the drone flies only inside the 16 m^2 physical maze)\n");
-    println!("{:>8} {:>12} {:>14} {:>12}", "t (s)", "error (m)", "spread (m)", "in wrong half");
+    println!(
+        "{:>8} {:>12} {:>14} {:>12}",
+        "t (s)", "error (m)", "spread (m)", "in wrong half"
+    );
 
     let mut converged_at = None;
     for (i, step) in sequence.steps.iter().enumerate() {

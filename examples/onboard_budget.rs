@@ -15,9 +15,17 @@ fn main() {
     let scenario = PaperScenario::with_settings(5, 1, 20.0);
 
     for (label, particles, point) in [
-        ("1,024 particles @ 400 MHz", 1024usize, OperatingPoint::MAX_400MHZ),
+        (
+            "1,024 particles @ 400 MHz",
+            1024usize,
+            OperatingPoint::MAX_400MHZ,
+        ),
         ("1,024 particles @ 12 MHz", 1024, OperatingPoint::MIN_12MHZ),
-        ("16,384 particles @ 400 MHz", 16_384, OperatingPoint::MAX_400MHZ),
+        (
+            "16,384 particles @ 400 MHz",
+            16_384,
+            OperatingPoint::MAX_400MHZ,
+        ),
     ] {
         let mut pipeline = OnboardPipeline::new(
             PipelineConfig {
@@ -32,7 +40,11 @@ fn main() {
         println!("=== {label} ===");
         println!(
             "  particles stored in {}",
-            if pipeline.particles_in_l2() { "L2" } else { "L1" }
+            if pipeline.particles_in_l2() {
+                "L2"
+            } else {
+                "L1"
+            }
         );
         println!(
             "  MCL updates applied: {} of {} steps ({} skipped by the d_xy/d_theta gate)",

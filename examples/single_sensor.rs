@@ -33,7 +33,10 @@ fn main() {
         "{:<22} {:>12} {:>12} {:>20}",
         "configuration", "ATE (m)", "success (%)", "mean conv. time (s)"
     );
-    for (name, agg) in [("two sensors (fp32)", &both), ("one sensor (fp32 1tof)", &single)] {
+    for (name, agg) in [
+        ("two sensors (fp32)", &both),
+        ("one sensor (fp32 1tof)", &single),
+    ] {
         println!(
             "{:<22} {:>12} {:>12.1} {:>20}",
             name,

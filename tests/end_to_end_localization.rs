@@ -67,12 +67,18 @@ fn sequential_and_parallel_filters_stay_bit_identical_over_a_flight() {
     let scenario = PaperScenario::with_settings(102, 1, 15.0);
     let sequence = &scenario.sequences()[0];
     let mut sequential = MonteCarloLocalization::<f32, _>::new(
-        MclConfig::default().with_particles(1024).with_workers(1).with_seed(9),
+        MclConfig::default()
+            .with_particles(1024)
+            .with_workers(1)
+            .with_seed(9),
         scenario.edt_fp32().clone(),
     )
     .unwrap();
     let mut parallel = MonteCarloLocalization::<f32, _>::new(
-        MclConfig::default().with_particles(1024).with_workers(8).with_seed(9),
+        MclConfig::default()
+            .with_particles(1024)
+            .with_workers(8)
+            .with_seed(9),
         scenario.edt_fp32().clone(),
     )
     .unwrap();
@@ -107,8 +113,7 @@ fn runner_and_scenario_agree_on_the_metrics() {
     )
     .unwrap();
     filter.initialize_uniform(scenario.map(), 4).unwrap();
-    let via_runner =
-        tof_mcl::sim::run_sequence(&mut filter, sequence, &RunnerConfig::default());
+    let via_runner = tof_mcl::sim::run_sequence(&mut filter, sequence, &RunnerConfig::default());
     assert_eq!(via_scenario, via_runner);
 }
 

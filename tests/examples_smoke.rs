@@ -1,0 +1,46 @@
+//! Smoke test for the `examples/` directory.
+//!
+//! Compilation of all five examples is enforced by `cargo check --examples`
+//! (run in CI); this test additionally drives the quickstart example's exact
+//! code path in-process — scenario construction, sequence generation and a
+//! full filter evaluation — so a regression that makes the walk-through
+//! panic or diverge is caught by `cargo test` alone.
+
+use tof_mcl::core::precision::PipelineConfig;
+use tof_mcl::sim::PaperScenario;
+
+/// Mirrors `examples/quickstart.rs` with a shorter flight so the suite stays
+/// fast: same seed, same maze, same fp16qm/4096-particle configuration.
+#[test]
+fn quickstart_path_runs_to_completion() {
+    let scenario = PaperScenario::with_settings(42, 1, 10.0);
+    let sequence = &scenario.sequences()[0];
+
+    assert!(scenario.map().cell_count() > 0);
+    assert!(!sequence.is_empty());
+    assert!(sequence.duration_s() > 0.0);
+
+    let result = scenario.evaluate(sequence, PipelineConfig::FP16_QM, 4096, 1);
+
+    // The walk-through must produce a well-formed result; the statistical
+    // claims themselves are covered by tests/paper_claims.rs.
+    if let Some(t) = result.convergence_time_s {
+        assert!(t >= 0.0 && t <= sequence.duration_s() + 1.0);
+    }
+    if let Some(ate) = result.ate_m {
+        assert!(ate.is_finite() && ate >= 0.0);
+    }
+}
+
+/// The quickstart path is deterministic for a fixed seed: two evaluations of
+/// the same sequence and configuration must agree exactly.
+#[test]
+fn quickstart_path_is_deterministic() {
+    let scenario = PaperScenario::with_settings(7, 1, 6.0);
+    let sequence = &scenario.sequences()[0];
+    let a = scenario.evaluate(sequence, PipelineConfig::FP16_QM, 512, 3);
+    let b = scenario.evaluate(sequence, PipelineConfig::FP16_QM, 512, 3);
+    assert_eq!(a.convergence_time_s, b.convergence_time_s);
+    assert_eq!(a.ate_m, b.ate_m);
+    assert_eq!(a.success, b.success);
+}

@@ -11,8 +11,7 @@
 
 use tof_mcl::core::precision::{MemoryFootprint, PipelineConfig};
 use tof_mcl::gap9::{
-    CostModel, Gap9Spec, MemoryLevel, MemoryPlanner, OperatingPoint, PowerModel,
-    SystemPowerBudget,
+    CostModel, Gap9Spec, MemoryLevel, MemoryPlanner, OperatingPoint, PowerModel, SystemPowerBudget,
 };
 use tof_mcl::sim::{PaperScenario, ResultAggregator};
 
@@ -33,18 +32,17 @@ fn claim_1_localizes_accurately_without_infrastructure() {
             agg.push(scenario.evaluate(sequence, PipelineConfig::FP32, 4096, seed));
         }
     }
-    let converged = agg
-        .results()
-        .iter()
-        .filter(|r| r.converged)
-        .count();
+    let converged = agg.results().iter().filter(|r| r.converged).count();
     assert!(
         converged >= 1,
         "no run converged at all ({} attempted)",
         agg.len()
     );
     let ate = agg.mean_ate_m().expect("at least one run converged");
-    assert!(ate < 0.35, "mean ATE {ate:.3} m is far from the paper's 0.15 m");
+    assert!(
+        ate < 0.35,
+        "mean ATE {ate:.3} m is far from the paper's 0.15 m"
+    );
 }
 
 #[test]
@@ -60,7 +58,10 @@ fn claim_2_memory_optimizations_do_not_break_accuracy_and_halve_memory() {
     // Accuracy: the optimized configuration stays in the same ballpark (the
     // paper actually observes it slightly *better*).
     if let (Some(a), Some(b)) = (full.mean_ate_m(), optimized.mean_ate_m()) {
-        assert!(b < a + 0.15, "optimized ATE {b:.3} m much worse than fp32 {a:.3} m");
+        assert!(
+            b < a + 0.15,
+            "optimized ATE {b:.3} m much worse than fp32 {a:.3} m"
+        );
     }
     // Memory: map 5 B → 2 B per cell, particles 32 B → 16 B.
     let cells = scenario.map().cell_count();
@@ -88,10 +89,20 @@ fn claim_3_parallelization_gives_about_seven_x_and_meets_real_time() {
     // Real time at 15 Hz: the largest configuration at 400 MHz and the small one
     // even at 12 MHz.
     let budget = Gap9Spec::REAL_TIME_BUDGET_S;
-    assert!(cost.update_breakdown(16_384, BEAMS, 8, true).total_time_s(400e6) < budget);
-    assert!(cost.update_breakdown(1024, BEAMS, 8, false).total_time_s(12e6) < budget);
+    assert!(
+        cost.update_breakdown(16_384, BEAMS, 8, true)
+            .total_time_s(400e6)
+            < budget
+    );
+    assert!(
+        cost.update_breakdown(1024, BEAMS, 8, false)
+            .total_time_s(12e6)
+            < budget
+    );
     // Latency range quoted in the abstract: 0.2–30 ms depending on particles.
-    let small = cost.update_breakdown(64, BEAMS, 8, false).total_time_s(400e6);
+    let small = cost
+        .update_breakdown(64, BEAMS, 8, false)
+        .total_time_s(400e6);
     assert!(small < 1e-3, "64-particle update should be well below 1 ms");
 }
 

@@ -161,7 +161,7 @@ proptest! {
     /// room, always hits an occupied cell within the diagonal.
     #[test]
     fn raycast_respects_range_and_geometry(
-        x in 0.3f32..3.7, y in 0.3f32..3.7, angle in 0.0f32..6.28, range in 0.2f32..6.0,
+        x in 0.3f32..3.7, y in 0.3f32..3.7, angle in 0.0f32..std::f32::consts::TAU, range in 0.2f32..6.0,
     ) {
         let map = tof_mcl::gridmap::MapBuilder::new(4.0, 4.0, 0.05).border_walls().build();
         let d = raycast_distance(&map, Point2::new(x, y), angle, range);

@@ -1,0 +1,53 @@
+//! Offline vendored stub of the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The workspace uses `Serialize`/`Deserialize` derives purely as *capability
+//! markers* today — nothing in the tree serializes to a concrete format (CSV
+//! export is hand-rolled, there is no `serde_json`). Since the build
+//! environment has no registry access, this stub keeps the derives and trait
+//! bounds compiling by declaring the two traits and implementing them for
+//! every type; the companion `serde_derive` proc-macros expand to nothing.
+//!
+//! If a future change needs real serialization, replace the `vendor/serde`
+//! path dependency with the real crate — every `#[derive(Serialize,
+//! Deserialize)]` in the tree is written against the genuine API.
+
+#![deny(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker mirror of `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker mirror of `serde::Deserialize<'de>`; satisfied by every sized type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker mirror of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Mirror of the `serde::de` module path.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of the `serde::ser` module path.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(test)]
+mod tests {
+    fn assert_bounds<T: crate::Serialize + crate::DeserializeOwned>() {}
+
+    #[test]
+    fn common_types_satisfy_the_marker_traits() {
+        assert_bounds::<u8>();
+        assert_bounds::<Vec<(f32, String)>>();
+        assert_bounds::<Option<[u64; 4]>>();
+    }
+}
