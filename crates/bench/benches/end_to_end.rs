@@ -30,6 +30,18 @@ fn bench_end_to_end(c: &mut Criterion) {
                 },
             );
         }
+        // Prebuilt BeamBatch: what the sequence runner does — the per-update
+        // beam flattening drops out of the timed region entirely.
+        group.bench_with_input(BenchmarkId::new("fp32_8core_batched", n), &n, |b, &n| {
+            let mut filter = MonteCarloLocalization::<f32, _>::new(
+                MclConfig::default().with_particles(n).with_workers(8),
+                scenario.edt_fp32().clone(),
+            )
+            .unwrap();
+            filter.initialize_uniform(scenario.map(), 1).unwrap();
+            let batch = mcl_sensor::BeamBatch::from_beams(&beams);
+            b.iter(|| filter.force_update_batch(&batch))
+        });
         group.bench_with_input(BenchmarkId::new("fp16qm_1core", n), &n, |b, &n| {
             let mut filter = MonteCarloLocalization::<F16, _>::new(
                 MclConfig::default().with_particles(n),

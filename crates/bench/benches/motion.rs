@@ -1,8 +1,17 @@
-//! Host micro-benchmark of the motion (prediction) step.
+//! Host micro-benchmark of the motion (prediction) step: the seed's
+//! array-of-structs `MotionModel::apply` loop vs. the SoA
+//! [`mcl_core::kernel::motion_predict`] kernel on 1 and 8 workers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mcl_core::{MotionDelta, MotionModel, Particle};
+use mcl_core::kernel;
+use mcl_core::{ClusterLayout, MotionDelta, MotionModel, Particle, ParticleBuffer};
 use mcl_gridmap::Pose2;
+
+fn particles(n: usize) -> Vec<Particle<f32>> {
+    (0..n)
+        .map(|i| Particle::from_pose(&Pose2::new(i as f32 * 0.001, 0.5, 0.1), 1.0 / n as f32))
+        .collect()
+}
 
 fn bench_motion(c: &mut Criterion) {
     let model = MotionModel::new([0.1, 0.1, 0.1]);
@@ -10,25 +19,45 @@ fn bench_motion(c: &mut Criterion) {
     let mut group = c.benchmark_group("motion_step");
     group.sample_size(20);
     for &n in &[64usize, 1024, 4096, 16_384] {
-        let particles: Vec<Particle<f32>> = (0..n)
-            .map(|i| Particle::from_pose(&Pose2::new(i as f32 * 0.001, 0.5, 0.1), 1.0 / n as f32))
-            .collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n),
-            &particles,
-            |b, particles| {
-                b.iter_batched(
-                    || particles.clone(),
-                    |mut batch| {
-                        model.apply(&mut batch, &delta, 7, 3, 0);
-                        batch
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
-            },
-        );
+        let aos = particles(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &aos, |b, aos| {
+            b.iter_batched(
+                || aos.clone(),
+                |mut batch| {
+                    model.apply(&mut batch, &delta, 7, 3, 0);
+                    batch
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
     }
     group.finish();
+
+    let mut kernel_group = c.benchmark_group("motion_kernel");
+    kernel_group.sample_size(20);
+    for &n in &[4096usize, 16_384] {
+        let soa: ParticleBuffer<f32> = particles(n).into_iter().collect();
+        for workers in [1usize, 8] {
+            let cluster = ClusterLayout::new(workers);
+            kernel_group.bench_with_input(
+                BenchmarkId::new(format!("soa_kernel_{workers}w"), n),
+                &soa,
+                |b, soa| {
+                    b.iter_batched(
+                        || soa.clone(),
+                        |mut batch| {
+                            cluster.for_each_split(batch.as_mut_slice(), |start, chunk| {
+                                kernel::motion_predict(chunk, &model, &delta, 7, 3, start as u64);
+                            });
+                            batch
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    kernel_group.finish();
 }
 
 criterion_group!(benches, bench_motion);

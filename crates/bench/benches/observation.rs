@@ -1,13 +1,36 @@
 //! Host micro-benchmark of the observation (correction) step.
 //!
-//! Complements Table I: the GAP9 numbers come from the analytic cost model, this
-//! bench measures the same per-particle work on the host for each particle count
-//! and for the three distance-field storage precisions.
+//! Complements Table I: the GAP9 numbers come from the analytic cost model,
+//! this bench measures the same per-particle work on the host. Two families:
+//!
+//! * `observation_step` — the seed's array-of-structs path: per particle, score
+//!   a `&[Beam]` list with [`BeamEndPointModel::observation_log_likelihood`]
+//!   (recomputing the beam trigonometry per particle per beam).
+//! * `observation_kernel` — the SoA path: particles in a [`ParticleBuffer`],
+//!   beams pre-flattened into a [`BeamBatch`], scored by
+//!   [`mcl_core::kernel::observation_log_likelihoods`] on 1 and 8 workers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mcl_core::{BeamEndPointModel, Particle};
+use mcl_core::kernel;
+use mcl_core::{BeamEndPointModel, ClusterLayout, Particle, ParticleBuffer};
 use mcl_gridmap::{EuclideanDistanceField, Pose2};
+use mcl_sensor::BeamBatch;
 use mcl_sim::PaperScenario;
+
+fn particles_aos(n: usize) -> Vec<Particle<f32>> {
+    (0..n)
+        .map(|i| {
+            Particle::from_pose(
+                &Pose2::new(
+                    1.0 + (i % 50) as f32 * 0.05,
+                    1.0 + (i / 50) as f32 * 0.02,
+                    0.3,
+                ),
+                1.0 / n as f32,
+            )
+        })
+        .collect()
+}
 
 fn bench_observation(c: &mut Criterion) {
     let scenario = PaperScenario::quick(1);
@@ -18,18 +41,7 @@ fn bench_observation(c: &mut Criterion) {
     group.sample_size(20);
 
     for &n in &[64usize, 1024, 4096] {
-        let particles: Vec<Particle<f32>> = (0..n)
-            .map(|i| {
-                Particle::from_pose(
-                    &Pose2::new(
-                        1.0 + (i % 50) as f32 * 0.05,
-                        1.0 + (i / 50) as f32 * 0.02,
-                        0.3,
-                    ),
-                    1.0 / n as f32,
-                )
-            })
-            .collect();
+        let particles = particles_aos(n);
         group.bench_with_input(
             BenchmarkId::new("fp32_edt", n),
             &particles,
@@ -66,6 +78,52 @@ fn bench_observation(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // SoA kernel path vs. the AoS loop above, including the batched-beam
+    // preprocessing win and the 8-worker dispatch.
+    let mut kernel_group = c.benchmark_group("observation_kernel");
+    kernel_group.sample_size(20);
+    for &n in &[1024usize, 4096] {
+        let soa: ParticleBuffer<f32> = particles_aos(n).into_iter().collect();
+        let batch = BeamBatch::from_beams(&beams);
+        let aos = particles_aos(n);
+        kernel_group.bench_with_input(BenchmarkId::new("aos_per_particle", n), &aos, |b, aos| {
+            b.iter(|| {
+                let mut out = vec![0.0f32; aos.len()];
+                for (i, p) in aos.iter().enumerate() {
+                    out[i] =
+                        model.observation_log_likelihood(scenario.edt_fp32(), &p.pose(), &beams);
+                }
+                out
+            })
+        });
+        for workers in [1usize, 8] {
+            let cluster = ClusterLayout::new(workers);
+            kernel_group.bench_with_input(
+                BenchmarkId::new(format!("soa_batch_{workers}w"), n),
+                &soa,
+                |b, soa| {
+                    b.iter(|| {
+                        let mut out = vec![0.0f32; soa.len()];
+                        cluster.for_each_split(
+                            (soa.as_slice(), out.as_mut_slice()),
+                            |_, (chunk, logs)| {
+                                kernel::observation_log_likelihoods(
+                                    chunk,
+                                    scenario.edt_fp32(),
+                                    &model,
+                                    &batch,
+                                    logs,
+                                );
+                            },
+                        );
+                        out
+                    })
+                },
+            );
+        }
+    }
+    kernel_group.finish();
 
     // Per-beam cost in isolation, with a locally computed field.
     let edt = EuclideanDistanceField::compute(scenario.map(), 1.5);

@@ -1,27 +1,34 @@
 //! Host micro-benchmark of the pose-computation step (weighted average with a
-//! circular mean over the yaw).
+//! circular mean over the yaw): the seed's array-of-structs
+//! `PoseEstimate::from_particles` vs. the fixed-block SoA reduction kernel
+//! ([`mcl_core::kernel::pose_estimate`]) on 1 and 8 workers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mcl_core::{Particle, PoseEstimate};
+use mcl_core::kernel;
+use mcl_core::{ClusterLayout, Particle, ParticleBuffer, PoseEstimate};
 use mcl_gridmap::Pose2;
 use mcl_num::F16;
+
+fn particles(n: usize) -> Vec<Particle<f32>> {
+    (0..n)
+        .map(|i| {
+            Particle::from_pose(
+                &Pose2::new(
+                    (i % 80) as f32 * 0.05,
+                    (i / 80) as f32 * 0.05,
+                    i as f32 * 0.01,
+                ),
+                1.0 / n as f32,
+            )
+        })
+        .collect()
+}
 
 fn bench_pose(c: &mut Criterion) {
     let mut group = c.benchmark_group("pose_computation");
     group.sample_size(20);
     for &n in &[64usize, 1024, 4096, 16_384] {
-        let fp32: Vec<Particle<f32>> = (0..n)
-            .map(|i| {
-                Particle::from_pose(
-                    &Pose2::new(
-                        (i % 80) as f32 * 0.05,
-                        (i / 80) as f32 * 0.05,
-                        i as f32 * 0.01,
-                    ),
-                    1.0 / n as f32,
-                )
-            })
-            .collect();
+        let fp32 = particles(n);
         let fp16: Vec<Particle<F16>> = fp32
             .iter()
             .map(|p| Particle::from_pose(&p.pose(), p.weight_f32()))
@@ -34,6 +41,21 @@ fn bench_pose(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    let mut kernel_group = c.benchmark_group("pose_kernel");
+    kernel_group.sample_size(20);
+    for &n in &[4096usize, 16_384] {
+        let soa: ParticleBuffer<f32> = particles(n).into_iter().collect();
+        for workers in [1usize, 8] {
+            let cluster = ClusterLayout::new(workers);
+            kernel_group.bench_with_input(
+                BenchmarkId::new(format!("soa_blocks_{workers}w"), n),
+                &soa,
+                |b, soa| b.iter(|| kernel::pose_estimate(soa, &cluster)),
+            );
+        }
+    }
+    kernel_group.finish();
 }
 
 criterion_group!(benches, bench_pose);

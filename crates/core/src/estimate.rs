@@ -7,7 +7,7 @@
 //! effective sample size), which the evaluation uses to detect convergence and
 //! which a planner would use to decide whether the estimate is trustworthy.
 
-use crate::particle::Particle;
+use crate::particle::{Particle, ParticleBuffer};
 use mcl_gridmap::Pose2;
 use mcl_num::{angular_difference, weighted_circular_mean, Scalar};
 use serde::{Deserialize, Serialize};
@@ -100,6 +100,23 @@ impl PoseEstimate {
             yaw_std_rad: var_yaw.sqrt() as f32,
             neff,
         }
+    }
+
+    /// Computes the estimate from a structure-of-arrays [`ParticleBuffer`] via
+    /// the pose-computation kernel's fixed-block reduction
+    /// ([`crate::kernel::pose_estimate`], single-worker layout).
+    ///
+    /// The block-wise `f64` reduction associates the sums differently from the
+    /// sequential stream of [`PoseEstimate::from_particles`], so the two can
+    /// differ in the last float ulp — but `from_buffer` is bit-identical for
+    /// every [`crate::parallel::ClusterLayout`], which is what the filter
+    /// guarantees.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer is empty.
+    pub fn from_buffer<S: Scalar>(particles: &ParticleBuffer<S>) -> Self {
+        crate::kernel::pose_estimate(particles, &crate::parallel::ClusterLayout::SINGLE)
     }
 
     /// Returns `true` when this estimate is within `dist_m` metres and `yaw_rad`
@@ -216,6 +233,28 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("m"));
         assert!(s.contains("neff"));
+    }
+
+    #[test]
+    fn buffer_estimate_matches_the_aos_estimate() {
+        let particles: Vec<Particle<f32>> = (0..500)
+            .map(|i| {
+                particle(
+                    (i % 20) as f32 * 0.1,
+                    (i % 11) as f32 * 0.1,
+                    (i % 7) as f32 * 0.5,
+                    (1 + i % 3) as f32 / 500.0,
+                )
+            })
+            .collect();
+        let buffer: crate::particle::ParticleBuffer<f32> = particles.iter().copied().collect();
+        let aos = PoseEstimate::from_particles(&particles);
+        let soa = PoseEstimate::from_buffer(&buffer);
+        assert!((aos.pose.x - soa.pose.x).abs() < 1e-5);
+        assert!((aos.pose.y - soa.pose.y).abs() < 1e-5);
+        assert!((aos.position_std_m - soa.position_std_m).abs() < 1e-5);
+        assert!((aos.yaw_std_rad - soa.yaw_std_rad).abs() < 1e-5);
+        assert!((aos.neff - soa.neff).abs() < 1e-2);
     }
 
     #[test]

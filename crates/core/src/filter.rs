@@ -11,18 +11,29 @@
 //!   **only** when the accumulated motion exceeds the `d_xy` / `d_θ` gate,
 //!   otherwise the observation is skipped (the paper's strategy for not wasting
 //!   compute while hovering).
+//!
+//! An applied update dispatches the four [`crate::kernel`] functions over the
+//! [`ClusterLayout`] workers: each worker runs the same kernel on its contiguous
+//! slice of the structure-of-arrays [`ParticleSet`]. The observation is
+//! flattened into a [`BeamBatch`] **once per update** (callers that already
+//! hold frames can pass a prebuilt batch to
+//! [`MonteCarloLocalization::update_batch`] and skip the intermediate beam
+//! list). Per-update scratch buffers (log-likelihoods, f32 weights) are reused
+//! across updates, so the steady-state hot path performs no heap allocation
+//! beyond the resampling plan.
 
 use crate::config::{MclConfig, MclError};
 use crate::estimate::PoseEstimate;
+use crate::kernel;
 use crate::motion::{MotionDelta, MotionModel};
 use crate::observation::BeamEndPointModel;
 use crate::parallel::ClusterLayout;
 use crate::particle::ParticleSet;
-use crate::resampling::PartialSumResampler;
+use crate::resampling::{PartialSumResampler, ResamplePlan};
 use crate::rng::CounterRng;
 use mcl_gridmap::{DistanceField, OccupancyGrid, Pose2};
 use mcl_num::Scalar;
-use mcl_sensor::Beam;
+use mcl_sensor::{Beam, BeamBatch};
 
 /// Result of offering an observation to the filter.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,6 +85,14 @@ pub struct MonteCarloLocalization<S: Scalar, D: DistanceField> {
     pending: MotionDelta,
     update_counter: u64,
     counters: FilterCounters,
+    /// Per-update scratch: one log-likelihood per particle (correction step).
+    log_likelihoods: Vec<f32>,
+    /// Per-update scratch: weights widened to `f32` for the resampling plan
+    /// (unused at fp32 storage, where the weight array feeds the plan
+    /// directly).
+    weights_f32: Vec<f32>,
+    /// Per-update scratch: the resampling plan, allocations reused.
+    plan: ResamplePlan,
 }
 
 impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
@@ -94,6 +113,12 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
             pending: MotionDelta::default(),
             update_counter: 0,
             counters: FilterCounters::default(),
+            log_likelihoods: Vec::with_capacity(config.num_particles),
+            weights_f32: Vec::with_capacity(config.num_particles),
+            plan: ResamplePlan {
+                indices: Vec::with_capacity(config.num_particles),
+                worker_output_ranges: Vec::with_capacity(config.workers),
+            },
             config,
         })
     }
@@ -179,7 +204,27 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
             self.counters.updates_skipped += 1;
             return Ok(UpdateOutcome::Skipped);
         }
-        Ok(UpdateOutcome::Applied(self.apply_iteration(beams)))
+        let batch = BeamBatch::from_beams(beams);
+        Ok(UpdateOutcome::Applied(self.apply_iteration(&batch)))
+    }
+
+    /// Offers a pre-flattened observation to the filter — the allocation-lean
+    /// entry point for callers that build the [`BeamBatch`] straight from
+    /// sensor frames (e.g. the sequence runner).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MclError::NotInitialized`] before the particles have been
+    /// initialized.
+    pub fn update_batch(&mut self, batch: &BeamBatch) -> Result<UpdateOutcome, MclError> {
+        if !self.particles.is_initialized() {
+            return Err(MclError::NotInitialized);
+        }
+        if !self.gate_open() {
+            self.counters.updates_skipped += 1;
+            return Ok(UpdateOutcome::Skipped);
+        }
+        Ok(UpdateOutcome::Applied(self.apply_iteration(batch)))
     }
 
     /// Applies one full MCL iteration regardless of the motion gate (used for the
@@ -190,92 +235,115 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
     /// Panics if the particles have not been initialized; use
     /// [`MonteCarloLocalization::update`] for the checked variant.
     pub fn force_update(&mut self, beams: &[Beam]) -> PoseEstimate {
+        let batch = BeamBatch::from_beams(beams);
+        self.force_update_batch(&batch)
+    }
+
+    /// Batched variant of [`MonteCarloLocalization::force_update`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the particles have not been initialized.
+    pub fn force_update_batch(&mut self, batch: &BeamBatch) -> PoseEstimate {
         assert!(
             self.particles.is_initialized(),
             "initialize the particle set before updating"
         );
-        self.apply_iteration(beams)
+        self.apply_iteration(batch)
     }
 
-    /// The current pose estimate (weighted particle average).
+    /// The current pose estimate (weighted particle average), reduced by the
+    /// pose kernel over fixed-size blocks so the result is bit-identical for
+    /// every worker count.
     ///
     /// # Panics
     ///
     /// Panics if the particle set has not been initialized.
     pub fn estimate(&self) -> PoseEstimate {
-        PoseEstimate::from_particles(self.particles.particles())
+        kernel::pose_estimate(self.particles.current(), &self.cluster)
     }
 
-    fn apply_iteration(&mut self, beams: &[Beam]) -> PoseEstimate {
+    fn apply_iteration(&mut self, batch: &BeamBatch) -> PoseEstimate {
         let delta = self.pending;
         self.pending = MotionDelta::default();
         self.update_counter += 1;
         let update_index = self.update_counter;
         let seed = self.config.seed;
+        let n = self.particles.len();
+        let cluster = self.cluster;
 
-        // 1. Prediction: sample every particle through the motion model.
+        // 1. Prediction: the motion kernel samples every particle through the
+        // odometry model; per-particle RNG streams make chunking irrelevant.
         let motion = self.motion;
-        self.cluster
-            .for_each_chunk(self.particles.particles_mut(), |start, chunk| {
-                motion.apply(chunk, &delta, seed, update_index, start as u64);
-            });
+        cluster.for_each_split(
+            self.particles.current_mut().as_mut_slice(),
+            |start, chunk| {
+                kernel::motion_predict(chunk, &motion, &delta, seed, update_index, start as u64);
+            },
+        );
 
         // 2. Correction: beam-end-point re-weighting. Log-likelihoods are
         // computed per particle and exponentiated relative to the maximum over
         // the whole set, so a sharp observation model cannot underflow f32.
         let observation = self.observation;
         let field = &self.field;
-        let log_likelihoods: Vec<f32> = self
-            .cluster
-            .map_chunks(self.particles.particles(), |_, chunk| {
-                chunk
-                    .iter()
-                    .map(|p| observation.observation_log_likelihood(field, &p.pose(), beams))
-                    .collect::<Vec<f32>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
-        let max_log = log_likelihoods
+        self.log_likelihoods.clear();
+        self.log_likelihoods.resize(n, 0.0);
+        cluster.for_each_split(
+            (
+                self.particles.current().as_slice(),
+                self.log_likelihoods.as_mut_slice(),
+            ),
+            |_, (chunk, out)| {
+                kernel::observation_log_likelihoods(chunk, field, &observation, batch, out);
+            },
+        );
+        let max_log = self
+            .log_likelihoods
             .iter()
             .fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-        let log_ref = &log_likelihoods;
-        self.cluster
-            .for_each_chunk(self.particles.particles_mut(), |start, chunk| {
-                for (i, p) in chunk.iter_mut().enumerate() {
-                    let scaled = (log_ref[start + i] - max_log).exp();
-                    p.weight = S::from_f32(p.weight.to_f32() * scaled);
-                }
-            });
+        cluster.for_each_split(
+            (
+                self.particles.current_mut().weight_mut(),
+                self.log_likelihoods.as_slice(),
+            ),
+            |_, (weights, logs)| kernel::reweight(weights, logs, max_log),
+        );
 
         // 3. Weight normalization + systematic resampling over partial sums.
+        // The plan reads the weights as `f32`: fp32 storage hands the SoA
+        // weight array to the plan directly, other precisions widen into the
+        // reusable scratch. The plan itself reuses its allocations too, so the
+        // steady state allocates nothing here.
         self.particles.normalize_weights();
         let mut offset_rng = CounterRng::for_update(seed, update_index);
         let offset = offset_rng.uniform();
-        let weights: Vec<f32> = self
-            .particles
-            .particles()
-            .iter()
-            .map(|p| p.weight.to_f32())
-            .collect();
-        let plan = self.resampler.plan(&weights, offset);
-        let uniform_weight = S::from_f32(1.0 / weights.len() as f32);
+        let resampler = self.resampler;
+        if let Some(direct) = S::f32_slice(self.particles.current().weight()) {
+            resampler.plan_into(direct, offset, &mut self.plan);
+        } else {
+            self.weights_f32.clear();
+            self.weights_f32
+                .extend(self.particles.current().weight().iter().map(|w| w.to_f32()));
+            resampler.plan_into(&self.weights_f32, offset, &mut self.plan);
+        }
+        let uniform_weight = S::from_f32(1.0 / n as f32);
         {
+            let plan = &self.plan;
             let (current, scratch) = self.particles.buffers_mut();
-            self.cluster.scatter_resample(
-                current,
-                scratch,
-                &plan.indices,
+            let source = current.as_slice();
+            cluster.for_each_range(
+                (scratch.as_mut_slice(), plan.indices.as_slice()),
                 &plan.worker_output_ranges,
+                |_, (target, indices)| {
+                    kernel::resample_scatter(source, target, indices, uniform_weight);
+                },
             );
-            for p in scratch.iter_mut() {
-                p.weight = uniform_weight;
-            }
         }
         self.particles.swap_buffers();
         self.counters.updates_applied += 1;
 
-        // 4. Pose computation.
+        // 4. Pose computation (fixed-block reduction kernel).
         self.estimate()
     }
 }
@@ -327,6 +395,10 @@ mod tests {
         let map = arena();
         let mut mcl = MonteCarloLocalization::<f32, _>::new(config(64), edt(&map)).unwrap();
         assert_eq!(mcl.update(&[]).unwrap_err(), MclError::NotInitialized);
+        assert_eq!(
+            mcl.update_batch(&BeamBatch::default()).unwrap_err(),
+            MclError::NotInitialized
+        );
     }
 
     #[test]
@@ -360,6 +432,35 @@ mod tests {
         mcl.predict(MotionDelta::new(0.0, 0.0, 0.15));
         assert!(mcl.gate_open());
         assert!(mcl.update(&[]).unwrap().is_applied());
+    }
+
+    #[test]
+    fn beam_and_batch_entry_points_agree_exactly() {
+        let map = arena();
+        let mut via_beams = MonteCarloLocalization::<f32, _>::new(config(256), edt(&map)).unwrap();
+        let mut via_batch = MonteCarloLocalization::<f32, _>::new(config(256), edt(&map)).unwrap();
+        via_beams.initialize_uniform(&map, 7).unwrap();
+        via_batch.initialize_uniform(&map, 7).unwrap();
+        let rig = rig();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut truth = Pose2::new(1.0, 1.0, 0.0);
+        for step in 0..5 {
+            let next = truth.compose(&Pose2::new(0.12, 0.0, 0.05));
+            let delta = MotionDelta::between(&truth, &next);
+            truth = next;
+            let beams = rig.observe(&map, &truth, step as f64 / 15.0, &mut rng);
+            via_beams.predict(delta);
+            via_batch.predict(delta);
+            let a = via_beams.update(&beams).unwrap();
+            let b = via_batch
+                .update_batch(&BeamBatch::from_beams(&beams))
+                .unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            via_beams.particles().current(),
+            via_batch.particles().current()
+        );
     }
 
     #[test]
@@ -458,7 +559,13 @@ mod tests {
             let _ = seq.update(&beams).unwrap();
             let _ = par.update(&beams).unwrap();
         }
-        assert_eq!(seq.particles().particles(), par.particles().particles());
+        assert_eq!(seq.particles().current(), par.particles().current());
+        // The fixed-block pose reduction is bit-identical too.
+        let a = seq.estimate();
+        let b = par.estimate();
+        assert_eq!(a.pose.x.to_bits(), b.pose.x.to_bits());
+        assert_eq!(a.pose.theta.to_bits(), b.pose.theta.to_bits());
+        assert_eq!(a.neff.to_bits(), b.neff.to_bits());
     }
 
     #[test]
@@ -510,7 +617,7 @@ mod tests {
         let beams = rig.observe(&map, &Pose2::new(1.0, 1.0, 0.0), 0.0, &mut rng);
         let _ = mcl.force_update(&beams);
         let expected = 1.0 / 128.0;
-        for p in mcl.particles().particles() {
+        for p in mcl.particles().iter() {
             assert!((p.weight_f32() - expected).abs() < 1e-6);
         }
         assert!((mcl.particles().effective_sample_size() - 128.0).abs() < 0.5);

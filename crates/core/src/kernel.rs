@@ -1,0 +1,514 @@
+//! The four MCL steps as data-parallel kernels over particle index ranges.
+//!
+//! On GAP9 every filter step is one kernel dispatched to the 8 worker cores:
+//! each core receives a contiguous range of the structure-of-arrays particle
+//! buffers and runs the same loop body over it. This module is the host-side
+//! mirror of that design — four free functions plus a pair of reduction
+//! accumulators, all operating on [`ParticleSlice`] / [`ParticleSliceMut`]
+//! views so [`crate::parallel::ClusterLayout`] can hand each worker its slice:
+//!
+//! | kernel | paper step | input | output |
+//! |---|---|---|---|
+//! | [`motion_predict`] | prediction | particle chunk + odometry | poses in place |
+//! | [`observation_log_likelihoods`] | correction (Eq. 1) | particle chunk + [`BeamBatch`] | per-particle log-likelihoods |
+//! | [`reweight`] | correction | weight chunk + log-likelihoods | weights in place |
+//! | [`resample_scatter`] | resampling | source set + index chunk | new generation chunk |
+//! | [`PosePartials`] / [`SpreadPartials`] | pose computation | particle chunk | partial reductions |
+//!
+//! Determinism: the motion kernel derives every particle's noise from the
+//! counter-based RNG stream `(seed, update, global index)`, so any chunking
+//! produces bit-identical particles. The pose reduction is folded over
+//! **fixed-size blocks** (independent of the worker count, see
+//! [`ClusterLayout::map_index_blocks`](crate::parallel::ClusterLayout::map_index_blocks)),
+//! so estimates are bit-identical across worker counts too.
+
+use crate::estimate::PoseEstimate;
+use crate::motion::{MotionDelta, MotionModel};
+use crate::observation::BeamEndPointModel;
+use crate::parallel::ClusterLayout;
+use crate::particle::{ParticleBuffer, ParticleSlice, ParticleSliceMut};
+use mcl_gridmap::{DistanceField, Pose2};
+use mcl_num::{angular_difference, normalize_angle, Scalar};
+use mcl_sensor::BeamBatch;
+
+/// Particles per reduction block of the pose-computation kernel. Fixed (rather
+/// than derived from the worker count) so the block partials — and therefore
+/// the folded estimate — are bit-identical for every [`ClusterLayout`].
+pub const POSE_REDUCTION_BLOCK: usize = 256;
+
+/// Prediction kernel: samples every particle of the chunk through the odometry
+/// motion model. `first_index` is the chunk's global start index, which anchors
+/// the per-particle RNG streams `(seed, update_index, first_index + i)`.
+pub fn motion_predict<S: Scalar>(
+    mut particles: ParticleSliceMut<'_, S>,
+    model: &MotionModel,
+    delta: &MotionDelta,
+    seed: u64,
+    update_index: u64,
+    first_index: u64,
+) {
+    for i in 0..particles.len() {
+        let p = particles.get(i);
+        particles.set(
+            i,
+            model.sample(&p, delta, seed, update_index, first_index + i as u64),
+        );
+    }
+}
+
+/// Correction kernel, part 1: evaluates the batched beam-end-point model
+/// (Eq. 1) for every particle of the chunk, writing one log-likelihood per
+/// particle into `out`.
+///
+/// # Panics
+///
+/// Panics when `out` is shorter than the particle chunk.
+pub fn observation_log_likelihoods<S: Scalar, D: DistanceField + ?Sized>(
+    particles: ParticleSlice<'_, S>,
+    field: &D,
+    model: &BeamEndPointModel,
+    batch: &BeamBatch,
+    out: &mut [f32],
+) {
+    assert!(out.len() >= particles.len(), "output chunk too short");
+    for (i, slot) in out[..particles.len()].iter_mut().enumerate() {
+        *slot = model.batch_log_likelihood(
+            field,
+            particles.x[i].to_f32(),
+            particles.y[i].to_f32(),
+            particles.theta[i].to_f32(),
+            batch,
+        );
+    }
+}
+
+/// Correction kernel, part 2: multiplies each weight by its likelihood,
+/// rescaled by the set-wide maximum log-likelihood so a sharp observation model
+/// cannot underflow `f32`.
+///
+/// # Panics
+///
+/// Panics when the chunks differ in length.
+pub fn reweight<S: Scalar>(weights: &mut [S], log_likelihoods: &[f32], max_log: f32) {
+    assert_eq!(
+        weights.len(),
+        log_likelihoods.len(),
+        "chunk length mismatch"
+    );
+    for (w, &log_lik) in weights.iter_mut().zip(log_likelihoods.iter()) {
+        let scaled = (log_lik - max_log).exp();
+        *w = S::from_f32(w.to_f32() * scaled);
+    }
+}
+
+/// Resampling kernel: gathers `source[indices[i]]` into slot `i` of the target
+/// chunk and stamps the post-resampling uniform weight — the per-worker half of
+/// the paper's Fig. 4 decomposition (the plan itself comes from
+/// [`crate::resampling::PartialSumResampler`]).
+///
+/// # Panics
+///
+/// Panics when `indices` and the target chunk differ in length.
+pub fn resample_scatter<S: Scalar>(
+    source: ParticleSlice<'_, S>,
+    target: ParticleSliceMut<'_, S>,
+    indices: &[usize],
+    uniform_weight: S,
+) {
+    assert_eq!(target.len(), indices.len(), "chunk length mismatch");
+    // One tight pass per component: each loop streams exactly one source and
+    // one target array (systematic-resampling indices are non-decreasing, so
+    // the gather side is near-sequential too), and the weight reset is a fill
+    // instead of a strided store — the layout win SoA buys the scatter.
+    for (dst, &src) in target.x.iter_mut().zip(indices) {
+        *dst = source.x[src];
+    }
+    for (dst, &src) in target.y.iter_mut().zip(indices) {
+        *dst = source.y[src];
+    }
+    for (dst, &src) in target.theta.iter_mut().zip(indices) {
+        *dst = source.theta[src];
+    }
+    target.weight.fill(uniform_weight);
+}
+
+/// First-pass partial sums of the pose-computation kernel: weighted position /
+/// heading-vector sums plus their unweighted counterparts (the fallback when
+/// every weight has collapsed to zero).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PosePartials {
+    count: usize,
+    sum_w: f64,
+    sum_w_sq: f64,
+    sum_wx: f64,
+    sum_wy: f64,
+    sum_w_sin: f64,
+    sum_w_cos: f64,
+    sum_x: f64,
+    sum_y: f64,
+    sum_sin: f64,
+    sum_cos: f64,
+}
+
+impl PosePartials {
+    /// Accumulates one particle chunk.
+    pub fn accumulate<S: Scalar>(particles: ParticleSlice<'_, S>) -> Self {
+        let mut p = PosePartials::default();
+        for i in 0..particles.len() {
+            let w = f64::from(particles.weight[i].to_f32().max(0.0));
+            let x = f64::from(particles.x[i].to_f32());
+            let y = f64::from(particles.y[i].to_f32());
+            let theta = particles.theta[i].to_f32();
+            let (sin_t, cos_t) = (f64::from(theta.sin()), f64::from(theta.cos()));
+            p.count += 1;
+            p.sum_w += w;
+            p.sum_w_sq += w * w;
+            p.sum_wx += w * x;
+            p.sum_wy += w * y;
+            p.sum_w_sin += w * sin_t;
+            p.sum_w_cos += w * cos_t;
+            p.sum_x += x;
+            p.sum_y += y;
+            p.sum_sin += sin_t;
+            p.sum_cos += cos_t;
+        }
+        p
+    }
+
+    /// Merges another partial into this one. Merging must happen in block
+    /// order for bit-identical results (f64 addition is order-sensitive).
+    pub fn merge(&mut self, other: &PosePartials) {
+        self.count += other.count;
+        self.sum_w += other.sum_w;
+        self.sum_w_sq += other.sum_w_sq;
+        self.sum_wx += other.sum_wx;
+        self.sum_wy += other.sum_wy;
+        self.sum_w_sin += other.sum_w_sin;
+        self.sum_w_cos += other.sum_w_cos;
+        self.sum_x += other.sum_x;
+        self.sum_y += other.sum_y;
+        self.sum_sin += other.sum_sin;
+        self.sum_cos += other.sum_cos;
+    }
+
+    /// Whether the weights have collapsed (the estimate falls back to the
+    /// unweighted mean, as the filter recovers by resetting to uniform).
+    pub fn weights_collapsed(&self) -> bool {
+        self.sum_w <= f64::from(f32::MIN_POSITIVE)
+    }
+
+    /// The mean pose implied by the partials; `fallback_theta` is used when the
+    /// heading vectors cancel (no meaningful circular mean).
+    pub fn mean(&self, fallback_theta: f32) -> Pose2 {
+        let (sum_w, sum_x, sum_y, sum_sin, sum_cos) = if self.weights_collapsed() {
+            (
+                self.count as f64,
+                self.sum_x,
+                self.sum_y,
+                self.sum_sin,
+                self.sum_cos,
+            )
+        } else {
+            (
+                self.sum_w,
+                self.sum_wx,
+                self.sum_wy,
+                self.sum_w_sin,
+                self.sum_w_cos,
+            )
+        };
+        let mean_x = (sum_x / sum_w) as f32;
+        let mean_y = (sum_y / sum_w) as f32;
+        // Same resultant-length cutoff as mcl_num::weighted_circular_mean.
+        let norm = (sum_sin * sum_sin + sum_cos * sum_cos).sqrt();
+        let mean_theta = if sum_w <= 0.0 || norm < 1e-6 * sum_w {
+            fallback_theta
+        } else {
+            normalize_angle(sum_sin.atan2(sum_cos) as f32)
+        };
+        Pose2 {
+            x: mean_x,
+            y: mean_y,
+            theta: normalize_angle(mean_theta),
+        }
+    }
+
+    /// Effective sample size `(Σw)² / Σw²` of the accumulated weights.
+    pub fn effective_sample_size(&self) -> f32 {
+        let (sum_w, sum_w_sq) = if self.weights_collapsed() {
+            (self.count as f64, self.count as f64)
+        } else {
+            (self.sum_w, self.sum_w_sq)
+        };
+        if sum_w_sq <= 0.0 {
+            0.0
+        } else {
+            (sum_w * sum_w / sum_w_sq) as f32
+        }
+    }
+
+    /// The accumulated weight sum used for normalizing the spread pass.
+    pub fn spread_norm(&self) -> f64 {
+        if self.weights_collapsed() {
+            self.count as f64
+        } else {
+            self.sum_w
+        }
+    }
+}
+
+/// Second-pass partial sums of the pose-computation kernel: weighted squared
+/// deviations from the mean pose.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpreadPartials {
+    var_pos: f64,
+    var_yaw: f64,
+}
+
+impl SpreadPartials {
+    /// Accumulates one particle chunk against the set-wide mean pose.
+    /// `unweighted` selects the collapsed-weights fallback.
+    pub fn accumulate<S: Scalar>(
+        particles: ParticleSlice<'_, S>,
+        mean: &Pose2,
+        unweighted: bool,
+    ) -> Self {
+        let mut p = SpreadPartials::default();
+        for i in 0..particles.len() {
+            let w = if unweighted {
+                1.0
+            } else {
+                f64::from(particles.weight[i].to_f32().max(0.0))
+            };
+            let dx = f64::from(particles.x[i].to_f32() - mean.x);
+            let dy = f64::from(particles.y[i].to_f32() - mean.y);
+            let dt = f64::from(angular_difference(particles.theta[i].to_f32(), mean.theta));
+            p.var_pos += w * (dx * dx + dy * dy);
+            p.var_yaw += w * dt * dt;
+        }
+        p
+    }
+
+    /// Merges another partial into this one (in block order, see
+    /// [`PosePartials::merge`]).
+    pub fn merge(&mut self, other: &SpreadPartials) {
+        self.var_pos += other.var_pos;
+        self.var_yaw += other.var_yaw;
+    }
+
+    /// Position / yaw standard deviations given the weight normalizer.
+    pub fn finish(&self, norm: f64) -> (f32, f32) {
+        if norm <= 0.0 {
+            return (0.0, 0.0);
+        }
+        (
+            (self.var_pos / norm).sqrt() as f32,
+            (self.var_yaw / norm).sqrt() as f32,
+        )
+    }
+}
+
+/// Pose-computation kernel: the weighted-average pose plus dispersion figures,
+/// reduced over fixed [`POSE_REDUCTION_BLOCK`]-particle blocks distributed over
+/// `layout`'s workers. The block partials are folded in block order, so the
+/// estimate is **bit-identical for every worker count** — the determinism
+/// contract the integration tests pin down.
+///
+/// # Panics
+///
+/// Panics when `particles` is empty.
+pub fn pose_estimate<S: Scalar>(
+    particles: &ParticleBuffer<S>,
+    layout: &ClusterLayout,
+) -> PoseEstimate {
+    assert!(
+        !particles.is_empty(),
+        "cannot estimate a pose from an empty particle set"
+    );
+    let n = particles.len();
+    let view = particles.as_slice();
+    let slice_of = |start: usize, end: usize| {
+        let (_, tail) = view.split_at(start);
+        let (mid, _) = tail.split_at(end - start);
+        mid
+    };
+
+    let mut first_pass = PosePartials::default();
+    for partial in layout.map_index_blocks(n, POSE_REDUCTION_BLOCK, |start, end| {
+        PosePartials::accumulate(slice_of(start, end))
+    }) {
+        first_pass.merge(&partial);
+    }
+    let mean = first_pass.mean(particles.theta()[0].to_f32());
+    let unweighted = first_pass.weights_collapsed();
+
+    let mut second_pass = SpreadPartials::default();
+    for partial in layout.map_index_blocks(n, POSE_REDUCTION_BLOCK, |start, end| {
+        SpreadPartials::accumulate(slice_of(start, end), &mean, unweighted)
+    }) {
+        second_pass.merge(&partial);
+    }
+    let (position_std_m, yaw_std_rad) = second_pass.finish(first_pass.spread_norm());
+
+    PoseEstimate {
+        pose: mean,
+        position_std_m,
+        yaw_std_rad,
+        neff: first_pass.effective_sample_size(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particle::Particle;
+    use mcl_gridmap::{EuclideanDistanceField, MapBuilder};
+    use mcl_sensor::{Beam, SensorConfig, SensorRig};
+    use rand::SeedableRng;
+
+    fn buffer(n: usize) -> ParticleBuffer<f32> {
+        (0..n)
+            .map(|i| {
+                Particle::from_pose(
+                    &Pose2::new(
+                        1.0 + (i % 13) as f32 * 0.05,
+                        1.0 + (i % 7) as f32 * 0.04,
+                        (i % 17) as f32 * 0.3,
+                    ),
+                    (1 + i % 5) as f32 / n as f32,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn motion_kernel_matches_per_particle_sampling_for_any_chunking() {
+        let model = MotionModel::new([0.05, 0.05, 0.02]);
+        let delta = MotionDelta::new(0.1, 0.02, 0.05);
+        let reference: Vec<Particle<f32>> = buffer(100)
+            .iter()
+            .enumerate()
+            .map(|(i, p)| model.sample(&p, &delta, 9, 2, i as u64))
+            .collect();
+        for workers in [1usize, 3, 8] {
+            let mut soa = buffer(100);
+            ClusterLayout::new(workers).for_each_split(soa.as_mut_slice(), |start, chunk| {
+                motion_predict(chunk, &model, &delta, 9, 2, start as u64);
+            });
+            assert_eq!(soa.to_particles(), reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn observation_kernel_fills_one_log_likelihood_per_particle() {
+        let map = MapBuilder::new(4.0, 4.0, 0.05).border_walls().build();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let model = BeamEndPointModel::new(0.3, 1.5);
+        let rig = SensorRig::front_and_rear(
+            SensorConfig::default()
+                .with_range_noise(0.0)
+                .with_interference_probability(0.0),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let beams = rig.observe(&map, &Pose2::new(1.0, 1.0, 0.0), 0.0, &mut rng);
+        let batch = BeamBatch::from_beams(&beams);
+        let particles = buffer(64);
+        let mut sequential = vec![0.0f32; 64];
+        observation_log_likelihoods(particles.as_slice(), &edt, &model, &batch, &mut sequential);
+        // Chunked execution writes exactly the same values.
+        let mut chunked = vec![0.0f32; 64];
+        ClusterLayout::GAP9.for_each_split(
+            (particles.as_slice(), chunked.as_mut_slice()),
+            |_, (chunk, out)| observation_log_likelihoods(chunk, &edt, &model, &batch, out),
+        );
+        assert_eq!(sequential, chunked);
+        // And they match the scalar model entry point.
+        for (i, &value) in sequential.iter().enumerate() {
+            let p = particles.get(i);
+            let direct = model.batch_log_likelihood(&edt, p.x, p.y, p.theta, &batch);
+            assert_eq!(value, direct);
+        }
+    }
+
+    #[test]
+    fn reweight_kernel_rescales_against_the_maximum() {
+        let mut weights = vec![0.5f32; 4];
+        let logs = [0.0f32, -1.0, -2.0, f32::NEG_INFINITY];
+        reweight(&mut weights, &logs, 0.0);
+        assert_eq!(weights[0], 0.5);
+        assert!((weights[1] - 0.5 * (-1.0f32).exp()).abs() < 1e-7);
+        assert_eq!(weights[3], 0.0);
+    }
+
+    #[test]
+    fn scatter_kernel_copies_and_stamps_uniform_weights() {
+        let source = buffer(16);
+        let mut target = buffer(16);
+        let indices: Vec<usize> = (0..16).map(|i| (i * 5) % 16).collect();
+        resample_scatter(source.as_slice(), target.as_mut_slice(), &indices, 0.25f32);
+        for (slot, &src) in indices.iter().enumerate() {
+            assert_eq!(target.x()[slot], source.x()[src]);
+            assert_eq!(target.theta()[slot], source.theta()[src]);
+            assert_eq!(target.weight()[slot], 0.25);
+        }
+    }
+
+    #[test]
+    fn pose_kernel_matches_the_aos_estimate() {
+        let particles = buffer(1000);
+        let aos = PoseEstimate::from_particles(&particles.to_particles());
+        let soa = pose_estimate(&particles, &ClusterLayout::SINGLE);
+        // Block-wise f64 reduction vs. one sequential stream: equal to float
+        // tolerance (the reductions associate differently).
+        assert!((aos.pose.x - soa.pose.x).abs() < 1e-5);
+        assert!((aos.pose.y - soa.pose.y).abs() < 1e-5);
+        assert!(angular_difference(aos.pose.theta, soa.pose.theta).abs() < 1e-5);
+        assert!((aos.position_std_m - soa.position_std_m).abs() < 1e-5);
+        assert!((aos.yaw_std_rad - soa.yaw_std_rad).abs() < 1e-5);
+        assert!((aos.neff - soa.neff).abs() < 1e-2);
+    }
+
+    #[test]
+    fn pose_kernel_is_bit_identical_across_worker_counts() {
+        // 1000 particles do not tile the 256-particle reduction blocks evenly,
+        // exercising the partial last block.
+        let particles = buffer(1000);
+        let single = pose_estimate(&particles, &ClusterLayout::SINGLE);
+        for workers in [2usize, 3, 8] {
+            let multi = pose_estimate(&particles, &ClusterLayout::new(workers));
+            assert_eq!(single.pose.x.to_bits(), multi.pose.x.to_bits());
+            assert_eq!(single.pose.y.to_bits(), multi.pose.y.to_bits());
+            assert_eq!(single.pose.theta.to_bits(), multi.pose.theta.to_bits());
+            assert_eq!(
+                single.position_std_m.to_bits(),
+                multi.position_std_m.to_bits()
+            );
+            assert_eq!(single.yaw_std_rad.to_bits(), multi.yaw_std_rad.to_bits());
+            assert_eq!(single.neff.to_bits(), multi.neff.to_bits());
+        }
+    }
+
+    #[test]
+    fn collapsed_weights_fall_back_to_the_unweighted_mean() {
+        let mut particles = buffer(10);
+        for w in particles.weight_mut() {
+            *w = 0.0;
+        }
+        let estimate = pose_estimate(&particles, &ClusterLayout::GAP9);
+        let mean_x: f32 = particles.x().iter().sum::<f32>() / 10.0;
+        assert!((estimate.pose.x - mean_x).abs() < 1e-5);
+        assert!((estimate.neff - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_batch_scores_neutrally() {
+        let map = MapBuilder::new(2.0, 2.0, 0.05).border_walls().build();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let model = BeamEndPointModel::new(0.3, 1.5);
+        let particles = buffer(4);
+        let mut out = vec![9.0f32; 4];
+        let empty = BeamBatch::from_beams(&[] as &[Beam]);
+        observation_log_likelihoods(particles.as_slice(), &edt, &model, &empty, &mut out);
+        assert_eq!(out, vec![0.0; 4]);
+    }
+}

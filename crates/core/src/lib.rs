@@ -22,6 +22,29 @@
 //! Updates are asynchronous and gated: observations are only processed after the
 //! drone moved more than `d_xy` or rotated more than `d_θ` ([`filter`]).
 //!
+//! # Kernel architecture and SoA memory layout
+//!
+//! Each of the four steps is implemented as a **batch kernel** over a particle
+//! index range ([`kernel`]): [`kernel::motion_predict`],
+//! [`kernel::observation_log_likelihoods`] + [`kernel::reweight`],
+//! [`kernel::resample_scatter`] and the [`kernel::PosePartials`] /
+//! [`kernel::SpreadPartials`] reductions behind [`kernel::pose_estimate`].
+//! [`ClusterLayout`] dispatches every kernel to its workers — each worker runs
+//! the same loop body on its contiguous slice, exactly like the 8 GAP9 cluster
+//! cores — and the counter-based RNG ([`rng::CounterRng`]) keys every random
+//! draw on `(seed, update, particle index)`, so the filter state is
+//! bit-identical for every worker count.
+//!
+//! Particles are stored as a **structure of arrays** ([`ParticleBuffer`]): four
+//! contiguous component arrays `x[]`, `y[]`, `theta[]`, `weight[]`, double
+//! buffered ([`ParticleSet`]). The byte budget is unchanged from the paper's
+//! Table I accounting — 4 scalars × 2 buffers, i.e. 32 B/particle at fp32 and
+//! 16 B/particle at binary16 ([`ParticleSet::memory_bytes`]) — only the element
+//! order differs, which is what lets each kernel stream exactly the components
+//! it touches and opens the layout to SIMD and fp16 vectorization. The
+//! observation additionally arrives pre-flattened as a
+//! [`mcl_sensor::BeamBatch`], built once per update.
+//!
 //! The memory/precision design space of the paper is captured by two generic
 //! parameters: the particle storage scalar (`f32` or binary16, see
 //! [`mcl_num::Scalar`]) and the distance-field storage
@@ -64,6 +87,7 @@
 pub mod config;
 pub mod estimate;
 pub mod filter;
+pub mod kernel;
 pub mod motion;
 pub mod observation;
 pub mod parallel;
@@ -77,7 +101,9 @@ pub use estimate::PoseEstimate;
 pub use filter::{MonteCarloLocalization, UpdateOutcome};
 pub use motion::{MotionDelta, MotionModel};
 pub use observation::BeamEndPointModel;
-pub use parallel::ClusterLayout;
-pub use particle::{Particle, ParticleSet};
+pub use parallel::{ClusterLayout, Subdivide};
+pub use particle::{Particle, ParticleBuffer, ParticleSet, ParticleSlice, ParticleSliceMut};
 pub use precision::{MapPrecision, MemoryFootprint, ParticlePrecision, PipelineConfig};
-pub use resampling::{multinomial_resample, systematic_resample, PartialSumResampler};
+pub use resampling::{
+    multinomial_resample, systematic_resample, PartialSumResampler, ResamplePlan,
+};

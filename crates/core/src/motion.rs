@@ -120,7 +120,10 @@ impl MotionModel {
         }
     }
 
-    /// Applies [`MotionModel::sample`] to a slice of particles in place.
+    /// Applies [`MotionModel::sample`] to an array-of-structs particle slice in
+    /// place. This is the AoS baseline kept for the micro-benchmarks; the
+    /// filter's hot path runs [`crate::kernel::motion_predict`] over the SoA
+    /// buffers instead, with identical per-particle math and RNG streams.
     pub fn apply<S: Scalar>(
         &self,
         particles: &mut [Particle<S>],

@@ -19,7 +19,7 @@
 use crate::particle::Particle;
 use mcl_gridmap::DistanceField;
 use mcl_num::Scalar;
-use mcl_sensor::Beam;
+use mcl_sensor::{Beam, BeamBatch};
 
 /// The beam-end-point likelihood model of Eq. 1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,6 +99,52 @@ impl BeamEndPointModel {
                 log_sum += ll;
                 used += 1;
             }
+        }
+        if used == 0 {
+            return 0.0;
+        }
+        log_sum
+    }
+
+    /// Log-likelihood of a full observation for a particle pose given as raw
+    /// `f32` components, scored against a pre-flattened [`BeamBatch`] — the
+    /// batched form of Eq. 1 the correction kernel
+    /// ([`crate::kernel::observation_log_likelihoods`]) evaluates.
+    ///
+    /// The batch stores each beam's end point in the drone *body* frame, so
+    /// scoring one particle costs a single `sin_cos` of the particle yaw plus
+    /// four multiply-adds and one distance-field lookup per beam. Rotating the
+    /// precomputed body-frame end point is mathematically identical to
+    /// [`mcl_sensor::Beam::end_point`] but associates the trigonometry
+    /// differently, so the result can differ from
+    /// [`BeamEndPointModel::observation_log_likelihood`] in the last ulp.
+    ///
+    /// Beams at or beyond `r_max` are skipped exactly like the per-beam path;
+    /// when every beam is skipped the method returns 0.0 (likelihood 1).
+    pub fn batch_log_likelihood<D: DistanceField + ?Sized>(
+        &self,
+        field: &D,
+        x: f32,
+        y: f32,
+        theta: f32,
+        batch: &BeamBatch,
+    ) -> f32 {
+        let (sin_t, cos_t) = theta.sin_cos();
+        let mut log_sum = 0.0f32;
+        let mut used = 0usize;
+        let end_x = batch.end_x_body();
+        let end_y = batch.end_y_body();
+        for (i, &range) in batch.range_m().iter().enumerate() {
+            if range >= self.r_max {
+                continue;
+            }
+            let bx = end_x[i];
+            let by = end_y[i];
+            let ex = x + cos_t * bx - sin_t * by;
+            let ey = y + sin_t * bx + cos_t * by;
+            let edt = field.distance_at_world(ex, ey).min(self.r_max);
+            log_sum += self.log_normalizer - (edt * edt) / (2.0 * self.sigma_obs * self.sigma_obs);
+            used += 1;
         }
         if used == 0 {
             return 0.0;
@@ -291,6 +337,37 @@ mod tests {
                 "quantized likelihood deviates: {full} vs {quant}"
             );
         }
+    }
+
+    #[test]
+    fn batch_scoring_matches_the_per_beam_path() {
+        let map = room();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let model = BeamEndPointModel::new(0.3, 1.5);
+        let truth = Pose2::new(1.3, 2.1, 0.8);
+        let beams = beams_at(&map, &truth);
+        let batch = BeamBatch::from_beams(&beams);
+        for pose in [truth, Pose2::new(2.0, 2.0, 0.0), Pose2::new(3.0, 1.0, 2.0)] {
+            let per_beam = model.observation_log_likelihood(&edt, &pose, &beams);
+            let batched = model.batch_log_likelihood(&edt, pose.x, pose.y, pose.theta, &batch);
+            // The two paths associate the beam trigonometry differently, so
+            // agreement is to float tolerance, not bit-exact.
+            assert!(
+                (per_beam - batched).abs() <= 1e-3 * per_beam.abs().max(1.0),
+                "batch path diverged: {per_beam} vs {batched}"
+            );
+        }
+        // All beams beyond r_max → neutral likelihood, like the per-beam path.
+        let far = Beam {
+            azimuth_body_rad: 0.0,
+            range_m: 2.0,
+            origin_body: Pose2::default(),
+        };
+        let far_batch = BeamBatch::from_beams(&[far]);
+        assert_eq!(
+            model.batch_log_likelihood(&edt, 2.0, 2.0, 0.0, &far_batch),
+            0.0
+        );
     }
 
     #[test]

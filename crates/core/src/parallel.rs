@@ -3,18 +3,103 @@
 //! On GAP9 the four MCL steps are distributed over the 8 worker cores of the
 //! compute cluster (a ninth core orchestrates). This module reproduces that
 //! execution shape on the host with `std::thread::scope`: particles are
-//! split into one contiguous chunk per worker, each worker processes its chunk
-//! independently, and the per-particle counter-based RNG guarantees that the
-//! result is bit-identical to sequential execution — a property the integration
-//! tests rely on (and which the real firmware needs so single-core and multi-core
-//! builds are interchangeable).
+//! split into one contiguous chunk per worker, each worker runs the same kernel
+//! on its chunk independently, and the per-particle counter-based RNG guarantees
+//! that the result is bit-identical to sequential execution — a property the
+//! integration tests rely on (and which the real firmware needs so single-core
+//! and multi-core builds are interchangeable).
+//!
+//! The unit of distribution is anything implementing [`Subdivide`]: plain
+//! slices, the structure-of-arrays particle views
+//! ([`crate::particle::ParticleSlice`] / [`crate::particle::ParticleSliceMut`]),
+//! or pairs of both (a particle chunk zipped with its output chunk). The
+//! [`crate::kernel`] module provides the per-chunk bodies.
 //!
 //! The wall-clock speedups measured on the host by the Criterion benches are
 //! *not* the paper's numbers (different silicon); the GAP9 latency figures of
 //! Table I and Fig. 10 come from the analytic cost model in `mcl-gap9`, which
 //! uses the same chunking and the same resampling critical path as this module.
 
+use crate::particle::{ParticleSlice, ParticleSliceMut};
+use mcl_num::Scalar;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Number of hardware threads the host actually has. Worker counts above this
+/// model GAP9 semantics (chunk shapes, resampling plans) but gain nothing from
+/// extra OS threads, so the dispatchers cap their spawn fan-out here. Cached:
+/// the hot path asks on every kernel dispatch.
+fn host_parallelism() -> usize {
+    static HOST: OnceLock<usize> = OnceLock::new();
+    *HOST.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// A contiguous collection that can be split at an index — the shape a worker
+/// chunk is cut from. Implemented for shared/mutable slices, the SoA particle
+/// views and pairs of subdividable collections (which split at the same index,
+/// e.g. a particle chunk zipped with its per-particle output chunk).
+pub trait Subdivide: Sized {
+    /// Number of items in the collection.
+    fn subdivide_len(&self) -> usize;
+    /// Splits into `[0, mid)` and `[mid, len)`.
+    fn subdivide_at(self, mid: usize) -> (Self, Self);
+}
+
+impl<T> Subdivide for &[T] {
+    fn subdivide_len(&self) -> usize {
+        self.len()
+    }
+    fn subdivide_at(self, mid: usize) -> (Self, Self) {
+        self.split_at(mid)
+    }
+}
+
+impl<T> Subdivide for &mut [T] {
+    fn subdivide_len(&self) -> usize {
+        self.len()
+    }
+    fn subdivide_at(self, mid: usize) -> (Self, Self) {
+        self.split_at_mut(mid)
+    }
+}
+
+impl<S: Scalar> Subdivide for ParticleSlice<'_, S> {
+    fn subdivide_len(&self) -> usize {
+        self.len()
+    }
+    fn subdivide_at(self, mid: usize) -> (Self, Self) {
+        self.split_at(mid)
+    }
+}
+
+impl<S: Scalar> Subdivide for ParticleSliceMut<'_, S> {
+    fn subdivide_len(&self) -> usize {
+        self.len()
+    }
+    fn subdivide_at(self, mid: usize) -> (Self, Self) {
+        self.split_at_mut(mid)
+    }
+}
+
+impl<A: Subdivide, B: Subdivide> Subdivide for (A, B) {
+    fn subdivide_len(&self) -> usize {
+        debug_assert_eq!(
+            self.0.subdivide_len(),
+            self.1.subdivide_len(),
+            "paired collections must have equal length"
+        );
+        self.0.subdivide_len()
+    }
+    fn subdivide_at(self, mid: usize) -> (Self, Self) {
+        let (a0, a1) = self.0.subdivide_at(mid);
+        let (b0, b1) = self.1.subdivide_at(mid);
+        ((a0, b0), (a1, b1))
+    }
+}
 
 /// How particles are distributed over worker cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,67 +129,99 @@ impl ClusterLayout {
         self.workers
     }
 
-    /// The contiguous `(start, end)` chunk of each worker for `n` items;
-    /// chunks are as even as possible and cover `0..n` exactly.
-    pub fn chunks(&self, n: usize) -> Vec<(usize, usize)> {
-        let workers = self.workers.min(n.max(1));
-        let chunk = n.div_ceil(workers);
-        (0..workers)
-            .map(|w| (w * chunk, ((w + 1) * chunk).min(n)))
-            .filter(|(s, e)| s <= e)
-            .collect()
+    /// Chunk size used for `n` items: `⌈n / workers⌉` (capped at `n`).
+    fn chunk_size(&self, n: usize) -> usize {
+        n.div_ceil(self.workers.min(n.max(1)))
     }
 
-    /// Runs `work` on every chunk of `items`, in parallel when more than one
-    /// worker is configured. `work` receives the chunk's start index (needed to
-    /// derive per-particle RNG streams) and the mutable chunk itself.
-    pub fn for_each_chunk<T, F>(&self, items: &mut [T], work: F)
+    /// The contiguous `(start, end)` chunk of each worker for `n` items;
+    /// chunks are as even as possible and cover `0..n` exactly. Returns a lazy
+    /// iterator — the hot loop calls this every predict/update, so no `Vec` is
+    /// allocated.
+    pub fn chunks(self, n: usize) -> impl Iterator<Item = (usize, usize)> {
+        let chunk = self.chunk_size(n);
+        let used_workers = if n == 0 { 0 } else { n.div_ceil(chunk) };
+        (0..used_workers).map(move |w| (w * chunk, ((w + 1) * chunk).min(n)))
+    }
+
+    /// Runs `work` on every worker chunk of `items`, in parallel when more than
+    /// one worker is configured. `work` receives the chunk's start index (needed
+    /// to derive per-particle RNG streams) and the chunk itself.
+    ///
+    /// Chunk boundaries are an execution detail, not a contract: the kernels
+    /// dispatched here key every random draw and every output slot on the
+    /// *global* index, so any split produces identical results. The dispatcher
+    /// exploits that by spawning at most `available_parallelism()` OS threads —
+    /// modelling 8 GAP9 workers on a smaller host does not pay for threads the
+    /// hardware cannot run — and by executing the first chunk on the calling
+    /// thread.
+    pub fn for_each_split<C, F>(&self, items: C, work: F)
     where
-        T: Send,
-        F: Fn(usize, &mut [T]) + Send + Sync,
+        C: Subdivide + Send,
+        F: Fn(usize, C) + Send + Sync,
     {
-        let n = items.len();
+        let n = items.subdivide_len();
         if n == 0 {
             return;
         }
-        if self.workers == 1 {
+        let threads = self.workers.min(host_parallelism()).min(n);
+        if threads == 1 {
             work(0, items);
             return;
         }
-        let chunk = n.div_ceil(self.workers.min(n));
+        let chunk = n.div_ceil(threads);
         std::thread::scope(|scope| {
-            for (w, slice) in items.chunks_mut(chunk).enumerate() {
-                let work = &work;
-                scope.spawn(move || work(w * chunk, slice));
+            let mut rest = items;
+            let mut start = 0usize;
+            let mut own: Option<(usize, C)> = None;
+            while start < n {
+                let take = chunk.min(n - start);
+                let (mine, remaining) = rest.subdivide_at(take);
+                rest = remaining;
+                if own.is_none() {
+                    own = Some((start, mine));
+                } else {
+                    let work = &work;
+                    let chunk_start = start;
+                    scope.spawn(move || work(chunk_start, mine));
+                }
+                start += take;
+            }
+            if let Some((chunk_start, mine)) = own {
+                work(chunk_start, mine);
             }
         });
     }
 
-    /// Runs `work` on every chunk and collects one result per chunk, in chunk
-    /// order. Used for the per-chunk partial weight sums of the resampling step.
-    pub fn map_chunks<T, R, F>(&self, items: &[T], work: F) -> Vec<R>
+    /// Runs `work` on every worker chunk and collects one result per chunk, in
+    /// chunk order. Used for the per-chunk partial sums of the reduction steps.
+    pub fn map_split<C, R, F>(&self, items: C, work: F) -> Vec<R>
     where
-        T: Sync,
+        C: Subdivide + Send,
         R: Send,
-        F: Fn(usize, &[T]) -> R + Send + Sync,
+        F: Fn(usize, C) -> R + Send + Sync,
     {
-        let n = items.len();
+        let n = items.subdivide_len();
         if n == 0 {
             return Vec::new();
         }
         if self.workers == 1 {
             return vec![work(0, items)];
         }
-        let chunk = n.div_ceil(self.workers.min(n));
+        let chunk = self.chunk_size(n);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = items
-                .chunks(chunk)
-                .enumerate()
-                .map(|(w, slice)| {
-                    let work = &work;
-                    scope.spawn(move || work(w * chunk, slice))
-                })
-                .collect();
+            let mut handles = Vec::with_capacity(self.workers);
+            let mut rest = items;
+            let mut start = 0usize;
+            while start < n {
+                let take = chunk.min(n - start);
+                let (mine, remaining) = rest.subdivide_at(take);
+                rest = remaining;
+                let work = &work;
+                let chunk_start = start;
+                handles.push(scope.spawn(move || work(chunk_start, mine)));
+                start += take;
+            }
             handles
                 .into_iter()
                 .map(|h| h.join().expect("cluster worker panicked"))
@@ -112,8 +229,171 @@ impl ClusterLayout {
         })
     }
 
+    /// Runs `work` on explicitly sized contiguous pieces of `items` — one per
+    /// `(start, end)` range — in parallel. The ranges must be contiguous,
+    /// disjoint, ordered and cover `0..len` exactly; this is the shape of a
+    /// [`crate::resampling::ResamplePlan`]'s per-worker output ranges, whose
+    /// sizes the weight distribution (not the layout) dictates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ranges do not tile `0..len`.
+    pub fn for_each_range<C, F>(&self, items: C, ranges: &[(usize, usize)], work: F)
+    where
+        C: Subdivide + Send,
+        F: Fn(usize, C) + Send + Sync,
+    {
+        // Invokes `work` once per non-empty range of a contiguous run.
+        fn run_ranges<C: Subdivide, F: Fn(usize, C)>(
+            mut piece: C,
+            ranges: &[(usize, usize)],
+            work: &F,
+        ) {
+            for &(start, end) in ranges {
+                let (mine, rest) = piece.subdivide_at(end - start);
+                piece = rest;
+                if mine.subdivide_len() > 0 {
+                    work(start, mine);
+                }
+            }
+        }
+
+        let n = items.subdivide_len();
+        // Validate the tiling up front so the contract holds on every path,
+        // including the single-worker shortcut below.
+        let mut consumed = 0usize;
+        for &(start, end) in ranges {
+            assert_eq!(start, consumed, "ranges must be contiguous");
+            assert!(end >= start, "ranges must not be inverted");
+            consumed = end;
+        }
+        assert_eq!(consumed, n, "ranges must cover the collection exactly");
+        // Like for_each_split, the thread fan-out is capped by the host's real
+        // parallelism; the per-range `work` invocations (the plan's semantic
+        // decomposition) are preserved regardless.
+        let threads = self.workers.min(host_parallelism()).min(ranges.len());
+        if ranges.len() <= 1 || threads <= 1 {
+            if n > 0 {
+                run_ranges(items, ranges, &work);
+            }
+            return;
+        }
+        // Group consecutive ranges into at most `threads` contiguous groups of
+        // roughly equal item counts; the first group runs on the calling
+        // thread while the spawned groups proceed.
+        let quota = n.div_ceil(threads).max(1);
+        std::thread::scope(|scope| {
+            let mut rest = items;
+            let mut own: Option<(C, &[(usize, usize)])> = None;
+            let mut i = 0usize;
+            while i < ranges.len() {
+                let group_first = i;
+                let group_begin = ranges[i].0;
+                let mut group_items = 0usize;
+                while i < ranges.len() && group_items < quota {
+                    group_items += ranges[i].1 - ranges[i].0;
+                    i += 1;
+                }
+                let group_end = ranges[i - 1].1;
+                let (mine, remaining) = rest.subdivide_at(group_end - group_begin);
+                rest = remaining;
+                let group = &ranges[group_first..i];
+                if own.is_none() {
+                    own = Some((mine, group));
+                } else {
+                    let work = &work;
+                    scope.spawn(move || run_ranges(mine, group, work));
+                }
+            }
+            if let Some((mine, group)) = own {
+                run_ranges(mine, group, &work);
+            }
+        });
+    }
+
+    /// Reduces `0..n` in fixed-size blocks: `reduce` maps each `(start, end)`
+    /// block to a partial result, blocks are distributed over the workers, and
+    /// the partials are returned **in block order** regardless of which worker
+    /// produced them. Because the block boundaries depend only on `block_size`
+    /// (not on the worker count), folding the returned partials in order gives
+    /// bit-identical reductions for every [`ClusterLayout`] — the property the
+    /// pose-computation kernel needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block_size` is zero.
+    pub fn map_index_blocks<R, F>(&self, n: usize, block_size: usize, reduce: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, usize) -> R + Send + Sync,
+    {
+        assert!(block_size > 0, "block_size must be positive");
+        let blocks = n.div_ceil(block_size);
+        if blocks == 0 {
+            return Vec::new();
+        }
+        let block_range = |b: usize| (b * block_size, ((b + 1) * block_size).min(n));
+        let threads = self.workers.min(host_parallelism()).min(blocks);
+        if threads == 1 {
+            return (0..blocks)
+                .map(|b| {
+                    let (s, e) = block_range(b);
+                    reduce(s, e)
+                })
+                .collect();
+        }
+        // Each worker owns a contiguous run of blocks; partials are collected
+        // per worker and concatenated, restoring global block order.
+        let per_worker = blocks.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..blocks.div_ceil(per_worker))
+                .map(|w| {
+                    let first = w * per_worker;
+                    let last = ((w + 1) * per_worker).min(blocks);
+                    let reduce = &reduce;
+                    scope.spawn(move || {
+                        (first..last)
+                            .map(|b| {
+                                let (s, e) = block_range(b);
+                                reduce(s, e)
+                            })
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("cluster worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Runs `work` on every chunk of a mutable slice (compatibility wrapper over
+    /// [`ClusterLayout::for_each_split`]).
+    pub fn for_each_chunk<T, F>(&self, items: &mut [T], work: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Send + Sync,
+    {
+        self.for_each_split(items, work);
+    }
+
+    /// Runs `work` on every chunk of a shared slice and collects one result per
+    /// chunk, in chunk order (compatibility wrapper over
+    /// [`ClusterLayout::map_split`]).
+    pub fn map_chunks<T, R, F>(&self, items: &[T], work: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Send + Sync,
+    {
+        self.map_split(items, work)
+    }
+
     /// Scatters `source[indices[i]]` into `target[i]` for the output ranges of a
-    /// resampling plan, one range per worker.
+    /// resampling plan, one range per worker. This is the array-of-structs
+    /// variant kept as the benchmark baseline; the filter scatters through the
+    /// SoA [`crate::kernel::resample_scatter`] kernel.
     pub fn scatter_resample<T>(
         &self,
         source: &[T],
@@ -124,28 +404,9 @@ impl ClusterLayout {
         T: Copy + Send + Sync,
     {
         assert_eq!(target.len(), indices.len());
-        if self.workers == 1 || ranges.len() <= 1 {
-            for (i, &src) in indices.iter().enumerate() {
-                target[i] = source[src];
-            }
-            return;
-        }
-        // Split the target into the per-worker output ranges; they are contiguous
-        // and disjoint, so safe to hand each to its own thread.
-        std::thread::scope(|scope| {
-            let mut remaining = target;
-            let mut consumed = 0usize;
-            for &(start, end) in ranges {
-                debug_assert_eq!(start, consumed, "ranges must be contiguous");
-                let (mine, rest) = remaining.split_at_mut(end - start);
-                remaining = rest;
-                consumed = end;
-                let indices = &indices[start..end];
-                scope.spawn(move || {
-                    for (offset, &src) in indices.iter().enumerate() {
-                        mine[offset] = source[src];
-                    }
-                });
+        self.for_each_range((target, indices), ranges, |_, (chunk, idx)| {
+            for (slot, &src) in chunk.iter_mut().zip(idx.iter()) {
+                *slot = source[src];
             }
         });
     }
@@ -159,14 +420,24 @@ mod tests {
     fn chunks_cover_the_range_exactly() {
         let layout = ClusterLayout::new(8);
         for n in [0usize, 1, 7, 8, 9, 64, 1000, 4096] {
-            let chunks = layout.chunks(n);
             let mut covered = 0usize;
-            for (s, e) in &chunks {
-                assert_eq!(*s, covered);
-                covered = *e;
+            for (s, e) in layout.chunks(n) {
+                assert_eq!(s, covered);
+                covered = e;
             }
             assert_eq!(covered, n, "n={n}");
         }
+    }
+
+    #[test]
+    fn chunks_iterator_is_lazy_and_allocation_free() {
+        // The iterator yields at most `workers` chunks without collecting.
+        let layout = ClusterLayout::GAP9;
+        assert_eq!(layout.chunks(4096).count(), 8);
+        assert_eq!(layout.chunks(3).count(), 3);
+        assert_eq!(layout.chunks(0).count(), 0);
+        let first = layout.chunks(4096).next().unwrap();
+        assert_eq!(first, (0, 512));
     }
 
     #[test]
@@ -196,6 +467,58 @@ mod tests {
     }
 
     #[test]
+    fn paired_collections_split_together() {
+        let values: Vec<u32> = (0..64).collect();
+        let mut doubled = vec![0u32; 64];
+        ClusterLayout::new(4).for_each_split(
+            (doubled.as_mut_slice(), values.as_slice()),
+            |_, (out, input)| {
+                for (o, &v) in out.iter_mut().zip(input.iter()) {
+                    *o = v * 2;
+                }
+            },
+        );
+        assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as u32));
+    }
+
+    #[test]
+    fn for_each_range_respects_uneven_ranges() {
+        let mut out = vec![0usize; 20];
+        let ranges = [(0usize, 3usize), (3, 3), (3, 17), (17, 20)];
+        ClusterLayout::new(4).for_each_range(out.as_mut_slice(), &ranges, |start, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = start + i;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn for_each_range_rejects_gaps() {
+        let mut out = vec![0u8; 8];
+        ClusterLayout::new(2).for_each_range(out.as_mut_slice(), &[(0, 3), (4, 8)], |_, _| {});
+    }
+
+    #[test]
+    fn map_index_blocks_is_worker_count_invariant() {
+        // Partials must come back in block order for every layout, so an
+        // order-sensitive fold (here: f64 summation) is bit-identical.
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        let reduce = |s: usize, e: usize| values[s..e].iter().sum::<f64>();
+        let fold = |partials: Vec<f64>| partials.into_iter().fold(0.0f64, |a, b| a + b);
+        let single = fold(ClusterLayout::SINGLE.map_index_blocks(1000, 64, reduce));
+        let three = fold(ClusterLayout::new(3).map_index_blocks(1000, 64, reduce));
+        let eight = fold(ClusterLayout::GAP9.map_index_blocks(1000, 64, reduce));
+        assert_eq!(single.to_bits(), three.to_bits());
+        assert_eq!(single.to_bits(), eight.to_bits());
+        assert_eq!(
+            ClusterLayout::GAP9.map_index_blocks(1000, 64, reduce).len(),
+            1000usize.div_ceil(64)
+        );
+    }
+
+    #[test]
     fn scatter_resample_matches_sequential_gather() {
         let source: Vec<u32> = (0..64).map(|i| i * 3).collect();
         let indices: Vec<usize> = (0..64).map(|i| (i * 7) % 64).collect();
@@ -216,6 +539,9 @@ mod tests {
         ClusterLayout::GAP9.for_each_chunk(&mut empty, |_, _| panic!("must not be called"));
         let results = ClusterLayout::GAP9.map_chunks(&empty, |_, _: &[u8]| 1u8);
         assert!(results.is_empty());
+        assert!(ClusterLayout::GAP9
+            .map_index_blocks(0, 16, |_, _| 1u8)
+            .is_empty());
     }
 
     #[test]

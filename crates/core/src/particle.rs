@@ -1,4 +1,4 @@
-//! Particles and the double-buffered particle set.
+//! Particles and the double-buffered, structure-of-arrays particle storage.
 //!
 //! A particle is a pose hypothesis plus an importance weight. The paper stores
 //! four numbers per particle (x, y, yaw, weight) in either full (`f32`, 16 B) or
@@ -6,6 +6,21 @@
 //! resampling reads the old particle set while writing the new one — hence
 //! 32 B/particle (fp32) or 16 B/particle (fp16) in the paper's memory accounting,
 //! which [`ParticleSet::memory_bytes`] reproduces.
+//!
+//! # Memory layout
+//!
+//! The population is stored as a **structure of arrays** ([`ParticleBuffer`]):
+//! four contiguous arrays `x[]`, `y[]`, `theta[]`, `weight[]` instead of one
+//! array of 4-field structs. This is how the GAP9 firmware lays the particles
+//! out in L1/L2: each of the four MCL kernels ([`crate::kernel`]) streams
+//! through exactly the components it needs (the resampler's weight walk touches
+//! only `weight[]`, one cache line per 16 fp32 weights instead of one per 4
+//! AoS particles), and the layout is what SIMD/fp16-vectorization PRs need.
+//! The byte count is identical to the AoS layout — Table I's accounting
+//! (4 scalars × 2 buffers) is preserved, only the ordering changes.
+//!
+//! [`Particle`] remains as a point-of-use value type: kernels and tests gather
+//! one particle out of the arrays, operate on it, and scatter it back.
 
 use crate::config::MclError;
 use crate::rng::CounterRng;
@@ -52,11 +67,300 @@ impl<S: Scalar> Particle<S> {
     }
 }
 
-/// The double-buffered particle population.
+/// Structure-of-arrays storage for one particle generation: four contiguous
+/// component arrays of equal length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParticleBuffer<S: Scalar> {
+    x: Vec<S>,
+    y: Vec<S>,
+    theta: Vec<S>,
+    weight: Vec<S>,
+}
+
+impl<S: Scalar> Default for ParticleBuffer<S> {
+    fn default() -> Self {
+        ParticleBuffer::with_capacity(0)
+    }
+}
+
+impl<S: Scalar> ParticleBuffer<S> {
+    /// An empty buffer with capacity for `n` particles per component.
+    pub fn with_capacity(n: usize) -> Self {
+        ParticleBuffer {
+            x: Vec::with_capacity(n),
+            y: Vec::with_capacity(n),
+            theta: Vec::with_capacity(n),
+            weight: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of particles in the buffer.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Returns `true` when the buffer holds no particles.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Removes all particles, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.x.clear();
+        self.y.clear();
+        self.theta.clear();
+        self.weight.clear();
+    }
+
+    /// Appends one particle.
+    pub fn push(&mut self, p: Particle<S>) {
+        self.x.push(p.x);
+        self.y.push(p.y);
+        self.theta.push(p.theta);
+        self.weight.push(p.weight);
+    }
+
+    /// Gathers particle `i` out of the four arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn get(&self, i: usize) -> Particle<S> {
+        Particle {
+            x: self.x[i],
+            y: self.y[i],
+            theta: self.theta[i],
+            weight: self.weight[i],
+        }
+    }
+
+    /// Scatters `p` into slot `i` of the four arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn set(&mut self, i: usize, p: Particle<S>) {
+        self.x[i] = p.x;
+        self.y[i] = p.y;
+        self.theta[i] = p.theta;
+        self.weight[i] = p.weight;
+    }
+
+    /// The pose of particle `i` in `f32`.
+    pub fn pose(&self, i: usize) -> Pose2 {
+        self.get(i).pose()
+    }
+
+    /// The `x` component array.
+    pub fn x(&self) -> &[S] {
+        &self.x
+    }
+
+    /// The `y` component array.
+    pub fn y(&self) -> &[S] {
+        &self.y
+    }
+
+    /// The `theta` component array.
+    pub fn theta(&self) -> &[S] {
+        &self.theta
+    }
+
+    /// The `weight` component array.
+    pub fn weight(&self) -> &[S] {
+        &self.weight
+    }
+
+    /// Mutable access to the `weight` component array.
+    pub fn weight_mut(&mut self) -> &mut [S] {
+        &mut self.weight
+    }
+
+    /// A shared view over all four component arrays.
+    pub fn as_slice(&self) -> ParticleSlice<'_, S> {
+        ParticleSlice {
+            x: &self.x,
+            y: &self.y,
+            theta: &self.theta,
+            weight: &self.weight,
+        }
+    }
+
+    /// A mutable view over all four component arrays.
+    pub fn as_mut_slice(&mut self) -> ParticleSliceMut<'_, S> {
+        ParticleSliceMut {
+            x: &mut self.x,
+            y: &mut self.y,
+            theta: &mut self.theta,
+            weight: &mut self.weight,
+        }
+    }
+
+    /// Iterates over the particles as gathered [`Particle`] values.
+    pub fn iter(&self) -> impl Iterator<Item = Particle<S>> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Gathers the whole buffer into an array-of-structs `Vec` (tests, metrics
+    /// and compatibility with the AoS [`Particle`] API).
+    pub fn to_particles(&self) -> Vec<Particle<S>> {
+        self.iter().collect()
+    }
+
+    /// Bytes of particle storage this buffer accounts for: 4 scalars per
+    /// particle, counting reserved capacity like the firmware's static arrays.
+    pub fn storage_bytes(&self) -> usize {
+        self.x.capacity().max(self.len()) * Particle::<S>::bytes()
+    }
+}
+
+impl<S: Scalar> FromIterator<Particle<S>> for ParticleBuffer<S> {
+    fn from_iter<I: IntoIterator<Item = Particle<S>>>(iter: I) -> Self {
+        let mut buffer = ParticleBuffer::default();
+        for p in iter {
+            buffer.push(p);
+        }
+        buffer
+    }
+}
+
+/// A shared view over the four component arrays of a particle range.
+#[derive(Debug, Clone, Copy)]
+pub struct ParticleSlice<'a, S: Scalar> {
+    /// X positions, metres.
+    pub x: &'a [S],
+    /// Y positions, metres.
+    pub y: &'a [S],
+    /// Yaw angles, radians.
+    pub theta: &'a [S],
+    /// Importance weights.
+    pub weight: &'a [S],
+}
+
+impl<'a, S: Scalar> ParticleSlice<'a, S> {
+    /// Number of particles in the view.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Returns `true` when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Gathers particle `i` of the view.
+    pub fn get(&self, i: usize) -> Particle<S> {
+        Particle {
+            x: self.x[i],
+            y: self.y[i],
+            theta: self.theta[i],
+            weight: self.weight[i],
+        }
+    }
+
+    /// Splits the view into `[0, mid)` and `[mid, len)`.
+    pub fn split_at(self, mid: usize) -> (ParticleSlice<'a, S>, ParticleSlice<'a, S>) {
+        let (xa, xb) = self.x.split_at(mid);
+        let (ya, yb) = self.y.split_at(mid);
+        let (ta, tb) = self.theta.split_at(mid);
+        let (wa, wb) = self.weight.split_at(mid);
+        (
+            ParticleSlice {
+                x: xa,
+                y: ya,
+                theta: ta,
+                weight: wa,
+            },
+            ParticleSlice {
+                x: xb,
+                y: yb,
+                theta: tb,
+                weight: wb,
+            },
+        )
+    }
+}
+
+/// A mutable view over the four component arrays of a particle range.
+#[derive(Debug)]
+pub struct ParticleSliceMut<'a, S: Scalar> {
+    /// X positions, metres.
+    pub x: &'a mut [S],
+    /// Y positions, metres.
+    pub y: &'a mut [S],
+    /// Yaw angles, radians.
+    pub theta: &'a mut [S],
+    /// Importance weights.
+    pub weight: &'a mut [S],
+}
+
+impl<'a, S: Scalar> ParticleSliceMut<'a, S> {
+    /// Number of particles in the view.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Returns `true` when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Gathers particle `i` of the view.
+    pub fn get(&self, i: usize) -> Particle<S> {
+        Particle {
+            x: self.x[i],
+            y: self.y[i],
+            theta: self.theta[i],
+            weight: self.weight[i],
+        }
+    }
+
+    /// Scatters `p` into slot `i` of the view.
+    pub fn set(&mut self, i: usize, p: Particle<S>) {
+        self.x[i] = p.x;
+        self.y[i] = p.y;
+        self.theta[i] = p.theta;
+        self.weight[i] = p.weight;
+    }
+
+    /// Reborrows the view with a shorter lifetime.
+    pub fn reborrow(&mut self) -> ParticleSliceMut<'_, S> {
+        ParticleSliceMut {
+            x: self.x,
+            y: self.y,
+            theta: self.theta,
+            weight: self.weight,
+        }
+    }
+
+    /// Splits the view into `[0, mid)` and `[mid, len)`.
+    pub fn split_at_mut(self, mid: usize) -> (ParticleSliceMut<'a, S>, ParticleSliceMut<'a, S>) {
+        let (xa, xb) = self.x.split_at_mut(mid);
+        let (ya, yb) = self.y.split_at_mut(mid);
+        let (ta, tb) = self.theta.split_at_mut(mid);
+        let (wa, wb) = self.weight.split_at_mut(mid);
+        (
+            ParticleSliceMut {
+                x: xa,
+                y: ya,
+                theta: ta,
+                weight: wa,
+            },
+            ParticleSliceMut {
+                x: xb,
+                y: yb,
+                theta: tb,
+                weight: wb,
+            },
+        )
+    }
+}
+
+/// The double-buffered particle population (structure-of-arrays storage).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParticleSet<S: Scalar> {
-    particles: Vec<Particle<S>>,
-    scratch: Vec<Particle<S>>,
+    current: ParticleBuffer<S>,
+    scratch: ParticleBuffer<S>,
     initialized: bool,
 }
 
@@ -71,20 +375,20 @@ impl<S: Scalar> ParticleSet<S> {
             return Err(MclError::InvalidConfig("num_particles must be > 0"));
         }
         Ok(ParticleSet {
-            particles: Vec::with_capacity(n),
-            scratch: Vec::with_capacity(n),
+            current: ParticleBuffer::with_capacity(n),
+            scratch: ParticleBuffer::with_capacity(n),
             initialized: false,
         })
     }
 
     /// Number of particles currently in the set (0 before initialization).
     pub fn len(&self) -> usize {
-        self.particles.len()
+        self.current.len()
     }
 
     /// Returns `true` before initialization.
     pub fn is_empty(&self) -> bool {
-        self.particles.is_empty()
+        self.current.is_empty()
     }
 
     /// Returns `true` once the set has been initialized.
@@ -92,27 +396,38 @@ impl<S: Scalar> ParticleSet<S> {
         self.initialized
     }
 
-    /// Read access to the particles.
-    pub fn particles(&self) -> &[Particle<S>] {
-        &self.particles
+    /// Read access to the current particle generation.
+    pub fn current(&self) -> &ParticleBuffer<S> {
+        &self.current
     }
 
-    /// Mutable access to the particles (used by the motion / observation steps).
-    pub fn particles_mut(&mut self) -> &mut [Particle<S>] {
-        &mut self.particles
+    /// Mutable access to the current generation (used by the motion /
+    /// observation kernels).
+    pub fn current_mut(&mut self) -> &mut ParticleBuffer<S> {
+        &mut self.current
     }
 
     /// Both buffers at once: `(current, scratch)`. The resampler writes the new
     /// generation into `scratch`, then [`ParticleSet::swap_buffers`] makes it
     /// current — exactly the double-buffering scheme the paper accounts 2× the
     /// particle memory for.
-    pub fn buffers_mut(&mut self) -> (&mut [Particle<S>], &mut [Particle<S>]) {
-        (&mut self.particles, &mut self.scratch)
+    pub fn buffers_mut(&mut self) -> (&mut ParticleBuffer<S>, &mut ParticleBuffer<S>) {
+        (&mut self.current, &mut self.scratch)
     }
 
     /// Swaps the current and scratch buffers after a resampling pass.
     pub fn swap_buffers(&mut self) {
-        core::mem::swap(&mut self.particles, &mut self.scratch);
+        core::mem::swap(&mut self.current, &mut self.scratch);
+    }
+
+    /// Iterates over the current generation as [`Particle`] values.
+    pub fn iter(&self) -> impl Iterator<Item = Particle<S>> + '_ {
+        self.current.iter()
+    }
+
+    /// Gathers the current generation into an array-of-structs `Vec`.
+    pub fn to_particles(&self) -> Vec<Particle<S>> {
+        self.current.to_particles()
     }
 
     /// Initializes the set with `n` particles drawn uniformly over the free cells
@@ -135,7 +450,7 @@ impl<S: Scalar> ParticleSet<S> {
             return Err(MclError::NoFreeSpace);
         }
         let weight = 1.0 / n as f32;
-        self.particles.clear();
+        self.current.clear();
         for i in 0..n {
             let mut rng = CounterRng::for_particle(seed, u64::MAX - 1, i as u64);
             let cell = free[(rng.next_u64() % free.len() as u64) as usize];
@@ -147,9 +462,9 @@ impl<S: Scalar> ParticleSet<S> {
                 centre.y + rng.uniform_range(-half, half),
                 rng.uniform_range(0.0, core::f32::consts::TAU),
             );
-            self.particles.push(Particle::from_pose(&pose, weight));
+            self.current.push(Particle::from_pose(&pose, weight));
         }
-        self.scratch = self.particles.clone();
+        self.scratch = self.current.clone();
         self.initialized = true;
         Ok(())
     }
@@ -169,7 +484,7 @@ impl<S: Scalar> ParticleSet<S> {
             return Err(MclError::InvalidConfig("num_particles must be > 0"));
         }
         let weight = 1.0 / n as f32;
-        self.particles.clear();
+        self.current.clear();
         for i in 0..n {
             let mut rng = CounterRng::for_particle(seed, u64::MAX - 2, i as u64);
             let p = Pose2::new(
@@ -177,16 +492,17 @@ impl<S: Scalar> ParticleSet<S> {
                 rng.normal(pose.y, std_xy),
                 rng.normal(pose.theta, std_theta),
             );
-            self.particles.push(Particle::from_pose(&p, weight));
+            self.current.push(Particle::from_pose(&p, weight));
         }
-        self.scratch = self.particles.clone();
+        self.scratch = self.current.clone();
         self.initialized = true;
         Ok(())
     }
 
-    /// Sum of all weights (in `f32`).
+    /// Sum of all weights (in `f32`, summed in storage order like the firmware's
+    /// sequential normalization pass).
     pub fn weight_sum(&self) -> f32 {
-        self.particles.iter().map(|p| p.weight.to_f32()).sum()
+        self.current.weight.iter().map(|w| w.to_f32()).sum()
     }
 
     /// Normalizes the weights to sum to one. If the sum has collapsed to zero
@@ -195,24 +511,25 @@ impl<S: Scalar> ParticleSet<S> {
     pub fn normalize_weights(&mut self) {
         let sum = self.weight_sum();
         if sum <= f32::MIN_POSITIVE {
-            let uniform = S::from_f32(1.0 / self.particles.len().max(1) as f32);
-            for p in &mut self.particles {
-                p.weight = uniform;
+            let uniform = S::from_f32(1.0 / self.current.len().max(1) as f32);
+            for w in &mut self.current.weight {
+                *w = uniform;
             }
             return;
         }
-        for p in &mut self.particles {
-            p.weight = S::from_f32(p.weight.to_f32() / sum);
+        for w in &mut self.current.weight {
+            *w = S::from_f32(w.to_f32() / sum);
         }
     }
 
     /// Effective sample size `1 / Σ wᵢ²` of the (normalized) weights.
     pub fn effective_sample_size(&self) -> f32 {
         let sum_sq: f32 = self
-            .particles
+            .current
+            .weight
             .iter()
-            .map(|p| {
-                let w = p.weight.to_f32();
+            .map(|w| {
+                let w = w.to_f32();
                 w * w
             })
             .sum();
@@ -226,7 +543,7 @@ impl<S: Scalar> ParticleSet<S> {
     /// Memory used by the particle storage: both buffers, 4 scalars each, which
     /// is the paper's 32 B/particle for fp32 and 16 B/particle for fp16.
     pub fn memory_bytes(&self) -> usize {
-        2 * self.particles.capacity().max(self.particles.len()) * Particle::<S>::bytes()
+        self.current.storage_bytes() + self.scratch.storage_bytes()
     }
 }
 
@@ -247,13 +564,55 @@ mod tests {
     }
 
     #[test]
+    fn buffer_gather_scatter_roundtrip() {
+        let mut buffer = ParticleBuffer::<f32>::with_capacity(4);
+        for i in 0..4 {
+            buffer.push(Particle::from_pose(
+                &Pose2::new(i as f32, 2.0 * i as f32, 0.1 * i as f32),
+                0.25,
+            ));
+        }
+        assert_eq!(buffer.len(), 4);
+        assert_eq!(buffer.get(2).x, 2.0);
+        assert_eq!(buffer.pose(3).y, 6.0);
+        let p = Particle::from_pose(&Pose2::new(9.0, 9.0, 0.5), 0.7);
+        buffer.set(1, p);
+        assert_eq!(buffer.get(1), p);
+        // Component arrays stay contiguous and consistent.
+        assert_eq!(buffer.x().len(), 4);
+        assert_eq!(buffer.weight()[1], 0.7);
+        let gathered = buffer.to_particles();
+        let rebuilt: ParticleBuffer<f32> = gathered.iter().copied().collect();
+        assert_eq!(rebuilt, buffer);
+    }
+
+    #[test]
+    fn slice_views_split_consistently() {
+        let buffer: ParticleBuffer<f32> = (0..10)
+            .map(|i| Particle::from_pose(&Pose2::new(i as f32, 0.0, 0.0), 0.1))
+            .collect();
+        let (a, b) = buffer.as_slice().split_at(4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 6);
+        assert_eq!(a.get(3).x, 3.0);
+        assert_eq!(b.get(0).x, 4.0);
+        let mut buffer = buffer;
+        let (mut ma, mut mb) = buffer.as_mut_slice().split_at_mut(4);
+        assert!(!ma.is_empty());
+        ma.set(0, Particle::from_pose(&Pose2::new(100.0, 0.0, 0.0), 0.1));
+        mb.set(5, Particle::from_pose(&Pose2::new(200.0, 0.0, 0.0), 0.1));
+        assert_eq!(buffer.get(0).x, 100.0);
+        assert_eq!(buffer.get(9).x, 200.0);
+    }
+
+    #[test]
     fn uniform_initialization_places_particles_in_free_space() {
         let map = map();
         let mut set = ParticleSet::<f32>::with_capacity(256).unwrap();
         set.initialize_uniform(256, &map, 3).unwrap();
         assert_eq!(set.len(), 256);
         assert!(set.is_initialized());
-        for p in set.particles() {
+        for p in set.iter() {
             assert_eq!(
                 map.state_at_world(p.x, p.y),
                 CellState::Free,
@@ -274,10 +633,10 @@ mod tests {
         let mut b = ParticleSet::<f32>::with_capacity(64).unwrap();
         a.initialize_uniform(64, &map, 42).unwrap();
         b.initialize_uniform(64, &map, 42).unwrap();
-        assert_eq!(a.particles(), b.particles());
+        assert_eq!(a.current(), b.current());
         let mut c = ParticleSet::<f32>::with_capacity(64).unwrap();
         c.initialize_uniform(64, &map, 43).unwrap();
-        assert_ne!(a.particles(), c.particles());
+        assert_ne!(a.current(), c.current());
     }
 
     #[test]
@@ -285,8 +644,8 @@ mod tests {
         let pose = Pose2::new(1.0, 1.0, 0.5);
         let mut set = ParticleSet::<f32>::with_capacity(2000).unwrap();
         set.initialize_gaussian(2000, &pose, 0.2, 0.05, 7).unwrap();
-        let mean_x: f32 = set.particles().iter().map(|p| p.x).sum::<f32>() / set.len() as f32;
-        let mean_y: f32 = set.particles().iter().map(|p| p.y).sum::<f32>() / set.len() as f32;
+        let mean_x: f32 = set.current().x().iter().sum::<f32>() / set.len() as f32;
+        let mean_y: f32 = set.current().y().iter().sum::<f32>() / set.len() as f32;
         assert!((mean_x - 1.0).abs() < 0.02);
         assert!((mean_y - 1.0).abs() < 0.02);
     }
@@ -318,14 +677,14 @@ mod tests {
         let map = map();
         let mut set = ParticleSet::<f32>::with_capacity(10).unwrap();
         set.initialize_uniform(10, &map, 1).unwrap();
-        for (i, p) in set.particles_mut().iter_mut().enumerate() {
-            p.weight = (i as f32) * 0.3;
+        for (i, w) in set.current_mut().weight_mut().iter_mut().enumerate() {
+            *w = (i as f32) * 0.3;
         }
         set.normalize_weights();
         assert!((set.weight_sum() - 1.0).abs() < 1e-5);
         // Collapse: all weights zero → reset to uniform.
-        for p in set.particles_mut() {
-            p.weight = 0.0;
+        for w in set.current_mut().weight_mut() {
+            *w = 0.0;
         }
         set.normalize_weights();
         assert!((set.weight_sum() - 1.0).abs() < 1e-5);
@@ -337,10 +696,10 @@ mod tests {
         let map = map();
         let mut set = ParticleSet::<f32>::with_capacity(100).unwrap();
         set.initialize_uniform(100, &map, 2).unwrap();
-        for p in set.particles_mut() {
-            p.weight = 1e-9;
+        for w in set.current_mut().weight_mut() {
+            *w = 1e-9;
         }
-        set.particles_mut()[0].weight = 1.0;
+        set.current_mut().weight_mut()[0] = 1.0;
         set.normalize_weights();
         assert!(set.effective_sample_size() < 1.5);
     }
@@ -361,15 +720,17 @@ mod tests {
         let map = map();
         let mut set = ParticleSet::<f32>::with_capacity(8).unwrap();
         set.initialize_uniform(8, &map, 5).unwrap();
-        let first = set.particles()[0];
+        let first = set.current().get(0);
         {
             let (_current, scratch) = set.buffers_mut();
-            scratch[0].x = 9.0;
+            let mut p = scratch.get(0);
+            p.x = 9.0;
+            scratch.set(0, p);
         }
         set.swap_buffers();
-        assert_eq!(set.particles()[0].x, 9.0);
+        assert_eq!(set.current().get(0).x, 9.0);
         set.swap_buffers();
-        assert_eq!(set.particles()[0], first);
+        assert_eq!(set.current().get(0), first);
     }
 
     #[test]

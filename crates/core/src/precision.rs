@@ -13,6 +13,13 @@
 //! trade-off between the number of particles and the map area that fit into
 //! GAP9's L1 (128 kB) or L2 (1.5 MB) memory — the paper's Fig. 9 — follows
 //! directly from these figures and is computed by [`MemoryFootprint`].
+//!
+//! The accounting is layout-independent: the structure-of-arrays storage of
+//! [`crate::particle::ParticleBuffer`] holds the same 4 scalars × 2 buffers
+//! per particle as an array of structs, so
+//! [`ParticlePrecision::bytes_per_particle_double_buffered`] (32 B fp32 /
+//! 16 B fp16) equals [`crate::particle::ParticleSet::memory_bytes`] divided by
+//! the particle count — Table I's figures survive the SoA refactor unchanged.
 
 use serde::{Deserialize, Serialize};
 

@@ -107,7 +107,10 @@ pub struct ResamplePlan {
     pub indices: Vec<usize>,
     /// Output-slot ranges produced by each worker: worker `w` writes
     /// `indices[ranges[w].0 .. ranges[w].1]`. Ranges are contiguous, disjoint and
-    /// ordered, so every worker can write its slice without synchronization.
+    /// ordered, so every worker can write its slice without synchronization —
+    /// the filter feeds them to
+    /// [`ClusterLayout::for_each_range`](crate::parallel::ClusterLayout::for_each_range)
+    /// driving the [`crate::kernel::resample_scatter`] kernel.
     pub worker_output_ranges: Vec<(usize, usize)>,
 }
 
@@ -162,6 +165,24 @@ impl PartialSumResampler {
     ///
     /// Panics when `weights` is empty or `offset` is outside `[0, 1)`.
     pub fn plan(&self, weights: &[f32], offset: f32) -> ResamplePlan {
+        let mut plan = ResamplePlan {
+            indices: Vec::new(),
+            worker_output_ranges: Vec::new(),
+        };
+        self.plan_into(weights, offset, &mut plan);
+        plan
+    }
+
+    /// Computes the plan into an existing [`ResamplePlan`], reusing its
+    /// allocations. The filter calls this every applied update, so the
+    /// steady-state hot path performs no plan allocation (the seed behaviour
+    /// allocated a fresh index vector — tens of kB at the paper's particle
+    /// counts — per update).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights` is empty or `offset` is outside `[0, 1)`.
+    pub fn plan_into(&self, weights: &[f32], offset: f32, plan: &mut ResamplePlan) {
         assert!(!weights.is_empty(), "cannot resample an empty particle set");
         assert!(
             (0.0..1.0).contains(&offset),
@@ -172,6 +193,9 @@ impl PartialSumResampler {
         // With the chunk size fixed, only this many chunks are non-empty (e.g.
         // 8 particles over 5 workers give 4 chunks of 2, not 5).
         let workers = n.div_ceil(chunk);
+        plan.indices.clear();
+        plan.indices.resize(n, 0);
+        plan.worker_output_ranges.clear();
 
         // Step 1 (done during weight normalization on GAP9): per-chunk partial
         // sums and the exclusive prefix over chunks.
@@ -187,22 +211,19 @@ impl PartialSumResampler {
         }
         let total: f64 = chunk_sums.iter().sum();
         if total <= 0.0 {
-            let indices: Vec<usize> = (0..n).collect();
-            let mut ranges = Vec::with_capacity(workers);
-            for w in 0..workers {
-                ranges.push((w * chunk, ((w + 1) * chunk).min(n)));
+            for (i, slot) in plan.indices.iter_mut().enumerate() {
+                *slot = i;
             }
-            return ResamplePlan {
-                indices,
-                worker_output_ranges: ranges,
-            };
+            for w in 0..workers {
+                plan.worker_output_ranges
+                    .push((w * chunk, ((w + 1) * chunk).min(n)));
+            }
+            return;
         }
         let step = total / n as f64;
 
         // Step 2: every worker independently determines the arrows that fall in
         // its cumulative-weight span and walks only its own chunk.
-        let mut indices = vec![0usize; n];
-        let mut worker_output_ranges = Vec::with_capacity(workers);
         let mut prefix = 0.0f64;
         for (w, &chunk_sum) in chunk_sums.iter().enumerate() {
             let start = w * chunk;
@@ -228,14 +249,11 @@ impl PartialSumResampler {
                     source += 1;
                     cumulative += f64::from(weights[source].max(0.0));
                 }
-                indices[arrow] = source;
+                plan.indices[arrow] = source;
                 arrow += 1;
             }
-            worker_output_ranges.push((out_start, arrow.min(n).max(out_start)));
-        }
-        ResamplePlan {
-            indices,
-            worker_output_ranges,
+            plan.worker_output_ranges
+                .push((out_start, arrow.min(n).max(out_start)));
         }
     }
 }
@@ -368,6 +386,24 @@ mod tests {
         assert_eq!(draws.iter().sum::<usize>(), 800);
         assert!(draws[0] > 700, "first worker should carry almost all draws");
         assert_eq!(plan.critical_path_draws(), draws[0]);
+    }
+
+    #[test]
+    fn plan_into_reuses_allocations_and_matches_plan() {
+        let resampler = PartialSumResampler::new(8);
+        let mut reused = ResamplePlan {
+            indices: Vec::new(),
+            worker_output_ranges: Vec::new(),
+        };
+        // Successive calls with growing, shrinking and degenerate inputs must
+        // match fresh plans exactly — no stale state may survive the reuse.
+        for &(n, offset) in &[(100usize, 0.4f32), (1000, 0.73), (64, 0.1), (512, 0.999)] {
+            let weights = weights_from_pattern(n, n as u64);
+            resampler.plan_into(&weights, offset, &mut reused);
+            assert_eq!(reused, resampler.plan(&weights, offset), "n={n}");
+        }
+        resampler.plan_into(&[0.0; 16], 0.3, &mut reused);
+        assert_eq!(reused.indices, (0..16).collect::<Vec<_>>());
     }
 
     #[test]

@@ -19,6 +19,16 @@
 //!   preprocessing and data transfer), independent of the particle count and
 //!   the number of cores.
 //!
+//! The model is charged **per kernel invocation**: the unit of cost is one
+//! worker core running one of the four kernels over its chunk of particles
+//! ([`CostModel::kernel_invocation_cycles`]), and a step costs the critical
+//! path over its invocations plus fixed synchronization
+//! ([`CostModel::step_cycles_from_chunks`]). The even-split convenience
+//! [`CostModel::step_cycles`] reproduces the previous per-step accounting;
+//! [`CostModel::resampling_cycles_from_plan`] charges resampling from an
+//! actual `ResamplePlan`'s per-worker draw counts, capturing the load
+//! imbalance the paper discusses.
+//!
 //! The constants below were calibrated against the published Table I values at
 //! 400 MHz; they are documented on each field so ablations can vary them.
 
@@ -155,9 +165,126 @@ impl Default for CostModel {
 }
 
 impl CostModel {
+    /// Per-item cycles of `step`'s kernel: the cost of processing **one**
+    /// particle (or, for resampling, drawing one new particle) on one core,
+    /// including the L2 access penalty when the buffers live in L2.
+    /// `multi_core` selects the partially hidden L2 latency (the workers'
+    /// concurrent transactions to the interleaved L2 overlap).
+    pub fn kernel_item_cycles(
+        &self,
+        step: McStep,
+        beams: usize,
+        particles_in_l2: bool,
+        multi_core: bool,
+    ) -> f64 {
+        let l2 = |i: usize| {
+            if !particles_in_l2 {
+                0.0
+            } else if multi_core {
+                self.l2_penalty_cycles[i] * self.l2_parallel_hiding
+            } else {
+                self.l2_penalty_cycles[i]
+            }
+        };
+        match step {
+            McStep::Observation => {
+                self.observation_base_cycles
+                    + self.observation_per_beam_cycles * beams as f64
+                    + l2(0)
+            }
+            McStep::Motion => self.motion_cycles + l2(1),
+            McStep::Resampling => self.resampling_per_particle_cycles + l2(2),
+            McStep::PoseComputation => self.pose_cycles + l2(3),
+        }
+    }
+
+    /// Parallel efficiency of `step`'s kernel on multiple cores.
+    fn kernel_efficiency(&self, step: McStep) -> f64 {
+        match step {
+            McStep::Observation => self.parallel_efficiency[0],
+            McStep::Motion => self.parallel_efficiency[1],
+            McStep::Resampling => self.resampling_parallel_efficiency,
+            McStep::PoseComputation => self.parallel_efficiency[2],
+        }
+    }
+
+    /// Cycles of **one kernel invocation**: one worker running `step`'s kernel
+    /// over a chunk of `items` particles. On a single core the invocation is
+    /// the pure loop cost; on multiple cores the per-step parallel efficiency
+    /// (contention, imbalance inside the chunk) inflates it.
+    pub fn kernel_invocation_cycles(
+        &self,
+        step: McStep,
+        items: usize,
+        beams: usize,
+        particles_in_l2: bool,
+        multi_core: bool,
+    ) -> f64 {
+        let per_item = self.kernel_item_cycles(step, beams, particles_in_l2, multi_core);
+        let loop_cycles = per_item * items as f64;
+        if multi_core {
+            loop_cycles / self.kernel_efficiency(step)
+        } else {
+            loop_cycles
+        }
+    }
+
+    /// Cycles of one step charged **per kernel invocation**: `chunks` holds the
+    /// number of items each worker's invocation processes (a
+    /// `ClusterLayout`-style split for the data-parallel steps, or a
+    /// `ResamplePlan`'s per-worker draw counts for resampling). The step cost is
+    /// the critical path — the most expensive invocation — plus the fixed
+    /// synchronization cost when more than one worker runs, plus the serial
+    /// portion for resampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunks` is empty or `beams` is zero.
+    pub fn step_cycles_from_chunks(
+        &self,
+        step: McStep,
+        chunks: &[usize],
+        beams: usize,
+        particles_in_l2: bool,
+    ) -> u64 {
+        assert!(
+            !chunks.is_empty(),
+            "at least one kernel invocation required"
+        );
+        assert!(beams > 0, "beam count must be positive");
+        let multi_core = chunks.len() > 1;
+        let critical_path = chunks
+            .iter()
+            .map(|&items| {
+                self.kernel_invocation_cycles(step, items, beams, particles_in_l2, multi_core)
+            })
+            .fold(0.0f64, f64::max);
+        let mut cycles = critical_path;
+        if multi_core {
+            cycles += self.parallel_sync_cycles;
+        }
+        if step == McStep::Resampling {
+            cycles += self.resampling_serial_cycles;
+        }
+        cycles.round() as u64
+    }
+
+    /// Resampling cycles charged from an actual plan's per-worker draw counts —
+    /// the measured load imbalance of the paper's Fig. 4 decomposition, instead
+    /// of assuming an even split.
+    pub fn resampling_cycles_from_plan(
+        &self,
+        per_worker_draws: &[usize],
+        particles_in_l2: bool,
+    ) -> u64 {
+        self.step_cycles_from_chunks(McStep::Resampling, per_worker_draws, 1, particles_in_l2)
+    }
+
     /// Cycles of one step for `particles` particles observed with `beams` beams,
     /// executed on `cores` worker cores, with the particle buffers in L2 when
-    /// `particles_in_l2` is set.
+    /// `particles_in_l2` is set. The particles are split into one contiguous
+    /// chunk per core (the `ClusterLayout` split) and charged through
+    /// [`CostModel::step_cycles_from_chunks`].
     ///
     /// # Panics
     ///
@@ -173,50 +300,13 @@ impl CostModel {
         assert!(particles > 0, "particle count must be positive");
         assert!(beams > 0, "beam count must be positive");
         assert!(cores > 0, "core count must be positive");
-        let n = particles as f64;
-        let l2 = |i: usize| {
-            if !particles_in_l2 {
-                0.0
-            } else if cores > 1 {
-                self.l2_penalty_cycles[i] * self.l2_parallel_hiding
-            } else {
-                self.l2_penalty_cycles[i]
-            }
-        };
-        let cycles = match step {
-            McStep::Observation => {
-                let per_particle = self.observation_base_cycles
-                    + self.observation_per_beam_cycles * beams as f64
-                    + l2(0);
-                self.data_parallel(per_particle * n, cores, self.parallel_efficiency[0])
-            }
-            McStep::Motion => {
-                let per_particle = self.motion_cycles + l2(1);
-                self.data_parallel(per_particle * n, cores, self.parallel_efficiency[1])
-            }
-            McStep::Resampling => {
-                let per_particle = self.resampling_per_particle_cycles + l2(2);
-                let parallel = self.data_parallel(
-                    per_particle * n,
-                    cores,
-                    self.resampling_parallel_efficiency,
-                );
-                self.resampling_serial_cycles + parallel
-            }
-            McStep::PoseComputation => {
-                let per_particle = self.pose_cycles + l2(3);
-                self.data_parallel(per_particle * n, cores, self.parallel_efficiency[2])
-            }
-        };
-        cycles.round() as u64
-    }
-
-    fn data_parallel(&self, sequential_cycles: f64, cores: usize, efficiency: f64) -> f64 {
-        if cores == 1 {
-            sequential_cycles
-        } else {
-            sequential_cycles / (cores as f64 * efficiency) + self.parallel_sync_cycles
-        }
+        // Even ⌈n/cores⌉ chunking, mirroring ClusterLayout::chunks.
+        let cores = cores.min(particles);
+        let chunk = particles.div_ceil(cores);
+        let chunks: Vec<usize> = (0..particles.div_ceil(chunk))
+            .map(|w| chunk.min(particles - w * chunk))
+            .collect();
+        self.step_cycles_from_chunks(step, &chunks, beams, particles_in_l2)
     }
 
     /// The full breakdown of one update.
@@ -439,8 +529,71 @@ mod tests {
     }
 
     #[test]
+    fn even_chunking_matches_the_step_convenience() {
+        let model = CostModel::default();
+        for step in McStep::ALL {
+            for &(n, cores, in_l2) in
+                &[(1024usize, 8usize, false), (4096, 8, true), (512, 1, false)]
+            {
+                let chunks: Vec<usize> = vec![n / cores.max(1); cores];
+                assert_eq!(
+                    model.step_cycles_from_chunks(step, &chunks, BEAMS, in_l2),
+                    model.step_cycles(step, n, BEAMS, cores, in_l2),
+                    "{step:?} n={n} cores={cores}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_charges_the_largest_invocation() {
+        let model = CostModel::default();
+        // Same total items, one overloaded worker: the step must cost more than
+        // the balanced split.
+        let balanced = model.step_cycles_from_chunks(McStep::Observation, &[512; 8], BEAMS, false);
+        let skewed = model.step_cycles_from_chunks(
+            McStep::Observation,
+            &[2048, 512, 512, 512, 512, 0, 0, 0],
+            BEAMS,
+            false,
+        );
+        assert!(skewed > balanced, "skewed {skewed} <= balanced {balanced}");
+    }
+
+    #[test]
+    fn plan_based_resampling_reflects_load_imbalance() {
+        let model = CostModel::default();
+        let balanced = model.resampling_cycles_from_plan(&[512; 8], true);
+        let skewed = model.resampling_cycles_from_plan(&[3584, 512, 0, 0, 0, 0, 0, 0], true);
+        assert!(skewed > balanced);
+        // A single-worker plan pays no synchronization but the full loop.
+        let serial = model.resampling_cycles_from_plan(&[4096], true);
+        assert_eq!(
+            serial,
+            model.step_cycles(McStep::Resampling, 4096, 1, 1, true)
+        );
+    }
+
+    #[test]
+    fn invocation_cost_scales_linearly_in_items() {
+        let model = CostModel::default();
+        let one = model.kernel_invocation_cycles(McStep::Motion, 1, BEAMS, false, false);
+        let thousand = model.kernel_invocation_cycles(McStep::Motion, 1000, BEAMS, false, false);
+        assert!((thousand - 1000.0 * one).abs() < 1e-6);
+        // Multi-core invocations pay the efficiency factor.
+        let multi = model.kernel_invocation_cycles(McStep::Motion, 1000, BEAMS, false, true);
+        assert!(multi > thousand);
+    }
+
+    #[test]
     #[should_panic(expected = "particle count")]
     fn zero_particles_panics() {
         CostModel::default().step_cycles(McStep::Motion, 0, 16, 1, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one kernel invocation")]
+    fn empty_chunks_panic() {
+        CostModel::default().step_cycles_from_chunks(McStep::Motion, &[], 16, false);
     }
 }

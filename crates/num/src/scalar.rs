@@ -66,6 +66,14 @@ pub trait Scalar: Copy + Clone + PartialOrd + core::fmt::Debug + Send + Sync + '
     fn is_finite(self) -> bool {
         self.to_f32().is_finite()
     }
+
+    /// When the storage type *is* `f32`, returns the slice itself so bulk
+    /// consumers (e.g. the resampling plan reading a contiguous weight array)
+    /// can skip the widening copy. `None` for every other storage precision.
+    fn f32_slice(values: &[Self]) -> Option<&[f32]> {
+        let _ = values;
+        None
+    }
 }
 
 impl Scalar for f32 {
@@ -79,6 +87,10 @@ impl Scalar for f32 {
     #[inline]
     fn to_f32(self) -> f32 {
         self
+    }
+    #[inline]
+    fn f32_slice(values: &[Self]) -> Option<&[f32]> {
+        Some(values)
     }
 }
 
@@ -126,6 +138,14 @@ mod tests {
         }
         assert_eq!(compute::<f32>(), 2.25);
         assert_eq!(compute::<F16>(), 2.25);
+    }
+
+    #[test]
+    fn f32_slice_fast_path_only_exists_for_f32() {
+        let values = [1.0f32, 2.0, 3.0];
+        assert_eq!(<f32 as Scalar>::f32_slice(&values), Some(&values[..]));
+        let halves = [F16::from_f32(1.0), F16::from_f32(2.0)];
+        assert!(<F16 as Scalar>::f32_slice(&halves).is_none());
     }
 
     #[test]

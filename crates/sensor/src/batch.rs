@@ -1,0 +1,207 @@
+//! Batched beam storage for the data-parallel correction kernel.
+//!
+//! The observation step evaluates every beam for every particle. The
+//! array-of-structs [`Beam`] representation makes each evaluation recompute the
+//! beam's geometry from scratch — `cos`/`sin` of the beam azimuth *per particle
+//! per beam*. [`BeamBatch`] hoists everything that does not depend on the
+//! particle out of the hot loop, **once per update**:
+//!
+//! * the beam end point is resolved in the *drone body frame*
+//!   (`sensor offset + range · (cos az, sin az)`) and stored in two contiguous
+//!   arrays `end_x_body[]` / `end_y_body[]`;
+//! * the measured ranges stay available in `range_m[]` so the observation model
+//!   can keep skipping beams at or beyond its `r_max` truncation.
+//!
+//! Scoring a particle then needs exactly one `sin_cos` (of the particle's yaw)
+//! plus four multiply-adds and one distance-field lookup per beam — the
+//! arithmetic the paper's GAP9 kernel performs. Rotating the precomputed
+//! body-frame end point is mathematically identical to [`Beam::end_point`] but
+//! associates the trigonometry differently, so likelihoods may differ from the
+//! per-beam path in the last float ulp.
+
+use crate::measurement::{Beam, ToFFrame};
+use crate::rig::SensorRig;
+use serde::{Deserialize, Serialize};
+
+/// A frame's worth of valid beams, flattened into contiguous per-component
+/// arrays (structure of arrays) for the batched correction kernel.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BeamBatch {
+    end_x_body: Vec<f32>,
+    end_y_body: Vec<f32>,
+    range_m: Vec<f32>,
+}
+
+impl BeamBatch {
+    /// Flattens a beam list into the batched representation.
+    pub fn from_beams(beams: &[Beam]) -> Self {
+        let mut batch = BeamBatch {
+            end_x_body: Vec::with_capacity(beams.len()),
+            end_y_body: Vec::with_capacity(beams.len()),
+            range_m: Vec::with_capacity(beams.len()),
+        };
+        for beam in beams {
+            batch.push(beam);
+        }
+        batch
+    }
+
+    /// Reduces a set of captured frames to beams (median per zone column,
+    /// invalid zones dropped — see [`ToFFrame::to_beams`], geometry rebuilt per
+    /// frame mode by [`SensorRig::frames_to_beams`]) and flattens them. This
+    /// runs **once per observation update**; the per-particle kernel only
+    /// reads the resulting arrays.
+    pub fn from_frames(frames: &[ToFFrame]) -> Self {
+        Self::from_beams(&SensorRig::frames_to_beams(frames))
+    }
+
+    /// Appends one beam.
+    pub fn push(&mut self, beam: &Beam) {
+        let (sin_az, cos_az) = beam.azimuth_body_rad.sin_cos();
+        self.end_x_body
+            .push(beam.origin_body.x + cos_az * beam.range_m);
+        self.end_y_body
+            .push(beam.origin_body.y + sin_az * beam.range_m);
+        self.range_m.push(beam.range_m);
+    }
+
+    /// Number of beams in the batch.
+    pub fn len(&self) -> usize {
+        self.range_m.len()
+    }
+
+    /// Returns `true` when the batch holds no beams.
+    pub fn is_empty(&self) -> bool {
+        self.range_m.is_empty()
+    }
+
+    /// Body-frame X coordinates of the beam end points.
+    pub fn end_x_body(&self) -> &[f32] {
+        &self.end_x_body
+    }
+
+    /// Body-frame Y coordinates of the beam end points.
+    pub fn end_y_body(&self) -> &[f32] {
+        &self.end_y_body
+    }
+
+    /// Measured ranges, metres (used for the observation model's `r_max` skip).
+    pub fn range_m(&self) -> &[f32] {
+        &self.range_m
+    }
+
+    /// Number of beams with a measured range strictly below `r_max` — the beams
+    /// the observation model will actually use.
+    pub fn beams_within(&self, r_max: f32) -> usize {
+        self.range_m.iter().filter(|&&r| r < r_max).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SensorConfig;
+    use crate::measurement::{TargetStatus, ZoneMeasurement};
+    use crate::rig::SensorRig;
+    use crate::zones::ZoneGeometry;
+    use mcl_gridmap::{MapBuilder, Pose2};
+    use rand::SeedableRng;
+
+    fn clean_rig() -> SensorRig {
+        SensorRig::front_and_rear(
+            SensorConfig::default()
+                .with_range_noise(0.0)
+                .with_interference_probability(0.0),
+        )
+    }
+
+    #[test]
+    fn batch_matches_per_beam_end_points_at_identity_pose() {
+        let map = MapBuilder::new(4.0, 4.0, 0.05).border_walls().build();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let beams = clean_rig().observe(&map, &Pose2::new(2.0, 2.0, 0.0), 0.0, &mut rng);
+        let batch = BeamBatch::from_beams(&beams);
+        assert_eq!(batch.len(), beams.len());
+        // At the identity pose the body frame *is* the world frame, so the
+        // precomputed end points must equal Beam::end_point exactly up to the
+        // trig association (loose tolerance covers the ulp difference).
+        for (i, beam) in beams.iter().enumerate() {
+            let reference = beam.end_point(&Pose2::default());
+            assert!((batch.end_x_body()[i] - reference.x).abs() < 1e-5);
+            assert!((batch.end_y_body()[i] - reference.y).abs() < 1e-5);
+            assert_eq!(batch.range_m()[i], beam.range_m);
+        }
+    }
+
+    #[test]
+    fn from_frames_flattens_like_the_rig_conversion() {
+        let map = MapBuilder::new(4.0, 4.0, 0.05).border_walls().build();
+        let rig = clean_rig();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let frames = rig.capture(&map, &Pose2::new(1.5, 2.5, 0.4), &mut rng);
+        let via_frames = BeamBatch::from_frames(&frames);
+        let via_beams = BeamBatch::from_beams(&SensorRig::frames_to_beams(&frames));
+        assert_eq!(via_frames, via_beams);
+        assert_eq!(via_frames.len(), 16);
+    }
+
+    #[test]
+    fn invalid_zones_never_reach_the_batch() {
+        let frame = ToFFrame {
+            timestamp_s: 0.0,
+            mode: crate::config::ZoneMode::Grid4x4,
+            mounting: Pose2::default(),
+            zones: vec![
+                ZoneMeasurement {
+                    col: 0,
+                    row: 0,
+                    distance_m: 1.0,
+                    status: TargetStatus::Valid,
+                },
+                ZoneMeasurement {
+                    col: 1,
+                    row: 0,
+                    distance_m: 2.0,
+                    status: TargetStatus::OutOfRange,
+                },
+            ],
+        };
+        let batch = BeamBatch::from_frames(&[frame]);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.range_m()[0], 1.0);
+    }
+
+    #[test]
+    fn beams_within_counts_the_rmax_skip() {
+        let make = |range: f32| Beam {
+            azimuth_body_rad: 0.0,
+            range_m: range,
+            origin_body: Pose2::default(),
+        };
+        let batch = BeamBatch::from_beams(&[make(0.5), make(1.5), make(2.0)]);
+        assert_eq!(batch.beams_within(1.5), 1);
+        assert_eq!(batch.beams_within(3.0), 3);
+        assert!(BeamBatch::default().is_empty());
+    }
+
+    #[test]
+    fn rear_mounting_flips_the_body_frame_end_point() {
+        let beam = Beam {
+            azimuth_body_rad: core::f32::consts::PI,
+            range_m: 1.0,
+            origin_body: Pose2::new(0.0, 0.0, core::f32::consts::PI),
+        };
+        let batch = BeamBatch::from_beams(&[beam]);
+        assert!((batch.end_x_body()[0] + 1.0).abs() < 1e-6);
+        assert!(batch.end_y_body()[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn geometry_helper_still_matches_column_azimuths() {
+        // Guard that from_frames uses the per-mode geometry (column azimuths)
+        // and not a fixed 8x8 assumption.
+        let cfg = SensorConfig::default().with_mode(crate::config::ZoneMode::Grid4x4);
+        let geometry = ZoneGeometry::new(&cfg);
+        assert_eq!(geometry.column_azimuths().len(), 4);
+    }
+}

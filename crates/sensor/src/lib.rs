@@ -15,6 +15,8 @@
 //! * [`raycast`] — DDA ray casting against an [`mcl_gridmap::OccupancyGrid`].
 //! * [`measurement`] — zone measurements, frames and their conversion to the
 //!   2D beams consumed by the observation model.
+//! * [`batch`] — per-update flattening of a frame's valid beams into contiguous
+//!   arrays ([`BeamBatch`]) for the data-parallel correction kernel.
 //! * [`model`] — the sensor itself: cast one ray per zone, apply range noise,
 //!   raise error flags.
 //! * [`rig`] — one- and two-sensor mounting configurations on the drone body.
@@ -38,6 +40,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod batch;
 pub mod config;
 pub mod measurement;
 pub mod model;
@@ -45,6 +48,7 @@ pub mod raycast;
 pub mod rig;
 pub mod zones;
 
+pub use batch::BeamBatch;
 pub use config::{SensorConfig, ZoneMode, SENSOR_POWER_MW};
 pub use measurement::{Beam, TargetStatus, ToFFrame, ZoneMeasurement};
 pub use model::ToFSensor;

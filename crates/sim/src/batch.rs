@@ -1,0 +1,223 @@
+//! Batched multi-run evaluation: many (sequence × config × seed) jobs across a
+//! host worker pool.
+//!
+//! One filter update is data-parallel over particles; a *study* — the paper's
+//! Figs. 6–8 sweep sequences, pipeline configurations, particle counts and
+//! seeds — is embarrassingly parallel over runs. [`run_batch`] evaluates a list
+//! of [`BatchJob`]s on `threads` host workers (work-stealing over an atomic
+//! job cursor) and returns the results **in job order**, so the output is
+//! deterministic and independent of the thread count: each job's filter owns
+//! its particles and its counter-based RNG streams, making runs bit-identical
+//! to serial [`PaperScenario::evaluate`] calls.
+
+use crate::metrics::{ResultAggregator, SequenceResult};
+use crate::scenario::PaperScenario;
+use mcl_core::precision::PipelineConfig;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One evaluation job: a sequence, a pipeline configuration, a particle count
+/// and a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchJob {
+    /// Index into [`PaperScenario::sequences`].
+    pub sequence_index: usize,
+    /// The pipeline (precision/sensor) configuration to evaluate.
+    pub pipeline: PipelineConfig,
+    /// Number of particles.
+    pub particles: usize,
+    /// Filter seed (also the particle-initialization seed).
+    pub seed: u64,
+}
+
+impl BatchJob {
+    /// The full cross product sequences × pipelines × particle counts × seeds —
+    /// the shape of the paper's evaluation grid.
+    pub fn grid(
+        sequence_indices: &[usize],
+        pipelines: &[PipelineConfig],
+        particle_counts: &[usize],
+        seeds: &[u64],
+    ) -> Vec<BatchJob> {
+        let mut jobs = Vec::with_capacity(
+            sequence_indices.len() * pipelines.len() * particle_counts.len() * seeds.len(),
+        );
+        for &sequence_index in sequence_indices {
+            for &pipeline in pipelines {
+                for &particles in particle_counts {
+                    for &seed in seeds {
+                        jobs.push(BatchJob {
+                            sequence_index,
+                            pipeline,
+                            particles,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        jobs
+    }
+}
+
+/// One job's outcome, paired with the job that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchOutcome {
+    /// The evaluated job.
+    pub job: BatchJob,
+    /// The metrics of the run.
+    pub result: SequenceResult,
+}
+
+/// Evaluates `jobs` against `scenario` on `threads` host workers and returns
+/// one [`BatchOutcome`] per job, in job order.
+///
+/// Each worker pops the next unclaimed job (atomic cursor), runs
+/// [`PaperScenario::evaluate`] — global uniform initialization, exactly like
+/// the serial path — and stores the result at the job's slot. Results are
+/// therefore identical for any `threads`, including 1.
+///
+/// # Panics
+///
+/// Panics when `threads` is zero or a job's `sequence_index` is out of range.
+pub fn run_batch(scenario: &PaperScenario, jobs: &[BatchJob], threads: usize) -> Vec<BatchOutcome> {
+    assert!(threads > 0, "at least one worker thread is required");
+    for job in jobs {
+        assert!(
+            job.sequence_index < scenario.sequences().len(),
+            "job references sequence {} but the scenario has {}",
+            job.sequence_index,
+            scenario.sequences().len()
+        );
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<SequenceResult>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    let worker = |cursor: &AtomicUsize, results: &[Mutex<Option<SequenceResult>>]| loop {
+        let next = cursor.fetch_add(1, Ordering::Relaxed);
+        if next >= jobs.len() {
+            break;
+        }
+        let job = jobs[next];
+        let sequence = &scenario.sequences()[job.sequence_index];
+        let result = scenario.evaluate(sequence, job.pipeline, job.particles, job.seed);
+        *results[next].lock().expect("result slot poisoned") = Some(result);
+    };
+
+    if threads == 1 || jobs.len() <= 1 {
+        worker(&cursor, &results);
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(jobs.len()) {
+                scope.spawn(|| worker(&cursor, &results));
+            }
+        });
+    }
+
+    jobs.iter()
+        .zip(results)
+        .map(|(&job, slot)| BatchOutcome {
+            job,
+            result: slot
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("every job was claimed and evaluated"),
+        })
+        .collect()
+}
+
+/// Folds a batch's outcomes into one [`ResultAggregator`] per predicate — e.g.
+/// per pipeline configuration for the paper's Fig. 6/7 bars.
+pub fn aggregate<F: Fn(&BatchJob) -> bool>(
+    outcomes: &[BatchOutcome],
+    select: F,
+) -> ResultAggregator {
+    let mut aggregator = ResultAggregator::new();
+    for outcome in outcomes.iter().filter(|o| select(&o.job)) {
+        aggregator.push(outcome.result);
+    }
+    aggregator
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_builds_the_full_cross_product() {
+        let jobs = BatchJob::grid(
+            &[0, 1],
+            &[PipelineConfig::FP32, PipelineConfig::FP16_QM],
+            &[256, 1024],
+            &[1, 2, 3],
+        );
+        assert_eq!(jobs.len(), 2 * 2 * 2 * 3);
+        assert_eq!(jobs[0].sequence_index, 0);
+        assert_eq!(jobs.last().unwrap().seed, 3);
+    }
+
+    #[test]
+    fn batch_matches_serial_evaluation_for_any_thread_count() {
+        let scenario = PaperScenario::quick(11);
+        let jobs = BatchJob::grid(&[0], &[PipelineConfig::FP32], &[128], &[1, 2]);
+        let serial: Vec<SequenceResult> = jobs
+            .iter()
+            .map(|job| {
+                scenario.evaluate(
+                    &scenario.sequences()[job.sequence_index],
+                    job.pipeline,
+                    job.particles,
+                    job.seed,
+                )
+            })
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let outcomes = run_batch(&scenario, &jobs, threads);
+            assert_eq!(outcomes.len(), jobs.len());
+            for (outcome, expected) in outcomes.iter().zip(serial.iter()) {
+                assert_eq!(
+                    outcome.result, *expected,
+                    "threads={threads} diverged from serial evaluation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_filters_by_job() {
+        let scenario = PaperScenario::quick(12);
+        let jobs = BatchJob::grid(
+            &[0],
+            &[PipelineConfig::FP32, PipelineConfig::FP32_1TOF],
+            &[64],
+            &[1],
+        );
+        let outcomes = run_batch(&scenario, &jobs, 2);
+        let two_sensor = aggregate(&outcomes, |job| job.pipeline == PipelineConfig::FP32);
+        let all = aggregate(&outcomes, |_| true);
+        assert_eq!(two_sensor.len(), 1);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_is_rejected() {
+        let scenario = PaperScenario::quick(13);
+        let _ = run_batch(&scenario, &[], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "references sequence")]
+    fn out_of_range_sequence_is_rejected() {
+        let scenario = PaperScenario::quick(14);
+        let job = BatchJob {
+            sequence_index: 5,
+            pipeline: PipelineConfig::FP32,
+            particles: 64,
+            seed: 1,
+        };
+        let _ = run_batch(&scenario, &[job], 1);
+    }
+}

@@ -17,6 +17,8 @@
 //!   and time-to-convergence — the quantities plotted in Figs. 6–8.
 //! * [`runner`] — drives a filter configuration over a sequence and produces a
 //!   [`metrics::SequenceResult`].
+//! * [`batch`] — evaluates many (sequence × config × seed) jobs across a host
+//!   worker pool, deterministically in job order.
 //! * [`scenario`] — the paper's full evaluation scenario: the 31.2 m² maze, six
 //!   sequences, six seeds, the four pipeline configurations.
 //!
@@ -36,6 +38,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod batch;
 pub mod metrics;
 pub mod odometry;
 pub mod runner;
@@ -43,6 +46,7 @@ pub mod scenario;
 pub mod sequence;
 pub mod trajectory;
 
+pub use batch::{aggregate, run_batch, BatchJob, BatchOutcome};
 pub use metrics::{ConvergenceCriterion, ResultAggregator, SequenceResult, TrajectoryErrorTracker};
 pub use odometry::{OdometryConfig, OdometryModel};
 pub use runner::{run_sequence, RunnerConfig};

@@ -3,8 +3,9 @@
 //! [`run_sequence`] replays a [`Sequence`] through an
 //! initialized filter exactly like the on-board pipeline would see it: the
 //! odometry increment of every 15 Hz step is fed to
-//! [`MonteCarloLocalization::predict`], the ToF frames are reduced to beams and
-//! offered to [`MonteCarloLocalization::update`] (which applies its own `d_xy` /
+//! [`MonteCarloLocalization::predict`], the ToF frames are flattened into a
+//! [`BeamBatch`] (once per step) and offered to
+//! [`MonteCarloLocalization::update_batch`] (which applies its own `d_xy` /
 //! `d_θ` gating), and the published estimate is scored against the ground truth
 //! by a [`TrajectoryErrorTracker`].
 
@@ -13,7 +14,7 @@ use crate::sequence::Sequence;
 use mcl_core::MonteCarloLocalization;
 use mcl_gridmap::DistanceField;
 use mcl_num::Scalar;
-use mcl_sensor::SensorRig;
+use mcl_sensor::BeamBatch;
 use serde::{Deserialize, Serialize};
 
 /// Options of the sequence runner.
@@ -66,11 +67,16 @@ pub fn run_sequence<S: Scalar, D: DistanceField>(
     for step in &sequence.steps {
         filter.predict(step.odometry);
         let frame_limit = runner.sensor_count.min(step.frames.len());
-        let beams = SensorRig::frames_to_beams(&step.frames[..frame_limit]);
-        let _ = filter
-            .update(&beams)
+        let batch = BeamBatch::from_frames(&step.frames[..frame_limit]);
+        let outcome = filter
+            .update_batch(&batch)
             .expect("filter was initialized, update cannot fail");
-        let estimate = filter.estimate();
+        // An applied update already carries the pose estimate; recomputing it
+        // would run the pose-reduction kernel a second time per step.
+        let estimate = match outcome.estimate() {
+            Some(estimate) => *estimate,
+            None => filter.estimate(),
+        };
         tracker.record(step.timestamp_s, &estimate, &step.ground_truth);
     }
     tracker.finish()

@@ -93,10 +93,17 @@ fn sequential_and_parallel_filters_stay_bit_identical_over_a_flight() {
         let _ = parallel.update(&beams).unwrap();
     }
     assert_eq!(
-        sequential.particles().particles(),
-        parallel.particles().particles(),
+        sequential.particles().current(),
+        parallel.particles().current(),
         "worker count must not change the filter output"
     );
+    let (a, b) = (sequential.estimate(), parallel.estimate());
+    assert_eq!(
+        a.pose.x.to_bits(),
+        b.pose.x.to_bits(),
+        "worker count must not change the pose estimate"
+    );
+    assert_eq!(a.pose.theta.to_bits(), b.pose.theta.to_bits());
 }
 
 #[test]

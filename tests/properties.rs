@@ -6,12 +6,131 @@
 
 use proptest::prelude::*;
 use tof_mcl::core::precision::MemoryFootprint;
-use tof_mcl::core::{systematic_resample, PartialSumResampler};
+use tof_mcl::core::{
+    systematic_resample, BeamEndPointModel, MclConfig, MonteCarloLocalization, MotionDelta,
+    MotionModel, PartialSumResampler, Particle, ParticleSet,
+};
 use tof_mcl::gridmap::{
-    CellIndex, CellState, DistanceField, EuclideanDistanceField, OccupancyGrid, Point2, Pose2,
+    CellIndex, CellState, DistanceField, EuclideanDistanceField, MapBuilder, OccupancyGrid, Point2,
+    Pose2,
 };
 use tof_mcl::num::{angular_difference, normalize_angle, Quantizer, F16};
-use tof_mcl::sensor::raycast_distance;
+use tof_mcl::sensor::{raycast_distance, Beam};
+
+/// Independent restatement of the batched beam-end-point log-likelihood
+/// (Eq. 1 with the beam end point resolved in the body frame and rotated by
+/// the particle yaw — the op order `BeamBatch` + `batch_log_likelihood`
+/// promise). Deliberately reimplemented from `&[Beam]` without touching
+/// `BeamBatch`, so a regression in the library's batch path cannot hide on
+/// both sides of the bit-identity assertion.
+fn reference_batch_log_likelihood(
+    field: &EuclideanDistanceField,
+    x: f32,
+    y: f32,
+    theta: f32,
+    beams: &[Beam],
+    sigma_obs: f32,
+    r_max: f32,
+) -> f32 {
+    let log_normalizer = -(core::f32::consts::TAU.sqrt() * sigma_obs).ln();
+    let (sin_t, cos_t) = theta.sin_cos();
+    let mut log_sum = 0.0f32;
+    let mut used = 0usize;
+    for beam in beams {
+        if beam.range_m >= r_max {
+            continue;
+        }
+        let (sin_az, cos_az) = beam.azimuth_body_rad.sin_cos();
+        let bx = beam.origin_body.x + cos_az * beam.range_m;
+        let by = beam.origin_body.y + sin_az * beam.range_m;
+        let ex = x + cos_t * bx - sin_t * by;
+        let ey = y + sin_t * bx + cos_t * by;
+        let edt = field.distance_at_world(ex, ey).min(r_max);
+        log_sum += log_normalizer - (edt * edt) / (2.0 * sigma_obs * sigma_obs);
+        used += 1;
+    }
+    if used == 0 {
+        return 0.0;
+    }
+    log_sum
+}
+
+/// One full MCL iteration on array-of-structs storage, sequentially, with the
+/// seed repository's per-particle algorithm (the observation term restated by
+/// [`reference_batch_log_likelihood`], since the batch path hoists the beam
+/// trigonometry by design): the reference the SoA + kernel filter must
+/// reproduce bit for bit (see `soa_filter_is_bit_identical_…` below).
+#[allow(clippy::too_many_arguments)] // mirrors the filter's full per-update state
+fn reference_aos_iteration(
+    particles: &mut [Particle<f32>],
+    motion: &MotionModel,
+    observation: &BeamEndPointModel,
+    field: &EuclideanDistanceField,
+    beams: &[Beam],
+    delta: &MotionDelta,
+    seed: u64,
+    update_index: u64,
+) {
+    // 1. Prediction: one counter-RNG stream per (seed, update, particle).
+    for (i, p) in particles.iter_mut().enumerate() {
+        *p = motion.sample(p, delta, seed, update_index, i as u64);
+    }
+    // 2. Correction: batched beam-end-point log-likelihoods, rescaled by the
+    // set-wide maximum before exponentiation.
+    let logs: Vec<f32> = particles
+        .iter()
+        .map(|p| {
+            reference_batch_log_likelihood(
+                field,
+                p.x,
+                p.y,
+                p.theta,
+                beams,
+                observation.sigma_obs(),
+                observation.r_max(),
+            )
+        })
+        .collect();
+    let max_log = logs.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    for (p, &log_lik) in particles.iter_mut().zip(logs.iter()) {
+        p.weight *= (log_lik - max_log).exp();
+    }
+    // 3. Normalization (sequential f32 sum, like ParticleSet::normalize_weights)
+    // and systematic resampling with the per-update wheel offset.
+    let sum: f32 = particles.iter().map(|p| p.weight).sum();
+    if sum <= f32::MIN_POSITIVE {
+        let uniform = 1.0 / particles.len().max(1) as f32;
+        for p in particles.iter_mut() {
+            p.weight = uniform;
+        }
+    } else {
+        for p in particles.iter_mut() {
+            p.weight /= sum;
+        }
+    }
+    let mut offset_rng = tof_mcl::core::rng::CounterRng::for_update(seed, update_index);
+    let offset = offset_rng.uniform();
+    let weights: Vec<f32> = particles.iter().map(|p| p.weight).collect();
+    let picks = systematic_resample(&weights, offset);
+    let previous = particles.to_vec();
+    let uniform = 1.0 / particles.len() as f32;
+    for (slot, &src) in picks.iter().enumerate() {
+        particles[slot] = previous[src];
+        particles[slot].weight = uniform;
+    }
+}
+
+/// Deterministic synthetic observation: a ring of beams, some beyond the
+/// model's `r_max` truncation so the skip path is exercised.
+fn synthetic_beams(case_seed: u64) -> Vec<Beam> {
+    (0..12)
+        .map(|k| Beam {
+            azimuth_body_rad: k as f32 * core::f32::consts::TAU / 12.0,
+            range_m: 0.3 + 0.12 * ((k as u64 + case_seed) % 13) as f32,
+            origin_body: Pose2::default(),
+        })
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -190,6 +309,82 @@ proptest! {
                 prop_assert!(footprint.total_bytes(n + 1, cells) > budget);
             }
             None => prop_assert!(footprint.map_bytes(cells) > budget),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The SoA + kernel filter is bit-identical to the sequential
+    /// array-of-structs reference (`reference_aos_iteration`, the seed
+    /// repository's per-particle algorithm) for every seed, particle count and
+    /// `ClusterLayout` worker count — and the pose estimates agree bit for bit
+    /// across worker counts, which is the determinism `parallel.rs` promises.
+    #[test]
+    fn soa_filter_is_bit_identical_to_the_aos_reference(
+        seed in 0u64..500,
+        n in 16usize..180,
+    ) {
+        let map = MapBuilder::new(3.0, 3.0, 0.05)
+            .border_walls()
+            .wall((1.5, 0.0), (1.5, 1.8))
+            .build();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let beams = synthetic_beams(seed);
+        // Gate-passing odometry increment (translation 0.12 ≥ d_xy = 0.1).
+        let delta = MotionDelta::new(0.12, 0.01, 0.06);
+
+        // Reference: AoS storage, sequential execution, seed per-particle math.
+        let motion = MotionModel::new(MclConfig::default().sigma_odom);
+        let observation = BeamEndPointModel::new(
+            MclConfig::default().sigma_obs,
+            MclConfig::default().r_max,
+        );
+        let mut init = ParticleSet::<f32>::with_capacity(n).unwrap();
+        init.initialize_uniform(n, &map, seed).unwrap();
+        let mut reference = init.to_particles();
+        for update in 1..=3u64 {
+            reference_aos_iteration(
+                &mut reference, &motion, &observation, &edt, &beams, &delta, seed, update,
+            );
+        }
+
+        // The SoA filter on three layouts: sequential, uneven (3), GAP9 (8).
+        let mut estimates = Vec::new();
+        for workers in [1usize, 3, 8] {
+            let config = MclConfig::default()
+                .with_particles(n)
+                .with_seed(seed)
+                .with_workers(workers);
+            let mut filter =
+                MonteCarloLocalization::<f32, _>::new(config, edt.clone()).unwrap();
+            filter.initialize_uniform(&map, seed).unwrap();
+            for _ in 0..3 {
+                filter.predict(delta);
+                let outcome = filter.update(&beams).unwrap();
+                prop_assert!(outcome.is_applied());
+            }
+            prop_assert_eq!(
+                filter.particles().to_particles(),
+                reference.clone(),
+                "workers={} diverged from the AoS reference", workers
+            );
+            estimates.push(filter.estimate());
+        }
+        for estimate in &estimates[1..] {
+            prop_assert_eq!(
+                estimates[0].pose.x.to_bits(), estimate.pose.x.to_bits(),
+                "estimate x differs across worker counts"
+            );
+            prop_assert_eq!(estimates[0].pose.y.to_bits(), estimate.pose.y.to_bits());
+            prop_assert_eq!(
+                estimates[0].pose.theta.to_bits(), estimate.pose.theta.to_bits()
+            );
+            prop_assert_eq!(
+                estimates[0].position_std_m.to_bits(), estimate.position_std_m.to_bits()
+            );
+            prop_assert_eq!(estimates[0].neff.to_bits(), estimate.neff.to_bits());
         }
     }
 }

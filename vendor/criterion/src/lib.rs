@@ -3,14 +3,29 @@
 //! Implements the subset of criterion's API the `mcl-bench` suite uses —
 //! `criterion_group!`/`criterion_main!`, benchmark groups, `bench_function`,
 //! `bench_with_input`, `iter`/`iter_batched`, `BenchmarkId`, `BatchSize` —
-//! backed by a simple wall-clock median-of-samples timer instead of
-//! criterion's full statistical machinery. Good enough to compare orders of
-//! magnitude and to keep `cargo bench` runnable offline; swap the path
-//! dependency for the real crate when registry access is available.
+//! backed by a wall-clock timer instead of criterion's full statistical
+//! machinery. Good enough to compare medians offline and to keep `cargo bench`
+//! runnable without registry access; swap the path dependency for the real
+//! crate when it is available.
+//!
+//! Statistics: every benchmark runs a configurable number of **warm-up
+//! iterations** (cache/branch-predictor warming, untimed) followed by the
+//! timed samples. The reported time is the **median after
+//! median-absolute-deviation outlier rejection**: samples farther than
+//! `3.5 × MAD` from the raw median — OS scheduling hiccups, frequency
+//! transitions — are discarded before the final median is taken, and the
+//! rejected count is reported so noisy runs are visible.
+//!
+//! Environment knobs (used by the CI bench-smoke job):
+//!
+//! * `MCL_BENCH_QUICK=1` — 5 samples / 1 warm-up instead of 10 / 3.
+//! * `MCL_BENCH_JSON=<path>` — append one JSON line per benchmark
+//!   (`{"label":…,"median_ns":…,"samples":…,"rejected":…}`) to `<path>`.
 
 #![deny(unsafe_code)]
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Opaque blackbox re-export; prevents the optimizer from deleting a value.
@@ -64,24 +79,102 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Robust summary of one benchmark's timed samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Median of the samples that survived outlier rejection.
+    pub median: Duration,
+    /// Number of samples kept.
+    pub kept: usize,
+    /// Number of samples rejected as outliers.
+    pub rejected: usize,
+}
+
+fn median_of(sorted: &[Duration]) -> Duration {
+    sorted[sorted.len() / 2]
+}
+
+/// Median-absolute-deviation outlier rejection: samples farther than
+/// `3.5 × MAD` from the raw median are dropped, then the median of the
+/// survivors is returned. With `MAD == 0` (at timer resolution) nothing is
+/// rejected.
+pub fn robust_stats(samples: &[Duration]) -> Option<SampleStats> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let raw_median = median_of(&sorted);
+    let mut deviations: Vec<Duration> = sorted.iter().map(|&s| s.abs_diff(raw_median)).collect();
+    deviations.sort_unstable();
+    let mad = median_of(&deviations);
+    if mad.is_zero() {
+        return Some(SampleStats {
+            median: raw_median,
+            kept: sorted.len(),
+            rejected: 0,
+        });
+    }
+    let cutoff = mad.mul_f64(3.5);
+    let kept: Vec<Duration> = sorted
+        .iter()
+        .copied()
+        .filter(|&s| s.abs_diff(raw_median) <= cutoff)
+        .collect();
+    Some(SampleStats {
+        median: median_of(&kept),
+        rejected: sorted.len() - kept.len(),
+        kept: kept.len(),
+    })
+}
+
+/// Appends one JSON line describing a finished benchmark to `path`.
+/// The label is escaped for the characters benchmark ids can contain.
+pub fn append_json_line(path: &str, label: &str, stats: &SampleStats) -> std::io::Result<()> {
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(
+        file,
+        "{{\"label\":\"{escaped}\",\"median_ns\":{},\"samples\":{},\"rejected\":{}}}",
+        stats.median.as_nanos(),
+        stats.kept,
+        stats.rejected
+    )
+}
+
 /// The timing driver handed to benchmark closures.
 pub struct Bencher {
     samples: u64,
+    warm_up: u64,
     /// Measured per-iteration durations, one per sample.
     recorded: Vec<Duration>,
 }
 
 impl Bencher {
-    fn new(samples: u64) -> Self {
+    fn new(samples: u64, warm_up: u64) -> Self {
         Bencher {
             samples,
+            warm_up,
             recorded: Vec::new(),
         }
     }
 
-    /// Times `routine`, running it once per sample after one warm-up call.
+    /// Times `routine`, running it once per sample after the warm-up calls.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        black_box(routine());
+        for _ in 0..self.warm_up {
+            black_box(routine());
+        }
         for _ in 0..self.samples {
             let start = Instant::now();
             black_box(routine());
@@ -95,7 +188,9 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        black_box(routine(setup()));
+        for _ in 0..self.warm_up {
+            black_box(routine(setup()));
+        }
         for _ in 0..self.samples {
             let input = setup();
             let start = Instant::now();
@@ -110,8 +205,10 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(&mut I) -> O,
     {
-        let mut input = setup();
-        black_box(routine(&mut input));
+        for _ in 0..self.warm_up {
+            let mut input = setup();
+            black_box(routine(&mut input));
+        }
         for _ in 0..self.samples {
             let mut input = setup();
             let start = Instant::now();
@@ -120,26 +217,31 @@ impl Bencher {
         }
     }
 
-    fn median(&mut self) -> Option<Duration> {
-        if self.recorded.is_empty() {
-            return None;
-        }
-        self.recorded.sort_unstable();
-        Some(self.recorded[self.recorded.len() / 2])
+    fn stats(&self) -> Option<SampleStats> {
+        robust_stats(&self.recorded)
     }
 }
 
-fn report(group: &str, id: &str, bencher: &mut Bencher) {
+fn report(group: &str, id: &str, bencher: &Bencher) {
     let label = if group.is_empty() {
         id.to_owned()
     } else {
         format!("{group}/{id}")
     };
-    match bencher.median() {
-        Some(median) => println!(
-            "{label:<50} time: [{median:?} median of {} samples]",
-            bencher.samples
-        ),
+    match bencher.stats() {
+        Some(stats) => {
+            println!(
+                "{label:<50} time: [{:?} median of {} samples, {} outliers rejected]",
+                stats.median, stats.kept, stats.rejected
+            );
+            if let Ok(path) = std::env::var("MCL_BENCH_JSON") {
+                if !path.is_empty() {
+                    if let Err(err) = append_json_line(&path, &label, &stats) {
+                        eprintln!("warning: could not append to {path}: {err}");
+                    }
+                }
+            }
+        }
         None => println!("{label:<50} time: [no samples recorded]"),
     }
 }
@@ -148,6 +250,8 @@ fn report(group: &str, id: &str, bencher: &mut Bencher) {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: u64,
+    warm_up: u64,
+    sample_cap: u64,
     _criterion: &'a mut Criterion,
 }
 
@@ -155,15 +259,22 @@ impl BenchmarkGroup<'_> {
     /// Sets the number of timed samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         // The stub caps samples: it reports medians, not confidence intervals,
-        // so large sample counts only burn wall-clock time. Say so out loud
-        // rather than silently under-sampling what the bench asked for.
-        self.sample_size = (n as u64).clamp(1, 20);
+        // so large sample counts only burn wall-clock time (and quick mode
+        // lowers the cap further). Say so out loud rather than silently
+        // under-sampling what the bench asked for.
+        self.sample_size = (n as u64).clamp(1, self.sample_cap);
         if n as u64 != self.sample_size {
             println!(
                 "note: sample_size({n}) clamped to {} by the offline criterion stub",
                 self.sample_size
             );
         }
+        self
+    }
+
+    /// Sets the number of untimed warm-up iterations per benchmark.
+    pub fn warm_up_iterations(&mut self, n: usize) -> &mut Self {
+        self.warm_up = n as u64;
         self
     }
 
@@ -178,9 +289,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut bencher = Bencher::new(self.sample_size);
+        let mut bencher = Bencher::new(self.sample_size, self.warm_up);
         f(&mut bencher);
-        report(&self.name, &id.id, &mut bencher);
+        report(&self.name, &id.id, &bencher);
         self
     }
 
@@ -195,9 +306,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut bencher = Bencher::new(self.sample_size);
+        let mut bencher = Bencher::new(self.sample_size, self.warm_up);
         f(&mut bencher, input);
-        report(&self.name, &id.id, &mut bencher);
+        report(&self.name, &id.id, &bencher);
         self
     }
 
@@ -217,12 +328,19 @@ pub enum Throughput {
 /// The benchmark driver.
 pub struct Criterion {
     default_sample_size: u64,
+    default_warm_up: u64,
+    sample_cap: u64,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        // MCL_BENCH_QUICK trades precision for wall-clock time; the CI
+        // bench-smoke job sets it so the perf trajectory is archived cheaply.
+        let quick = std::env::var("MCL_BENCH_QUICK").is_ok_and(|v| v == "1");
         Criterion {
-            default_sample_size: 10,
+            default_sample_size: if quick { 5 } else { 10 },
+            default_warm_up: if quick { 1 } else { 3 },
+            sample_cap: if quick { 5 } else { 20 },
         }
     }
 }
@@ -233,6 +351,12 @@ impl Criterion {
         self
     }
 
+    /// Sets the default number of warm-up iterations.
+    pub fn warm_up_iterations(mut self, n: usize) -> Self {
+        self.default_warm_up = n as u64;
+        self
+    }
+
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
@@ -240,6 +364,8 @@ impl Criterion {
         BenchmarkGroup {
             name,
             sample_size: self.default_sample_size,
+            warm_up: self.default_warm_up,
+            sample_cap: self.sample_cap,
             _criterion: self,
         }
     }
@@ -250,9 +376,9 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut bencher = Bencher::new(self.default_sample_size);
+        let mut bencher = Bencher::new(self.default_sample_size, self.default_warm_up);
         f(&mut bencher);
-        report("", &id.id, &mut bencher);
+        report("", &id.id, &bencher);
         self
     }
 }
@@ -290,20 +416,89 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bencher_records_requested_samples() {
-        let mut b = Bencher::new(5);
+    fn bencher_runs_warm_up_before_the_timed_samples() {
+        let mut b = Bencher::new(5, 3);
         let mut calls = 0u32;
         b.iter(|| calls += 1);
-        assert_eq!(calls, 6); // warm-up + 5 samples
+        assert_eq!(calls, 8); // 3 warm-up + 5 samples
         assert_eq!(b.recorded.len(), 5);
-        assert!(b.median().is_some());
+        assert!(b.stats().is_some());
+
+        let mut batched = Bencher::new(4, 2);
+        let mut setup_calls = 0u32;
+        batched.iter_batched(
+            || {
+                setup_calls += 1;
+                0u8
+            },
+            |v| v,
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setup_calls, 6); // warm-up setups included, not timed
+        assert_eq!(batched.recorded.len(), 4);
+    }
+
+    #[test]
+    fn mad_rejection_drops_a_planted_outlier() {
+        let mut samples: Vec<Duration> =
+            (0..9).map(|i| Duration::from_micros(100 + i % 3)).collect();
+        samples.push(Duration::from_millis(50)); // scheduler hiccup
+        let stats = robust_stats(&samples).unwrap();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.kept, 9);
+        assert!(stats.median < Duration::from_micros(110));
+    }
+
+    #[test]
+    fn zero_mad_keeps_every_sample() {
+        let samples = vec![Duration::from_micros(7); 6];
+        let stats = robust_stats(&samples).unwrap();
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.kept, 6);
+        assert_eq!(stats.median, Duration::from_micros(7));
+        assert!(robust_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn median_is_robust_against_a_skewed_tail() {
+        // A tight cluster with jitter plus a slow tail of almost half the
+        // samples: the raw median sits at the cluster's edge, MAD rejection
+        // drops the whole tail and re-centres the median on the cluster.
+        let mut samples: Vec<Duration> = (0..5).map(|i| Duration::from_micros(100 + i)).collect();
+        samples.extend((0..4).map(|i| Duration::from_micros(5000 + 100 * i)));
+        let stats = robust_stats(&samples).unwrap();
+        assert_eq!(stats.median, Duration::from_micros(102));
+        assert_eq!(stats.rejected, 4);
+        assert_eq!(stats.kept, 5);
+    }
+
+    #[test]
+    fn json_lines_are_appended_and_escaped() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_stub_test_{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        let _ = std::fs::remove_file(&path);
+        let stats = SampleStats {
+            median: Duration::from_nanos(1234),
+            kept: 10,
+            rejected: 1,
+        };
+        append_json_line(path_str, "group/bench \"quoted\"", &stats).unwrap();
+        append_json_line(path_str, "second", &stats).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\\\"quoted\\\""));
+        assert!(lines[0].contains("\"median_ns\":1234"));
+        assert!(lines[1].contains("\"samples\":10"));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
     fn group_runs_benchmarks_without_panicking() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("stub");
-        group.sample_size(3);
+        group.sample_size(3).warm_up_iterations(1);
         group.bench_function("add", |b| b.iter(|| black_box(1 + 1)));
         group.bench_with_input(BenchmarkId::from_parameter(4), &4, |b, &n| {
             b.iter_batched(|| vec![0u8; n], |v| v.len(), BatchSize::SmallInput)
