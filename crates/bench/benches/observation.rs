@@ -7,8 +7,11 @@
 //!   a `&[Beam]` list with [`BeamEndPointModel::observation_log_likelihood`]
 //!   (recomputing the beam trigonometry per particle per beam).
 //! * `observation_kernel` — the SoA path: particles in a [`ParticleBuffer`],
-//!   beams pre-flattened into a [`BeamBatch`], scored by
+//!   beams pre-flattened into a [`BeamBatch`] (partitioned for `r_max`, so the
+//!   per-particle loop body is branch-free), scored by
 //!   [`mcl_core::kernel::observation_log_likelihoods`] on 1 and 8 workers.
+//! * `observation_dispatch` — spawn-vs-pool: the same kernel over the same
+//!   chunks on the persistent worker pool vs. scoped threads per dispatch.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcl_core::kernel;
@@ -85,7 +88,8 @@ fn bench_observation(c: &mut Criterion) {
     kernel_group.sample_size(20);
     for &n in &[1024usize, 4096] {
         let soa: ParticleBuffer<f32> = particles_aos(n).into_iter().collect();
-        let batch = BeamBatch::from_beams(&beams);
+        let mut batch = BeamBatch::from_beams(&beams);
+        batch.partition_in_range(model.r_max());
         let aos = particles_aos(n);
         kernel_group.bench_with_input(BenchmarkId::new("aos_per_particle", n), &aos, |b, aos| {
             b.iter(|| {
@@ -124,6 +128,67 @@ fn bench_observation(c: &mut Criterion) {
         }
     }
     kernel_group.finish();
+
+    // Spawn-vs-pool on the dominating kernel of the update: identical chunk
+    // geometry, persistent pool vs. per-dispatch scoped threads. One worker
+    // runs inline on both paths (the pool must be no slower); at eight workers
+    // the pool amortizes thread startup away.
+    let mut dispatch_group = c.benchmark_group("observation_dispatch");
+    dispatch_group.sample_size(30);
+    {
+        let n = 4096usize;
+        let soa: ParticleBuffer<f32> = particles_aos(n).into_iter().collect();
+        let mut batch = BeamBatch::from_beams(&beams);
+        batch.partition_in_range(model.r_max());
+        for workers in [1usize, 8] {
+            let cluster = ClusterLayout::new(workers);
+            dispatch_group.bench_with_input(
+                BenchmarkId::new(format!("pool_{workers}w"), n),
+                &soa,
+                |b, soa| {
+                    b.iter(|| {
+                        let mut out = vec![0.0f32; soa.len()];
+                        cluster.for_each_split(
+                            (soa.as_slice(), out.as_mut_slice()),
+                            |_, (chunk, logs)| {
+                                kernel::observation_log_likelihoods(
+                                    chunk,
+                                    scenario.edt_fp32(),
+                                    &model,
+                                    &batch,
+                                    logs,
+                                );
+                            },
+                        );
+                        out
+                    })
+                },
+            );
+            dispatch_group.bench_with_input(
+                BenchmarkId::new(format!("scoped_spawn_{workers}w"), n),
+                &soa,
+                |b, soa| {
+                    b.iter(|| {
+                        let mut out = vec![0.0f32; soa.len()];
+                        cluster.for_each_split_scoped(
+                            (soa.as_slice(), out.as_mut_slice()),
+                            |_, (chunk, logs)| {
+                                kernel::observation_log_likelihoods(
+                                    chunk,
+                                    scenario.edt_fp32(),
+                                    &model,
+                                    &batch,
+                                    logs,
+                                );
+                            },
+                        );
+                        out
+                    })
+                },
+            );
+        }
+    }
+    dispatch_group.finish();
 
     // Per-beam cost in isolation, with a locally computed field.
     let edt = EuclideanDistanceField::compute(scenario.map(), 1.5);

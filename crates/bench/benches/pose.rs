@@ -1,7 +1,10 @@
 //! Host micro-benchmark of the pose-computation step (weighted average with a
 //! circular mean over the yaw): the seed's array-of-structs
 //! `PoseEstimate::from_particles` vs. the fixed-block SoA reduction kernel
-//! ([`mcl_core::kernel::pose_estimate`]) on 1 and 8 workers.
+//! ([`mcl_core::kernel::pose_estimate`]) on 1 and 8 workers, plus the
+//! `pose_dispatch` spawn-vs-pool group running the fixed-block
+//! [`PosePartials`](mcl_core::kernel::PosePartials) reduction on the
+//! persistent pool vs. scoped threads per dispatch.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcl_core::kernel;
@@ -56,6 +59,54 @@ fn bench_pose(c: &mut Criterion) {
         }
     }
     kernel_group.finish();
+
+    // Spawn-vs-pool on the pose reduction: the same fixed 256-particle blocks
+    // folded in order, distributed over the persistent pool vs. scoped threads
+    // spawned per dispatch.
+    let mut dispatch_group = c.benchmark_group("pose_dispatch");
+    dispatch_group.sample_size(30);
+    {
+        let n = 4096usize;
+        let soa: ParticleBuffer<f32> = particles(n).into_iter().collect();
+        let view = soa.as_slice();
+        let slice_of = |start: usize, end: usize| {
+            let (_, tail) = view.split_at(start);
+            let (mid, _) = tail.split_at(end - start);
+            mid
+        };
+        let fold = |partials: Vec<kernel::PosePartials>| {
+            let mut total = kernel::PosePartials::default();
+            for partial in &partials {
+                total.merge(partial);
+            }
+            total.mean(0.0)
+        };
+        for workers in [1usize, 8] {
+            let cluster = ClusterLayout::new(workers);
+            dispatch_group.bench_function(BenchmarkId::new(format!("pool_{workers}w"), n), |b| {
+                b.iter(|| {
+                    fold(
+                        cluster.map_index_blocks(n, kernel::POSE_REDUCTION_BLOCK, |start, end| {
+                            kernel::PosePartials::accumulate(slice_of(start, end))
+                        }),
+                    )
+                })
+            });
+            dispatch_group.bench_function(
+                BenchmarkId::new(format!("scoped_spawn_{workers}w"), n),
+                |b| {
+                    b.iter(|| {
+                        fold(cluster.map_index_blocks_scoped(
+                            n,
+                            kernel::POSE_REDUCTION_BLOCK,
+                            |start, end| kernel::PosePartials::accumulate(slice_of(start, end)),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    dispatch_group.finish();
 }
 
 criterion_group!(benches, bench_pose);

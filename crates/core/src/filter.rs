@@ -14,9 +14,14 @@
 //!
 //! An applied update dispatches the four [`crate::kernel`] functions over the
 //! [`ClusterLayout`] workers: each worker runs the same kernel on its contiguous
-//! slice of the structure-of-arrays [`ParticleSet`]. The observation is
-//! flattened into a [`BeamBatch`] **once per update** (callers that already
-//! hold frames can pass a prebuilt batch to
+//! slice of the structure-of-arrays [`ParticleSet`], executing on the
+//! persistent shared [`crate::pool::WorkerPool`] (resident threads, no spawn
+//! per update — and a filter updating inside an already-parallel job, such as
+//! an `mcl_sim::run_batch` worker, automatically runs its kernels inline
+//! instead of oversubscribing the host). The observation is
+//! flattened into a [`BeamBatch`] **once per update** and partitioned for the
+//! configured `r_max` so the correction loop body is branch-free (callers that
+//! already hold frames can pass a prebuilt batch to
 //! [`MonteCarloLocalization::update_batch`] and skip the intermediate beam
 //! list). Per-update scratch buffers (log-likelihoods, f32 weights) are reused
 //! across updates, so the steady-state hot path performs no heap allocation
@@ -204,13 +209,17 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
             self.counters.updates_skipped += 1;
             return Ok(UpdateOutcome::Skipped);
         }
-        let batch = BeamBatch::from_beams(beams);
+        let mut batch = BeamBatch::from_beams(beams);
+        batch.partition_in_range(self.config.r_max);
         Ok(UpdateOutcome::Applied(self.apply_iteration(&batch)))
     }
 
     /// Offers a pre-flattened observation to the filter — the allocation-lean
     /// entry point for callers that build the [`BeamBatch`] straight from
-    /// sensor frames (e.g. the sequence runner).
+    /// sensor frames (e.g. the sequence runner). Callers that additionally
+    /// [partition](BeamBatch::partition_in_range) the batch for this filter's
+    /// `r_max` get the branch-free correction loop; an unpartitioned batch is
+    /// scored through the (bit-identical) per-beam range test.
     ///
     /// # Errors
     ///
@@ -235,7 +244,8 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
     /// Panics if the particles have not been initialized; use
     /// [`MonteCarloLocalization::update`] for the checked variant.
     pub fn force_update(&mut self, beams: &[Beam]) -> PoseEstimate {
-        let batch = BeamBatch::from_beams(beams);
+        let mut batch = BeamBatch::from_beams(beams);
+        batch.partition_in_range(self.config.r_max);
         self.force_update_batch(&batch)
     }
 

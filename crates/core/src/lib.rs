@@ -33,7 +33,10 @@
 //! the same loop body on its contiguous slice, exactly like the 8 GAP9 cluster
 //! cores — and the counter-based RNG ([`rng::CounterRng`]) keys every random
 //! draw on `(seed, update, particle index)`, so the filter state is
-//! bit-identical for every worker count.
+//! bit-identical for every worker count. The workers themselves live in a
+//! persistent [`pool::WorkerPool`] ([`pool::shared`]): resident threads park
+//! between dispatches and are handed kernel invocations, mirroring the
+//! resident GAP9 cluster instead of spawning OS threads per update.
 //!
 //! Particles are stored as a **structure of arrays** ([`ParticleBuffer`]): four
 //! contiguous component arrays `x[]`, `y[]`, `theta[]`, `weight[]`, double
@@ -92,6 +95,7 @@ pub mod motion;
 pub mod observation;
 pub mod parallel;
 pub mod particle;
+pub mod pool;
 pub mod precision;
 pub mod resampling;
 pub mod rng;
@@ -103,6 +107,7 @@ pub use motion::{MotionDelta, MotionModel};
 pub use observation::BeamEndPointModel;
 pub use parallel::{ClusterLayout, Subdivide};
 pub use particle::{Particle, ParticleBuffer, ParticleSet, ParticleSlice, ParticleSliceMut};
+pub use pool::WorkerPool;
 pub use precision::{MapPrecision, MemoryFootprint, ParticlePrecision, PipelineConfig};
 pub use resampling::{
     multinomial_resample, systematic_resample, PartialSumResampler, ResamplePlan,

@@ -61,14 +61,16 @@ impl BeamEndPointModel {
 
     /// Log-likelihood of a single beam for a particle at `pose`.
     ///
-    /// Returns `None` when the beam is skipped (measured range ≥ `r_max`).
+    /// Returns `None` when the beam is skipped — a beam is scored only when
+    /// its measured range is strictly below `r_max` (so a NaN range is
+    /// skipped too, matching [`BeamBatch::partition_in_range`]'s predicate).
     pub fn beam_log_likelihood<D: DistanceField + ?Sized>(
         &self,
         field: &D,
         pose: &mcl_gridmap::Pose2,
         beam: &Beam,
     ) -> Option<f32> {
-        if beam.range_m >= self.r_max {
+        if beam.range_m.is_nan() || beam.range_m >= self.r_max {
             return None;
         }
         let end = beam.end_point(pose);
@@ -121,6 +123,13 @@ impl BeamEndPointModel {
     ///
     /// Beams at or beyond `r_max` are skipped exactly like the per-beam path;
     /// when every beam is skipped the method returns 0.0 (likelihood 1).
+    ///
+    /// When the batch was [partitioned](BeamBatch::partition_in_range) for
+    /// this model's `r_max` (the filter does so once per update), the loop
+    /// runs over the in-range prefix with a **branch-free** body — no range
+    /// test per particle per beam. The partition is stable, so the sum
+    /// associates identically and the score is bit-identical to the skipping
+    /// fallback below.
     pub fn batch_log_likelihood<D: DistanceField + ?Sized>(
         &self,
         field: &D,
@@ -130,12 +139,30 @@ impl BeamEndPointModel {
         batch: &BeamBatch,
     ) -> f32 {
         let (sin_t, cos_t) = theta.sin_cos();
-        let mut log_sum = 0.0f32;
-        let mut used = 0usize;
         let end_x = batch.end_x_body();
         let end_y = batch.end_y_body();
+        if let Some(prefix) = batch.in_range_prefix(self.r_max) {
+            if prefix == 0 {
+                return 0.0;
+            }
+            let mut log_sum = 0.0f32;
+            for i in 0..prefix {
+                let bx = end_x[i];
+                let by = end_y[i];
+                let ex = x + cos_t * bx - sin_t * by;
+                let ey = y + sin_t * bx + cos_t * by;
+                let edt = field.distance_at_world(ex, ey).min(self.r_max);
+                log_sum +=
+                    self.log_normalizer - (edt * edt) / (2.0 * self.sigma_obs * self.sigma_obs);
+            }
+            return log_sum;
+        }
+        let mut log_sum = 0.0f32;
+        let mut used = 0usize;
         for (i, &range) in batch.range_m().iter().enumerate() {
-            if range >= self.r_max {
+            // Score exactly the beams the partition keeps (`range < r_max`):
+            // a NaN range is skipped on both paths, not just the prefix one.
+            if range.is_nan() || range >= self.r_max {
                 continue;
             }
             let bx = end_x[i];
@@ -366,6 +393,102 @@ mod tests {
         let far_batch = BeamBatch::from_beams(&[far]);
         assert_eq!(
             model.batch_log_likelihood(&edt, 2.0, 2.0, 0.0, &far_batch),
+            0.0
+        );
+    }
+
+    #[test]
+    fn partitioned_batch_scores_bit_identically_to_the_skipping_path() {
+        let map = room();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let model = BeamEndPointModel::new(0.3, 1.5);
+        // Mix of in-range and skipped beams, interleaved.
+        let beams: Vec<Beam> = (0..10)
+            .map(|k| Beam {
+                azimuth_body_rad: k as f32 * 0.6,
+                range_m: if k % 3 == 0 {
+                    2.0
+                } else {
+                    0.3 + 0.1 * k as f32
+                },
+                origin_body: Pose2::default(),
+            })
+            .collect();
+        let unpartitioned = BeamBatch::from_beams(&beams);
+        let mut partitioned = unpartitioned.clone();
+        let prefix = partitioned.partition_in_range(model.r_max());
+        assert!(prefix > 0 && prefix < beams.len());
+        for pose in [
+            Pose2::new(1.3, 2.1, 0.8),
+            Pose2::new(2.0, 2.0, 0.0),
+            Pose2::new(3.0, 1.0, 2.0),
+        ] {
+            let skipping =
+                model.batch_log_likelihood(&edt, pose.x, pose.y, pose.theta, &unpartitioned);
+            let branch_free =
+                model.batch_log_likelihood(&edt, pose.x, pose.y, pose.theta, &partitioned);
+            assert_eq!(skipping.to_bits(), branch_free.to_bits());
+        }
+        // A partition for a *different* r_max is ignored (falls back to the
+        // per-beam test) and still scores identically.
+        let mut other = unpartitioned.clone();
+        other.partition_in_range(0.9);
+        let fallback = model.batch_log_likelihood(&edt, 1.3, 2.1, 0.8, &other);
+        // Partitioning reordered the arrays but the skipped set is whatever
+        // r_max=1.5 dictates, so compare against the same reordering.
+        let mut reordered = other.clone();
+        reordered.partition_in_range(model.r_max());
+        let expected = model.batch_log_likelihood(&edt, 1.3, 2.1, 0.8, &reordered);
+        assert_eq!(fallback.to_bits(), expected.to_bits());
+        // All beams out of range → neutral likelihood on the prefix path too.
+        let far = Beam {
+            azimuth_body_rad: 0.0,
+            range_m: 2.0,
+            origin_body: Pose2::default(),
+        };
+        let mut far_batch = BeamBatch::from_beams(&[far]);
+        far_batch.partition_in_range(model.r_max());
+        assert_eq!(
+            model.batch_log_likelihood(&edt, 2.0, 2.0, 0.0, &far_batch),
+            0.0
+        );
+    }
+
+    #[test]
+    fn nan_ranges_are_skipped_on_both_batch_paths() {
+        // A corrupt sensor distance (NaN range) must be excluded from the
+        // score whether or not the batch was partitioned — the prefix keeps
+        // `range < r_max` and the fallback must apply the same predicate, or
+        // the two paths diverge (and the fallback NaN-poisons the weights).
+        let map = room();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let model = BeamEndPointModel::new(0.3, 1.5);
+        let make = |range: f32, azimuth: f32| Beam {
+            azimuth_body_rad: azimuth,
+            range_m: range,
+            origin_body: Pose2::default(),
+        };
+        let beams = [make(0.5, 0.0), make(f32::NAN, 0.7), make(0.8, 1.4)];
+        // The per-beam path applies the same predicate: NaN is skipped, not
+        // scored (which would return Some(NaN) and poison the weight).
+        let pose = Pose2::new(1.3, 2.1, 0.8);
+        assert!(model.beam_log_likelihood(&edt, &pose, &beams[1]).is_none());
+        let per_beam = model.observation_log_likelihood(&edt, &pose, &beams);
+        assert!(per_beam.is_finite());
+        let unpartitioned = BeamBatch::from_beams(&beams);
+        let mut partitioned = unpartitioned.clone();
+        assert_eq!(partitioned.partition_in_range(model.r_max()), 2);
+        let fallback = model.batch_log_likelihood(&edt, 1.3, 2.1, 0.8, &unpartitioned);
+        let prefix = model.batch_log_likelihood(&edt, 1.3, 2.1, 0.8, &partitioned);
+        assert!(
+            fallback.is_finite(),
+            "NaN beam leaked into the fallback sum"
+        );
+        assert_eq!(fallback.to_bits(), prefix.to_bits());
+        // Only NaN beams at all → neutral likelihood on both paths.
+        let all_nan = BeamBatch::from_beams(&[make(f32::NAN, 0.0)]);
+        assert_eq!(
+            model.batch_log_likelihood(&edt, 1.0, 1.0, 0.0, &all_nan),
             0.0
         );
     }

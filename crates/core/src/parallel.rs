@@ -2,12 +2,12 @@
 //!
 //! On GAP9 the four MCL steps are distributed over the 8 worker cores of the
 //! compute cluster (a ninth core orchestrates). This module reproduces that
-//! execution shape on the host with `std::thread::scope`: particles are
-//! split into one contiguous chunk per worker, each worker runs the same kernel
-//! on its chunk independently, and the per-particle counter-based RNG guarantees
-//! that the result is bit-identical to sequential execution — a property the
-//! integration tests rely on (and which the real firmware needs so single-core
-//! and multi-core builds are interchangeable).
+//! execution shape on the host: particles are split into one contiguous chunk
+//! per worker, each worker runs the same kernel on its chunk independently,
+//! and the per-particle counter-based RNG guarantees that the result is
+//! bit-identical to sequential execution — a property the integration tests
+//! rely on (and which the real firmware needs so single-core and multi-core
+//! builds are interchangeable).
 //!
 //! The unit of distribution is anything implementing [`Subdivide`]: plain
 //! slices, the structure-of-arrays particle views
@@ -15,28 +15,35 @@
 //! or pairs of both (a particle chunk zipped with its output chunk). The
 //! [`crate::kernel`] module provides the per-chunk bodies.
 //!
+//! # Execution backend: the persistent pool
+//!
+//! Every dispatch entry point runs its worker chunks on the process-wide
+//! [`WorkerPool`](crate::pool::WorkerPool) (see [`crate::pool::shared`]):
+//! resident threads park between dispatches and are handed kernel invocations,
+//! exactly like the paper's resident cluster cores — no OS thread is spawned
+//! on the hot path. Chunk boundaries are computed *before* execution and are
+//! identical for the pool and for the scoped-spawn reference, so the backend
+//! is unobservable in the results. Each pool-backed entry point has a
+//! `*_scoped` twin that spawns `std::thread::scope` threads per dispatch
+//! instead; the twins exist as the reference implementation the determinism
+//! suite (`tests/pool_determinism.rs`) pins the pool against, and as the
+//! baseline of the spawn-vs-pool benchmark groups.
+//!
+//! Nested dispatches (a layout dispatch while the pool is already executing a
+//! job, e.g. a filter update inside `mcl_sim::run_batch`) run inline on the
+//! calling thread, so stacking job-level on kernel-level parallelism never
+//! oversubscribes the host.
+//!
 //! The wall-clock speedups measured on the host by the Criterion benches are
 //! *not* the paper's numbers (different silicon); the GAP9 latency figures of
 //! Table I and Fig. 10 come from the analytic cost model in `mcl-gap9`, which
 //! uses the same chunking and the same resampling critical path as this module.
 
 use crate::particle::{ParticleSlice, ParticleSliceMut};
+use crate::pool;
 use mcl_num::Scalar;
 use serde::{Deserialize, Serialize};
-use std::sync::OnceLock;
-
-/// Number of hardware threads the host actually has. Worker counts above this
-/// model GAP9 semantics (chunk shapes, resampling plans) but gain nothing from
-/// extra OS threads, so the dispatchers cap their spawn fan-out here. Cached:
-/// the hot path asks on every kernel dispatch.
-fn host_parallelism() -> usize {
-    static HOST: OnceLock<usize> = OnceLock::new();
-    *HOST.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
-}
+use std::sync::{Mutex, PoisonError};
 
 /// A contiguous collection that can be split at an index — the shape a worker
 /// chunk is cut from. Implemented for shared/mutable slices, the SoA particle
@@ -101,6 +108,53 @@ impl<A: Subdivide, B: Subdivide> Subdivide for (A, B) {
     }
 }
 
+/// How a dispatch executes its worker tasks. The chunk geometry is computed
+/// before execution and is identical for both backends; only the threads that
+/// run the chunks differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// The persistent shared [`WorkerPool`](crate::pool::WorkerPool) — the
+    /// production hot path.
+    Pool,
+    /// Fresh `std::thread::scope` threads per dispatch — the reference the
+    /// determinism tests and spawn-vs-pool benches compare against.
+    ScopedSpawn,
+}
+
+/// Runs `task(0..tasks)` on the chosen backend. `limit` caps the number of
+/// concurrently executing threads on the pool backend (the scoped backend
+/// spawns one thread per task and lets the OS schedule them, as the previous
+/// per-dispatch implementation did).
+fn execute(backend: Backend, tasks: usize, limit: usize, task: &(dyn Fn(usize) + Sync)) {
+    match backend {
+        Backend::Pool => pool::shared().dispatch_limited(tasks, limit, task),
+        Backend::ScopedSpawn => {
+            if tasks <= 1 {
+                if tasks == 1 {
+                    task(0);
+                }
+                return;
+            }
+            std::thread::scope(|scope| {
+                for index in 1..tasks {
+                    scope.spawn(move || task(index));
+                }
+                task(0);
+            });
+        }
+    }
+}
+
+/// Takes the payload of one pre-split dispatch slot. Each task index claims
+/// its own slot exactly once, so the mutex is uncontended; it only exists to
+/// move owned chunk payloads out of a closure shared across threads.
+fn take_slot<T>(slot: &Mutex<Option<T>>) -> T {
+    slot.lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+        .expect("dispatch task claimed twice")
+}
+
 /// How particles are distributed over worker cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ClusterLayout {
@@ -116,17 +170,28 @@ impl ClusterLayout {
 
     /// Creates a layout with `workers` worker cores.
     ///
-    /// # Panics
-    ///
-    /// Panics when `workers` is zero.
+    /// A worker count of zero is a caller bug; it trips a debug assertion and
+    /// clamps to 1 in release builds ([`crate::config::MclConfig::validate`]
+    /// reports a zero worker count as a configuration error before it gets
+    /// here).
     pub fn new(workers: usize) -> Self {
-        assert!(workers > 0, "at least one worker is required");
-        ClusterLayout { workers }
+        debug_assert!(workers > 0, "at least one worker is required");
+        ClusterLayout {
+            workers: workers.max(1),
+        }
     }
 
     /// Number of worker cores.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Upper bound on concurrently executing OS threads: the pool's worker
+    /// count (host parallelism, or the `MCL_TEST_WORKERS` override). Worker
+    /// counts above this model GAP9 semantics (chunk shapes, resampling
+    /// plans) without paying for threads the host cannot run.
+    fn thread_cap(&self) -> usize {
+        pool::shared().workers()
     }
 
     /// Chunk size used for `n` items: `⌈n / workers⌉` (capped at `n`).
@@ -144,18 +209,39 @@ impl ClusterLayout {
         (0..used_workers).map(move |w| (w * chunk, ((w + 1) * chunk).min(n)))
     }
 
-    /// Runs `work` on every worker chunk of `items`, in parallel when more than
-    /// one worker is configured. `work` receives the chunk's start index (needed
-    /// to derive per-particle RNG streams) and the chunk itself.
+    /// Runs `work` on every worker chunk of `items`, on the persistent shared
+    /// pool when more than one worker is configured. `work` receives the
+    /// chunk's start index (needed to derive per-particle RNG streams) and the
+    /// chunk itself.
     ///
     /// Chunk boundaries are an execution detail, not a contract: the kernels
     /// dispatched here key every random draw and every output slot on the
     /// *global* index, so any split produces identical results. The dispatcher
-    /// exploits that by spawning at most `available_parallelism()` OS threads —
+    /// exploits that by cutting at most [`pool::shared()`]`.workers()` chunks —
     /// modelling 8 GAP9 workers on a smaller host does not pay for threads the
-    /// hardware cannot run — and by executing the first chunk on the calling
-    /// thread.
+    /// hardware cannot run — and by executing tasks on the dispatching thread
+    /// alongside the pool workers.
     pub fn for_each_split<C, F>(&self, items: C, work: F)
+    where
+        C: Subdivide + Send,
+        F: Fn(usize, C) + Send + Sync,
+    {
+        self.for_each_split_impl(Backend::Pool, items, work);
+    }
+
+    /// Scoped-spawn reference twin of [`ClusterLayout::for_each_split`]:
+    /// identical chunk geometry, executed on per-dispatch
+    /// `std::thread::scope` threads. Exists for the determinism suite and the
+    /// spawn-vs-pool benchmark groups.
+    pub fn for_each_split_scoped<C, F>(&self, items: C, work: F)
+    where
+        C: Subdivide + Send,
+        F: Fn(usize, C) + Send + Sync,
+    {
+        self.for_each_split_impl(Backend::ScopedSpawn, items, work);
+    }
+
+    fn for_each_split_impl<C, F>(&self, backend: Backend, items: C, work: F)
     where
         C: Subdivide + Send,
         F: Fn(usize, C) + Send + Sync,
@@ -164,38 +250,52 @@ impl ClusterLayout {
         if n == 0 {
             return;
         }
-        let threads = self.workers.min(host_parallelism()).min(n);
+        let threads = self.workers.min(self.thread_cap()).min(n);
         if threads == 1 {
             work(0, items);
             return;
         }
         let chunk = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            let mut rest = items;
-            let mut start = 0usize;
-            let mut own: Option<(usize, C)> = None;
-            while start < n {
-                let take = chunk.min(n - start);
-                let (mine, remaining) = rest.subdivide_at(take);
-                rest = remaining;
-                if own.is_none() {
-                    own = Some((start, mine));
-                } else {
-                    let work = &work;
-                    let chunk_start = start;
-                    scope.spawn(move || work(chunk_start, mine));
-                }
-                start += take;
-            }
-            if let Some((chunk_start, mine)) = own {
-                work(chunk_start, mine);
-            }
-        });
+        let mut slots = Vec::with_capacity(threads);
+        let mut rest = items;
+        let mut start = 0usize;
+        while start < n {
+            let take = chunk.min(n - start);
+            let (mine, remaining) = rest.subdivide_at(take);
+            rest = remaining;
+            slots.push(Mutex::new(Some((start, mine))));
+            start += take;
+        }
+        let task = |index: usize| {
+            let (chunk_start, mine) = take_slot(&slots[index]);
+            work(chunk_start, mine);
+        };
+        execute(backend, slots.len(), threads, &task);
     }
 
     /// Runs `work` on every worker chunk and collects one result per chunk, in
     /// chunk order. Used for the per-chunk partial sums of the reduction steps.
     pub fn map_split<C, R, F>(&self, items: C, work: F) -> Vec<R>
+    where
+        C: Subdivide + Send,
+        R: Send,
+        F: Fn(usize, C) -> R + Send + Sync,
+    {
+        self.map_split_impl(Backend::Pool, items, work)
+    }
+
+    /// Scoped-spawn reference twin of [`ClusterLayout::map_split`] (identical
+    /// chunk geometry and result order).
+    pub fn map_split_scoped<C, R, F>(&self, items: C, work: F) -> Vec<R>
+    where
+        C: Subdivide + Send,
+        R: Send,
+        F: Fn(usize, C) -> R + Send + Sync,
+    {
+        self.map_split_impl(Backend::ScopedSpawn, items, work)
+    }
+
+    fn map_split_impl<C, R, F>(&self, backend: Backend, items: C, work: F) -> Vec<R>
     where
         C: Subdivide + Send,
         R: Send,
@@ -208,25 +308,37 @@ impl ClusterLayout {
         if self.workers == 1 {
             return vec![work(0, items)];
         }
+        // Chunk geometry follows the *modelled* worker count (⌈n/workers⌉),
+        // not the thread cap: callers fold the per-chunk results, so the
+        // number of chunks is part of the semantic decomposition.
         let chunk = self.chunk_size(n);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.workers);
-            let mut rest = items;
-            let mut start = 0usize;
-            while start < n {
-                let take = chunk.min(n - start);
-                let (mine, remaining) = rest.subdivide_at(take);
-                rest = remaining;
-                let work = &work;
-                let chunk_start = start;
-                handles.push(scope.spawn(move || work(chunk_start, mine)));
-                start += take;
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("cluster worker panicked"))
-                .collect()
-        })
+        let mut slots = Vec::with_capacity(self.workers);
+        let mut rest = items;
+        let mut start = 0usize;
+        while start < n {
+            let take = chunk.min(n - start);
+            let (mine, remaining) = rest.subdivide_at(take);
+            rest = remaining;
+            slots.push(Mutex::new(Some((start, mine))));
+            start += take;
+        }
+        let results: Vec<Mutex<Option<R>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+        let task = |index: usize| {
+            let (chunk_start, mine) = take_slot(&slots[index]);
+            let result = work(chunk_start, mine);
+            *results[index]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(result);
+        };
+        execute(backend, slots.len(), self.thread_cap(), &task);
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("every chunk task stores its result")
+            })
+            .collect()
     }
 
     /// Runs `work` on explicitly sized contiguous pieces of `items` — one per
@@ -240,6 +352,33 @@ impl ClusterLayout {
     /// Panics when the ranges do not tile `0..len`.
     pub fn for_each_range<C, F>(&self, items: C, ranges: &[(usize, usize)], work: F)
     where
+        C: Subdivide + Send,
+        F: Fn(usize, C) + Send + Sync,
+    {
+        self.for_each_range_impl(Backend::Pool, items, ranges, work);
+    }
+
+    /// Scoped-spawn reference twin of [`ClusterLayout::for_each_range`]
+    /// (identical range grouping).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ranges do not tile `0..len`.
+    pub fn for_each_range_scoped<C, F>(&self, items: C, ranges: &[(usize, usize)], work: F)
+    where
+        C: Subdivide + Send,
+        F: Fn(usize, C) + Send + Sync,
+    {
+        self.for_each_range_impl(Backend::ScopedSpawn, items, ranges, work);
+    }
+
+    fn for_each_range_impl<C, F>(
+        &self,
+        backend: Backend,
+        items: C,
+        ranges: &[(usize, usize)],
+        work: F,
+    ) where
         C: Subdivide + Send,
         F: Fn(usize, C) + Send + Sync,
     {
@@ -268,10 +407,10 @@ impl ClusterLayout {
             consumed = end;
         }
         assert_eq!(consumed, n, "ranges must cover the collection exactly");
-        // Like for_each_split, the thread fan-out is capped by the host's real
-        // parallelism; the per-range `work` invocations (the plan's semantic
-        // decomposition) are preserved regardless.
-        let threads = self.workers.min(host_parallelism()).min(ranges.len());
+        // Like for_each_split, the thread fan-out is capped by the pool size;
+        // the per-range `work` invocations (the plan's semantic decomposition)
+        // are preserved regardless of how ranges are grouped onto threads.
+        let threads = self.workers.min(self.thread_cap()).min(ranges.len());
         if ranges.len() <= 1 || threads <= 1 {
             if n > 0 {
                 run_ranges(items, ranges, &work);
@@ -279,36 +418,29 @@ impl ClusterLayout {
             return;
         }
         // Group consecutive ranges into at most `threads` contiguous groups of
-        // roughly equal item counts; the first group runs on the calling
-        // thread while the spawned groups proceed.
+        // roughly equal item counts.
         let quota = n.div_ceil(threads).max(1);
-        std::thread::scope(|scope| {
-            let mut rest = items;
-            let mut own: Option<(C, &[(usize, usize)])> = None;
-            let mut i = 0usize;
-            while i < ranges.len() {
-                let group_first = i;
-                let group_begin = ranges[i].0;
-                let mut group_items = 0usize;
-                while i < ranges.len() && group_items < quota {
-                    group_items += ranges[i].1 - ranges[i].0;
-                    i += 1;
-                }
-                let group_end = ranges[i - 1].1;
-                let (mine, remaining) = rest.subdivide_at(group_end - group_begin);
-                rest = remaining;
-                let group = &ranges[group_first..i];
-                if own.is_none() {
-                    own = Some((mine, group));
-                } else {
-                    let work = &work;
-                    scope.spawn(move || run_ranges(mine, group, work));
-                }
+        let mut slots = Vec::with_capacity(threads);
+        let mut rest = items;
+        let mut i = 0usize;
+        while i < ranges.len() {
+            let group_first = i;
+            let group_begin = ranges[i].0;
+            let mut group_items = 0usize;
+            while i < ranges.len() && group_items < quota {
+                group_items += ranges[i].1 - ranges[i].0;
+                i += 1;
             }
-            if let Some((mine, group)) = own {
-                run_ranges(mine, group, &work);
-            }
-        });
+            let group_end = ranges[i - 1].1;
+            let (mine, remaining) = rest.subdivide_at(group_end - group_begin);
+            rest = remaining;
+            slots.push(Mutex::new(Some((mine, &ranges[group_first..i]))));
+        }
+        let task = |index: usize| {
+            let (mine, group) = take_slot(&slots[index]);
+            run_ranges(mine, group, &work);
+        };
+        execute(backend, slots.len(), threads, &task);
     }
 
     /// Reduces `0..n` in fixed-size blocks: `reduce` maps each `(start, end)`
@@ -327,13 +459,41 @@ impl ClusterLayout {
         R: Send,
         F: Fn(usize, usize) -> R + Send + Sync,
     {
+        self.map_index_blocks_impl(Backend::Pool, n, block_size, reduce)
+    }
+
+    /// Scoped-spawn reference twin of [`ClusterLayout::map_index_blocks`]
+    /// (identical block boundaries and result order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block_size` is zero.
+    pub fn map_index_blocks_scoped<R, F>(&self, n: usize, block_size: usize, reduce: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, usize) -> R + Send + Sync,
+    {
+        self.map_index_blocks_impl(Backend::ScopedSpawn, n, block_size, reduce)
+    }
+
+    fn map_index_blocks_impl<R, F>(
+        &self,
+        backend: Backend,
+        n: usize,
+        block_size: usize,
+        reduce: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, usize) -> R + Send + Sync,
+    {
         assert!(block_size > 0, "block_size must be positive");
         let blocks = n.div_ceil(block_size);
         if blocks == 0 {
             return Vec::new();
         }
         let block_range = |b: usize| (b * block_size, ((b + 1) * block_size).min(n));
-        let threads = self.workers.min(host_parallelism()).min(blocks);
+        let threads = self.workers.min(self.thread_cap()).min(blocks);
         if threads == 1 {
             return (0..blocks)
                 .map(|b| {
@@ -345,27 +505,28 @@ impl ClusterLayout {
         // Each worker owns a contiguous run of blocks; partials are collected
         // per worker and concatenated, restoring global block order.
         let per_worker = blocks.div_ceil(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..blocks.div_ceil(per_worker))
-                .map(|w| {
-                    let first = w * per_worker;
-                    let last = ((w + 1) * per_worker).min(blocks);
-                    let reduce = &reduce;
-                    scope.spawn(move || {
-                        (first..last)
-                            .map(|b| {
-                                let (s, e) = block_range(b);
-                                reduce(s, e)
-                            })
-                            .collect::<Vec<R>>()
-                    })
+        let runs = blocks.div_ceil(per_worker);
+        let results: Vec<Mutex<Option<Vec<R>>>> = (0..runs).map(|_| Mutex::new(None)).collect();
+        let task = |w: usize| {
+            let first = w * per_worker;
+            let last = ((w + 1) * per_worker).min(blocks);
+            let partials: Vec<R> = (first..last)
+                .map(|b| {
+                    let (s, e) = block_range(b);
+                    reduce(s, e)
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("cluster worker panicked"))
-                .collect()
-        })
+            *results[w].lock().unwrap_or_else(PoisonError::into_inner) = Some(partials);
+        };
+        execute(backend, runs, threads, &task);
+        results
+            .into_iter()
+            .flat_map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("every block run stores its partials")
+            })
+            .collect()
     }
 
     /// Runs `work` on every chunk of a mutable slice (compatibility wrapper over
@@ -405,6 +566,24 @@ impl ClusterLayout {
     {
         assert_eq!(target.len(), indices.len());
         self.for_each_range((target, indices), ranges, |_, (chunk, idx)| {
+            for (slot, &src) in chunk.iter_mut().zip(idx.iter()) {
+                *slot = source[src];
+            }
+        });
+    }
+
+    /// Scoped-spawn reference twin of [`ClusterLayout::scatter_resample`].
+    pub fn scatter_resample_scoped<T>(
+        &self,
+        source: &[T],
+        target: &mut [T],
+        indices: &[usize],
+        ranges: &[(usize, usize)],
+    ) where
+        T: Copy + Send + Sync,
+    {
+        assert_eq!(target.len(), indices.len());
+        self.for_each_range_scoped((target, indices), ranges, |_, (chunk, idx)| {
             for (slot, &src) in chunk.iter_mut().zip(idx.iter()) {
                 *slot = source[src];
             }
@@ -453,6 +632,50 @@ mod tests {
         let mut parallel = base;
         ClusterLayout::GAP9.for_each_chunk(&mut parallel, work);
         assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn pool_and_scoped_backends_agree_on_every_entry_point() {
+        // Same inputs through the pool and the scoped-spawn reference: the
+        // outputs must be identical element for element.
+        let base: Vec<u64> = (0..500).map(|i| i * 3).collect();
+        let mutate = |start: usize, slice: &mut [u64]| {
+            for (i, v) in slice.iter_mut().enumerate() {
+                *v = (*v).rotate_left(((start + i) % 63) as u32);
+            }
+        };
+        let mut pooled = base.clone();
+        ClusterLayout::GAP9.for_each_split(pooled.as_mut_slice(), mutate);
+        let mut scoped = base.clone();
+        ClusterLayout::GAP9.for_each_split_scoped(scoped.as_mut_slice(), mutate);
+        assert_eq!(pooled, scoped);
+
+        let sum = |_: usize, chunk: &[u64]| chunk.iter().sum::<u64>();
+        assert_eq!(
+            ClusterLayout::new(5).map_split(base.as_slice(), sum),
+            ClusterLayout::new(5).map_split_scoped(base.as_slice(), sum),
+        );
+
+        let reduce = |s: usize, e: usize| base[s..e].iter().map(|&v| v as f64).sum::<f64>();
+        let pooled_blocks = ClusterLayout::GAP9.map_index_blocks(base.len(), 64, reduce);
+        let scoped_blocks = ClusterLayout::GAP9.map_index_blocks_scoped(base.len(), 64, reduce);
+        assert_eq!(pooled_blocks.len(), scoped_blocks.len());
+        for (a, b) in pooled_blocks.iter().zip(scoped_blocks.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let indices: Vec<usize> = (0..base.len()).map(|i| (i * 7) % base.len()).collect();
+        let ranges = [(0usize, 100usize), (100, 100), (100, 350), (350, 500)];
+        let mut pooled_scatter = vec![0u64; base.len()];
+        ClusterLayout::new(4).scatter_resample(&base, &mut pooled_scatter, &indices, &ranges);
+        let mut scoped_scatter = vec![0u64; base.len()];
+        ClusterLayout::new(4).scatter_resample_scoped(
+            &base,
+            &mut scoped_scatter,
+            &indices,
+            &ranges,
+        );
+        assert_eq!(pooled_scatter, scoped_scatter);
     }
 
     #[test]
@@ -545,8 +768,53 @@ mod tests {
     }
 
     #[test]
+    fn more_workers_than_items_still_covers_everything() {
+        // 8-worker layout, 3 items: one chunk per item, nothing dropped.
+        let mut items = vec![0usize; 3];
+        ClusterLayout::GAP9.for_each_split(items.as_mut_slice(), |start, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = start + i + 100;
+            }
+        });
+        assert_eq!(items, vec![100, 101, 102]);
+        let sums =
+            ClusterLayout::GAP9.map_split(&[1u32, 2, 3][..], |_, c: &[u32]| c.iter().sum::<u32>());
+        assert_eq!(sums.iter().sum::<u32>(), 6);
+    }
+
+    #[test]
+    fn zero_length_ranges_are_skipped_but_tiled() {
+        // A plan where several workers drew nothing: zero-length ranges must
+        // not invoke `work` yet still satisfy the tiling contract.
+        let mut out = vec![0usize; 10];
+        let ranges = [(0usize, 0usize), (0, 0), (0, 10), (10, 10)];
+        ClusterLayout::GAP9.for_each_range(out.as_mut_slice(), &ranges, |start, chunk| {
+            assert!(!chunk.is_empty(), "empty ranges must be skipped");
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = start + i + 1;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
     #[should_panic(expected = "at least one worker")]
-    fn zero_workers_is_rejected() {
+    fn zero_workers_asserts_in_debug_builds() {
         ClusterLayout::new(0);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn zero_workers_clamps_to_one_in_release_builds() {
+        let layout = ClusterLayout::new(0);
+        assert_eq!(layout.workers(), 1);
+        let mut items = vec![0u8; 4];
+        layout.for_each_split(items.as_mut_slice(), |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v = 1;
+            }
+        });
+        assert_eq!(items, vec![1; 4]);
     }
 }

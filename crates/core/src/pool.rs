@@ -1,0 +1,660 @@
+//! Persistent worker pool backing the cluster dispatch.
+//!
+//! The paper's GAP9 deployment keeps the 8 compute-cluster cores **resident**:
+//! the orchestrating core hands each MCL kernel to the already-running workers
+//! and blocks on a hardware barrier — it never pays for starting or stopping
+//! them inside an update. Before this module existed, the host-side
+//! [`ClusterLayout`](crate::parallel::ClusterLayout) approximated that shape
+//! with `std::thread::scope`, spawning (and joining) fresh OS threads on
+//! *every* kernel dispatch — pure overhead on the 8-worker hot path, paid four
+//! times per filter update.
+//!
+//! [`WorkerPool`] reproduces the resident-cluster execution model on `std`
+//! primitives only (no extra dependencies):
+//!
+//! * **Parked workers.** `WorkerPool::new(n)` spawns `n − 1` resident threads
+//!   that sleep on a condition variable; the dispatching thread itself acts as
+//!   worker 0, exactly like the GAP9 orchestrator joining the team it forked.
+//! * **Per-dispatch job latch.** [`WorkerPool::dispatch`] publishes one job —
+//!   `tasks` closures indexed `0..tasks`, claimed over an atomic cursor — and
+//!   blocks until a countdown latch reaches zero, so every borrow captured by
+//!   the task closure provably outlives the dispatch (the scoped-thread
+//!   guarantee, without the spawn).
+//! * **Panic propagation.** A panicking task is caught on the worker, carried
+//!   through the latch, and re-raised on the dispatching thread *after* the
+//!   remaining tasks finished — the pool stays parked and usable for the next
+//!   dispatch, never deadlocked.
+//! * **Nested dispatch runs inline.** The pool executes one job at a time; a
+//!   dispatch that finds the pool busy (e.g. a filter's kernel dispatch inside
+//!   a [`run_batch`](../../mcl_sim/batch/fn.run_batch.html) job that already
+//!   owns the pool) simply runs its tasks on the calling thread. Job-level and
+//!   particle-level parallelism therefore share one set of OS threads and can
+//!   never oversubscribe the host. Long job-level dispatches use
+//!   [`WorkerPool::dispatch_queued`] instead: an *independent* caller that
+//!   merely lost the race for the pool waits for the slot (keeping its full
+//!   parallelism) rather than silently serializing, while genuinely nested
+//!   calls — detected via a thread-local "inside a pool task" marker — still
+//!   inline, keeping the no-deadlock guarantee.
+//!
+//! # Determinism
+//!
+//! The pool never influences *what* is computed — only *where*. Task bodies
+//! receive their global task index, the cluster dispatchers cut chunks at
+//! the same boundaries as the scoped-spawn reference, and every random draw in
+//! the kernels is keyed on `(seed, update, particle index)`. Which OS thread
+//! (or how many) executes a task is therefore unobservable in the results;
+//! `tests/pool_determinism.rs` pins pooled execution bit-identical to the
+//! scoped-spawn reference and to sequential execution.
+//!
+//! # The shared pool
+//!
+//! [`shared`] returns the process-wide pool used by every
+//! [`ClusterLayout`](crate::parallel::ClusterLayout) dispatch and by
+//! `mcl_sim::run_batch`. It is sized to the host's available parallelism, or
+//! to the `MCL_TEST_WORKERS` environment variable when set (the CI test matrix
+//! uses this to exercise real 1/3/8-thread pools regardless of runner size).
+
+// The job hand-off erases the task closure's borrow lifetime so resident
+// threads can reference it; the dispatch latch (dispatch blocks until every
+// task completed) is what makes that sound. The crate otherwise forbids
+// unsafe code.
+#![allow(unsafe_code)]
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+thread_local! {
+    /// Whether the current thread is executing a task of some pool dispatch.
+    /// Distinguishes a *genuinely nested* dispatch (must run inline, waiting
+    /// would deadlock the job it belongs to) from an independent caller that
+    /// merely lost a race for the job slot (may wait, see
+    /// [`WorkerPool::dispatch_queued`]).
+    static IN_POOL_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of hardware threads the host actually has. Worker counts above this
+/// model GAP9 semantics (chunk shapes, resampling plans) but gain nothing from
+/// extra OS threads. Cached: the hot path asks on every kernel dispatch.
+pub fn host_parallelism() -> usize {
+    static HOST: OnceLock<usize> = OnceLock::new();
+    *HOST.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Locks a mutex, ignoring poisoning: the pool's own state transitions are
+/// panic-safe (a panicking task is caught before it can unwind through the
+/// bookkeeping), so a poisoned lock only means some *task* panicked while
+/// holding it — the protected data is still a valid job record.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Lifetime-erased pointer to the dispatch's task closure. Sound to share with
+/// the resident workers because the dispatcher blocks on the job latch: the
+/// closure (and everything it borrows) outlives every dereference.
+#[derive(Clone, Copy)]
+struct TaskRef(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (it is only ever shared, never mutated) and
+// the latch protocol guarantees it is alive whenever a worker dereferences.
+unsafe impl Send for TaskRef {}
+// SAFETY: as above — shared immutable access to a `Sync` closure.
+unsafe impl Sync for TaskRef {}
+
+/// Shared bookkeeping of one dispatch.
+struct JobCore {
+    /// Next unclaimed task index.
+    cursor: AtomicUsize,
+    /// Total number of tasks in the job.
+    tasks: usize,
+    /// Tasks not yet completed — the dispatch latch. The worker that brings
+    /// this to zero wakes the dispatcher.
+    remaining: AtomicUsize,
+    /// Maximum number of threads (dispatcher included) allowed to execute
+    /// tasks; workers beyond the limit skip the job. This is how a dispatch
+    /// models fewer cluster cores than the pool owns.
+    limit: usize,
+    /// Threads that joined the job so far (the dispatcher counts as the
+    /// first).
+    entrants: AtomicUsize,
+    /// First panic payload raised by a task, re-raised by the dispatcher.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// One published job: the erased task closure plus its bookkeeping.
+#[derive(Clone)]
+struct ActiveJob {
+    /// Dispatch sequence number, so a worker never re-enters a job it already
+    /// drained.
+    epoch: u64,
+    task: TaskRef,
+    core: Arc<JobCore>,
+}
+
+/// State guarded by the pool mutex.
+struct PoolState {
+    /// Monotonic dispatch counter.
+    epoch: u64,
+    /// The job currently executing, if any. The pool runs one job at a time;
+    /// `None` means the workers are parked.
+    job: Option<ActiveJob>,
+    /// Set once, by `Drop`: workers exit their loop.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between jobs.
+    work_ready: Condvar,
+    /// The dispatcher parks here while the latch is non-zero.
+    job_done: Condvar,
+}
+
+/// A persistent pool of parked worker threads executing indexed task batches.
+///
+/// See the [module documentation](self) for the execution model. The pool is
+/// cheap to keep alive (workers sleep on a condition variable between
+/// dispatches) and joins all threads on drop.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool of `workers` logical workers: the dispatching thread
+    /// plus `workers − 1` resident threads. `workers = 1` spawns no threads
+    /// (every dispatch runs inline), mirroring the paper's single-core
+    /// baseline.
+    ///
+    /// A worker count of zero is a caller bug; it trips a debug assertion and
+    /// clamps to 1 in release builds.
+    pub fn new(workers: usize) -> Self {
+        debug_assert!(workers > 0, "at least one worker is required");
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+        });
+        let handles = (1..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of logical workers (dispatching thread included).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `task(i)` for every `i` in `0..tasks` and returns when all of them
+    /// completed. Tasks are claimed over an atomic cursor by the calling
+    /// thread and up to `workers() − 1` resident threads; each index is
+    /// executed exactly once.
+    ///
+    /// If a task panics, the first panic payload is re-raised on the calling
+    /// thread after the remaining tasks finished — the pool survives and the
+    /// next dispatch proceeds normally.
+    pub fn dispatch(&self, tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.dispatch_limited(tasks, usize::MAX, task);
+    }
+
+    /// Like [`WorkerPool::dispatch`], but at most `max_workers` threads
+    /// (calling thread included) execute tasks — the shape of a
+    /// [`ClusterLayout`](crate::parallel::ClusterLayout) that models fewer
+    /// cluster cores than the pool owns.
+    ///
+    /// Runs entirely on the calling thread when `tasks <= 1`, when
+    /// `max_workers <= 1`, when the pool has no resident threads, or when the
+    /// pool is already executing another job — the inline fallback that keeps
+    /// job-level × kernel-level parallelism from oversubscribing the host,
+    /// and the right behaviour for short kernel dispatches, which must never
+    /// block behind a long-running job.
+    pub fn dispatch_limited(
+        &self,
+        tasks: usize,
+        max_workers: usize,
+        task: &(dyn Fn(usize) + Sync),
+    ) {
+        self.dispatch_inner(tasks, max_workers, false, task);
+    }
+
+    /// Like [`WorkerPool::dispatch_limited`], but a dispatch that finds the
+    /// pool busy **waits for the pool to become idle** and then runs with full
+    /// parallelism, instead of degrading to inline execution — unless the
+    /// calling thread is itself inside a pool task (genuinely nested
+    /// dispatch), which still runs inline to stay deadlock-free.
+    ///
+    /// Use this for long job-level dispatches (`mcl_sim::run_batch`) where
+    /// transiently losing the pool to another caller must not silently
+    /// serialize minutes of work; keep [`WorkerPool::dispatch_limited`] for
+    /// short kernel dispatches where waiting would cost more than inlining.
+    pub fn dispatch_queued(&self, tasks: usize, max_workers: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.dispatch_inner(tasks, max_workers, true, task);
+    }
+
+    fn dispatch_inner(
+        &self,
+        tasks: usize,
+        max_workers: usize,
+        queue: bool,
+        task: &(dyn Fn(usize) + Sync),
+    ) {
+        if tasks == 0 {
+            return;
+        }
+        if tasks == 1 || max_workers <= 1 || self.handles.is_empty() {
+            for index in 0..tasks {
+                task(index);
+            }
+            return;
+        }
+
+        let core = Arc::new(JobCore {
+            cursor: AtomicUsize::new(0),
+            tasks,
+            remaining: AtomicUsize::new(tasks),
+            limit: max_workers.min(self.workers),
+            entrants: AtomicUsize::new(1),
+            panic: Mutex::new(None),
+        });
+        // SAFETY: the closure reference only escapes to the resident workers
+        // through `PoolState::job`, which this dispatch clears (under the
+        // state lock) before returning, and every dereference happens before
+        // the latch releases the dispatcher. The borrow therefore strictly
+        // outlives all uses.
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+        };
+        let job = {
+            let mut state = lock_unpoisoned(&self.shared.state);
+            if state.job.is_some() {
+                // The pool is already working. A genuinely nested dispatch
+                // (this thread is inside a pool task higher up the call
+                // stack) must run inline — waiting would deadlock the job it
+                // is part of. An independent caller inlines too unless it
+                // asked to queue, in which case it waits for the slot and
+                // then gets full parallelism.
+                let nested = IN_POOL_TASK.with(Cell::get);
+                if nested || !queue {
+                    drop(state);
+                    for index in 0..tasks {
+                        task(index);
+                    }
+                    return;
+                }
+                while state.job.is_some() {
+                    state = self
+                        .shared
+                        .job_done
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            state.epoch += 1;
+            let job = ActiveJob {
+                epoch: state.epoch,
+                task: TaskRef(erased as *const _),
+                core: Arc::clone(&core),
+            };
+            state.job = Some(job.clone());
+            self.shared.work_ready.notify_all();
+            job
+        };
+
+        // The dispatcher is worker 0: it executes tasks like everyone else.
+        run_tasks(&job, &self.shared);
+
+        // Latch: wait until every task completed, then retire the job so no
+        // worker can observe the (about to dangle) task pointer again.
+        let mut state = lock_unpoisoned(&self.shared.state);
+        while core.remaining.load(Ordering::Acquire) != 0 {
+            state = self
+                .shared
+                .job_done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        state.job = None;
+        drop(state);
+        // Wake queued dispatchers waiting for the slot (they share the
+        // `job_done` condvar with the latch wait above).
+        self.shared.job_done.notify_all();
+
+        let payload = lock_unpoisoned(&core.panic).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Parks no more: signals shutdown and joins every resident thread.
+    fn drop(&mut self) {
+        {
+            let mut state = lock_unpoisoned(&self.shared.state);
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .field("resident_threads", &self.handles.len())
+            .finish()
+    }
+}
+
+/// Body of one resident worker thread: park until a new job (or shutdown) is
+/// published, join it unless the concurrency limit is already met, drain the
+/// task cursor, park again.
+fn worker_loop(shared: &PoolShared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = lock_unpoisoned(&shared.state);
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                match &state.job {
+                    Some(job) if job.epoch != seen_epoch => {
+                        seen_epoch = job.epoch;
+                        break job.clone();
+                    }
+                    _ => {
+                        state = shared
+                            .work_ready
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+            }
+        };
+        if job.core.entrants.fetch_add(1, Ordering::AcqRel) >= job.core.limit {
+            // This dispatch models fewer workers than the pool owns; sit it
+            // out (the job is marked seen, so we park until the next one).
+            continue;
+        }
+        run_tasks(&job, shared);
+    }
+}
+
+/// Claims and executes tasks until the cursor is exhausted; the thread whose
+/// completion empties the latch wakes the dispatcher. Task bodies run with
+/// the [`IN_POOL_TASK`] marker set, so dispatches they make are recognized as
+/// nested.
+fn run_tasks(job: &ActiveJob, shared: &PoolShared) {
+    let was_in_task = IN_POOL_TASK.with(|flag| flag.replace(true));
+    run_task_loop(job, shared);
+    IN_POOL_TASK.with(|flag| flag.set(was_in_task));
+}
+
+fn run_task_loop(job: &ActiveJob, shared: &PoolShared) {
+    loop {
+        let index = job.core.cursor.fetch_add(1, Ordering::Relaxed);
+        if index >= job.core.tasks {
+            return;
+        }
+        // SAFETY: `index < tasks` means the latch has not released the
+        // dispatcher yet (our completion below is still pending), so the
+        // closure behind the pointer is alive.
+        let task = unsafe { &*job.task.0 };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(index))) {
+            let mut slot = lock_unpoisoned(&job.core.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        if job.core.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last task of the job: wake the dispatcher. Taking the state
+            // lock orders the notification after the dispatcher's check.
+            let _state = lock_unpoisoned(&shared.state);
+            shared.job_done.notify_all();
+        }
+    }
+}
+
+/// The process-wide pool every [`ClusterLayout`](crate::parallel::ClusterLayout)
+/// dispatch and `mcl_sim::run_batch` execute on.
+///
+/// Sized to [`host_parallelism`], unless the `MCL_TEST_WORKERS` environment
+/// variable overrides it (capped at 64). The override exists so the CI test
+/// matrix can exercise real 1-, 3- and 8-thread pools independent of runner
+/// core count; it is read once, on first use.
+pub fn shared() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::env::var("MCL_TEST_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .map(|n| n.min(64))
+            .unwrap_or_else(host_parallelism);
+        WorkerPool::new(workers)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn dispatch_runs_every_task_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for tasks in [0usize, 1, 3, 4, 17, 256] {
+            let hits: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
+            pool.dispatch(tasks, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "tasks={tasks}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        let pool = WorkerPool::new(8);
+        let sum = AtomicU64::new(0);
+        pool.dispatch(3, &|i| {
+            sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        let pool = WorkerPool::new(4);
+        pool.dispatch(0, &|_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn single_worker_pool_runs_inline_in_order() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.workers(), 1);
+        let order = Mutex::new(Vec::new());
+        pool.dispatch(5, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn limited_dispatch_caps_concurrent_entrants() {
+        let pool = WorkerPool::new(8);
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        pool.dispatch_limited(64, 2, &|_| {
+            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "entrant cap violated");
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_without_deadlock() {
+        let pool = WorkerPool::new(4);
+        let inner_total = AtomicU64::new(0);
+        pool.dispatch(4, &|_| {
+            // The pool is busy with the outer job, so this must fall back to
+            // the calling thread — and return.
+            pool.dispatch(8, &|j| {
+                inner_total.fetch_add(j as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_total.load(Ordering::Relaxed), 4 * 28);
+    }
+
+    #[test]
+    fn queued_dispatch_waits_for_the_pool_instead_of_inlining() {
+        // Two concurrent queued dispatches: the loser of the slot race must
+        // wait and then run normally — both complete with full coverage.
+        let pool = WorkerPool::new(4);
+        let first = AtomicUsize::new(0);
+        let second = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                pool.dispatch_queued(32, usize::MAX, &|_| {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                    first.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            scope.spawn(|| {
+                pool.dispatch_queued(32, usize::MAX, &|_| {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                    second.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(first.load(Ordering::Relaxed), 32);
+        assert_eq!(second.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn queued_dispatch_from_inside_a_task_runs_inline_without_deadlock() {
+        // A queued dispatch nested inside a pool task must not wait for the
+        // pool (that would deadlock its own job) — the thread-local marker
+        // routes it to the inline path.
+        let pool = WorkerPool::new(4);
+        let inner_total = AtomicU64::new(0);
+        pool.dispatch(4, &|_| {
+            pool.dispatch_queued(8, usize::MAX, &|j| {
+                inner_total.fetch_add(j as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_total.load(Ordering::Relaxed), 4 * 28);
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let pool = WorkerPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(8, &|i| {
+                if i == 3 {
+                    panic!("task three exploded");
+                }
+            });
+        }));
+        let payload = result.expect_err("the task panic must reach the dispatcher");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(message.contains("exploded"), "payload: {message}");
+        // Subsequent dispatches must work — no deadlock, no poisoned state.
+        let count = AtomicUsize::new(0);
+        pool.dispatch(16, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn repeated_dispatches_on_a_warm_pool_do_not_leak_state() {
+        let pool = WorkerPool::new(4);
+        for round in 0..32 {
+            let mut data = vec![0u64; 100];
+            let slots: Vec<Mutex<&mut [u64]>> = data.chunks_mut(25).map(Mutex::new).collect();
+            pool.dispatch(slots.len(), &|i| {
+                for (k, v) in slots[i].lock().unwrap().iter_mut().enumerate() {
+                    *v = round * 1000 + (i * 25 + k) as u64;
+                }
+            });
+            for (k, &v) in data.iter().enumerate() {
+                assert_eq!(v, round * 1000 + k as u64, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn drop_joins_all_resident_threads() {
+        let pool = WorkerPool::new(6);
+        let shared = Arc::clone(&pool.shared);
+        let sum = AtomicU64::new(0);
+        pool.dispatch(32, &|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        drop(pool);
+        // Every resident thread held one Arc clone; after a clean join only
+        // the test's own handle remains.
+        assert_eq!(Arc::strong_count(&shared), 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_asserts_in_debug_builds() {
+        let _ = WorkerPool::new(0);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn zero_workers_clamps_to_one_in_release_builds() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let count = AtomicUsize::new(0);
+        pool.dispatch(3, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn shared_pool_is_usable_and_sized() {
+        let pool = shared();
+        assert!(pool.workers() >= 1);
+        let count = AtomicUsize::new(0);
+        pool.dispatch(9, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 9);
+    }
+}

@@ -29,10 +29,40 @@
 //! actual `ResamplePlan`'s per-worker draw counts, capturing the load
 //! imbalance the paper discusses.
 //!
+//! Handing a kernel to the workers is **not** the same as starting the
+//! workers: the paper's firmware keeps the cluster cores resident, so a
+//! dispatch costs only the fixed synchronization above. [`DispatchModel`]
+//! makes that explicit — [`DispatchModel::PersistentPool`] is the calibrated
+//! resident-cluster accounting (and the host's persistent `mcl_core::pool`),
+//! while [`DispatchModel::SpawnPerDispatch`] additionally charges
+//! [`CostModel::spawn_cycles_per_worker`] for every non-orchestrating worker
+//! of every kernel dispatch — the cost the host paid back when `ClusterLayout`
+//! spawned scoped threads per call, and what a firmware that powered the
+//! cluster up per update would pay. The `*_with` method variants take the
+//! dispatch model; the plain methods assume the resident pool, keeping the
+//! Table I calibration unchanged.
+//!
 //! The constants below were calibrated against the published Table I values at
 //! 400 MHz; they are documented on each field so ablations can vary them.
 
 use serde::{Deserialize, Serialize};
+
+/// How kernel invocations reach the worker cores — resident workers (the
+/// paper's deployment and the host's persistent pool) or a thread/team spawn
+/// per dispatch (the pre-pool host behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DispatchModel {
+    /// Workers are resident and parked; a dispatch only pays the fixed
+    /// per-step synchronization already charged by
+    /// [`CostModel::step_cycles_from_chunks`]. This is the calibrated
+    /// Table I behaviour.
+    #[default]
+    PersistentPool,
+    /// Every dispatch starts its workers anew, paying
+    /// [`CostModel::spawn_cycles_per_worker`] per non-orchestrating worker on
+    /// top of the fixed synchronization.
+    SpawnPerDispatch,
+}
 
 /// The four steps of one MCL update (plus bookkeeping in [`StepBreakdown`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -141,6 +171,12 @@ pub struct CostModel {
     pub resampling_parallel_efficiency: f64,
     /// Fixed synchronization cycles added to every parallelized step.
     pub parallel_sync_cycles: f64,
+    /// Extra cycles per non-orchestrating worker per kernel dispatch under
+    /// [`DispatchModel::SpawnPerDispatch`]: creating, scheduling and joining a
+    /// worker that a resident pool would simply unpark. Calibrated to the
+    /// ~20 µs a host OS thread spawn costs, expressed at 400 MHz; the
+    /// resident-cluster model never charges it.
+    pub spawn_cycles_per_worker: f64,
     /// Fixed per-update orchestration overhead in cycles (~40 µs at 400 MHz).
     pub update_overhead_cycles: f64,
 }
@@ -159,6 +195,7 @@ impl Default for CostModel {
             parallel_efficiency: [0.83, 0.94, 0.88],
             resampling_parallel_efficiency: 0.26,
             parallel_sync_cycles: 1600.0,
+            spawn_cycles_per_worker: 8000.0,
             update_overhead_cycles: 16_000.0,
         }
     }
@@ -247,6 +284,47 @@ impl CostModel {
         beams: usize,
         particles_in_l2: bool,
     ) -> u64 {
+        self.step_cycles_from_chunks_with(
+            DispatchModel::PersistentPool,
+            step,
+            chunks,
+            beams,
+            particles_in_l2,
+        )
+    }
+
+    /// Cycles the dispatch itself costs (on top of the fixed per-step
+    /// synchronization) when `invocations` kernel invocations are handed to
+    /// the workers under `dispatch`: zero for the resident pool and for a
+    /// single-invocation (sequential) step, one
+    /// [`CostModel::spawn_cycles_per_worker`] per non-orchestrating worker
+    /// when every dispatch spawns.
+    pub fn dispatch_overhead_cycles(&self, dispatch: DispatchModel, invocations: usize) -> f64 {
+        match dispatch {
+            DispatchModel::PersistentPool => 0.0,
+            DispatchModel::SpawnPerDispatch if invocations <= 1 => 0.0,
+            DispatchModel::SpawnPerDispatch => {
+                self.spawn_cycles_per_worker * (invocations - 1) as f64
+            }
+        }
+    }
+
+    /// [`CostModel::step_cycles_from_chunks`] under an explicit
+    /// [`DispatchModel`]: the resident pool reproduces the calibrated
+    /// accounting exactly, the spawn model adds
+    /// [`CostModel::dispatch_overhead_cycles`] to every multi-invocation step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunks` is empty or `beams` is zero.
+    pub fn step_cycles_from_chunks_with(
+        &self,
+        dispatch: DispatchModel,
+        step: McStep,
+        chunks: &[usize],
+        beams: usize,
+        particles_in_l2: bool,
+    ) -> u64 {
         assert!(
             !chunks.is_empty(),
             "at least one kernel invocation required"
@@ -259,7 +337,7 @@ impl CostModel {
                 self.kernel_invocation_cycles(step, items, beams, particles_in_l2, multi_core)
             })
             .fold(0.0f64, f64::max);
-        let mut cycles = critical_path;
+        let mut cycles = critical_path + self.dispatch_overhead_cycles(dispatch, chunks.len());
         if multi_core {
             cycles += self.parallel_sync_cycles;
         }
@@ -297,6 +375,30 @@ impl CostModel {
         cores: usize,
         particles_in_l2: bool,
     ) -> u64 {
+        self.step_cycles_with(
+            DispatchModel::PersistentPool,
+            step,
+            particles,
+            beams,
+            cores,
+            particles_in_l2,
+        )
+    }
+
+    /// [`CostModel::step_cycles`] under an explicit [`DispatchModel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `particles`, `beams` or `cores` is zero.
+    pub fn step_cycles_with(
+        &self,
+        dispatch: DispatchModel,
+        step: McStep,
+        particles: usize,
+        beams: usize,
+        cores: usize,
+        particles_in_l2: bool,
+    ) -> u64 {
         assert!(particles > 0, "particle count must be positive");
         assert!(beams > 0, "beam count must be positive");
         assert!(cores > 0, "core count must be positive");
@@ -306,10 +408,10 @@ impl CostModel {
         let chunks: Vec<usize> = (0..particles.div_ceil(chunk))
             .map(|w| chunk.min(particles - w * chunk))
             .collect();
-        self.step_cycles_from_chunks(step, &chunks, beams, particles_in_l2)
+        self.step_cycles_from_chunks_with(dispatch, step, &chunks, beams, particles_in_l2)
     }
 
-    /// The full breakdown of one update.
+    /// The full breakdown of one update (resident-pool dispatch).
     pub fn update_breakdown(
         &self,
         particles: usize,
@@ -317,24 +419,34 @@ impl CostModel {
         cores: usize,
         particles_in_l2: bool,
     ) -> StepBreakdown {
-        let observation_cycles = self.step_cycles(
-            McStep::Observation,
+        self.update_breakdown_with(
+            DispatchModel::PersistentPool,
             particles,
             beams,
             cores,
             particles_in_l2,
-        );
-        let motion_cycles =
-            self.step_cycles(McStep::Motion, particles, beams, cores, particles_in_l2);
-        let resampling_cycles =
-            self.step_cycles(McStep::Resampling, particles, beams, cores, particles_in_l2);
-        let pose_cycles = self.step_cycles(
-            McStep::PoseComputation,
-            particles,
-            beams,
-            cores,
-            particles_in_l2,
-        );
+        )
+    }
+
+    /// The full breakdown of one update under an explicit [`DispatchModel`] —
+    /// comparing the two models quantifies what keeping the workers resident
+    /// saves per update (4 kernel dispatches at `cores − 1` spawned workers
+    /// each).
+    pub fn update_breakdown_with(
+        &self,
+        dispatch: DispatchModel,
+        particles: usize,
+        beams: usize,
+        cores: usize,
+        particles_in_l2: bool,
+    ) -> StepBreakdown {
+        let step = |step: McStep| {
+            self.step_cycles_with(dispatch, step, particles, beams, cores, particles_in_l2)
+        };
+        let observation_cycles = step(McStep::Observation);
+        let motion_cycles = step(McStep::Motion);
+        let resampling_cycles = step(McStep::Resampling);
+        let pose_cycles = step(McStep::PoseComputation);
         let overhead_cycles = self.update_overhead_cycles.round() as u64;
         StepBreakdown {
             observation_cycles,
@@ -348,6 +460,31 @@ impl CostModel {
                 + pose_cycles
                 + overhead_cycles,
         }
+    }
+
+    /// Cycles one update saves by keeping the workers resident instead of
+    /// spawning them per dispatch — the quantity the persistent host pool
+    /// removes from the hot path.
+    pub fn pool_savings_per_update_cycles(
+        &self,
+        particles: usize,
+        beams: usize,
+        cores: usize,
+        particles_in_l2: bool,
+    ) -> u64 {
+        let spawned = self
+            .update_breakdown_with(
+                DispatchModel::SpawnPerDispatch,
+                particles,
+                beams,
+                cores,
+                particles_in_l2,
+            )
+            .total_cycles;
+        let resident = self
+            .update_breakdown(particles, beams, cores, particles_in_l2)
+            .total_cycles;
+        spawned.saturating_sub(resident)
     }
 
     /// Speedup of one step when going from 1 to `cores` worker cores.
@@ -583,6 +720,94 @@ mod tests {
         // Multi-core invocations pay the efficiency factor.
         let multi = model.kernel_invocation_cycles(McStep::Motion, 1000, BEAMS, false, true);
         assert!(multi > thousand);
+    }
+
+    #[test]
+    fn resident_pool_dispatch_is_the_calibrated_default() {
+        let model = CostModel::default();
+        for step in McStep::ALL {
+            for &(n, cores, in_l2) in &[(1024usize, 8usize, false), (4096, 8, true), (64, 1, false)]
+            {
+                assert_eq!(
+                    model.step_cycles_with(
+                        DispatchModel::PersistentPool,
+                        step,
+                        n,
+                        BEAMS,
+                        cores,
+                        in_l2
+                    ),
+                    model.step_cycles(step, n, BEAMS, cores, in_l2),
+                    "{step:?} n={n} cores={cores}"
+                );
+            }
+        }
+        assert_eq!(DispatchModel::default(), DispatchModel::PersistentPool);
+    }
+
+    #[test]
+    fn spawning_per_dispatch_costs_extra_on_every_parallel_step() {
+        let model = CostModel::default();
+        for step in McStep::ALL {
+            let pool =
+                model.step_cycles_with(DispatchModel::PersistentPool, step, 1024, BEAMS, 8, false);
+            let spawn = model.step_cycles_with(
+                DispatchModel::SpawnPerDispatch,
+                step,
+                1024,
+                BEAMS,
+                8,
+                false,
+            );
+            let expected_overhead = (model.spawn_cycles_per_worker * 7.0).round() as u64;
+            assert_eq!(spawn - pool, expected_overhead, "{step:?}");
+            // Sequential execution never dispatches, so both models agree.
+            assert_eq!(
+                model.step_cycles_with(
+                    DispatchModel::SpawnPerDispatch,
+                    step,
+                    1024,
+                    BEAMS,
+                    1,
+                    false
+                ),
+                model.step_cycles(step, 1024, BEAMS, 1, false),
+                "{step:?} single-core"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_savings_cover_four_dispatches_per_update() {
+        let model = CostModel::default();
+        // 4 steps × 7 spawned workers each.
+        let expected = (model.spawn_cycles_per_worker * 7.0).round() as u64 * 4;
+        assert_eq!(
+            model.pool_savings_per_update_cycles(1024, BEAMS, 8, false),
+            expected
+        );
+        // A single core spawns nothing, so there is nothing to save.
+        assert_eq!(
+            model.pool_savings_per_update_cycles(1024, BEAMS, 1, false),
+            0
+        );
+        // The saving is fixed per update, so it matters most at small particle
+        // counts — the regime the paper's 1024-particle configuration runs in.
+        let small = model.update_breakdown(64, BEAMS, 8, false).total_cycles as f64;
+        let saving = model.pool_savings_per_update_cycles(64, BEAMS, 8, false) as f64;
+        assert!(
+            saving / small > 0.2,
+            "spawn overhead should be a large fraction of a small update ({})",
+            saving / small
+        );
+        assert_eq!(
+            model.dispatch_overhead_cycles(DispatchModel::PersistentPool, 8),
+            0.0
+        );
+        assert_eq!(
+            model.dispatch_overhead_cycles(DispatchModel::SpawnPerDispatch, 1),
+            0.0
+        );
     }
 
     #[test]

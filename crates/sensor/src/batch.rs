@@ -18,10 +18,28 @@
 //! body-frame end point is mathematically identical to [`Beam::end_point`] but
 //! associates the trigonometry differently, so likelihoods may differ from the
 //! per-beam path in the last float ulp.
+//!
+//! The observation model additionally skips beams at or beyond its `r_max`
+//! truncation, a per-particle-per-beam branch in the hot loop. Because `r_max`
+//! is fixed per filter configuration, [`BeamBatch::partition_in_range`] hoists
+//! the test out of the loop **once per update**: it stably partitions the
+//! arrays so every in-range beam forms a leading prefix, and records the
+//! `(r_max, prefix length)` pair. The correction kernel then iterates the
+//! prefix with a branch-free body. The partition is *stable* (in-range beams
+//! keep their relative order), so the per-beam log-likelihood sum associates
+//! exactly as in the skipping loop — results are bit-identical.
 
 use crate::measurement::{Beam, ToFFrame};
 use crate::rig::SensorRig;
 use serde::{Deserialize, Serialize};
+
+/// The cached outcome of [`BeamBatch::partition_in_range`]: every beam in
+/// `0..len` measures strictly below `r_max`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct InRangePrefix {
+    r_max: f32,
+    len: usize,
+}
 
 /// A frame's worth of valid beams, flattened into contiguous per-component
 /// arrays (structure of arrays) for the batched correction kernel.
@@ -30,6 +48,7 @@ pub struct BeamBatch {
     end_x_body: Vec<f32>,
     end_y_body: Vec<f32>,
     range_m: Vec<f32>,
+    in_range: Option<InRangePrefix>,
 }
 
 impl BeamBatch {
@@ -39,6 +58,7 @@ impl BeamBatch {
             end_x_body: Vec::with_capacity(beams.len()),
             end_y_body: Vec::with_capacity(beams.len()),
             range_m: Vec::with_capacity(beams.len()),
+            in_range: None,
         };
         for beam in beams {
             batch.push(beam);
@@ -55,7 +75,8 @@ impl BeamBatch {
         Self::from_beams(&SensorRig::frames_to_beams(frames))
     }
 
-    /// Appends one beam.
+    /// Appends one beam. Invalidates any in-range prefix recorded by
+    /// [`BeamBatch::partition_in_range`].
     pub fn push(&mut self, beam: &Beam) {
         let (sin_az, cos_az) = beam.azimuth_body_rad.sin_cos();
         self.end_x_body
@@ -63,6 +84,47 @@ impl BeamBatch {
         self.end_y_body
             .push(beam.origin_body.y + sin_az * beam.range_m);
         self.range_m.push(beam.range_m);
+        self.in_range = None;
+    }
+
+    /// Stably partitions the beam arrays so every beam with a measured range
+    /// strictly below `r_max` forms a leading prefix, records the prefix for
+    /// [`BeamBatch::in_range_prefix`] lookups, and returns its length.
+    ///
+    /// In-range beams keep their relative order (and so do the out-of-range
+    /// beams moved behind them), so a correction kernel iterating only the
+    /// prefix accumulates the per-beam log-likelihoods in exactly the order of
+    /// the skipping loop — the scores are bit-identical, just branch-free.
+    /// Call this once per update, after the batch is fully built; `r_max` is a
+    /// static filter parameter, so the partition is reused by every particle.
+    pub fn partition_in_range(&mut self, r_max: f32) -> usize {
+        if let Some(prefix) = self.in_range {
+            if prefix.r_max == r_max {
+                return prefix.len;
+            }
+        }
+        let n = self.range_m.len();
+        let mut order: Vec<usize> = (0..n).filter(|&i| self.range_m[i] < r_max).collect();
+        let len = order.len();
+        if len < n {
+            order.extend((0..n).filter(|&i| self.range_m[i] >= r_max));
+            self.end_x_body = order.iter().map(|&i| self.end_x_body[i]).collect();
+            self.end_y_body = order.iter().map(|&i| self.end_y_body[i]).collect();
+            self.range_m = order.iter().map(|&i| self.range_m[i]).collect();
+        }
+        self.in_range = Some(InRangePrefix { r_max, len });
+        len
+    }
+
+    /// Length of the in-range prefix previously computed by
+    /// [`BeamBatch::partition_in_range`] for this exact `r_max`, or `None`
+    /// when the batch has not been partitioned (or was partitioned for a
+    /// different truncation) — callers then fall back to the per-beam range
+    /// test.
+    pub fn in_range_prefix(&self, r_max: f32) -> Option<usize> {
+        self.in_range
+            .filter(|prefix| prefix.r_max == r_max)
+            .map(|prefix| prefix.len)
     }
 
     /// Number of beams in the batch.
@@ -169,6 +231,60 @@ mod tests {
         let batch = BeamBatch::from_frames(&[frame]);
         assert_eq!(batch.len(), 1);
         assert_eq!(batch.range_m()[0], 1.0);
+    }
+
+    #[test]
+    fn partition_in_range_is_stable_and_cached() {
+        let make = |range: f32, azimuth: f32| Beam {
+            azimuth_body_rad: azimuth,
+            range_m: range,
+            origin_body: Pose2::default(),
+        };
+        let beams = [
+            make(0.5, 0.0),
+            make(2.0, 0.3),
+            make(0.7, 0.6),
+            make(1.8, 0.9),
+            make(0.2, 1.2),
+        ];
+        let mut batch = BeamBatch::from_beams(&beams);
+        assert_eq!(batch.in_range_prefix(1.5), None);
+        let len = batch.partition_in_range(1.5);
+        assert_eq!(len, 3);
+        assert_eq!(batch.in_range_prefix(1.5), Some(3));
+        assert_eq!(batch.in_range_prefix(1.0), None);
+        // In-range beams keep their relative order, out-of-range follow.
+        assert_eq!(batch.range_m(), &[0.5, 0.7, 0.2, 2.0, 1.8]);
+        // The end-point components moved with their ranges.
+        let reference = BeamBatch::from_beams(&[beams[0], beams[2], beams[4], beams[1], beams[3]]);
+        assert_eq!(batch.end_x_body(), reference.end_x_body());
+        assert_eq!(batch.end_y_body(), reference.end_y_body());
+        // Repartitioning for the same r_max is a cached no-op.
+        assert_eq!(batch.partition_in_range(1.5), 3);
+        // A different truncation repartitions (0.2 and 0.5 and 0.7 < 1.0).
+        assert_eq!(batch.partition_in_range(1.0), 3);
+        assert_eq!(batch.in_range_prefix(1.5), None);
+        // Pushing invalidates the prefix.
+        batch.push(&make(0.4, 0.0));
+        assert_eq!(batch.in_range_prefix(1.0), None);
+    }
+
+    #[test]
+    fn partition_of_all_in_range_beams_keeps_the_arrays_untouched() {
+        let make = |range: f32| Beam {
+            azimuth_body_rad: 0.1,
+            range_m: range,
+            origin_body: Pose2::default(),
+        };
+        let beams = [make(0.5), make(0.7), make(1.2)];
+        let mut batch = BeamBatch::from_beams(&beams);
+        let untouched = batch.clone();
+        assert_eq!(batch.partition_in_range(1.5), 3);
+        assert_eq!(batch.range_m(), untouched.range_m());
+        assert_eq!(batch.end_x_body(), untouched.end_x_body());
+        let mut empty = BeamBatch::default();
+        assert_eq!(empty.partition_in_range(1.5), 0);
+        assert_eq!(empty.in_range_prefix(1.5), Some(0));
     }
 
     #[test]

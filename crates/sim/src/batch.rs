@@ -4,17 +4,29 @@
 //! One filter update is data-parallel over particles; a *study* — the paper's
 //! Figs. 6–8 sweep sequences, pipeline configurations, particle counts and
 //! seeds — is embarrassingly parallel over runs. [`run_batch`] evaluates a list
-//! of [`BatchJob`]s on `threads` host workers (work-stealing over an atomic
-//! job cursor) and returns the results **in job order**, so the output is
-//! deterministic and independent of the thread count: each job's filter owns
-//! its particles and its counter-based RNG streams, making runs bit-identical
-//! to serial [`PaperScenario::evaluate`] calls.
+//! of [`BatchJob`]s on the persistent shared worker pool
+//! ([`mcl_core::pool::shared`], work-stealing over the pool's task cursor,
+//! capped at `threads` concurrent workers) and returns the results **in job
+//! order**, so the output is deterministic and independent of the thread
+//! count: each job's filter owns its particles and its counter-based RNG
+//! streams, making runs bit-identical to serial [`PaperScenario::evaluate`]
+//! calls.
+//!
+//! # How job-level and filter-level parallelism share the pool
+//!
+//! While `run_batch` occupies the pool, every filter update *inside* a job
+//! that asks its [`ClusterLayout`](mcl_core::ClusterLayout) to parallelize
+//! finds the pool busy and runs its kernels inline on the job's thread (see
+//! [`mcl_core::pool::WorkerPool::dispatch_limited`]). The host's threads are
+//! therefore partitioned at the job level — the right granularity for an
+//! embarrassingly parallel study — and job × kernel nesting can never
+//! oversubscribe the machine. Results are unaffected either way: kernel
+//! chunking is index-keyed and worker-count invariant.
 
 use crate::metrics::{ResultAggregator, SequenceResult};
 use crate::scenario::PaperScenario;
 use mcl_core::precision::PipelineConfig;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// One evaluation job: a sequence, a pipeline configuration, a particle count
@@ -70,13 +82,15 @@ pub struct BatchOutcome {
     pub result: SequenceResult,
 }
 
-/// Evaluates `jobs` against `scenario` on `threads` host workers and returns
-/// one [`BatchOutcome`] per job, in job order.
+/// Evaluates `jobs` against `scenario` on the shared worker pool (at most
+/// `threads` concurrent workers) and returns one [`BatchOutcome`] per job, in
+/// job order.
 ///
-/// Each worker pops the next unclaimed job (atomic cursor), runs
+/// Each pool worker pops the next unclaimed job off the dispatch cursor, runs
 /// [`PaperScenario::evaluate`] — global uniform initialization, exactly like
 /// the serial path — and stores the result at the job's slot. Results are
-/// therefore identical for any `threads`, including 1.
+/// therefore identical for any `threads`, including 1 (which runs serially on
+/// the calling thread without touching the pool).
 ///
 /// # Panics
 ///
@@ -91,29 +105,27 @@ pub fn run_batch(scenario: &PaperScenario, jobs: &[BatchJob], threads: usize) ->
             scenario.sequences().len()
         );
     }
-    let cursor = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<SequenceResult>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
 
-    let worker = |cursor: &AtomicUsize, results: &[Mutex<Option<SequenceResult>>]| loop {
-        let next = cursor.fetch_add(1, Ordering::Relaxed);
-        if next >= jobs.len() {
-            break;
-        }
-        let job = jobs[next];
+    let evaluate = |index: usize| {
+        let job = jobs[index];
         let sequence = &scenario.sequences()[job.sequence_index];
         let result = scenario.evaluate(sequence, job.pipeline, job.particles, job.seed);
-        *results[next].lock().expect("result slot poisoned") = Some(result);
+        *results[index].lock().expect("result slot poisoned") = Some(result);
     };
 
     if threads == 1 || jobs.len() <= 1 {
-        worker(&cursor, &results);
+        for index in 0..jobs.len() {
+            evaluate(index);
+        }
     } else {
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(jobs.len()) {
-                scope.spawn(|| worker(&cursor, &results));
-            }
-        });
+        // Queued dispatch: if another study (or any other dispatch) owns the
+        // pool right now, wait for it and then run with full parallelism —
+        // a minutes-long batch must not silently serialize because it lost a
+        // transient race. A run_batch issued from *inside* a pool task still
+        // runs inline (nested dispatch), as before.
+        mcl_core::pool::shared().dispatch_queued(jobs.len(), threads, &evaluate);
     }
 
     jobs.iter()

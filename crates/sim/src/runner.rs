@@ -67,7 +67,11 @@ pub fn run_sequence<S: Scalar, D: DistanceField>(
     for step in &sequence.steps {
         filter.predict(step.odometry);
         let frame_limit = runner.sensor_count.min(step.frames.len());
-        let batch = BeamBatch::from_frames(&step.frames[..frame_limit]);
+        let mut batch = BeamBatch::from_frames(&step.frames[..frame_limit]);
+        // Hoist the r_max test out of the per-particle correction loop: the
+        // partitioned batch takes the branch-free kernel path (bit-identical
+        // scores, see `BeamBatch::partition_in_range`).
+        batch.partition_in_range(filter.config().r_max);
         let outcome = filter
             .update_batch(&batch)
             .expect("filter was initialized, update cannot fail");

@@ -1,0 +1,158 @@
+//! Hand-computed fixtures for the evaluation metrics (§IV-A) and the batch
+//! aggregation filters.
+//!
+//! The aggregator quantities behind Figs. 6–8 (`convergence_probability_at`,
+//! `mean_convergence_time_s`, `success_rate_percent`, `mean_ate_m`) and the
+//! `aggregate` job filter were previously exercised only through the figure
+//! binaries; these tests pin them against arithmetic done by hand.
+
+use mcl_core::precision::PipelineConfig;
+use mcl_core::{Particle, PoseEstimate};
+use mcl_gridmap::Pose2;
+use mcl_sim::{
+    aggregate, run_batch, BatchJob, ConvergenceCriterion, PaperScenario, ResultAggregator,
+    SequenceResult, TrajectoryErrorTracker,
+};
+
+fn estimate_at(x: f32, y: f32, theta: f32) -> PoseEstimate {
+    PoseEstimate::from_particles(&[Particle::<f32> {
+        x,
+        y,
+        theta,
+        weight: 1.0,
+    }])
+}
+
+fn result(convergence_time_s: Option<f64>, ate_m: Option<f64>, success: bool) -> SequenceResult {
+    SequenceResult {
+        steps: 100,
+        converged: convergence_time_s.is_some(),
+        convergence_time_s,
+        ate_m,
+        max_error_after_convergence_m: ate_m,
+        success,
+    }
+}
+
+#[test]
+fn convergence_probability_matches_hand_counts() {
+    let mut agg = ResultAggregator::new();
+    // Convergence times: 2 s, 4 s, 8 s, and one run that never converged.
+    agg.push(result(Some(2.0), Some(0.10), true));
+    agg.push(result(Some(4.0), Some(0.20), true));
+    agg.push(result(Some(8.0), Some(0.30), false));
+    agg.push(result(None, None, false));
+    assert_eq!(agg.len(), 4);
+    // Before the first convergence: nobody converged.
+    assert_eq!(agg.convergence_probability_at(1.99), 0.0);
+    // The boundary is inclusive (converged at exactly t counts at t).
+    assert_eq!(agg.convergence_probability_at(2.0), 1.0 / 4.0);
+    assert_eq!(agg.convergence_probability_at(3.9), 1.0 / 4.0);
+    assert_eq!(agg.convergence_probability_at(4.0), 2.0 / 4.0);
+    assert_eq!(agg.convergence_probability_at(7.9), 2.0 / 4.0);
+    assert_eq!(agg.convergence_probability_at(8.0), 3.0 / 4.0);
+    // The never-converged run caps the curve below 1.
+    assert_eq!(agg.convergence_probability_at(1e6), 3.0 / 4.0);
+}
+
+#[test]
+fn mean_convergence_time_averages_converged_runs_only() {
+    let mut agg = ResultAggregator::new();
+    assert!(agg.mean_convergence_time_s().is_none());
+    agg.push(result(Some(2.0), Some(0.1), true));
+    agg.push(result(None, None, false));
+    agg.push(result(Some(7.0), Some(0.2), true));
+    // (2 + 7) / 2 — the unconverged run must not drag the mean.
+    assert!((agg.mean_convergence_time_s().unwrap() - 4.5).abs() < 1e-12);
+    // Same rule for the ATE mean: (0.1 + 0.2) / 2.
+    assert!((agg.mean_ate_m().unwrap() - 0.15).abs() < 1e-12);
+}
+
+#[test]
+fn success_rate_is_percent_of_all_runs() {
+    let mut agg = ResultAggregator::new();
+    assert_eq!(agg.success_rate_percent(), 0.0);
+    // 2 successes out of 5 runs = 40 % — failures and never-converged runs
+    // both count in the denominator (the paper's Fig. 7 definition).
+    agg.push(result(Some(1.0), Some(0.1), true));
+    agg.push(result(Some(2.0), Some(0.1), true));
+    agg.push(result(Some(3.0), Some(1.8), false));
+    agg.push(result(None, None, false));
+    agg.push(result(None, None, false));
+    assert!((agg.success_rate_percent() - 40.0).abs() < 1e-12);
+    assert_eq!(agg.results().len(), 5);
+}
+
+#[test]
+fn tracker_success_boundary_is_inclusive_at_the_failure_distance() {
+    // Converge immediately, then drift to exactly the failure distance (1 m):
+    // `max_error <= failure_distance` still counts as success.
+    let mut tracker = TrajectoryErrorTracker::new(ConvergenceCriterion::default());
+    let truth = Pose2::new(0.0, 0.0, 0.0);
+    tracker.record(0.0, &estimate_at(0.05, 0.0, 0.0), &truth);
+    tracker.record(1.0, &estimate_at(1.0, 0.0, 0.0), &truth);
+    let at_boundary = tracker.finish();
+    assert!(at_boundary.converged);
+    assert!(at_boundary.success, "exactly 1 m must still be a success");
+    assert!((at_boundary.max_error_after_convergence_m.unwrap() - 1.0).abs() < 1e-6);
+    // One millimetre further and the run fails.
+    let mut tracker = TrajectoryErrorTracker::new(ConvergenceCriterion::default());
+    tracker.record(0.0, &estimate_at(0.05, 0.0, 0.0), &truth);
+    tracker.record(1.0, &estimate_at(1.001, 0.0, 0.0), &truth);
+    assert!(!tracker.finish().success);
+}
+
+#[test]
+fn tracker_ate_is_the_mean_from_convergence_onwards() {
+    let mut tracker = TrajectoryErrorTracker::new(ConvergenceCriterion::default());
+    let truth = Pose2::new(2.0, 2.0, 0.0);
+    // Far for two steps (ignored), then converge with errors 0.1, 0.2, 0.15.
+    tracker.record(0.0, &estimate_at(0.0, 0.0, 0.0), &truth);
+    tracker.record(1.0, &estimate_at(3.5, 2.0, 0.0), &truth);
+    tracker.record(2.0, &estimate_at(2.1, 2.0, 0.0), &truth);
+    tracker.record(3.0, &estimate_at(2.0, 2.2, 0.0), &truth);
+    tracker.record(4.0, &estimate_at(2.15, 2.0, 0.0), &truth);
+    let result = tracker.finish();
+    assert_eq!(result.steps, 5);
+    assert_eq!(result.convergence_time_s, Some(2.0));
+    assert!((result.ate_m.unwrap() - (0.1 + 0.2 + 0.15) / 3.0).abs() < 1e-6);
+    assert!(result.success);
+}
+
+#[test]
+fn aggregate_filters_outcomes_by_job_predicate() {
+    let scenario = PaperScenario::quick(21);
+    let jobs = BatchJob::grid(
+        &[0],
+        &[PipelineConfig::FP32, PipelineConfig::FP32_1TOF],
+        &[64],
+        &[1, 2],
+    );
+    assert_eq!(jobs.len(), 4);
+    let outcomes = run_batch(&scenario, &jobs, 2);
+
+    // Filter by pipeline: exactly the two FP32 outcomes.
+    let fp32 = aggregate(&outcomes, |job| job.pipeline == PipelineConfig::FP32);
+    assert_eq!(fp32.len(), 2);
+    // Filter by seed: exactly the two seed-1 outcomes.
+    let seed_one = aggregate(&outcomes, |job| job.seed == 1);
+    assert_eq!(seed_one.len(), 2);
+    // Conjunction: one outcome.
+    let both = aggregate(&outcomes, |job| {
+        job.pipeline == PipelineConfig::FP32 && job.seed == 2
+    });
+    assert_eq!(both.len(), 1);
+    // The aggregated slice really is the selected subset, in job order.
+    let selected: Vec<_> = outcomes
+        .iter()
+        .filter(|o| o.job.pipeline == PipelineConfig::FP32)
+        .map(|o| o.result)
+        .collect();
+    assert_eq!(fp32.results(), selected.as_slice());
+    // An always-false predicate yields an empty aggregator with safe stats.
+    let none = aggregate(&outcomes, |_| false);
+    assert!(none.is_empty());
+    assert!(none.mean_ate_m().is_none());
+    assert_eq!(none.success_rate_percent(), 0.0);
+    assert_eq!(none.convergence_probability_at(100.0), 0.0);
+}
