@@ -190,6 +190,75 @@ fn bench_observation(c: &mut Criterion) {
     }
     dispatch_group.finish();
 
+    // Scalar vs lane-batched kernel backend on one full-population invocation
+    // (no dispatch, so the group isolates the loop shape): identical results
+    // bit for bit, the lanes body vectorizes the end-point rotation, the
+    // world→cell divides and the Eq. 1 accumulation across 8 particles.
+    let mut backend_group = c.benchmark_group("observation_backend");
+    backend_group.sample_size(30);
+    {
+        let n = 4096usize;
+        let soa: ParticleBuffer<f32> = particles_aos(n).into_iter().collect();
+        let mut batch = BeamBatch::from_beams(&beams);
+        batch.partition_in_range(model.r_max());
+        backend_group.bench_with_input(BenchmarkId::new("scalar", n), &soa, |b, soa| {
+            b.iter(|| {
+                let mut out = vec![0.0f32; soa.len()];
+                kernel::observation_log_likelihoods(
+                    soa.as_slice(),
+                    scenario.edt_fp32(),
+                    &model,
+                    &batch,
+                    &mut out,
+                );
+                out
+            })
+        });
+        backend_group.bench_with_input(BenchmarkId::new("lanes", n), &soa, |b, soa| {
+            b.iter(|| {
+                let mut out = vec![0.0f32; soa.len()];
+                kernel::observation_log_likelihoods_lanes(
+                    soa.as_slice(),
+                    scenario.edt_fp32(),
+                    &model,
+                    &batch,
+                    &mut out,
+                );
+                out
+            })
+        });
+        // The quantized map (the fp32qm/fp16qm configurations) pays the same
+        // lookup shape; archive it too so the FP16_QM speedup is measured,
+        // not inferred.
+        backend_group.bench_with_input(BenchmarkId::new("scalar_qm", n), &soa, |b, soa| {
+            b.iter(|| {
+                let mut out = vec![0.0f32; soa.len()];
+                kernel::observation_log_likelihoods(
+                    soa.as_slice(),
+                    scenario.edt_quantized(),
+                    &model,
+                    &batch,
+                    &mut out,
+                );
+                out
+            })
+        });
+        backend_group.bench_with_input(BenchmarkId::new("lanes_qm", n), &soa, |b, soa| {
+            b.iter(|| {
+                let mut out = vec![0.0f32; soa.len()];
+                kernel::observation_log_likelihoods_lanes(
+                    soa.as_slice(),
+                    scenario.edt_quantized(),
+                    &model,
+                    &batch,
+                    &mut out,
+                );
+                out
+            })
+        });
+    }
+    backend_group.finish();
+
     // Per-beam cost in isolation, with a locally computed field.
     let edt = EuclideanDistanceField::compute(scenario.map(), 1.5);
     c.bench_function("observation_single_beam", |b| {

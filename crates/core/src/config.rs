@@ -1,5 +1,6 @@
 //! Filter configuration and error type.
 
+use crate::kernel::KernelBackend;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the Monte Carlo localization filter.
@@ -34,6 +35,12 @@ pub struct MclConfig {
     pub workers: usize,
     /// Random seed for the filter's internal (counter-based) noise generator.
     pub seed: u64,
+    /// Which kernel implementations the filter dispatches
+    /// ([`KernelBackend::Lanes`] by default — bit-identical to
+    /// [`KernelBackend::Scalar`], see the `mcl_core::kernel` backend
+    /// contract). [`MclConfig::default`] honours the `MCL_KERNEL_BACKEND`
+    /// environment override so whole test/bench runs can be flipped.
+    pub kernel_backend: KernelBackend,
 }
 
 impl Default for MclConfig {
@@ -47,6 +54,7 @@ impl Default for MclConfig {
             d_theta: 0.1,
             workers: 1,
             seed: 0,
+            kernel_backend: KernelBackend::from_env().unwrap_or_default(),
         }
     }
 }
@@ -67,6 +75,13 @@ impl MclConfig {
     /// Returns a copy with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different kernel backend (overriding both the
+    /// default and the `MCL_KERNEL_BACKEND` environment resolution).
+    pub fn with_kernel_backend(mut self, backend: KernelBackend) -> Self {
+        self.kernel_backend = backend;
         self
     }
 
@@ -150,10 +165,22 @@ mod tests {
         let cfg = MclConfig::default()
             .with_particles(64)
             .with_workers(8)
-            .with_seed(99);
+            .with_seed(99)
+            .with_kernel_backend(KernelBackend::Scalar);
         assert_eq!(cfg.num_particles, 64);
         assert_eq!(cfg.workers, 8);
         assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.kernel_backend, KernelBackend::Scalar);
+    }
+
+    #[test]
+    fn default_backend_is_the_env_resolution() {
+        // Without an override the production default is the lane-batched
+        // backend; under the CI matrix the override wins. Either way the
+        // default must equal the documented resolution rule.
+        let expected = KernelBackend::from_env().unwrap_or_default();
+        assert_eq!(MclConfig::default().kernel_backend, expected);
+        assert_eq!(KernelBackend::default(), KernelBackend::Lanes);
     }
 
     #[test]

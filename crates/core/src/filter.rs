@@ -270,7 +270,11 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
     ///
     /// Panics if the particle set has not been initialized.
     pub fn estimate(&self) -> PoseEstimate {
-        kernel::pose_estimate(self.particles.current(), &self.cluster)
+        kernel::pose_estimate_with(
+            self.particles.current(),
+            &self.cluster,
+            self.config.kernel_backend,
+        )
     }
 
     fn apply_iteration(&mut self, batch: &BeamBatch) -> PoseEstimate {
@@ -281,6 +285,9 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
         let seed = self.config.seed;
         let n = self.particles.len();
         let cluster = self.cluster;
+        // Which kernel implementations the dispatches below hand the workers;
+        // numerically unobservable (the backends are bit-identical).
+        let backend = self.config.kernel_backend;
 
         // 1. Prediction: the motion kernel samples every particle through the
         // odometry model; per-particle RNG streams make chunking irrelevant.
@@ -288,7 +295,15 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
         cluster.for_each_split(
             self.particles.current_mut().as_mut_slice(),
             |start, chunk| {
-                kernel::motion_predict(chunk, &motion, &delta, seed, update_index, start as u64);
+                kernel::motion_predict_with(
+                    backend,
+                    chunk,
+                    &motion,
+                    &delta,
+                    seed,
+                    update_index,
+                    start as u64,
+                );
             },
         );
 
@@ -305,7 +320,14 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
                 self.log_likelihoods.as_mut_slice(),
             ),
             |_, (chunk, out)| {
-                kernel::observation_log_likelihoods(chunk, field, &observation, batch, out);
+                kernel::observation_log_likelihoods_with(
+                    backend,
+                    chunk,
+                    field,
+                    &observation,
+                    batch,
+                    out,
+                );
             },
         );
         let max_log = self
@@ -317,7 +339,7 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
                 self.particles.current_mut().weight_mut(),
                 self.log_likelihoods.as_slice(),
             ),
-            |_, (weights, logs)| kernel::reweight(weights, logs, max_log),
+            |_, (weights, logs)| kernel::reweight_with(backend, weights, logs, max_log),
         );
 
         // 3. Weight normalization + systematic resampling over partial sums.
@@ -346,7 +368,7 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
                 (scratch.as_mut_slice(), plan.indices.as_slice()),
                 &plan.worker_output_ranges,
                 |_, (target, indices)| {
-                    kernel::resample_scatter(source, target, indices, uniform_weight);
+                    kernel::resample_scatter_with(backend, source, target, indices, uniform_weight);
                 },
             );
         }

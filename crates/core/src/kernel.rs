@@ -21,15 +21,116 @@
 //! **fixed-size blocks** (independent of the worker count, see
 //! [`ClusterLayout::map_index_blocks`](crate::parallel::ClusterLayout::map_index_blocks)),
 //! so estimates are bit-identical across worker counts too.
+//!
+//! # Kernel backends and the lane-width contract
+//!
+//! Every kernel exists in two implementations selected by [`KernelBackend`]:
+//!
+//! * [`KernelBackend::Scalar`] — the per-particle reference loops above.
+//! * [`KernelBackend::Lanes`] — lane-batched (SIMD-shaped) loops: the body
+//!   processes the SoA component arrays in fixed [`LANES`]-wide groups of
+//!   straight-line array arithmetic the compiler can autovectorize (the shape
+//!   of the paper's GAP9 fp16-SIMD inner loops), followed by a
+//!   **scalar-reference tail** for the `len % LANES` leftover particles.
+//!
+//! The lane-width contract: lane grouping is an *execution* detail, never a
+//! *numeric* one. Each lane performs exactly the per-particle op sequence of
+//! the scalar kernel (same operands, same order, same roundings — SIMD and
+//! scalar IEEE 754 ops round identically), so for every storage precision the
+//! `Lanes` kernels are **bit-identical** to `Scalar`, for every chunk length
+//! and therefore every tail length `len % LANES` ∈ `0..LANES`. The reductions
+//! keep their serial per-accumulator fold order for the same reason. This is
+//! pinned by `tests/kernel_backend_equivalence.rs` across tail lengths,
+//! cluster layouts and warm-pool reruns; the `MCL_KERNEL_BACKEND` environment
+//! variable (`scalar` / `lanes`, read by
+//! [`MclConfig::default`](crate::config::MclConfig)) flips whole test runs
+//! between the backends.
 
 use crate::estimate::PoseEstimate;
 use crate::motion::{MotionDelta, MotionModel};
 use crate::observation::BeamEndPointModel;
 use crate::parallel::ClusterLayout;
-use crate::particle::{ParticleBuffer, ParticleSlice, ParticleSliceMut};
+use crate::particle::{Particle, ParticleBuffer, ParticleSlice, ParticleSliceMut};
 use mcl_gridmap::{DistanceField, Pose2};
 use mcl_num::{angular_difference, normalize_angle, Scalar};
 use mcl_sensor::BeamBatch;
+use serde::{Deserialize, Serialize};
+
+/// Number of `f32` lanes one lane-group body of the [`KernelBackend::Lanes`]
+/// kernels processes at a time. Pinned to
+/// [`mcl_gridmap::DISTANCE_LANES`] so the correction kernel's lane groups and
+/// the lane-batched distance-field lookup agree; 8 lanes fill one 256-bit
+/// SIMD register of `f32` on the host and mirror the paper's 8-worker GAP9
+/// cluster geometry.
+pub const LANES: usize = mcl_gridmap::DISTANCE_LANES;
+
+/// Selects which implementation of the four MCL kernels the filter dispatches.
+///
+/// Both backends are numerically interchangeable — see the
+/// [lane-width contract](self#kernel-backends-and-the-lane-width-contract).
+/// The selection is threaded through
+/// [`MclConfig::kernel_backend`](crate::config::MclConfig::kernel_backend)
+/// into every [`ClusterLayout`] kernel dispatch of
+/// [`MonteCarloLocalization`](crate::filter::MonteCarloLocalization), and
+/// honoured by `mcl_sim::run_batch` jobs; tests and benches flip it globally
+/// with the `MCL_KERNEL_BACKEND` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum KernelBackend {
+    /// Per-particle reference loops — the simplest correct implementation,
+    /// kept as the equivalence baseline and the tail body of `Lanes`.
+    Scalar,
+    /// Lane-batched loops: fixed [`LANES`]-wide, fused-multiply-add-friendly
+    /// chunk bodies plus a scalar-reference tail. Bit-identical to `Scalar`;
+    /// the production default.
+    #[default]
+    Lanes,
+}
+
+impl KernelBackend {
+    /// Both backends, scalar first (the reference order used by the
+    /// equivalence tests and the bench groups).
+    pub const ALL: [KernelBackend; 2] = [KernelBackend::Scalar, KernelBackend::Lanes];
+
+    /// The label used in experiment output and bench group names.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Lanes => "lanes",
+        }
+    }
+
+    /// Parses a backend name as accepted by the `MCL_KERNEL_BACKEND`
+    /// environment override (case-insensitive, surrounding whitespace
+    /// ignored).
+    pub fn parse(value: &str) -> Option<KernelBackend> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelBackend::Scalar),
+            "lanes" => Some(KernelBackend::Lanes),
+            _ => None,
+        }
+    }
+
+    /// The `MCL_KERNEL_BACKEND` environment override, or `None` when the
+    /// variable is unset or empty. This is how the CI backend matrix and the
+    /// bench-smoke job flip whole runs between the backends without touching
+    /// configuration structs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value, so a typo in a CI matrix fails loudly
+    /// instead of silently testing the default backend.
+    pub fn from_env() -> Option<KernelBackend> {
+        let raw = std::env::var("MCL_KERNEL_BACKEND").ok()?;
+        if raw.trim().is_empty() {
+            return None;
+        }
+        Some(Self::parse(&raw).unwrap_or_else(|| {
+            panic!(
+                "unrecognized MCL_KERNEL_BACKEND value {raw:?} (expected \"scalar\" or \"lanes\")"
+            )
+        }))
+    }
+}
 
 /// Particles per reduction block of the pose-computation kernel. Fixed (rather
 /// than derived from the worker count) so the block partials — and therefore
@@ -53,6 +154,72 @@ pub fn motion_predict<S: Scalar>(
             i,
             model.sample(&p, delta, seed, update_index, first_index + i as u64),
         );
+    }
+}
+
+/// Lane-batched prediction kernel: samples the chunk in [`LANES`]-wide groups
+/// (per-group component gathers and scatters over the SoA arrays) with a
+/// scalar-reference tail. The per-particle math — three Gaussian draws from
+/// the `(seed, update, global index)` stream plus the pose composition — is
+/// RNG/trigonometry-bound and runs scalar per lane, so this kernel is
+/// bandwidth-shaped rather than arithmetic-vectorized; it exists so the
+/// backend selection is uniform across all four steps. Bit-identical to
+/// [`motion_predict`].
+pub fn motion_predict_lanes<S: Scalar>(
+    mut particles: ParticleSliceMut<'_, S>,
+    model: &MotionModel,
+    delta: &MotionDelta,
+    seed: u64,
+    update_index: u64,
+    first_index: u64,
+) {
+    let n = particles.len();
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let lane: [Particle<S>; LANES] = core::array::from_fn(|l| {
+            let p = particles.get(i + l);
+            model.sample(&p, delta, seed, update_index, first_index + (i + l) as u64)
+        });
+        for (dst, p) in particles.x[i..i + LANES].iter_mut().zip(&lane) {
+            *dst = p.x;
+        }
+        for (dst, p) in particles.y[i..i + LANES].iter_mut().zip(&lane) {
+            *dst = p.y;
+        }
+        for (dst, p) in particles.theta[i..i + LANES].iter_mut().zip(&lane) {
+            *dst = p.theta;
+        }
+        for (dst, p) in particles.weight[i..i + LANES].iter_mut().zip(&lane) {
+            *dst = p.weight;
+        }
+        i += LANES;
+    }
+    for j in i..n {
+        let p = particles.get(j);
+        particles.set(
+            j,
+            model.sample(&p, delta, seed, update_index, first_index + j as u64),
+        );
+    }
+}
+
+/// Dispatches the prediction kernel of the selected [`KernelBackend`].
+pub fn motion_predict_with<S: Scalar>(
+    backend: KernelBackend,
+    particles: ParticleSliceMut<'_, S>,
+    model: &MotionModel,
+    delta: &MotionDelta,
+    seed: u64,
+    update_index: u64,
+    first_index: u64,
+) {
+    match backend {
+        KernelBackend::Scalar => {
+            motion_predict(particles, model, delta, seed, update_index, first_index)
+        }
+        KernelBackend::Lanes => {
+            motion_predict_lanes(particles, model, delta, seed, update_index, first_index)
+        }
     }
 }
 
@@ -82,9 +249,98 @@ pub fn observation_log_likelihoods<S: Scalar, D: DistanceField + ?Sized>(
     }
 }
 
+/// Lane-batched correction kernel, part 1: scores the chunk in [`LANES`]-wide
+/// pose groups through
+/// [`BeamEndPointModel::batch_log_likelihood_lanes`] (which vectorizes the
+/// body→world rotation, the world→cell divisions of the EDT lookup and the
+/// log-term accumulation across the lanes), with a scalar-reference tail.
+/// Bit-identical to [`observation_log_likelihoods`].
+///
+/// # Panics
+///
+/// Panics when `out` is shorter than the particle chunk.
+pub fn observation_log_likelihoods_lanes<S: Scalar, D: DistanceField + ?Sized>(
+    particles: ParticleSlice<'_, S>,
+    field: &D,
+    model: &BeamEndPointModel,
+    batch: &BeamBatch,
+    out: &mut [f32],
+) {
+    let n = particles.len();
+    assert!(out.len() >= n, "output chunk too short");
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let mut xs = [0.0f32; LANES];
+        let mut ys = [0.0f32; LANES];
+        let mut thetas = [0.0f32; LANES];
+        for l in 0..LANES {
+            xs[l] = particles.x[i + l].to_f32();
+            ys[l] = particles.y[i + l].to_f32();
+            thetas[l] = particles.theta[i + l].to_f32();
+        }
+        let mut lane_out = [0.0f32; LANES];
+        model.batch_log_likelihood_lanes(field, &xs, &ys, &thetas, batch, &mut lane_out);
+        out[i..i + LANES].copy_from_slice(&lane_out);
+        i += LANES;
+    }
+    for (j, slot) in out[..n].iter_mut().enumerate().skip(i) {
+        *slot = model.batch_log_likelihood(
+            field,
+            particles.x[j].to_f32(),
+            particles.y[j].to_f32(),
+            particles.theta[j].to_f32(),
+            batch,
+        );
+    }
+}
+
+/// Dispatches the first correction kernel of the selected [`KernelBackend`].
+///
+/// # Panics
+///
+/// Panics when `out` is shorter than the particle chunk.
+pub fn observation_log_likelihoods_with<S: Scalar, D: DistanceField + ?Sized>(
+    backend: KernelBackend,
+    particles: ParticleSlice<'_, S>,
+    field: &D,
+    model: &BeamEndPointModel,
+    batch: &BeamBatch,
+    out: &mut [f32],
+) {
+    match backend {
+        KernelBackend::Scalar => observation_log_likelihoods(particles, field, model, batch, out),
+        KernelBackend::Lanes => {
+            observation_log_likelihoods_lanes(particles, field, model, batch, out)
+        }
+    }
+}
+
+/// The contract [`reweight`] holds its caller to, checked in debug builds:
+/// `max_log` must dominate every log-likelihood of the chunk and must not be
+/// NaN or +∞. `−∞` is permitted — together with the domination check it
+/// implies *every* entry is `−∞` (the weights-collapsed observation), which
+/// the kernel resolves by zeroing the chunk instead of computing the
+/// indeterminate `−∞ − −∞`.
+fn debug_assert_reweight_contract(log_likelihoods: &[f32], max_log: f32) {
+    debug_assert!(!max_log.is_nan(), "max_log must not be NaN");
+    debug_assert!(max_log < f32::INFINITY, "max_log must be finite or -inf");
+    debug_assert!(
+        log_likelihoods.iter().all(|&l| l <= max_log),
+        "max_log must be at least the chunk's maximum log-likelihood"
+    );
+}
+
 /// Correction kernel, part 2: multiplies each weight by its likelihood,
 /// rescaled by the set-wide maximum log-likelihood so a sharp observation model
 /// cannot underflow `f32`.
+///
+/// `max_log` must dominate the chunk (debug-asserted; the filter passes the
+/// set-wide maximum, which does by construction) and must not be NaN or +∞.
+/// When `max_log` is `−∞` — every particle scored impossible, the collapsed
+/// observation — the exponent `log_lik − max_log` would be NaN; the kernel
+/// zeroes the weights instead, and the pose kernel's
+/// [`PosePartials::weights_collapsed`] fallback plus the resampler's uniform
+/// reset recover, exactly as for weights that underflowed to zero.
 ///
 /// # Panics
 ///
@@ -95,9 +351,72 @@ pub fn reweight<S: Scalar>(weights: &mut [S], log_likelihoods: &[f32], max_log: 
         log_likelihoods.len(),
         "chunk length mismatch"
     );
+    debug_assert_reweight_contract(log_likelihoods, max_log);
+    if max_log == f32::NEG_INFINITY {
+        weights.fill(S::from_f32(0.0));
+        return;
+    }
     for (w, &log_lik) in weights.iter_mut().zip(log_likelihoods.iter()) {
         let scaled = (log_lik - max_log).exp();
         *w = S::from_f32(w.to_f32() * scaled);
+    }
+}
+
+/// Lane-batched correction kernel, part 2: [`LANES`]-wide groups of the
+/// rescale-and-store body (the subtraction, the multiply and the storage
+/// rounding vectorize; the `exp` stays a scalar call per lane) with a
+/// scalar-reference tail. Bit-identical to [`reweight`], including the
+/// collapsed-observation zeroing.
+///
+/// # Panics
+///
+/// Panics when the chunks differ in length.
+pub fn reweight_lanes<S: Scalar>(weights: &mut [S], log_likelihoods: &[f32], max_log: f32) {
+    assert_eq!(
+        weights.len(),
+        log_likelihoods.len(),
+        "chunk length mismatch"
+    );
+    debug_assert_reweight_contract(log_likelihoods, max_log);
+    if max_log == f32::NEG_INFINITY {
+        weights.fill(S::from_f32(0.0));
+        return;
+    }
+    let mut weight_groups = weights.chunks_exact_mut(LANES);
+    let mut log_groups = log_likelihoods.chunks_exact(LANES);
+    for (wg, lg) in (&mut weight_groups).zip(&mut log_groups) {
+        let mut scaled = [0.0f32; LANES];
+        for l in 0..LANES {
+            scaled[l] = (lg[l] - max_log).exp();
+        }
+        for l in 0..LANES {
+            wg[l] = S::from_f32(wg[l].to_f32() * scaled[l]);
+        }
+    }
+    for (w, &log_lik) in weight_groups
+        .into_remainder()
+        .iter_mut()
+        .zip(log_groups.remainder().iter())
+    {
+        let scaled = (log_lik - max_log).exp();
+        *w = S::from_f32(w.to_f32() * scaled);
+    }
+}
+
+/// Dispatches the second correction kernel of the selected [`KernelBackend`].
+///
+/// # Panics
+///
+/// Panics when the chunks differ in length.
+pub fn reweight_with<S: Scalar>(
+    backend: KernelBackend,
+    weights: &mut [S],
+    log_likelihoods: &[f32],
+    max_log: f32,
+) {
+    match backend {
+        KernelBackend::Scalar => reweight(weights, log_likelihoods, max_log),
+        KernelBackend::Lanes => reweight_lanes(weights, log_likelihoods, max_log),
     }
 }
 
@@ -132,6 +451,65 @@ pub fn resample_scatter<S: Scalar>(
     target.weight.fill(uniform_weight);
 }
 
+/// Lane-batched resampling kernel: gathers the three pose components in
+/// [`LANES`]-wide index groups — each group loads its indices once and feeds
+/// all three component copies, instead of three full passes over the index
+/// array — with a scalar tail, then fills the uniform weights. Pure copies,
+/// so trivially bit-identical to [`resample_scatter`].
+///
+/// # Panics
+///
+/// Panics when `indices` and the target chunk differ in length.
+pub fn resample_scatter_lanes<S: Scalar>(
+    source: ParticleSlice<'_, S>,
+    target: ParticleSliceMut<'_, S>,
+    indices: &[usize],
+    uniform_weight: S,
+) {
+    assert_eq!(target.len(), indices.len(), "chunk length mismatch");
+    let n = indices.len();
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let idx: &[usize; LANES] = indices[i..i + LANES]
+            .try_into()
+            .expect("group is exactly LANES indices");
+        for (dst, &src) in target.x[i..i + LANES].iter_mut().zip(idx) {
+            *dst = source.x[src];
+        }
+        for (dst, &src) in target.y[i..i + LANES].iter_mut().zip(idx) {
+            *dst = source.y[src];
+        }
+        for (dst, &src) in target.theta[i..i + LANES].iter_mut().zip(idx) {
+            *dst = source.theta[src];
+        }
+        i += LANES;
+    }
+    for (j, &src) in indices.iter().enumerate().skip(i) {
+        target.x[j] = source.x[src];
+        target.y[j] = source.y[src];
+        target.theta[j] = source.theta[src];
+    }
+    target.weight.fill(uniform_weight);
+}
+
+/// Dispatches the resampling kernel of the selected [`KernelBackend`].
+///
+/// # Panics
+///
+/// Panics when `indices` and the target chunk differ in length.
+pub fn resample_scatter_with<S: Scalar>(
+    backend: KernelBackend,
+    source: ParticleSlice<'_, S>,
+    target: ParticleSliceMut<'_, S>,
+    indices: &[usize],
+    uniform_weight: S,
+) {
+    match backend {
+        KernelBackend::Scalar => resample_scatter(source, target, indices, uniform_weight),
+        KernelBackend::Lanes => resample_scatter_lanes(source, target, indices, uniform_weight),
+    }
+}
+
 /// First-pass partial sums of the pose-computation kernel: weighted position /
 /// heading-vector sums plus their unweighted counterparts (the fallback when
 /// every weight has collapsed to zero).
@@ -151,6 +529,25 @@ pub struct PosePartials {
 }
 
 impl PosePartials {
+    /// Accumulates one particle's pre-widened components. Shared by the
+    /// scalar loop and the lane-batched tail/fold so every backend issues the
+    /// same accumulator additions in the same per-particle order — the f64
+    /// association the bit-identity contract depends on.
+    #[inline]
+    fn push(&mut self, w: f64, x: f64, y: f64, sin_t: f64, cos_t: f64) {
+        self.count += 1;
+        self.sum_w += w;
+        self.sum_w_sq += w * w;
+        self.sum_wx += w * x;
+        self.sum_wy += w * y;
+        self.sum_w_sin += w * sin_t;
+        self.sum_w_cos += w * cos_t;
+        self.sum_x += x;
+        self.sum_y += y;
+        self.sum_sin += sin_t;
+        self.sum_cos += cos_t;
+    }
+
     /// Accumulates one particle chunk.
     pub fn accumulate<S: Scalar>(particles: ParticleSlice<'_, S>) -> Self {
         let mut p = PosePartials::default();
@@ -160,19 +557,61 @@ impl PosePartials {
             let y = f64::from(particles.y[i].to_f32());
             let theta = particles.theta[i].to_f32();
             let (sin_t, cos_t) = (f64::from(theta.sin()), f64::from(theta.cos()));
-            p.count += 1;
-            p.sum_w += w;
-            p.sum_w_sq += w * w;
-            p.sum_wx += w * x;
-            p.sum_wy += w * y;
-            p.sum_w_sin += w * sin_t;
-            p.sum_w_cos += w * cos_t;
-            p.sum_x += x;
-            p.sum_y += y;
-            p.sum_sin += sin_t;
-            p.sum_cos += cos_t;
+            p.push(w, x, y, sin_t, cos_t);
         }
         p
+    }
+
+    /// Lane-batched accumulation: widens and clamps one [`LANES`]-wide group
+    /// of components in vectorizable array passes (the heading trigonometry
+    /// stays scalar per lane), then folds the group through the shared
+    /// per-particle push **in particle order** — the f64 accumulator
+    /// chains associate exactly as in the scalar loop, so the partials are
+    /// bit-identical to [`PosePartials::accumulate`].
+    pub fn accumulate_lanes<S: Scalar>(particles: ParticleSlice<'_, S>) -> Self {
+        let mut p = PosePartials::default();
+        let n = particles.len();
+        let mut i = 0usize;
+        while i + LANES <= n {
+            let mut w = [0.0f64; LANES];
+            let mut x = [0.0f64; LANES];
+            let mut y = [0.0f64; LANES];
+            for l in 0..LANES {
+                w[l] = f64::from(particles.weight[i + l].to_f32().max(0.0));
+                x[l] = f64::from(particles.x[i + l].to_f32());
+                y[l] = f64::from(particles.y[i + l].to_f32());
+            }
+            let mut sin_t = [0.0f64; LANES];
+            let mut cos_t = [0.0f64; LANES];
+            for l in 0..LANES {
+                let theta = particles.theta[i + l].to_f32();
+                sin_t[l] = f64::from(theta.sin());
+                cos_t[l] = f64::from(theta.cos());
+            }
+            for l in 0..LANES {
+                p.push(w[l], x[l], y[l], sin_t[l], cos_t[l]);
+            }
+            i += LANES;
+        }
+        for j in i..n {
+            let w = f64::from(particles.weight[j].to_f32().max(0.0));
+            let x = f64::from(particles.x[j].to_f32());
+            let y = f64::from(particles.y[j].to_f32());
+            let theta = particles.theta[j].to_f32();
+            p.push(w, x, y, f64::from(theta.sin()), f64::from(theta.cos()));
+        }
+        p
+    }
+
+    /// Accumulates with the implementation of the selected [`KernelBackend`].
+    pub fn accumulate_with<S: Scalar>(
+        backend: KernelBackend,
+        particles: ParticleSlice<'_, S>,
+    ) -> Self {
+        match backend {
+            KernelBackend::Scalar => Self::accumulate(particles),
+            KernelBackend::Lanes => Self::accumulate_lanes(particles),
+        }
     }
 
     /// Merges another partial into this one. Merging must happen in block
@@ -266,6 +705,14 @@ pub struct SpreadPartials {
 }
 
 impl SpreadPartials {
+    /// Accumulates one particle's deviations; shared by both backends so the
+    /// f64 accumulator association is identical (see [`PosePartials::push`]).
+    #[inline]
+    fn push(&mut self, w: f64, dx: f64, dy: f64, dt: f64) {
+        self.var_pos += w * (dx * dx + dy * dy);
+        self.var_yaw += w * dt * dt;
+    }
+
     /// Accumulates one particle chunk against the set-wide mean pose.
     /// `unweighted` selects the collapsed-weights fallback.
     pub fn accumulate<S: Scalar>(
@@ -283,10 +730,71 @@ impl SpreadPartials {
             let dx = f64::from(particles.x[i].to_f32() - mean.x);
             let dy = f64::from(particles.y[i].to_f32() - mean.y);
             let dt = f64::from(angular_difference(particles.theta[i].to_f32(), mean.theta));
-            p.var_pos += w * (dx * dx + dy * dy);
-            p.var_yaw += w * dt * dt;
+            p.push(w, dx, dy, dt);
         }
         p
+    }
+
+    /// Lane-batched accumulation: the position deviations and weight clamps of
+    /// one [`LANES`]-wide group run as vectorizable array passes (the angular
+    /// difference stays scalar per lane — it branches on the wrap-around),
+    /// folded **in particle order** through the shared per-particle push.
+    /// Bit-identical to [`SpreadPartials::accumulate`].
+    pub fn accumulate_lanes<S: Scalar>(
+        particles: ParticleSlice<'_, S>,
+        mean: &Pose2,
+        unweighted: bool,
+    ) -> Self {
+        let mut p = SpreadPartials::default();
+        let n = particles.len();
+        let mut i = 0usize;
+        while i + LANES <= n {
+            let mut w = [1.0f64; LANES];
+            if !unweighted {
+                for (slot, stored) in w.iter_mut().zip(&particles.weight[i..i + LANES]) {
+                    *slot = f64::from(stored.to_f32().max(0.0));
+                }
+            }
+            let mut dx = [0.0f64; LANES];
+            let mut dy = [0.0f64; LANES];
+            for l in 0..LANES {
+                dx[l] = f64::from(particles.x[i + l].to_f32() - mean.x);
+                dy[l] = f64::from(particles.y[i + l].to_f32() - mean.y);
+            }
+            let mut dt = [0.0f64; LANES];
+            for (slot, stored) in dt.iter_mut().zip(&particles.theta[i..i + LANES]) {
+                *slot = f64::from(angular_difference(stored.to_f32(), mean.theta));
+            }
+            for l in 0..LANES {
+                p.push(w[l], dx[l], dy[l], dt[l]);
+            }
+            i += LANES;
+        }
+        for j in i..n {
+            let w = if unweighted {
+                1.0
+            } else {
+                f64::from(particles.weight[j].to_f32().max(0.0))
+            };
+            let dx = f64::from(particles.x[j].to_f32() - mean.x);
+            let dy = f64::from(particles.y[j].to_f32() - mean.y);
+            let dt = f64::from(angular_difference(particles.theta[j].to_f32(), mean.theta));
+            p.push(w, dx, dy, dt);
+        }
+        p
+    }
+
+    /// Accumulates with the implementation of the selected [`KernelBackend`].
+    pub fn accumulate_with<S: Scalar>(
+        backend: KernelBackend,
+        particles: ParticleSlice<'_, S>,
+        mean: &Pose2,
+        unweighted: bool,
+    ) -> Self {
+        match backend {
+            KernelBackend::Scalar => Self::accumulate(particles, mean, unweighted),
+            KernelBackend::Lanes => Self::accumulate_lanes(particles, mean, unweighted),
+        }
     }
 
     /// Merges another partial into this one (in block order, see
@@ -321,6 +829,23 @@ pub fn pose_estimate<S: Scalar>(
     particles: &ParticleBuffer<S>,
     layout: &ClusterLayout,
 ) -> PoseEstimate {
+    pose_estimate_with(particles, layout, KernelBackend::Scalar)
+}
+
+/// [`pose_estimate`] with the accumulation bodies of the selected
+/// [`KernelBackend`]. The block boundaries, the merge order and the final
+/// folds are backend-independent, and the lane-batched accumulators preserve
+/// the scalar f64 association, so the estimate is bit-identical across
+/// backends *and* worker counts.
+///
+/// # Panics
+///
+/// Panics when `particles` is empty.
+pub fn pose_estimate_with<S: Scalar>(
+    particles: &ParticleBuffer<S>,
+    layout: &ClusterLayout,
+    backend: KernelBackend,
+) -> PoseEstimate {
     assert!(
         !particles.is_empty(),
         "cannot estimate a pose from an empty particle set"
@@ -335,7 +860,7 @@ pub fn pose_estimate<S: Scalar>(
 
     let mut first_pass = PosePartials::default();
     for partial in layout.map_index_blocks(n, POSE_REDUCTION_BLOCK, |start, end| {
-        PosePartials::accumulate(slice_of(start, end))
+        PosePartials::accumulate_with(backend, slice_of(start, end))
     }) {
         first_pass.merge(&partial);
     }
@@ -344,7 +869,7 @@ pub fn pose_estimate<S: Scalar>(
 
     let mut second_pass = SpreadPartials::default();
     for partial in layout.map_index_blocks(n, POSE_REDUCTION_BLOCK, |start, end| {
-        SpreadPartials::accumulate(slice_of(start, end), &mean, unweighted)
+        SpreadPartials::accumulate_with(backend, slice_of(start, end), &mean, unweighted)
     }) {
         second_pass.merge(&partial);
     }
@@ -438,6 +963,117 @@ mod tests {
         assert_eq!(weights[0], 0.5);
         assert!((weights[1] - 0.5 * (-1.0f32).exp()).abs() < 1e-7);
         assert_eq!(weights[3], 0.0);
+    }
+
+    #[test]
+    fn backend_names_parse_back_to_themselves() {
+        for backend in KernelBackend::ALL {
+            assert_eq!(KernelBackend::parse(backend.name()), Some(backend));
+        }
+        assert_eq!(KernelBackend::parse(" LANES\n"), Some(KernelBackend::Lanes));
+        assert_eq!(KernelBackend::parse("Scalar"), Some(KernelBackend::Scalar));
+        assert_eq!(KernelBackend::parse("simd"), None);
+        assert_eq!(KernelBackend::parse(""), None);
+        assert_eq!(KernelBackend::default(), KernelBackend::Lanes);
+    }
+
+    #[test]
+    fn collapsed_observation_zeroes_the_weights_on_both_backends() {
+        // Every particle scored −∞ (the weights-collapsed observation): the
+        // naive exponent would be NaN (−∞ − −∞) and poison the filter. Both
+        // backends must zero the chunk instead, for both storage precisions.
+        use mcl_num::F16;
+        let logs = vec![f32::NEG_INFINITY; 11];
+        for backend in KernelBackend::ALL {
+            let mut weights = vec![0.25f32; 11];
+            reweight_with(backend, &mut weights, &logs, f32::NEG_INFINITY);
+            assert_eq!(weights, vec![0.0f32; 11], "{backend:?}");
+            let mut halves = vec![F16::from_f32(0.25); 11];
+            reweight_with(backend, &mut halves, &logs, f32::NEG_INFINITY);
+            assert!(halves.iter().all(|w| w.to_f32() == 0.0), "{backend:?}");
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "max_log must be at least")]
+    fn reweight_rejects_a_dominated_max_log_in_debug_builds() {
+        let mut weights = vec![0.5f32; 2];
+        reweight(&mut weights, &[0.0, 1.0], 0.5);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn reweight_rejects_a_nan_max_log_in_debug_builds() {
+        let mut weights = vec![0.5f32; 1];
+        reweight(&mut weights, &[f32::NAN], f32::NAN);
+    }
+
+    #[test]
+    fn lanes_kernels_match_scalar_on_a_tailed_chunk() {
+        // Quick in-module sanity check (the exhaustive tail/layout sweep lives
+        // in tests/kernel_backend_equivalence.rs): 1003 = 125 × 8 + 3 forces a
+        // scalar tail in every lane kernel.
+        let n = 1003usize;
+        let model = MotionModel::new([0.05, 0.05, 0.02]);
+        let delta = MotionDelta::new(0.1, 0.02, 0.05);
+        let mut scalar = buffer(n);
+        motion_predict(scalar.as_mut_slice(), &model, &delta, 9, 2, 0);
+        let mut lanes = buffer(n);
+        motion_predict_lanes(lanes.as_mut_slice(), &model, &delta, 9, 2, 0);
+        assert_eq!(scalar, lanes);
+
+        let map = MapBuilder::new(4.0, 4.0, 0.05).border_walls().build();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let obs = BeamEndPointModel::new(0.3, 1.5);
+        let rig = SensorRig::front_and_rear(
+            SensorConfig::default()
+                .with_range_noise(0.0)
+                .with_interference_probability(0.0),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let beams = rig.observe(&map, &Pose2::new(1.0, 1.0, 0.0), 0.0, &mut rng);
+        let mut batch = BeamBatch::from_beams(&beams);
+        batch.partition_in_range(obs.r_max());
+        let mut scalar_logs = vec![0.0f32; n];
+        observation_log_likelihoods(scalar.as_slice(), &edt, &obs, &batch, &mut scalar_logs);
+        let mut lanes_logs = vec![0.0f32; n];
+        observation_log_likelihoods_lanes(lanes.as_slice(), &edt, &obs, &batch, &mut lanes_logs);
+        for (a, b) in scalar_logs.iter().zip(lanes_logs.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let max_log = scalar_logs.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        reweight(scalar.weight_mut(), &scalar_logs, max_log);
+        reweight_lanes(lanes.weight_mut(), &lanes_logs, max_log);
+        assert_eq!(scalar, lanes);
+
+        let indices: Vec<usize> = (0..n).map(|i| (i * 13) % n).collect();
+        let mut scalar_target = buffer(n);
+        resample_scatter(
+            scalar.as_slice(),
+            scalar_target.as_mut_slice(),
+            &indices,
+            0.125f32,
+        );
+        let mut lanes_target = buffer(n);
+        resample_scatter_lanes(
+            lanes.as_slice(),
+            lanes_target.as_mut_slice(),
+            &indices,
+            0.125f32,
+        );
+        assert_eq!(scalar_target, lanes_target);
+
+        let a = pose_estimate_with(&scalar_target, &ClusterLayout::GAP9, KernelBackend::Scalar);
+        let b = pose_estimate_with(&lanes_target, &ClusterLayout::GAP9, KernelBackend::Lanes);
+        assert_eq!(a.pose.x.to_bits(), b.pose.x.to_bits());
+        assert_eq!(a.pose.y.to_bits(), b.pose.y.to_bits());
+        assert_eq!(a.pose.theta.to_bits(), b.pose.theta.to_bits());
+        assert_eq!(a.position_std_m.to_bits(), b.position_std_m.to_bits());
+        assert_eq!(a.yaw_std_rad.to_bits(), b.yaw_std_rad.to_bits());
+        assert_eq!(a.neff.to_bits(), b.neff.to_bits());
     }
 
     #[test]

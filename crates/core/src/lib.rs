@@ -103,6 +103,7 @@ pub mod rng;
 pub use config::{MclConfig, MclError};
 pub use estimate::PoseEstimate;
 pub use filter::{MonteCarloLocalization, UpdateOutcome};
+pub use kernel::{KernelBackend, LANES};
 pub use motion::{MotionDelta, MotionModel};
 pub use observation::BeamEndPointModel;
 pub use parallel::{ClusterLayout, Subdivide};

@@ -179,6 +179,118 @@ impl BeamEndPointModel {
         log_sum
     }
 
+    /// Lane-batched twin of [`BeamEndPointModel::batch_log_likelihood`]: scores
+    /// one [`LANES`](crate::kernel::LANES)-wide group of particle poses at once
+    /// against a pre-flattened [`BeamBatch`].
+    ///
+    /// Per lane the arithmetic is the exact per-particle op order of the
+    /// scalar path — one `sin_cos` of the lane's yaw, then per beam the
+    /// body→world rotation, the truncated distance-field lookup and the Eq. 1
+    /// log-term accumulated in beam order — so every lane's score is
+    /// **bit-identical** to the scalar entry point. The lane structure only
+    /// changes what the compiler can do with it: the rotation, the lookup's
+    /// world→cell divisions ([`DistanceField::distances_at_world_lanes`]) and
+    /// the accumulation become straight-line loops over fixed-width arrays
+    /// that vectorize, instead of one serial chain per particle.
+    ///
+    /// When the batch was [partitioned](BeamBatch::partition_in_range) for
+    /// this model's `r_max` the loop runs branch-free over the in-range
+    /// prefix, resolved **once per lane group** via
+    /// [`BeamBatch::in_range_slices`]; otherwise every beam pays the same
+    /// skipping predicate as the scalar fallback (which also skips NaN
+    /// ranges). When every beam is skipped, all lanes score 0.0.
+    pub fn batch_log_likelihood_lanes<D: DistanceField + ?Sized>(
+        &self,
+        field: &D,
+        x: &[f32; crate::kernel::LANES],
+        y: &[f32; crate::kernel::LANES],
+        theta: &[f32; crate::kernel::LANES],
+        batch: &BeamBatch,
+        out: &mut [f32; crate::kernel::LANES],
+    ) {
+        const LANES: usize = crate::kernel::LANES;
+
+        /// The per-beam lane body: rotate the body-frame end point into each
+        /// lane's world frame, look the lane group up in the field,
+        /// accumulate. Evaluation order per lane matches the scalar loop
+        /// exactly. Forced inline so the rotation, the lookup's hoisted
+        /// divides and the accumulation fuse into one straight-line block per
+        /// beam.
+        #[inline(always)]
+        #[allow(clippy::too_many_arguments)] // the full lane-group register set
+        fn score_beam<D: DistanceField + ?Sized>(
+            model: &BeamEndPointModel,
+            field: &D,
+            x: &[f32; LANES],
+            y: &[f32; LANES],
+            sin_t: &[f32; LANES],
+            cos_t: &[f32; LANES],
+            bx: f32,
+            by: f32,
+            log_sum: &mut [f32; LANES],
+        ) {
+            let mut ex = [0.0f32; LANES];
+            let mut ey = [0.0f32; LANES];
+            for l in 0..LANES {
+                ex[l] = x[l] + cos_t[l] * bx - sin_t[l] * by;
+                ey[l] = y[l] + sin_t[l] * bx + cos_t[l] * by;
+            }
+            let mut edt = [0.0f32; LANES];
+            field.distances_at_world_lanes(&ex, &ey, &mut edt);
+            for l in 0..LANES {
+                let d = edt[l].min(model.r_max);
+                log_sum[l] +=
+                    model.log_normalizer - (d * d) / (2.0 * model.sigma_obs * model.sigma_obs);
+            }
+        }
+
+        let mut sin_t = [0.0f32; LANES];
+        let mut cos_t = [0.0f32; LANES];
+        for l in 0..LANES {
+            let (s, c) = theta[l].sin_cos();
+            sin_t[l] = s;
+            cos_t[l] = c;
+        }
+        let mut log_sum = [0.0f32; LANES];
+        if let Some((end_x, end_y)) = batch.in_range_slices(self.r_max) {
+            if end_x.is_empty() {
+                *out = [0.0; LANES];
+                return;
+            }
+            for (&bx, &by) in end_x.iter().zip(end_y.iter()) {
+                score_beam(self, field, x, y, &sin_t, &cos_t, bx, by, &mut log_sum);
+            }
+            *out = log_sum;
+            return;
+        }
+        let end_x = batch.end_x_body();
+        let end_y = batch.end_y_body();
+        let mut used = 0usize;
+        for (i, &range) in batch.range_m().iter().enumerate() {
+            // Same predicate as the scalar fallback (and the partition).
+            if range.is_nan() || range >= self.r_max {
+                continue;
+            }
+            score_beam(
+                self,
+                field,
+                x,
+                y,
+                &sin_t,
+                &cos_t,
+                end_x[i],
+                end_y[i],
+                &mut log_sum,
+            );
+            used += 1;
+        }
+        if used == 0 {
+            *out = [0.0; LANES];
+            return;
+        }
+        *out = log_sum;
+    }
+
     /// Likelihood (not log) of a full observation `z_t` for a particle at `pose`:
     /// the product of the per-beam likelihoods of Eq. 1.
     ///

@@ -73,6 +73,19 @@ impl ParticlePrecision {
     pub fn bytes_per_particle_double_buffered(self) -> usize {
         2 * self.bytes_per_particle()
     }
+
+    /// Elements one GAP9 SIMD lane group processes per FPU op at this storage
+    /// precision: the cluster cores pack **two binary16 operands** per
+    /// vectorial half-precision instruction but execute `f32` scalar — lane
+    /// width 2 vs 1. This is what makes the `fp16qm` configuration faster
+    /// per particle, not just smaller; feed it to
+    /// `mcl_gap9::CostModel::kernel_invocation_cycles_lanes`.
+    pub fn simd_lane_width(self) -> usize {
+        match self {
+            ParticlePrecision::Fp32 => 1,
+            ParticlePrecision::Fp16 => 2,
+        }
+    }
 }
 
 /// One named point in the paper's design space.
@@ -228,6 +241,12 @@ mod tests {
             ParticlePrecision::Fp16.bytes_per_particle_double_buffered(),
             16
         );
+    }
+
+    #[test]
+    fn simd_lane_width_packs_two_halves_per_op() {
+        assert_eq!(ParticlePrecision::Fp32.simd_lane_width(), 1);
+        assert_eq!(ParticlePrecision::Fp16.simd_lane_width(), 2);
     }
 
     #[test]

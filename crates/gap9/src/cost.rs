@@ -177,6 +177,15 @@ pub struct CostModel {
     /// ~20 µs a host OS thread spawn costs, expressed at 400 MHz; the
     /// resident-cluster model never charges it.
     pub spawn_cycles_per_worker: f64,
+    /// Fraction of each step's per-item cycles the GAP9 SIMD datapath can
+    /// issue lane-parallel when the kernel processes a lane group per op
+    /// (the packed-fp16 loads, multiply-adds and stores of the inner loop);
+    /// the remainder — distance-field gathers, the RNG and the
+    /// transcendentals — stays scalar per item. Indexed
+    /// `[observation, motion, resampling, pose]`. Feeds
+    /// [`CostModel::lane_group_cycles`]; a lane width of 1 (fp32 storage)
+    /// never reads it.
+    pub vectorizable_fraction: [f64; 4],
     /// Fixed per-update orchestration overhead in cycles (~40 µs at 400 MHz).
     pub update_overhead_cycles: f64,
 }
@@ -196,6 +205,11 @@ impl Default for CostModel {
             resampling_parallel_efficiency: 0.26,
             parallel_sync_cycles: 1600.0,
             spawn_cycles_per_worker: 8000.0,
+            // The observation loop (end-point rotation, Eq. 1 evaluation) is
+            // the most SIMD-friendly; motion is RNG-bound, resampling is
+            // copies (stores pack, the gather does not), pose is
+            // trigonometry-bound.
+            vectorizable_fraction: [0.55, 0.15, 0.40, 0.30],
             update_overhead_cycles: 16_000.0,
         }
     }
@@ -243,6 +257,103 @@ impl CostModel {
             McStep::Resampling => self.resampling_parallel_efficiency,
             McStep::PoseComputation => self.parallel_efficiency[2],
         }
+    }
+
+    /// The lane-parallel share of `step`'s per-item cycles (see
+    /// [`CostModel::vectorizable_fraction`]).
+    fn vectorizable_share(&self, step: McStep) -> f64 {
+        match step {
+            McStep::Observation => self.vectorizable_fraction[0],
+            McStep::Motion => self.vectorizable_fraction[1],
+            McStep::Resampling => self.vectorizable_fraction[2],
+            McStep::PoseComputation => self.vectorizable_fraction[3],
+        }
+    }
+
+    /// Cycles of **one lane group**: `lane_width` consecutive items issued
+    /// through the SIMD datapath together (2 for packed binary16, see
+    /// `ParticlePrecision::simd_lane_width`). Amdahl within the group: the
+    /// vectorizable share of the per-item cost issues once for the whole
+    /// group, the scalar remainder is paid per item —
+    /// `per_item × (f + (1 − f) · lane_width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane_width` is zero.
+    pub fn lane_group_cycles(
+        &self,
+        step: McStep,
+        lane_width: usize,
+        beams: usize,
+        particles_in_l2: bool,
+        multi_core: bool,
+    ) -> f64 {
+        assert!(lane_width > 0, "lane width must be positive");
+        let per_item = self.kernel_item_cycles(step, beams, particles_in_l2, multi_core);
+        let f = self.vectorizable_share(step);
+        per_item * (f + (1.0 - f) * lane_width as f64)
+    }
+
+    /// [`CostModel::kernel_invocation_cycles`] with the loop charged **per
+    /// lane group**: `items / lane_width` full groups at
+    /// [`CostModel::lane_group_cycles`] plus a scalar tail of
+    /// `items % lane_width` items — the exact shape of the lane-batched
+    /// kernels (fixed-width group bodies, scalar-reference tail). A lane
+    /// width of 1 (fp32 storage on the scalar fp32 datapath) degenerates to
+    /// [`CostModel::kernel_invocation_cycles`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane_width` is zero.
+    pub fn kernel_invocation_cycles_lanes(
+        &self,
+        step: McStep,
+        items: usize,
+        lane_width: usize,
+        beams: usize,
+        particles_in_l2: bool,
+        multi_core: bool,
+    ) -> f64 {
+        assert!(lane_width > 0, "lane width must be positive");
+        if lane_width == 1 {
+            return self.kernel_invocation_cycles(step, items, beams, particles_in_l2, multi_core);
+        }
+        let groups = items / lane_width;
+        let tail = items % lane_width;
+        let per_item = self.kernel_item_cycles(step, beams, particles_in_l2, multi_core);
+        let loop_cycles = groups as f64
+            * self.lane_group_cycles(step, lane_width, beams, particles_in_l2, multi_core)
+            + tail as f64 * per_item;
+        if multi_core {
+            loop_cycles / self.kernel_efficiency(step)
+        } else {
+            loop_cycles
+        }
+    }
+
+    /// Speedup the SIMD datapath buys on one invocation of `step` when the
+    /// particle storage packs `lane_width` elements per op — e.g. the fp16
+    /// pair datapath (`lane_width` 2) vs fp32 scalar (`lane_width` 1). This
+    /// is the latency half of the `fp16qm` story; the byte accounting
+    /// (`ParticlePrecision::bytes_per_particle`) is the memory half.
+    pub fn simd_speedup(
+        &self,
+        step: McStep,
+        items: usize,
+        lane_width: usize,
+        beams: usize,
+        particles_in_l2: bool,
+    ) -> f64 {
+        let scalar = self.kernel_invocation_cycles(step, items, beams, particles_in_l2, false);
+        let lanes = self.kernel_invocation_cycles_lanes(
+            step,
+            items,
+            lane_width,
+            beams,
+            particles_in_l2,
+            false,
+        );
+        scalar / lanes
     }
 
     /// Cycles of **one kernel invocation**: one worker running `step`'s kernel
@@ -808,6 +919,62 @@ mod tests {
             model.dispatch_overhead_cycles(DispatchModel::SpawnPerDispatch, 1),
             0.0
         );
+    }
+
+    #[test]
+    fn lane_width_one_degenerates_to_the_scalar_invocation() {
+        let model = CostModel::default();
+        for step in McStep::ALL {
+            for &(items, in_l2, multi) in &[(1024usize, false, false), (4097, true, true)] {
+                let scalar = model.kernel_invocation_cycles(step, items, BEAMS, in_l2, multi);
+                let lanes =
+                    model.kernel_invocation_cycles_lanes(step, items, 1, BEAMS, in_l2, multi);
+                assert_eq!(scalar.to_bits(), lanes.to_bits(), "{step:?} items={items}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_pairs_speed_up_the_simd_friendly_steps() {
+        // The fp16 datapath packs two elements per op; the win per step is
+        // bounded by its vectorizable share (Amdahl within the lane group).
+        let model = CostModel::default();
+        for step in McStep::ALL {
+            let speedup = model.simd_speedup(step, 4096, 2, BEAMS, false);
+            assert!(
+                speedup > 1.0 && speedup < 2.0,
+                "{step:?} fp16 speedup {speedup} out of range"
+            );
+        }
+        // Observation (the most vectorizable loop) gains the most; motion
+        // (RNG-bound) the least — the ordering the paper's kernels show.
+        let obs = model.simd_speedup(McStep::Observation, 4096, 2, BEAMS, false);
+        let motion = model.simd_speedup(McStep::Motion, 4096, 2, BEAMS, false);
+        assert!(obs > motion, "observation {obs} <= motion {motion}");
+        // With the default shares the observation step gains a measurable
+        // >20 % — fp16qm is faster, not just smaller.
+        assert!(obs > 1.2, "observation fp16 speedup only {obs}");
+    }
+
+    #[test]
+    fn lane_tail_items_are_charged_scalar() {
+        let model = CostModel::default();
+        // 4097 items at width 2: 2048 pair groups + 1 scalar tail item.
+        let even =
+            model.kernel_invocation_cycles_lanes(McStep::Observation, 4096, 2, BEAMS, false, false);
+        let odd =
+            model.kernel_invocation_cycles_lanes(McStep::Observation, 4097, 2, BEAMS, false, false);
+        let per_item = model.kernel_item_cycles(McStep::Observation, BEAMS, false, false);
+        assert!((odd - even - per_item).abs() < 1e-6);
+        // The group charge interpolates between 1× and lane_width× per-item.
+        let group = model.lane_group_cycles(McStep::Observation, 2, BEAMS, false, false);
+        assert!(group > per_item && group < 2.0 * per_item);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane width")]
+    fn zero_lane_width_panics() {
+        CostModel::default().lane_group_cycles(McStep::Motion, 0, 16, false, false);
     }
 
     #[test]

@@ -20,6 +20,12 @@
 use crate::grid::{CellIndex, CellState, OccupancyGrid};
 use mcl_num::{Quantizer, F16};
 
+/// Width of one lane group in [`DistanceField::distances_at_world_lanes`]:
+/// the number of world positions a lane-batched lookup resolves per call.
+/// `mcl_core::kernel` pins its own lane width to this constant so the
+/// correction kernel's lane groups and the field lookup agree.
+pub const DISTANCE_LANES: usize = 8;
+
 /// Read access to a (possibly lossily stored) truncated distance field.
 ///
 /// Lookups outside the map return the truncation distance `rmax`: a beam that
@@ -32,6 +38,27 @@ pub trait DistanceField: Send + Sync {
 
     /// Distance lookup by world coordinates (metres).
     fn distance_at_world(&self, x: f32, y: f32) -> f32;
+
+    /// Lane-batched lookup: writes
+    /// `out[l] = self.distance_at_world(xs[l], ys[l])` for every lane of one
+    /// [`DISTANCE_LANES`]-wide group.
+    ///
+    /// The default implementation is the scalar loop. The three storage
+    /// back-ends override it with a two-pass body — one pass computing the
+    /// world→cell quotients for all lanes (which the compiler can issue as a
+    /// single SIMD division per axis), one gather pass reading the cells —
+    /// that is **bit-identical** to the scalar loop: the hoisted quotients
+    /// are the same IEEE divisions, and the bounds predicate is unchanged.
+    fn distances_at_world_lanes(
+        &self,
+        xs: &[f32; DISTANCE_LANES],
+        ys: &[f32; DISTANCE_LANES],
+        out: &mut [f32; DISTANCE_LANES],
+    ) {
+        for l in 0..DISTANCE_LANES {
+            out[l] = self.distance_at_world(xs[l], ys[l]);
+        }
+    }
 
     /// The truncation distance `rmax` used when the field was computed.
     fn max_distance(&self) -> f32;
@@ -75,6 +102,62 @@ impl FieldGeometry {
         } else {
             None
         }
+    }
+
+    /// Lane-batched twin of [`FieldGeometry::index_of_world`]: resolves one
+    /// lane group of world positions to `(cell index, valid)` pairs with the
+    /// whole body — divisions, predicate, index arithmetic — expressed as
+    /// branch-free lane passes the compiler can vectorize.
+    ///
+    /// Equivalence with the scalar predicate, for **every** input:
+    ///
+    /// * `x ≥ 0` fails for negative values and NaN (the scalar path rejects
+    ///   both, via its sign and finiteness guards);
+    /// * `x / resolution < width as f32` fails for `+∞` and for any finite
+    ///   `x` whose cell would overflow (the scalar path's saturating cast
+    ///   then fails its bounds check). The grid dimensions are far below
+    ///   2²⁴ cells per axis (debug-asserted), so `width as f32` is exact and
+    ///   `q < width ⇔ floor(q) < width` for the non-negative quotients that
+    ///   pass the sign guard — exactly the scalar `(q as usize) < width`.
+    ///
+    /// Invalid lanes report index 0 (always in bounds — a grid has at least
+    /// one cell) so callers can load unconditionally and select the
+    /// truncation distance afterwards.
+    #[inline(always)]
+    fn lane_indices(
+        &self,
+        xs: &[f32; DISTANCE_LANES],
+        ys: &[f32; DISTANCE_LANES],
+    ) -> ([usize; DISTANCE_LANES], [bool; DISTANCE_LANES]) {
+        debug_assert!(
+            self.width < (1 << 24) && self.height < (1 << 24),
+            "grid dimensions must be exactly representable in f32"
+        );
+        let mut col_q = [0.0f32; DISTANCE_LANES];
+        let mut row_q = [0.0f32; DISTANCE_LANES];
+        for l in 0..DISTANCE_LANES {
+            col_q[l] = xs[l] / self.resolution;
+            row_q[l] = ys[l] / self.resolution;
+        }
+        let width_f = self.width as f32;
+        let height_f = self.height as f32;
+        let mut valid = [false; DISTANCE_LANES];
+        for l in 0..DISTANCE_LANES {
+            valid[l] = xs[l] >= 0.0 && ys[l] >= 0.0 && col_q[l] < width_f && row_q[l] < height_f;
+        }
+        let mut idx = [0usize; DISTANCE_LANES];
+        for l in 0..DISTANCE_LANES {
+            // Valid quotients are in [0, 2²⁴), where the u32 cast equals the
+            // scalar path's usize cast and `row · width + col` is the true
+            // (in-bounds) cell index. Invalid lanes still run the arithmetic
+            // — wrapping, so a saturated u32::MAX row cannot overflow a
+            // 32-bit usize — and select index 0 instead.
+            let flat = (row_q[l] as u32 as usize)
+                .wrapping_mul(self.width)
+                .wrapping_add(col_q[l] as u32 as usize);
+            idx[l] = if valid[l] { flat } else { 0 };
+        }
+        (idx, valid)
     }
 }
 
@@ -260,6 +343,25 @@ impl DistanceField for EuclideanDistanceField {
         }
     }
 
+    #[inline]
+    fn distances_at_world_lanes(
+        &self,
+        xs: &[f32; DISTANCE_LANES],
+        ys: &[f32; DISTANCE_LANES],
+        out: &mut [f32; DISTANCE_LANES],
+    ) {
+        let (idx, valid) = self.geometry.lane_indices(xs, ys);
+        for l in 0..DISTANCE_LANES {
+            let i = idx[l];
+            let d = self.distances[i];
+            out[l] = if valid[l] {
+                d
+            } else {
+                self.geometry.max_distance
+            };
+        }
+    }
+
     fn max_distance(&self) -> f32 {
         self.geometry.max_distance
     }
@@ -296,6 +398,25 @@ impl DistanceField for F16DistanceField {
         match self.geometry.index_of_world(x, y) {
             Some(i) => self.values[i].to_f32(),
             None => self.geometry.max_distance,
+        }
+    }
+
+    #[inline]
+    fn distances_at_world_lanes(
+        &self,
+        xs: &[f32; DISTANCE_LANES],
+        ys: &[f32; DISTANCE_LANES],
+        out: &mut [f32; DISTANCE_LANES],
+    ) {
+        let (idx, valid) = self.geometry.lane_indices(xs, ys);
+        for l in 0..DISTANCE_LANES {
+            let i = idx[l];
+            let d = self.values[i].to_f32();
+            out[l] = if valid[l] {
+                d
+            } else {
+                self.geometry.max_distance
+            };
         }
     }
 
@@ -347,6 +468,25 @@ impl DistanceField for QuantizedDistanceField {
         match self.geometry.index_of_world(x, y) {
             Some(i) => self.quantizer.dequantize(self.codes[i]),
             None => self.geometry.max_distance,
+        }
+    }
+
+    #[inline]
+    fn distances_at_world_lanes(
+        &self,
+        xs: &[f32; DISTANCE_LANES],
+        ys: &[f32; DISTANCE_LANES],
+        out: &mut [f32; DISTANCE_LANES],
+    ) {
+        let (idx, valid) = self.geometry.lane_indices(xs, ys);
+        for l in 0..DISTANCE_LANES {
+            let i = idx[l];
+            let d = self.quantizer.dequantize(self.codes[i]);
+            out[l] = if valid[l] {
+                d
+            } else {
+                self.geometry.max_distance
+            };
         }
     }
 
@@ -534,6 +674,58 @@ mod tests {
         assert_eq!(edt.storage_name(), "fp32");
         assert_eq!(edt.to_f16().storage_name(), "fp16");
         assert_eq!(edt.quantize().storage_name(), "quantized");
+    }
+
+    #[test]
+    fn lane_batched_lookup_is_bit_identical_to_the_scalar_lookup() {
+        // The overrides hoist the world→cell divides into a vectorizable pass;
+        // the results must match distance_at_world bit for bit on every storage
+        // back-end, including the guard cases (negative, NaN, ±inf, far out of
+        // range) the predicate handles.
+        let map = MapBuilder::new(2.0, 2.0, 0.05)
+            .border_walls()
+            .wall((1.0, 0.0), (1.0, 1.2))
+            .build();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let half = edt.to_f16();
+        let quantized = edt.quantize();
+        let probes: Vec<(f32, f32)> = (0..64)
+            .map(|k| (0.07 * k as f32 - 0.5, 0.11 * (63 - k) as f32 - 0.5))
+            .chain([
+                (f32::NAN, 0.5),
+                (0.5, f32::NAN),
+                (f32::INFINITY, 0.5),
+                (-1e30, 0.5),
+                (0.5, f32::NEG_INFINITY),
+                (1e9, 1e9),
+                (-0.0, -0.0),
+                (1.999, 1.999),
+            ])
+            .collect();
+        for group in probes.chunks(DISTANCE_LANES) {
+            let mut xs = [0.0f32; DISTANCE_LANES];
+            let mut ys = [0.0f32; DISTANCE_LANES];
+            for (l, &(x, y)) in group.iter().enumerate() {
+                xs[l] = x;
+                ys[l] = y;
+            }
+            let fields: [&dyn DistanceField; 3] = [&edt, &half, &quantized];
+            for field in fields {
+                let mut lanes = [0.0f32; DISTANCE_LANES];
+                field.distances_at_world_lanes(&xs, &ys, &mut lanes);
+                for l in 0..DISTANCE_LANES {
+                    let scalar = field.distance_at_world(xs[l], ys[l]);
+                    assert_eq!(
+                        scalar.to_bits(),
+                        lanes[l].to_bits(),
+                        "{} lane {l} diverged at ({}, {})",
+                        field.storage_name(),
+                        xs[l],
+                        ys[l]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub mod io;
 pub mod maze;
 
 pub use builder::MapBuilder;
-pub use edt::{DistanceField, EuclideanDistanceField, F16DistanceField, QuantizedDistanceField};
+pub use edt::{
+    DistanceField, EuclideanDistanceField, F16DistanceField, QuantizedDistanceField, DISTANCE_LANES,
+};
 pub use geometry::{Point2, Pose2};
 pub use grid::{CellIndex, CellState, GridError, OccupancyGrid};
 pub use maze::{DroneMaze, MazeConfig};

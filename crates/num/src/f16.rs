@@ -433,4 +433,118 @@ mod tests {
         assert_eq!(F16::from_f32(1.0).max(F16::from_f32(2.0)).to_f32(), 2.0);
         assert_eq!(F16::from_f32(1.0).min(F16::from_f32(2.0)).to_f32(), 1.0);
     }
+
+    #[test]
+    fn nan_and_infinity_round_trip_through_f32() {
+        // f16 → f32 → f16 must preserve the special-value class and the sign
+        // bit exactly, including the NaN quiet bit the converter sets.
+        for bits in [0x7C00u16, 0xFC00, 0x7E00, 0xFE00, 0x7C01, 0x7FFF] {
+            let half = F16::from_bits(bits);
+            let round = F16::from_f32(half.to_f32());
+            assert_eq!(half.is_nan(), round.is_nan(), "bits {bits:#06x}");
+            assert_eq!(half.is_infinite(), round.is_infinite(), "bits {bits:#06x}");
+            assert_eq!(
+                half.is_sign_negative(),
+                round.is_sign_negative(),
+                "bits {bits:#06x}"
+            );
+        }
+        // Infinities round-trip bit-exactly; NaN payload bits 13.. survive the
+        // truncation (the converter ORs the quiet bit in).
+        assert_eq!(F16::from_f32(F16::INFINITY.to_f32()), F16::INFINITY);
+        assert_eq!(
+            F16::from_f32(F16::NEG_INFINITY.to_f32()).to_bits(),
+            F16::NEG_INFINITY.to_bits()
+        );
+        // A signalling-pattern f32 NaN quiets to a NaN, never to ±inf.
+        let signalling = f32::from_bits(0x7F80_0001);
+        assert!(F16::from_f32(signalling).is_nan());
+        assert!(F16::from_f32(-signalling).is_nan());
+        assert!(F16::from_f32(-signalling).is_sign_negative());
+    }
+
+    #[test]
+    fn subnormals_round_trip_and_only_flush_below_the_smallest() {
+        // This implementation keeps binary16 subnormals (no flush-to-zero):
+        // every one of the 1023 positive subnormal patterns converts to f32
+        // and back without loss.
+        for bits in 1u16..0x0400 {
+            let half = F16::from_bits(bits);
+            assert!(half.to_f32() > 0.0, "subnormal {bits:#06x} flushed");
+            assert_eq!(
+                F16::from_f32(half.to_f32()).to_bits(),
+                bits,
+                "subnormal {bits:#06x} did not round-trip"
+            );
+            let neg = F16::from_bits(bits | 0x8000);
+            assert_eq!(F16::from_f32(neg.to_f32()).to_bits(), bits | 0x8000);
+        }
+        // The flush boundary sits below the smallest subnormal 2⁻²⁴: half of
+        // it ties to even (zero), anything above half rounds up to it.
+        let tiny = (2.0f32).powi(-24);
+        assert_eq!(F16::from_f32(tiny / 2.0).to_bits(), 0x0000);
+        assert_eq!(F16::from_f32(tiny / 2.0 + tiny / 8.0).to_bits(), 0x0001);
+        assert_eq!(F16::from_f32(-(tiny / 4.0)).to_bits(), 0x8000);
+        // The normal/subnormal boundary: just below MIN_POSITIVE rounds into
+        // the largest subnormal, not to zero.
+        let below_normal = F16::MIN_POSITIVE.to_f32() * 0.999;
+        assert_eq!(F16::from_f32(below_normal).to_bits(), 0x03FF);
+    }
+
+    #[test]
+    fn ties_round_to_even_at_the_subnormal_and_exponent_boundaries() {
+        // Tie exactly between two subnormals: 2.5 × 2⁻²⁴ sits between codes
+        // 0x0002 and 0x0003; even (0x0002) wins. 3.5 × 2⁻²⁴ → odd neighbour
+        // below is 0x0003, even above is 0x0004.
+        let tiny = (2.0f32).powi(-24);
+        assert_eq!(F16::from_f32(2.5 * tiny).to_bits(), 0x0002);
+        assert_eq!(F16::from_f32(3.5 * tiny).to_bits(), 0x0004);
+        // Tie at a power-of-two boundary: 1 + 2⁻¹¹ is exactly between 1.0 and
+        // 1.0 + ε; the even mantissa (1.0) wins, while 1 + 3·2⁻¹² rounds up.
+        assert_eq!(F16::from_f32(1.0 + (2.0f32).powi(-11)).to_bits(), 0x3C00);
+        assert_eq!(
+            F16::from_f32(1.0 + 3.0 * (2.0f32).powi(-12)).to_bits(),
+            0x3C01
+        );
+        // And just above/below the tie rounds to nearest.
+        assert_eq!(
+            F16::from_f32(1.0 + (2.0f32).powi(-11) + (2.0f32).powi(-16)).to_bits(),
+            0x3C01
+        );
+    }
+
+    #[test]
+    fn partial_order_matches_f32_for_the_max_log_fold() {
+        // The filter's correction step folds `max` over log-likelihoods and
+        // the pose kernel compares stored weights; both rely on F16's
+        // PartialOrd agreeing with f32 semantics: totally ordered on numbers
+        // (−∞ < finite < +∞, −0 == +0) and NaN incomparable.
+        let ordered = [
+            F16::NEG_INFINITY,
+            F16::MIN,
+            F16::NEG_ONE,
+            F16::from_bits(0x8001), // largest negative subnormal
+            F16::ZERO,
+            F16::from_bits(0x0001), // smallest positive subnormal
+            F16::MIN_POSITIVE,
+            F16::ONE,
+            F16::MAX,
+            F16::INFINITY,
+        ];
+        for pair in ordered.windows(2) {
+            assert!(pair[0] < pair[1], "{:?} !< {:?}", pair[0], pair[1]);
+        }
+        assert_eq!(F16::ZERO, F16::from_bits(0x8000), "-0 must equal +0");
+        for value in ordered {
+            assert_eq!(F16::NAN.partial_cmp(&value), None);
+            assert_eq!(value.partial_cmp(&F16::NAN), None);
+        }
+        // A max-fold seeded with −∞ (the reweight max_log pattern) picks the
+        // true maximum and propagates the non-NaN operand like f32::max.
+        let logs = [F16::NEG_ONE, F16::from_f32(-3.0), F16::from_f32(-0.5)];
+        let max = logs.iter().fold(F16::NEG_INFINITY, |acc, &l| acc.max(l));
+        assert_eq!(max.to_f32(), -0.5);
+        assert_eq!(F16::NAN.max(F16::ONE).to_f32(), 1.0);
+        assert_eq!(F16::ONE.max(F16::NAN).to_f32(), 1.0);
+    }
 }

@@ -127,6 +127,18 @@ impl BeamBatch {
             .map(|prefix| prefix.len)
     }
 
+    /// The in-range end-point prefix for `r_max` as `(end_x_body, end_y_body)`
+    /// slices, when the batch was [partitioned](BeamBatch::partition_in_range)
+    /// for exactly this truncation — the branch-free view the lane-batched
+    /// correction kernel iterates once per lane group instead of re-checking
+    /// the prefix per particle. `None` when the batch is unpartitioned (or was
+    /// partitioned for a different truncation); callers then fall back to the
+    /// per-beam range test.
+    pub fn in_range_slices(&self, r_max: f32) -> Option<(&[f32], &[f32])> {
+        self.in_range_prefix(r_max)
+            .map(|len| (&self.end_x_body[..len], &self.end_y_body[..len]))
+    }
+
     /// Number of beams in the batch.
     pub fn len(&self) -> usize {
         self.range_m.len()
@@ -267,6 +279,32 @@ mod tests {
         // Pushing invalidates the prefix.
         batch.push(&make(0.4, 0.0));
         assert_eq!(batch.in_range_prefix(1.0), None);
+    }
+
+    #[test]
+    fn in_range_slices_expose_exactly_the_partitioned_prefix() {
+        let make = |range: f32, azimuth: f32| Beam {
+            azimuth_body_rad: azimuth,
+            range_m: range,
+            origin_body: Pose2::default(),
+        };
+        let beams = [make(0.5, 0.0), make(2.0, 0.3), make(0.7, 0.6)];
+        let mut batch = BeamBatch::from_beams(&beams);
+        // Unpartitioned (and wrong-truncation) batches expose no view.
+        assert!(batch.in_range_slices(1.5).is_none());
+        let len = batch.partition_in_range(1.5);
+        assert_eq!(len, 2);
+        assert!(batch.in_range_slices(1.0).is_none());
+        let (xs, ys) = batch.in_range_slices(1.5).unwrap();
+        assert_eq!(xs.len(), 2);
+        assert_eq!(ys.len(), 2);
+        assert_eq!(xs, &batch.end_x_body()[..2]);
+        assert_eq!(ys, &batch.end_y_body()[..2]);
+        // An all-skipped batch exposes an empty (not absent) prefix.
+        let mut far = BeamBatch::from_beams(&[make(2.0, 0.0)]);
+        far.partition_in_range(1.5);
+        let (xs, ys) = far.in_range_slices(1.5).unwrap();
+        assert!(xs.is_empty() && ys.is_empty());
     }
 
     #[test]

@@ -26,11 +26,12 @@
 use crate::metrics::{ResultAggregator, SequenceResult};
 use crate::scenario::PaperScenario;
 use mcl_core::precision::PipelineConfig;
+use mcl_core::KernelBackend;
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 
-/// One evaluation job: a sequence, a pipeline configuration, a particle count
-/// and a seed.
+/// One evaluation job: a sequence, a pipeline configuration, a particle count,
+/// a seed and the kernel backend the job's filter dispatches.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BatchJob {
     /// Index into [`PaperScenario::sequences`].
@@ -41,17 +42,25 @@ pub struct BatchJob {
     pub particles: usize,
     /// Filter seed (also the particle-initialization seed).
     pub seed: u64,
+    /// Kernel backend for this job's filter. [`BatchJob::grid`] fills in the
+    /// default resolution (the `MCL_KERNEL_BACKEND` override, else the
+    /// lane-batched production backend); the backends are bit-identical, so
+    /// this changes how fast a job runs, never what it returns.
+    pub kernel_backend: KernelBackend,
 }
 
 impl BatchJob {
     /// The full cross product sequences × pipelines × particle counts × seeds —
-    /// the shape of the paper's evaluation grid.
+    /// the shape of the paper's evaluation grid. Every job runs under the
+    /// default kernel backend; override per job via
+    /// [`BatchJob::with_kernel_backend`].
     pub fn grid(
         sequence_indices: &[usize],
         pipelines: &[PipelineConfig],
         particle_counts: &[usize],
         seeds: &[u64],
     ) -> Vec<BatchJob> {
+        let kernel_backend = KernelBackend::from_env().unwrap_or_default();
         let mut jobs = Vec::with_capacity(
             sequence_indices.len() * pipelines.len() * particle_counts.len() * seeds.len(),
         );
@@ -64,12 +73,19 @@ impl BatchJob {
                             pipeline,
                             particles,
                             seed,
+                            kernel_backend,
                         });
                     }
                 }
             }
         }
         jobs
+    }
+
+    /// Returns a copy of the job pinned to `backend`.
+    pub fn with_kernel_backend(mut self, backend: KernelBackend) -> Self {
+        self.kernel_backend = backend;
+        self
     }
 }
 
@@ -111,7 +127,13 @@ pub fn run_batch(scenario: &PaperScenario, jobs: &[BatchJob], threads: usize) ->
     let evaluate = |index: usize| {
         let job = jobs[index];
         let sequence = &scenario.sequences()[job.sequence_index];
-        let result = scenario.evaluate(sequence, job.pipeline, job.particles, job.seed);
+        let result = scenario.evaluate_with_backend(
+            sequence,
+            job.pipeline,
+            job.particles,
+            job.seed,
+            job.kernel_backend,
+        );
         *results[index].lock().expect("result slot poisoned") = Some(result);
     };
 
@@ -198,6 +220,33 @@ mod tests {
     }
 
     #[test]
+    fn scalar_and_lanes_jobs_return_identical_results() {
+        // The kernel backends are bit-identical, so the same job grid pinned
+        // to either backend must produce exactly the same metrics — across
+        // both storage precisions of the paper's design space.
+        let scenario = PaperScenario::quick(15);
+        let base = BatchJob::grid(
+            &[0],
+            &[PipelineConfig::FP32, PipelineConfig::FP16_QM],
+            &[96],
+            &[1, 2],
+        );
+        let scalar_jobs: Vec<BatchJob> = base
+            .iter()
+            .map(|j| j.with_kernel_backend(KernelBackend::Scalar))
+            .collect();
+        let lanes_jobs: Vec<BatchJob> = base
+            .iter()
+            .map(|j| j.with_kernel_backend(KernelBackend::Lanes))
+            .collect();
+        let scalar = run_batch(&scenario, &scalar_jobs, 2);
+        let lanes = run_batch(&scenario, &lanes_jobs, 2);
+        for (s, l) in scalar.iter().zip(lanes.iter()) {
+            assert_eq!(s.result, l.result, "backends diverged on {:?}", s.job);
+        }
+    }
+
+    #[test]
     fn aggregate_filters_by_job() {
         let scenario = PaperScenario::quick(12);
         let jobs = BatchJob::grid(
@@ -229,6 +278,7 @@ mod tests {
             pipeline: PipelineConfig::FP32,
             particles: 64,
             seed: 1,
+            kernel_backend: KernelBackend::default(),
         };
         let _ = run_batch(&scenario, &[job], 1);
     }

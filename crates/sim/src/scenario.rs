@@ -14,7 +14,7 @@ use crate::runner::{run_sequence, RunnerConfig};
 use crate::sequence::{Sequence, SequenceConfig, SequenceGenerator};
 use crate::trajectory::TrajectoryConfig;
 use mcl_core::precision::{MapPrecision, ParticlePrecision, PipelineConfig};
-use mcl_core::{MclConfig, MonteCarloLocalization};
+use mcl_core::{KernelBackend, MclConfig, MonteCarloLocalization};
 use mcl_gridmap::{
     DistanceField, DroneMaze, EuclideanDistanceField, F16DistanceField, OccupancyGrid,
     QuantizedDistanceField,
@@ -126,7 +126,9 @@ impl PaperScenario {
     }
 
     /// Evaluates one pipeline configuration on one sequence with global
-    /// (uniform) initialization — the paper's main experiment.
+    /// (uniform) initialization — the paper's main experiment. Runs under the
+    /// default kernel backend (honouring the `MCL_KERNEL_BACKEND` override);
+    /// see [`PaperScenario::evaluate_with_backend`] for an explicit choice.
     pub fn evaluate(
         &self,
         sequence: &Sequence,
@@ -134,11 +136,36 @@ impl PaperScenario {
         particles: usize,
         seed: u64,
     ) -> SequenceResult {
+        self.evaluate_with_backend(
+            sequence,
+            pipeline,
+            particles,
+            seed,
+            KernelBackend::from_env().unwrap_or_default(),
+        )
+    }
+
+    /// [`PaperScenario::evaluate`] with an explicit [`KernelBackend`] — the
+    /// entry point `mcl_sim::run_batch` jobs select their backend through.
+    /// The backends are bit-identical, so for fixed-precision arithmetic the
+    /// returned metrics do not depend on the choice (pinned by a unit test in
+    /// `crate::batch`); the knob exists for performance studies and the
+    /// equivalence harness.
+    pub fn evaluate_with_backend(
+        &self,
+        sequence: &Sequence,
+        pipeline: PipelineConfig,
+        particles: usize,
+        seed: u64,
+        backend: KernelBackend,
+    ) -> SequenceResult {
         let runner = RunnerConfig {
             sensor_count: pipeline.sensor_count,
             ..RunnerConfig::default()
         };
-        let config = self.mcl_config(particles, seed);
+        let config = self
+            .mcl_config(particles, seed)
+            .with_kernel_backend(backend);
         match (pipeline.particle_precision, pipeline.map_precision) {
             (ParticlePrecision::Fp32, MapPrecision::Fp32) => {
                 self.run::<f32, _>(config, self.edt_fp32.clone(), sequence, &runner, seed)

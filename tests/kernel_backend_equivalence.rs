@@ -1,0 +1,365 @@
+//! Equivalence harness pinning the lane-batched kernel backend to the scalar
+//! reference.
+//!
+//! The `mcl_core::kernel` lane-width contract promises that
+//! [`KernelBackend::Lanes`] is **bit-identical** to [`KernelBackend::Scalar`]
+//! for `f32` storage: lane grouping restructures the loops, never the
+//! per-particle arithmetic. This suite pins that promise
+//!
+//! * per kernel, across **every tail length** `n % LANES ∈ 0..LANES` (the
+//!   lane kernels switch from group bodies to the scalar-reference tail at
+//!   `n − n % LANES`, so each class exercises a different switch point);
+//! * through every [`ClusterLayout`] dispatch shape (`SINGLE`, `new(3)`,
+//!   `GAP9` — uneven chunking creates additional intra-chunk tails);
+//! * across warm-pool reruns (the shared worker pool must not make a second,
+//!   warm dispatch differ from the first);
+//! * for binary16 storage, within [`F16_BACKEND_ULP_BOUND`] f16 ULPs — the
+//!   bound is asserted exactly, not approximated with a float tolerance.
+
+use proptest::prelude::*;
+use tof_mcl::core::kernel::{self, KernelBackend, LANES};
+use tof_mcl::core::{
+    BeamEndPointModel, ClusterLayout, MclConfig, MonteCarloLocalization, MotionDelta, MotionModel,
+    Particle, ParticleBuffer,
+};
+use tof_mcl::gridmap::{EuclideanDistanceField, MapBuilder, OccupancyGrid, Pose2};
+use tof_mcl::num::{Scalar, F16};
+use tof_mcl::sensor::{Beam, BeamBatch};
+
+/// Maximum distance, in binary16 ULPs, between a particle component stored by
+/// the `Lanes` backend and the same component stored by `Scalar`, for F16
+/// storage. The bound is **zero**: every lane performs the scalar op sequence
+/// on the same operands, so each `F16` store rounds the same `f32` value —
+/// there is no step where the backends could round differently. Asserting 0
+/// through the ULP machinery (rather than `==`) keeps the bound explicit and
+/// ready to relax if a future lane kernel legitimately re-associates.
+const F16_BACKEND_ULP_BOUND: u32 = 0;
+
+/// Distance between two binary16 values in ULPs (units in the last place),
+/// counted along the ordered line of finite-and-infinite f16 values.
+fn f16_ulp_distance(a: F16, b: F16) -> u32 {
+    assert!(!a.is_nan() && !b.is_nan(), "ULP distance undefined for NaN");
+    fn key(v: F16) -> i32 {
+        let bits = v.to_bits();
+        let magnitude = i32::from(bits & 0x7FFF);
+        if bits & 0x8000 != 0 {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+    key(a).abs_diff(key(b))
+}
+
+fn layouts() -> [ClusterLayout; 3] {
+    [
+        ClusterLayout::SINGLE,
+        ClusterLayout::new(3),
+        ClusterLayout::GAP9,
+    ]
+}
+
+fn arena() -> OccupancyGrid {
+    MapBuilder::new(4.0, 4.0, 0.05)
+        .border_walls()
+        .wall((2.0, 0.0), (2.0, 2.4))
+        .filled_rect((2.8, 2.8), (3.2, 3.2))
+        .build()
+}
+
+/// A deterministic beam ring: in-range, out-of-range and NaN-range beams
+/// interleaved, so both the branch-free prefix path and the skipping fallback
+/// of the correction kernel see work.
+fn synthetic_beams(salt: u64) -> Vec<Beam> {
+    (0..14)
+        .map(|k| Beam {
+            azimuth_body_rad: k as f32 * core::f32::consts::TAU / 14.0,
+            range_m: match (k % 5, salt % 3) {
+                (4, _) => 2.2,      // beyond r_max
+                (3, 0) => f32::NAN, // corrupt zone
+                _ => 0.25 + 0.1 * ((k as u64 + salt) % 11) as f32,
+            },
+            origin_body: Pose2::default(),
+        })
+        .collect()
+}
+
+fn buffer<S: Scalar>(n: usize, salt: u64) -> ParticleBuffer<S> {
+    (0..n)
+        .map(|i| {
+            let k = i as u64 + salt;
+            Particle::from_pose(
+                &Pose2::new(
+                    0.3 + ((k * 7) % 67) as f32 * 0.05,
+                    0.3 + ((k * 11) % 61) as f32 * 0.055,
+                    ((k * 13) % 41) as f32 * 0.15,
+                ),
+                (1 + (k % 9)) as f32 / n as f32,
+            )
+        })
+        .collect()
+}
+
+fn assert_buffers_bit_identical(a: &ParticleBuffer<f32>, b: &ParticleBuffer<f32>, label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: length mismatch");
+    for i in 0..a.len() {
+        let (pa, pb) = (a.get(i), b.get(i));
+        assert_eq!(pa.x.to_bits(), pb.x.to_bits(), "{label}: x[{i}]");
+        assert_eq!(pa.y.to_bits(), pb.y.to_bits(), "{label}: y[{i}]");
+        assert_eq!(
+            pa.theta.to_bits(),
+            pb.theta.to_bits(),
+            "{label}: theta[{i}]"
+        );
+        assert_eq!(
+            pa.weight.to_bits(),
+            pb.weight.to_bits(),
+            "{label}: weight[{i}]"
+        );
+    }
+}
+
+/// Every tail length, every layout, every kernel, both batch paths: the lane
+/// kernels must be bit-identical to the scalar reference. `n = 4·LANES + tail`
+/// keeps several full lane groups in front of each tail class, and the uneven
+/// layouts cut chunks that produce further `chunk_len % LANES` classes.
+#[test]
+fn all_four_kernels_are_bit_identical_across_every_tail_length_and_layout() {
+    let map = arena();
+    let edt = EuclideanDistanceField::compute(&map, 1.5);
+    let model = BeamEndPointModel::new(0.25, 1.5);
+    let motion = MotionModel::new([0.08, 0.08, 0.05]);
+    let delta = MotionDelta::new(0.11, 0.015, 0.04);
+    let beams = synthetic_beams(1);
+    let unpartitioned = BeamBatch::from_beams(&beams);
+    let mut partitioned = unpartitioned.clone();
+    partitioned.partition_in_range(model.r_max());
+
+    for tail in 0..LANES {
+        let n = 4 * LANES + tail;
+        for layout in layouts() {
+            // Motion kernel.
+            let mut scalar: ParticleBuffer<f32> = buffer(n, tail as u64);
+            let mut lanes = scalar.clone();
+            layout.for_each_split(scalar.as_mut_slice(), |start, chunk| {
+                kernel::motion_predict(chunk, &motion, &delta, 5, 1, start as u64);
+            });
+            layout.for_each_split(lanes.as_mut_slice(), |start, chunk| {
+                kernel::motion_predict_lanes(chunk, &motion, &delta, 5, 1, start as u64);
+            });
+            assert_buffers_bit_identical(&scalar, &lanes, &format!("motion n={n}"));
+
+            // Observation kernel, branch-free prefix and skipping fallback.
+            for (batch, path) in [(&partitioned, "prefix"), (&unpartitioned, "fallback")] {
+                let mut scalar_logs = vec![0.0f32; n];
+                layout.for_each_split(
+                    (scalar.as_slice(), scalar_logs.as_mut_slice()),
+                    |_, (chunk, out)| {
+                        kernel::observation_log_likelihoods(chunk, &edt, &model, batch, out);
+                    },
+                );
+                let mut lanes_logs = vec![0.0f32; n];
+                layout.for_each_split(
+                    (lanes.as_slice(), lanes_logs.as_mut_slice()),
+                    |_, (chunk, out)| {
+                        kernel::observation_log_likelihoods_lanes(chunk, &edt, &model, batch, out);
+                    },
+                );
+                for (i, (a, b)) in scalar_logs.iter().zip(lanes_logs.iter()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "observation[{path}] n={n} log[{i}]"
+                    );
+                }
+
+                // Reweight on the logs just produced.
+                let max_log = scalar_logs.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+                let mut scalar_w: Vec<f32> = scalar.weight().to_vec();
+                let mut lanes_w = scalar_w.clone();
+                layout.for_each_split(
+                    (scalar_w.as_mut_slice(), scalar_logs.as_slice()),
+                    |_, (w, l)| kernel::reweight(w, l, max_log),
+                );
+                layout.for_each_split(
+                    (lanes_w.as_mut_slice(), lanes_logs.as_slice()),
+                    |_, (w, l)| kernel::reweight_lanes(w, l, max_log),
+                );
+                for (i, (a, b)) in scalar_w.iter().zip(lanes_w.iter()).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "reweight[{path}] n={n} w[{i}]");
+                }
+            }
+
+            // Resampling scatter (near-sorted indices, like a systematic plan).
+            let indices: Vec<usize> = (0..n).map(|i| (i * 2).min(n - 1)).collect();
+            let uniform = 1.0f32 / n as f32;
+            let mut scalar_target: ParticleBuffer<f32> = buffer(n, 99);
+            let mut lanes_target = scalar_target.clone();
+            kernel::resample_scatter(
+                scalar.as_slice(),
+                scalar_target.as_mut_slice(),
+                &indices,
+                uniform,
+            );
+            kernel::resample_scatter_lanes(
+                lanes.as_slice(),
+                lanes_target.as_mut_slice(),
+                &indices,
+                uniform,
+            );
+            assert_buffers_bit_identical(&scalar_target, &lanes_target, &format!("scatter n={n}"));
+
+            // Pose reduction.
+            let a = kernel::pose_estimate_with(&scalar_target, &layout, KernelBackend::Scalar);
+            let b = kernel::pose_estimate_with(&lanes_target, &layout, KernelBackend::Lanes);
+            assert_eq!(a.pose.x.to_bits(), b.pose.x.to_bits(), "pose n={n}");
+            assert_eq!(a.pose.y.to_bits(), b.pose.y.to_bits(), "pose n={n}");
+            assert_eq!(a.pose.theta.to_bits(), b.pose.theta.to_bits(), "pose n={n}");
+            assert_eq!(
+                a.position_std_m.to_bits(),
+                b.position_std_m.to_bits(),
+                "pose n={n}"
+            );
+            assert_eq!(
+                a.yaw_std_rad.to_bits(),
+                b.yaw_std_rad.to_bits(),
+                "pose n={n}"
+            );
+            assert_eq!(a.neff.to_bits(), b.neff.to_bits(), "pose n={n}");
+        }
+    }
+}
+
+/// Runs a full filter (uniform init + three gated updates) under `backend`
+/// and returns the particle buffer and final estimate.
+fn run_filter<S: Scalar>(
+    map: &OccupancyGrid,
+    edt: &EuclideanDistanceField,
+    beams: &[Beam],
+    n: usize,
+    seed: u64,
+    workers: usize,
+    backend: KernelBackend,
+) -> (ParticleBuffer<S>, tof_mcl::core::PoseEstimate) {
+    let config = MclConfig::default()
+        .with_particles(n)
+        .with_seed(seed)
+        .with_workers(workers)
+        .with_kernel_backend(backend);
+    let mut filter = MonteCarloLocalization::<S, _>::new(config, edt.clone()).unwrap();
+    filter.initialize_uniform(map, seed).unwrap();
+    let delta = MotionDelta::new(0.12, 0.01, 0.05);
+    for _ in 0..3 {
+        filter.predict(delta);
+        let outcome = filter.update(beams).unwrap();
+        assert!(outcome.is_applied());
+    }
+    let estimate = filter.estimate();
+    (filter.particles().current().clone(), estimate)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Full-filter equivalence for f32 storage: for every seed, particle
+    /// count (the `+ tail` term sweeps the `n % LANES` classes with the
+    /// case index), worker layout and a warm-pool rerun, the `Lanes` filter
+    /// is bit-identical to the `Scalar` filter.
+    #[test]
+    fn lanes_filter_is_bit_identical_to_scalar_for_f32(
+        seed in 0u64..300,
+        base in 2usize..12,
+        tail in 0usize..LANES,
+    ) {
+        let n = base * LANES + tail;
+        let map = arena();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let beams = synthetic_beams(seed);
+        for workers in [1usize, 3, 8] {
+            let (scalar_particles, scalar_estimate) =
+                run_filter::<f32>(&map, &edt, &beams, n, seed, workers, KernelBackend::Scalar);
+            // Two lanes runs: the second re-dispatches on the already-warm
+            // shared pool and must not drift.
+            for rerun in 0..2 {
+                let (lanes_particles, lanes_estimate) =
+                    run_filter::<f32>(&map, &edt, &beams, n, seed, workers, KernelBackend::Lanes);
+                prop_assert_eq!(
+                    &scalar_particles,
+                    &lanes_particles,
+                    "workers={} rerun={} diverged", workers, rerun
+                );
+                prop_assert_eq!(scalar_estimate.pose.x.to_bits(), lanes_estimate.pose.x.to_bits());
+                prop_assert_eq!(scalar_estimate.pose.y.to_bits(), lanes_estimate.pose.y.to_bits());
+                prop_assert_eq!(
+                    scalar_estimate.pose.theta.to_bits(),
+                    lanes_estimate.pose.theta.to_bits()
+                );
+                prop_assert_eq!(
+                    scalar_estimate.position_std_m.to_bits(),
+                    lanes_estimate.position_std_m.to_bits()
+                );
+                prop_assert_eq!(
+                    scalar_estimate.yaw_std_rad.to_bits(),
+                    lanes_estimate.yaw_std_rad.to_bits()
+                );
+                prop_assert_eq!(scalar_estimate.neff.to_bits(), lanes_estimate.neff.to_bits());
+            }
+        }
+    }
+
+    /// Full-filter equivalence for binary16 storage, pinned to the stated
+    /// [`F16_BACKEND_ULP_BOUND`]: the bound itself is asserted per component,
+    /// not approximated with a floating tolerance. (The `<=` against the
+    /// currently-zero bound is deliberate — the comparison *is* the contract,
+    /// and stays valid if the bound is ever relaxed above zero.)
+    #[allow(clippy::absurd_extreme_comparisons)]
+    #[test]
+    fn lanes_filter_stays_within_the_stated_f16_ulp_bound(
+        seed in 0u64..300,
+        base in 2usize..10,
+        tail in 0usize..LANES,
+    ) {
+        let n = base * LANES + tail;
+        let map = arena();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let beams = synthetic_beams(seed);
+        for workers in [1usize, 8] {
+            let (scalar_particles, scalar_estimate) =
+                run_filter::<F16>(&map, &edt, &beams, n, seed, workers, KernelBackend::Scalar);
+            let (lanes_particles, lanes_estimate) =
+                run_filter::<F16>(&map, &edt, &beams, n, seed, workers, KernelBackend::Lanes);
+            for i in 0..n {
+                let (a, b) = (scalar_particles.get(i), lanes_particles.get(i));
+                for (sa, sb, component) in [
+                    (a.x, b.x, "x"),
+                    (a.y, b.y, "y"),
+                    (a.theta, b.theta, "theta"),
+                    (a.weight, b.weight, "weight"),
+                ] {
+                    let ulps = f16_ulp_distance(sa, sb);
+                    prop_assert!(
+                        ulps <= F16_BACKEND_ULP_BOUND,
+                        "{}[{}] off by {} ULPs (> {}) at workers={}",
+                        component, i, ulps, F16_BACKEND_ULP_BOUND, workers
+                    );
+                }
+            }
+            // The estimate is computed in f32/f64 from the f16 components;
+            // with 0-ULP particle agreement it must match bit for bit.
+            prop_assert_eq!(scalar_estimate.pose.x.to_bits(), lanes_estimate.pose.x.to_bits());
+            prop_assert_eq!(scalar_estimate.neff.to_bits(), lanes_estimate.neff.to_bits());
+        }
+    }
+}
+
+#[test]
+fn ulp_distance_counts_code_steps() {
+    assert_eq!(f16_ulp_distance(F16::ONE, F16::ONE), 0);
+    assert_eq!(f16_ulp_distance(F16::ZERO, F16::from_bits(0x8000)), 0); // ±0
+    assert_eq!(f16_ulp_distance(F16::ONE, F16::from_bits(0x3C01)), 1);
+    assert_eq!(
+        f16_ulp_distance(F16::from_bits(0x0001), F16::from_bits(0x8001)),
+        2
+    ); // smallest positive ↔ smallest negative subnormal straddle zero
+    assert_eq!(f16_ulp_distance(F16::MAX, F16::INFINITY), 1);
+}
