@@ -1,0 +1,215 @@
+//! Scenario-suite sweep: every registered world and failure mode, both kernel
+//! backends, per-scenario medians and success rates.
+//!
+//! Runs [`mcl_sim::suite::run_suite`] over the full
+//! (scenario × pipeline × particles × backend × seed) grid and reports, per
+//! (scenario, backend): the median ATE and convergence time, the success
+//! rate, and — for the stress scenarios — the kidnap recovery rate and the
+//! dropout-window ATE. The two backends are bit-identical by construction
+//! (pinned by `tests/scenario_suite.rs`), so their rows must agree; CI
+//! archives the output as `BENCH_scenarios.json` and a regression shows up as
+//! a diff in either backend's row.
+//!
+//! Run with `cargo run --release -p mcl-bench --bin scenario_suite`; add
+//! `--full` (after `--`) for the study-scale sweep. When `MCL_BENCH_JSON` is
+//! set, one JSON line per (scenario, backend) row is appended to that path —
+//! the same contract as the criterion stub's kernel benches.
+
+use mcl_bench::print_header;
+use mcl_core::precision::PipelineConfig;
+use mcl_core::KernelBackend;
+use mcl_sim::suite::{run_suite, ScenarioSuite, SuiteOutcome};
+use mcl_sim::SequenceResult;
+use std::io::Write;
+
+struct SweepShape {
+    suite: ScenarioSuite,
+    pipelines: Vec<PipelineConfig>,
+    particle_counts: Vec<usize>,
+    seeds: Vec<u64>,
+    scenario_seed: u64,
+    quick: bool,
+}
+
+impl SweepShape {
+    fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            SweepShape {
+                suite: ScenarioSuite::standard(),
+                pipelines: vec![PipelineConfig::FP32, PipelineConfig::FP16_QM],
+                particle_counts: vec![1024, 4096],
+                seeds: vec![1, 2, 3, 4, 5, 6],
+                scenario_seed: 2023,
+                quick: false,
+            }
+        } else {
+            // The CI quick sweep: one pipeline, three seeds, and — unlike the
+            // 10 s unit-test suite — 20 s sequences at a particle count that
+            // actually converges from a global init, so the archived medians
+            // are meaningful numbers rather than a column of nulls.
+            SweepShape {
+                suite: ScenarioSuite::with_settings(1, 20.0),
+                pipelines: vec![PipelineConfig::FP32],
+                particle_counts: vec![2048],
+                seeds: vec![1, 2, 3],
+                scenario_seed: 2023,
+                quick: true,
+            }
+        }
+    }
+}
+
+/// Median of `values` (mean of the middle pair for even counts); `None` when
+/// empty.
+fn median(mut values: Vec<f64>) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("metric values are finite"));
+    let mid = values.len() / 2;
+    Some(if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        0.5 * (values[mid - 1] + values[mid])
+    })
+}
+
+/// Per-(scenario, backend) aggregate row.
+struct Row {
+    scenario: &'static str,
+    backend: KernelBackend,
+    runs: usize,
+    success_rate_percent: f64,
+    median_ate_m: Option<f64>,
+    median_convergence_time_s: Option<f64>,
+    recovery_rate_percent: Option<f64>,
+    median_dropout_ate_m: Option<f64>,
+}
+
+fn fold_rows(outcomes: &[SuiteOutcome], backends: &[KernelBackend]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let mut scenarios: Vec<&'static str> = outcomes.iter().map(|o| o.scenario).collect();
+    scenarios.dedup();
+    for scenario in scenarios {
+        for &backend in backends {
+            let results: Vec<SequenceResult> = outcomes
+                .iter()
+                .filter(|o| o.scenario == scenario && o.outcome.job.kernel_backend == backend)
+                .map(|o| o.outcome.result)
+                .collect();
+            let runs = results.len();
+            let successes = results.iter().filter(|r| r.success).count();
+            let kidnaps: usize = results.iter().map(|r| r.kidnaps).sum();
+            let recovered: usize = results.iter().map(|r| r.kidnaps_recovered).sum();
+            rows.push(Row {
+                scenario,
+                backend,
+                runs,
+                success_rate_percent: 100.0 * successes as f64 / runs.max(1) as f64,
+                median_ate_m: median(results.iter().filter_map(|r| r.ate_m).collect()),
+                median_convergence_time_s: median(
+                    results
+                        .iter()
+                        .filter_map(|r| r.convergence_time_s)
+                        .collect(),
+                ),
+                recovery_rate_percent: (kidnaps > 0)
+                    .then(|| 100.0 * recovered as f64 / kidnaps as f64),
+                median_dropout_ate_m: median(
+                    results.iter().filter_map(|r| r.dropout_ate_m).collect(),
+                ),
+            });
+        }
+    }
+    rows
+}
+
+fn fmt_opt(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+fn json_opt(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.6}"),
+        None => "null".to_string(),
+    }
+}
+
+fn json_line(row: &Row, quick: bool) -> String {
+    format!(
+        concat!(
+            "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"quick_mode\":{},",
+            "\"runs\":{},\"success_rate_percent\":{:.3},\"median_ate_m\":{},",
+            "\"median_convergence_time_s\":{},\"recovery_rate_percent\":{},",
+            "\"median_dropout_ate_m\":{}}}"
+        ),
+        row.scenario,
+        row.backend.name(),
+        quick,
+        row.runs,
+        row.success_rate_percent,
+        json_opt(row.median_ate_m),
+        json_opt(row.median_convergence_time_s),
+        json_opt(row.recovery_rate_percent),
+        json_opt(row.median_dropout_ate_m),
+    )
+}
+
+fn main() {
+    let shape = SweepShape::from_args();
+    let quick = shape.quick;
+    let backends = [KernelBackend::Scalar, KernelBackend::Lanes];
+
+    print_header("Scenario suite — per-scenario medians and success rates");
+    println!(
+        "({} scenarios x {} pipelines x {} particle counts x {} seeds x both backends)",
+        shape.suite.len(),
+        shape.pipelines.len(),
+        shape.particle_counts.len(),
+        shape.seeds.len(),
+    );
+
+    let scenarios = shape.suite.build_all(shape.scenario_seed);
+    let outcomes = run_suite(
+        &scenarios,
+        &shape.pipelines,
+        &shape.particle_counts,
+        &backends,
+        &shape.seeds,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    let rows = fold_rows(&outcomes, &backends);
+
+    println!(
+        "\n{:>20} {:>8} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "scenario", "backend", "runs", "succ %", "med ATE", "med conv", "recov %", "drop ATE"
+    );
+    for row in &rows {
+        println!(
+            "{:>20} {:>8} {:>6} {:>10.1} {:>10} {:>10} {:>10} {:>10}",
+            row.scenario,
+            row.backend.name(),
+            row.runs,
+            row.success_rate_percent,
+            fmt_opt(row.median_ate_m),
+            fmt_opt(row.median_convergence_time_s),
+            fmt_opt(row.recovery_rate_percent),
+            fmt_opt(row.median_dropout_ate_m),
+        );
+    }
+
+    if let Ok(path) = std::env::var("MCL_BENCH_JSON") {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|err| panic!("cannot open MCL_BENCH_JSON={path}: {err}"));
+        for row in &rows {
+            writeln!(file, "{}", json_line(row, quick)).expect("write JSON line");
+        }
+        println!("\nAppended {} JSON rows to {path}.", rows.len());
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`maze`] — a deterministic generator reproducing the paper's 31.2 m²
 //!   "drone maze" evaluation environment (16 m² physical maze + 3 artificial
 //!   mazes).
+//! * [`worldgen`] — seed-deterministic generators for further evaluation
+//!   worlds (office, symmetric corridor, open hall, warehouse) used by the
+//!   `mcl_sim` scenario suite.
 //! * [`io`] — a plain-text serialization format for maps so experiments can be
 //!   checked in and replayed.
 //!
@@ -46,6 +49,7 @@ pub mod geometry;
 pub mod grid;
 pub mod io;
 pub mod maze;
+pub mod worldgen;
 
 pub use builder::MapBuilder;
 pub use edt::{
@@ -54,3 +58,4 @@ pub use edt::{
 pub use geometry::{Point2, Pose2};
 pub use grid::{CellIndex, CellState, GridError, OccupancyGrid};
 pub use maze::{DroneMaze, MazeConfig};
+pub use worldgen::WorldKind;

@@ -59,6 +59,20 @@ pub struct DroneMaze {
 }
 
 impl DroneMaze {
+    /// Assembles a maze value from an already-built map (used by the
+    /// [`crate::worldgen`] generators, which draw their own layouts).
+    pub(crate) fn from_parts(
+        map: OccupancyGrid,
+        physical_region: (f32, f32, f32, f32),
+        config: MazeConfig,
+    ) -> Self {
+        DroneMaze {
+            map,
+            physical_region,
+            config,
+        }
+    }
+
     /// Generates a maze from an arbitrary configuration.
     ///
     /// The whole map is treated as one maze section and surrounded by border
@@ -298,18 +312,18 @@ fn snap(value: f32, resolution: f32) -> f32 {
 
 /// Minimal deterministic PRNG (SplitMix64) so map generation does not depend on
 /// the `rand` crate; determinism of the map layout is what matters here, not
-/// statistical quality.
+/// statistical quality. Shared with [`crate::worldgen`].
 #[derive(Debug, Clone)]
-struct SplitMix64 {
+pub(crate) struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -318,8 +332,28 @@ impl SplitMix64 {
     }
 
     /// Uniform value in `[0, 1)`.
-    fn uniform(&mut self) -> f32 {
+    pub(crate) fn uniform(&mut self) -> f32 {
         (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub(crate) fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + self.uniform() * (hi - lo)
+    }
+
+    /// Uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub(crate) fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot draw an index from an empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub(crate) fn chance(&mut self, p: f32) -> bool {
+        self.uniform() < p
     }
 }
 

@@ -1,0 +1,395 @@
+//! Procedurally generated evaluation worlds beyond the paper's maze.
+//!
+//! The paper evaluates in a single 31.2 m² office-maze arena; global
+//! localization quality, however, is dominated by environment geometry: room
+//! structure, repeated (ambiguous) features, open areas with sparse walls, and
+//! clutter density. This module provides seed-deterministic generators for
+//! four additional world archetypes, all built from the same
+//! [`MapBuilder`] primitives as the paper maze:
+//!
+//! * [`WorldKind::Office`] — a multi-room office: a grid of rooms connected by
+//!   doorways, with seeded desk-sized furniture blocks.
+//! * [`WorldKind::Corridor`] — a long corridor with translationally symmetric
+//!   alcoves: locally identical geometry that keeps the filter ambiguous until
+//!   a seeded distinguishing obstacle is observed.
+//! * [`WorldKind::OpenHall`] — a mostly empty hall with a few pillars: sparse
+//!   features, so most beams are out of range and updates carry little
+//!   information.
+//! * [`WorldKind::Warehouse`] — rows of shelving racks with aisles: dense,
+//!   repetitive clutter with seeded gaps.
+//!
+//! Every generator is fully deterministic in its seed (same SplitMix64
+//! generator as [`DroneMaze::generate`]), keeps the free space connected by
+//! construction (doorways / aisles / open floor), and leaves enough clearance
+//! for the trajectory generator's 0.25 m waypoint requirement. The
+//! [`WorldKind::PaperMaze`] variant delegates to [`DroneMaze::paper_layout`]
+//! so one enum spans the whole scenario suite.
+
+use crate::builder::MapBuilder;
+use crate::maze::{DroneMaze, MazeConfig, SplitMix64};
+
+/// The world archetypes available to the scenario suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorldKind {
+    /// The paper's 31.2 m² arena ([`DroneMaze::paper_layout`]).
+    PaperMaze,
+    /// Multi-room office with doorways and furniture.
+    Office,
+    /// Long corridor with translationally symmetric alcoves.
+    Corridor,
+    /// Open hall with a few pillars.
+    OpenHall,
+    /// Cluttered warehouse: shelving racks and aisles.
+    Warehouse,
+}
+
+impl WorldKind {
+    /// Every world archetype, in registry order.
+    pub const ALL: [WorldKind; 5] = [
+        WorldKind::PaperMaze,
+        WorldKind::Office,
+        WorldKind::Corridor,
+        WorldKind::OpenHall,
+        WorldKind::Warehouse,
+    ];
+
+    /// A stable, human-readable identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorldKind::PaperMaze => "paper-maze",
+            WorldKind::Office => "office",
+            WorldKind::Corridor => "corridor",
+            WorldKind::OpenHall => "open-hall",
+            WorldKind::Warehouse => "warehouse",
+        }
+    }
+
+    /// Generates the world for `seed`. Deterministic in `(self, seed)`.
+    pub fn generate(self, seed: u64) -> DroneMaze {
+        match self {
+            WorldKind::PaperMaze => DroneMaze::paper_layout(seed),
+            WorldKind::Office => office(seed),
+            WorldKind::Corridor => corridor(seed),
+            WorldKind::OpenHall => open_hall(seed),
+            WorldKind::Warehouse => warehouse(seed),
+        }
+    }
+}
+
+/// Map resolution shared by all generated worlds (the paper's 0.05 m).
+const RESOLUTION: f32 = 0.05;
+
+fn config(width_m: f32, height_m: f32, min_corridor_m: f32, seed: u64) -> MazeConfig {
+    MazeConfig {
+        width_m,
+        height_m,
+        resolution: RESOLUTION,
+        min_corridor_m,
+        seed,
+        wall_thickness_m: RESOLUTION,
+    }
+}
+
+/// A 7.2 m × 4.8 m office: a 3 × 2 grid of 2.4 m rooms, every shared wall
+/// pierced by a seeded 0.8 m doorway, with up to one desk per room.
+fn office(seed: u64) -> DroneMaze {
+    const W: f32 = 7.2;
+    const H: f32 = 4.8;
+    const ROOM: f32 = 2.4;
+    const DOOR: f32 = 0.8;
+    let mut rng = SplitMix64::new(seed ^ 0x0FF1_CE00_0000_0001);
+    let mut builder = MapBuilder::new(W, H, RESOLUTION).border_walls();
+
+    // Vertical walls between horizontally adjacent rooms, one door per segment.
+    for col in 1..3 {
+        let x = col as f32 * ROOM;
+        for row in 0..2 {
+            let (y0, y1) = (row as f32 * ROOM, (row + 1) as f32 * ROOM);
+            let door0 = snap(rng.uniform_in(y0 + 0.4, y1 - 0.4 - DOOR));
+            builder = builder
+                .wall((x, y0), (x, door0))
+                .wall((x, door0 + DOOR), (x, y1));
+        }
+    }
+    // Horizontal wall between the two room rows, one door per room column.
+    for col in 0..3 {
+        let (x0, x1) = (col as f32 * ROOM, (col + 1) as f32 * ROOM);
+        let door0 = snap(rng.uniform_in(x0 + 0.4, x1 - 0.4 - DOOR));
+        builder = builder
+            .wall((x0, ROOM), (door0, ROOM))
+            .wall((door0 + DOOR, ROOM), (x1, ROOM));
+    }
+    // Furniture: at most one desk per room, centred well away from walls and
+    // doors so the surrounding free ring stays wide enough for flight.
+    for col in 0..3 {
+        for row in 0..2 {
+            if !rng.chance(0.7) {
+                continue;
+            }
+            let cx = col as f32 * ROOM + rng.uniform_in(0.9, ROOM - 0.9);
+            let cy = row as f32 * ROOM + rng.uniform_in(0.9, ROOM - 0.9);
+            let half_w = rng.uniform_in(0.15, 0.3);
+            let half_h = rng.uniform_in(0.15, 0.3);
+            builder = builder.filled_rect((cx - half_w, cy - half_h), (cx + half_w, cy + half_h));
+        }
+    }
+    DroneMaze::from_parts(builder.build(), (0.0, 0.0, W, H), config(W, H, DOOR, seed))
+}
+
+/// A 9.6 m × 2.4 m corridor with identical alcoves every 1.6 m on both sides —
+/// translationally symmetric, so single observations cannot disambiguate the
+/// position along the corridor. One seeded alcove contains a distinguishing
+/// crate, which is what eventually lets the filter converge.
+fn corridor(seed: u64) -> DroneMaze {
+    const W: f32 = 9.6;
+    const H: f32 = 2.4;
+    const PITCH: f32 = 1.6;
+    let mut rng = SplitMix64::new(seed ^ 0xC0_1213_0000_0002);
+    let mut builder = MapBuilder::new(W, H, RESOLUTION).border_walls();
+    // Alcove dividers: stubs reaching from both long walls towards the centre,
+    // leaving a 0.8 m central corridor (y in [0.8, 1.6]) always free.
+    let dividers = (W / PITCH) as usize;
+    for i in 1..dividers {
+        let x = i as f32 * PITCH;
+        builder = builder.wall((x, 0.0), (x, 0.8)).wall((x, 1.6), (x, H));
+    }
+    // The one asymmetry: a crate in a seeded alcove on a seeded side.
+    let alcove = rng.index(dividers);
+    let upper = rng.chance(0.5);
+    let cx = alcove as f32 * PITCH + PITCH * 0.5;
+    let cy = if upper { H - 0.4 } else { 0.4 };
+    builder = builder.filled_rect((cx - 0.2, cy - 0.15), (cx + 0.2, cy + 0.15));
+    DroneMaze::from_parts(builder.build(), (0.0, 0.0, W, H), config(W, H, 0.8, seed))
+}
+
+/// A 6 m × 6 m hall with 3–5 free-standing pillars: most beams exceed the
+/// sensor's range, so observation updates are information-poor.
+fn open_hall(seed: u64) -> DroneMaze {
+    const W: f32 = 6.0;
+    const H: f32 = 6.0;
+    let mut rng = SplitMix64::new(seed ^ 0x0A11_0000_0000_0003);
+    let mut builder = MapBuilder::new(W, H, RESOLUTION).border_walls();
+    let pillars = 3 + rng.index(3);
+    let mut placed: Vec<(f32, f32)> = Vec::with_capacity(pillars);
+    // Rejection-sample pillar centres ≥ 1.2 m apart and ≥ 1.0 m from walls;
+    // the draw count is bounded so generation always terminates.
+    let mut attempts = 0;
+    while placed.len() < pillars && attempts < 64 {
+        attempts += 1;
+        let cx = snap(rng.uniform_in(1.0, W - 1.0));
+        let cy = snap(rng.uniform_in(1.0, H - 1.0));
+        if placed
+            .iter()
+            .all(|&(px, py)| (px - cx).hypot(py - cy) >= 1.2)
+        {
+            placed.push((cx, cy));
+            builder = builder.filled_rect((cx - 0.15, cy - 0.15), (cx + 0.15, cy + 0.15));
+        }
+    }
+    DroneMaze::from_parts(builder.build(), (0.0, 0.0, W, H), config(W, H, 1.2, seed))
+}
+
+/// An 8 m × 4.8 m warehouse: three rows of shelving racks with 0.8 m aisles.
+/// Rack segments repeat every 1.6 m (ambiguous), but each is present only with
+/// probability 3/4, so the seeded gap pattern is what identifies a row.
+fn warehouse(seed: u64) -> DroneMaze {
+    const W: f32 = 8.0;
+    const H: f32 = 4.8;
+    const SEG: f32 = 1.2;
+    const GAP: f32 = 0.4;
+    let mut rng = SplitMix64::new(seed ^ 0x5E1F_0000_0000_0004);
+    let mut builder = MapBuilder::new(W, H, RESOLUTION).border_walls();
+    // Rack rows at y = 0.8–1.2, 2.0–2.4, 3.2–3.6 (0.4 m deep, 0.8 m aisles).
+    for row in 0..3 {
+        let y0 = 0.8 + row as f32 * 1.2;
+        let y1 = y0 + 0.4;
+        let mut x0 = 0.8;
+        while x0 + SEG <= W - 0.8 + 1e-3 {
+            if rng.chance(0.75) {
+                builder = builder.filled_rect((x0, y0), (x0 + SEG, y1));
+            }
+            x0 += SEG + GAP;
+        }
+    }
+    DroneMaze::from_parts(builder.build(), (0.0, 0.0, W, H), config(W, H, 0.8, seed))
+}
+
+fn snap(value: f32) -> f32 {
+    (value / RESOLUTION).round() * RESOLUTION
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{CellIndex, CellState, OccupancyGrid};
+    use std::collections::VecDeque;
+
+    fn reachable_free_cells(map: &OccupancyGrid, start: CellIndex) -> usize {
+        let mut visited = vec![false; map.cell_count()];
+        let mut queue = VecDeque::new();
+        let at = |idx: CellIndex| idx.row * map.width() + idx.col;
+        visited[at(start)] = true;
+        queue.push_back(start);
+        let mut count = 0;
+        while let Some(idx) = queue.pop_front() {
+            count += 1;
+            let neighbours = [
+                (idx.col as i64 - 1, idx.row as i64),
+                (idx.col as i64 + 1, idx.row as i64),
+                (idx.col as i64, idx.row as i64 - 1),
+                (idx.col as i64, idx.row as i64 + 1),
+            ];
+            for (c, r) in neighbours {
+                if c < 0 || r < 0 {
+                    continue;
+                }
+                let n = CellIndex::new(c as usize, r as usize);
+                if map.contains(n) && map.state(n) == CellState::Free && !visited[at(n)] {
+                    visited[at(n)] = true;
+                    queue.push_back(n);
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let names: Vec<&str> = WorldKind::ALL.iter().map(|k| k.name()).collect();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), WorldKind::ALL.len());
+        assert_eq!(WorldKind::Office.name(), "office");
+    }
+
+    #[test]
+    fn paper_maze_variant_matches_the_paper_layout() {
+        let via_enum = WorldKind::PaperMaze.generate(9);
+        let direct = DroneMaze::paper_layout(9);
+        assert_eq!(via_enum.map(), direct.map());
+        assert_eq!(via_enum.physical_region(), direct.physical_region());
+    }
+
+    #[test]
+    fn every_world_is_deterministic_per_seed() {
+        for kind in WorldKind::ALL {
+            let a = kind.generate(5);
+            let b = kind.generate(5);
+            let c = kind.generate(6);
+            assert_eq!(a.map(), b.map(), "{} not deterministic", kind.name());
+            assert_ne!(
+                a.map(),
+                c.map(),
+                "{} ignores its seed entirely",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_generated_world_has_connected_free_space() {
+        // The paper maze is exempt: its artificial sections may contain sealed
+        // pockets (flights are restricted to the physical region anyway). The
+        // new worlds host unrestricted flights, so they must be connected.
+        for kind in [
+            WorldKind::Office,
+            WorldKind::Corridor,
+            WorldKind::OpenHall,
+            WorldKind::Warehouse,
+        ] {
+            for seed in [1, 17, 400] {
+                let world = kind.generate(seed);
+                let map = world.map();
+                let start = map
+                    .indices()
+                    .find(|&i| map.state(i) == CellState::Free)
+                    .unwrap();
+                assert_eq!(
+                    reachable_free_cells(map, start),
+                    map.free_count(),
+                    "{} seed {seed}: free space is disconnected",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_world_supports_waypoint_clearance() {
+        // The trajectory generator needs free cells with 0.25 m clearance.
+        for kind in WorldKind::ALL {
+            let world = kind.generate(3);
+            assert!(
+                world.free_cells_with_clearance(0.25).len() > 50,
+                "{} has too little flyable space",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn generated_worlds_are_enclosed_and_sized() {
+        for kind in WorldKind::ALL {
+            let world = kind.generate(2);
+            let map = world.map();
+            assert_eq!(map.resolution(), 0.05, "{}", kind.name());
+            assert_eq!(map.state(CellIndex::new(0, 0)), CellState::Occupied);
+            let (x0, y0, x1, y1) = world.physical_region();
+            assert!(x1 > x0 && y1 > y0);
+            // Flyable area is a real workload, not a closet.
+            assert!(map.free_count() > 1000, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn corridor_is_translationally_symmetric_outside_the_crate() {
+        // The alcove geometry repeats every 1.6 m: shifting by one pitch maps
+        // walls onto walls except where the seeded crate sits.
+        let world = WorldKind::Corridor.generate(11);
+        let map = world.map();
+        let pitch_cells = (1.6 / map.resolution()).round() as usize;
+        let mut mismatches = 0;
+        let mut compared = 0;
+        for (idx, state) in map.iter() {
+            let shifted = CellIndex::new(idx.col + pitch_cells, idx.row);
+            if !map.contains(shifted) {
+                continue;
+            }
+            compared += 1;
+            if state != map.state(shifted) {
+                mismatches += 1;
+            }
+        }
+        // Only the crate (≤ ~9 × 7 cells, counted from both shift directions)
+        // and the two border columns may break the symmetry — a few hundred
+        // cells out of several thousand compared.
+        assert!(compared > 4000);
+        assert!(
+            mismatches <= 300,
+            "corridor should be near-symmetric, {mismatches} mismatching cells"
+        );
+        assert!(
+            mismatches > 0,
+            "the distinguishing crate must break exact symmetry"
+        );
+    }
+
+    #[test]
+    fn office_rooms_are_reachable_through_doors() {
+        // Sample a point near the centre of each of the six rooms; all must be
+        // free-space-connected (checked globally above) and mostly free locally.
+        let world = WorldKind::Office.generate(8);
+        let map = world.map();
+        for col in 0..3 {
+            for row in 0..2 {
+                let cx = col as f32 * 2.4 + 0.45;
+                let cy = row as f32 * 2.4 + 0.45;
+                assert!(
+                    map.is_free_world(cx, cy),
+                    "room ({col},{row}) corner blocked"
+                );
+            }
+        }
+    }
+}

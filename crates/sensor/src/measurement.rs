@@ -67,6 +67,19 @@ impl ToFFrame {
         self.zones.iter().filter(|z| z.status.is_valid()).count()
     }
 
+    /// Flags every zone of the frame with `status`, simulating a whole-sensor
+    /// dropout (occlusion, multi-sensor interference, I²C stall). The distances
+    /// are kept — a real frame's payload is garbage, not zeroed — but
+    /// [`ToFFrame::to_beams`] will produce no beams from the frame, exactly as
+    /// the firmware discards fully flagged frames.
+    ///
+    /// Used by the scenario suite's per-sensor dropout windows.
+    pub fn invalidate_all(&mut self, status: TargetStatus) {
+        for zone in &mut self.zones {
+            zone.status = status;
+        }
+    }
+
     /// Reduces the frame to planar beams in the *drone body frame*.
     ///
     /// For every zone column, the valid zone distances are collected and their
@@ -216,6 +229,24 @@ mod tests {
         assert_eq!(beams.len(), 1);
         let expected = PI + geometry.column_azimuths()[1];
         assert!((beams[0].azimuth_body_rad - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalidate_all_silences_the_frame_but_keeps_payload() {
+        let cfg = SensorConfig::default().with_mode(ZoneMode::Grid4x4);
+        let geometry = ZoneGeometry::new(&cfg);
+        let mut f = frame_with(
+            &[
+                (0, 0, 1.0, TargetStatus::Valid),
+                (1, 0, 2.0, TargetStatus::Valid),
+            ],
+            Pose2::default(),
+        );
+        assert_eq!(f.to_beams(&geometry).len(), 2);
+        f.invalidate_all(TargetStatus::Interference);
+        assert_eq!(f.valid_zone_count(), 0);
+        assert!(f.to_beams(&geometry).is_empty());
+        assert_eq!(f.zones[1].distance_m, 2.0);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   worker pool, deterministically in job order.
 //! * [`scenario`] — the paper's full evaluation scenario: the 31.2 m² maze, six
 //!   sequences, six seeds, the four pipeline configurations.
+//! * [`suite`] — the scenario suite: a registry of procedurally generated
+//!   worlds ([`mcl_gridmap::worldgen`]) and failure-mode sequences (kidnaps,
+//!   sensor dropouts, noise bursts), swept in one [`suite::run_suite`] call.
 //!
 //! # Example
 //!
@@ -44,12 +47,16 @@ pub mod odometry;
 pub mod runner;
 pub mod scenario;
 pub mod sequence;
+pub mod suite;
 pub mod trajectory;
 
 pub use batch::{aggregate, run_batch, BatchJob, BatchOutcome};
-pub use metrics::{ConvergenceCriterion, ResultAggregator, SequenceResult, TrajectoryErrorTracker};
+pub use metrics::{
+    ConvergenceCriterion, ResultAggregator, SequenceResult, StressTimeline, TrajectoryErrorTracker,
+};
 pub use odometry::{OdometryConfig, OdometryModel};
 pub use runner::{run_sequence, RunnerConfig};
 pub use scenario::PaperScenario;
 pub use sequence::{Sequence, SequenceConfig, SequenceGenerator, SequenceStep};
+pub use suite::{run_suite, ScenarioSpec, ScenarioSuite, StressEvent, SuiteOutcome, SuiteScenario};
 pub use trajectory::{Trajectory, TrajectoryConfig, TrajectoryGenerator};

@@ -12,6 +12,14 @@
 //!
 //! [`TrajectoryErrorTracker`] accumulates these online, one estimate at a time,
 //! so the runner never has to store the whole estimate history.
+//!
+//! The scenario suite adds sequence-level stress events; two further metrics
+//! score the filter under them, driven by the sequence's [`StressTimeline`]:
+//!
+//! * **Recovery time after kidnap** — for every kidnap instant, the time until
+//!   the estimate first satisfies the convergence criterion again.
+//! * **Dropout-window ATE** — the mean translation error restricted to
+//!   post-convergence steps that fall inside a sensor-dropout window.
 
 use mcl_core::PoseEstimate;
 use mcl_gridmap::Pose2;
@@ -39,6 +47,34 @@ impl Default for ConvergenceCriterion {
     }
 }
 
+/// The stress events of one sequence, in sequence time: what the scenario
+/// suite injected, published so the metrics can score the filter's reaction.
+/// An empty timeline (the default) reproduces the paper's nominal evaluation
+/// exactly.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StressTimeline {
+    /// Instants at which the drone was teleported (kidnapped-robot events),
+    /// seconds since sequence start.
+    pub kidnap_times_s: Vec<f64>,
+    /// Inclusive `(start_s, end_s)` windows during which at least one sensor
+    /// was fully dropped out.
+    pub dropout_windows_s: Vec<(f64, f64)>,
+}
+
+impl StressTimeline {
+    /// True when no stress events were injected.
+    pub fn is_empty(&self) -> bool {
+        self.kidnap_times_s.is_empty() && self.dropout_windows_s.is_empty()
+    }
+
+    /// True when `t_s` falls inside any dropout window (inclusive bounds).
+    pub fn in_dropout(&self, t_s: f64) -> bool {
+        self.dropout_windows_s
+            .iter()
+            .any(|&(start, end)| t_s >= start && t_s <= end)
+    }
+}
+
 /// Outcome of evaluating one filter configuration on one sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SequenceResult {
@@ -55,6 +91,16 @@ pub struct SequenceResult {
     pub max_error_after_convergence_m: Option<f64>,
     /// Whether the run counts as a success (converged and never lost tracking).
     pub success: bool,
+    /// Number of kidnap events in the sequence's stress timeline.
+    pub kidnaps: usize,
+    /// How many of those kidnaps the filter re-localized from.
+    pub kidnaps_recovered: usize,
+    /// Mean time from a kidnap to re-satisfying the convergence criterion,
+    /// seconds (`None` when no kidnap was recovered from).
+    pub mean_recovery_time_s: Option<f64>,
+    /// Mean translation error over post-convergence steps inside sensor-dropout
+    /// windows, metres (`None` when no such step was scored).
+    pub dropout_ate_m: Option<f64>,
 }
 
 impl SequenceResult {
@@ -65,31 +111,59 @@ impl SequenceResult {
     }
 }
 
-/// Online accumulator for the paper's metrics.
+/// Online accumulator for the paper's metrics (plus the stress metrics when a
+/// [`StressTimeline`] is supplied).
 #[derive(Debug, Clone)]
 pub struct TrajectoryErrorTracker {
     criterion: ConvergenceCriterion,
+    timeline: StressTimeline,
     converged_at: Option<f64>,
     errors_after_convergence: RunningStats,
     max_error_after_convergence: f64,
     steps: usize,
+    next_kidnap: usize,
+    active_kidnap: Option<f64>,
+    recovery_times: RunningStats,
+    dropout_errors: RunningStats,
 }
 
 impl TrajectoryErrorTracker {
-    /// Creates a tracker with the paper's default criterion.
+    /// Creates a tracker with the paper's default criterion and no stress
+    /// timeline (the nominal evaluation).
     pub fn new(criterion: ConvergenceCriterion) -> Self {
+        Self::with_timeline(criterion, StressTimeline::default())
+    }
+
+    /// Creates a tracker that additionally scores recovery time after the
+    /// timeline's kidnaps and the ATE inside its dropout windows. Kidnap
+    /// instants are processed in ascending order regardless of the order they
+    /// appear in `timeline`.
+    pub fn with_timeline(criterion: ConvergenceCriterion, mut timeline: StressTimeline) -> Self {
+        timeline
+            .kidnap_times_s
+            .sort_by(|a, b| a.partial_cmp(b).expect("kidnap times are finite"));
         TrajectoryErrorTracker {
             criterion,
+            timeline,
             converged_at: None,
             errors_after_convergence: RunningStats::new(),
             max_error_after_convergence: 0.0,
             steps: 0,
+            next_kidnap: 0,
+            active_kidnap: None,
+            recovery_times: RunningStats::new(),
+            dropout_errors: RunningStats::new(),
         }
     }
 
     /// The criterion in use.
     pub fn criterion(&self) -> &ConvergenceCriterion {
         &self.criterion
+    }
+
+    /// The stress timeline in use (empty for nominal runs).
+    pub fn timeline(&self) -> &StressTimeline {
+        &self.timeline
     }
 
     /// Whether the filter has converged so far.
@@ -101,17 +175,42 @@ impl TrajectoryErrorTracker {
     pub fn record(&mut self, timestamp_s: f64, estimate: &PoseEstimate, truth: &Pose2) {
         self.steps += 1;
         let translation_error = f64::from(estimate.pose.translation_distance(truth));
+        let close = estimate.is_close_to(truth, self.criterion.distance_m, self.criterion.yaw_rad);
+
+        // Kidnap bookkeeping: arm the most recent kidnap whose instant has
+        // passed (a kidnap arriving before the previous one was recovered
+        // abandons the earlier one — it counts as not recovered).
+        while self.next_kidnap < self.timeline.kidnap_times_s.len()
+            && self.timeline.kidnap_times_s[self.next_kidnap] <= timestamp_s
+        {
+            self.active_kidnap = Some(self.timeline.kidnap_times_s[self.next_kidnap]);
+            self.next_kidnap += 1;
+        }
+        if let Some(kidnapped_at) = self.active_kidnap {
+            if close {
+                self.recovery_times.push(timestamp_s - kidnapped_at);
+                self.active_kidnap = None;
+            }
+        }
+
+        // Convergence and ATE, exactly the paper's accounting.
         if self.converged_at.is_none() {
-            if estimate.is_close_to(truth, self.criterion.distance_m, self.criterion.yaw_rad) {
+            if close {
                 self.converged_at = Some(timestamp_s);
                 self.errors_after_convergence.push(translation_error);
                 self.max_error_after_convergence = translation_error;
             }
-            return;
+        } else {
+            self.errors_after_convergence.push(translation_error);
+            if translation_error > self.max_error_after_convergence {
+                self.max_error_after_convergence = translation_error;
+            }
         }
-        self.errors_after_convergence.push(translation_error);
-        if translation_error > self.max_error_after_convergence {
-            self.max_error_after_convergence = translation_error;
+
+        // Dropout-window ATE follows the same post-convergence rule as the
+        // plain ATE, restricted to steps inside a window.
+        if self.converged_at.is_some() && self.timeline.in_dropout(timestamp_s) {
+            self.dropout_errors.push(translation_error);
         }
     }
 
@@ -130,6 +229,16 @@ impl TrajectoryErrorTracker {
         };
         let success = converged
             && self.max_error_after_convergence <= f64::from(self.criterion.failure_distance_m);
+        let mean_recovery_time_s = if self.recovery_times.count() > 0 {
+            Some(self.recovery_times.mean())
+        } else {
+            None
+        };
+        let dropout_ate_m = if self.dropout_errors.count() > 0 {
+            Some(self.dropout_errors.mean())
+        } else {
+            None
+        };
         SequenceResult {
             steps: self.steps,
             converged,
@@ -137,6 +246,10 @@ impl TrajectoryErrorTracker {
             ate_m: ate,
             max_error_after_convergence_m: max_error,
             success,
+            kidnaps: self.timeline.kidnap_times_s.len(),
+            kidnaps_recovered: self.recovery_times.count() as usize,
+            mean_recovery_time_s,
+            dropout_ate_m,
         }
     }
 }
@@ -219,6 +332,49 @@ impl ResultAggregator {
         }
     }
 
+    /// Percentage of kidnap events (across all runs) the filter re-localized
+    /// from; `None` when no run contained a kidnap.
+    pub fn recovery_rate_percent(&self) -> Option<f64> {
+        let kidnaps: usize = self.results.iter().map(|r| r.kidnaps).sum();
+        if kidnaps == 0 {
+            return None;
+        }
+        let recovered: usize = self.results.iter().map(|r| r.kidnaps_recovered).sum();
+        Some(100.0 * recovered as f64 / kidnaps as f64)
+    }
+
+    /// Mean of the per-run mean recovery times, seconds; `None` when no run
+    /// recovered from a kidnap.
+    pub fn mean_recovery_time_s(&self) -> Option<f64> {
+        let mut stats = RunningStats::new();
+        for r in &self.results {
+            if let Some(t) = r.mean_recovery_time_s {
+                stats.push(t);
+            }
+        }
+        if stats.count() == 0 {
+            None
+        } else {
+            Some(stats.mean())
+        }
+    }
+
+    /// Mean of the per-run dropout-window ATEs, metres; `None` when no run
+    /// scored a dropout step.
+    pub fn mean_dropout_ate_m(&self) -> Option<f64> {
+        let mut stats = RunningStats::new();
+        for r in &self.results {
+            if let Some(a) = r.dropout_ate_m {
+                stats.push(a);
+            }
+        }
+        if stats.count() == 0 {
+            None
+        } else {
+            Some(stats.mean())
+        }
+    }
+
     /// The raw results.
     pub fn results(&self) -> &[SequenceResult] {
         &self.results
@@ -237,6 +393,27 @@ mod tests {
             theta,
             weight: 1.0,
         }])
+    }
+
+    fn nominal_result(
+        steps: usize,
+        convergence_time_s: Option<f64>,
+        ate_m: Option<f64>,
+        max_error_after_convergence_m: Option<f64>,
+        success: bool,
+    ) -> SequenceResult {
+        SequenceResult {
+            steps,
+            converged: convergence_time_s.is_some(),
+            convergence_time_s,
+            ate_m,
+            max_error_after_convergence_m,
+            success,
+            kidnaps: 0,
+            kidnaps_recovered: 0,
+            mean_recovery_time_s: None,
+            dropout_ate_m: None,
+        }
     }
 
     #[test]
@@ -308,30 +485,9 @@ mod tests {
         assert!(agg.is_empty());
         assert_eq!(agg.success_rate_percent(), 0.0);
         assert_eq!(agg.convergence_probability_at(10.0), 0.0);
-        agg.push(SequenceResult {
-            steps: 100,
-            converged: true,
-            convergence_time_s: Some(5.0),
-            ate_m: Some(0.1),
-            max_error_after_convergence_m: Some(0.3),
-            success: true,
-        });
-        agg.push(SequenceResult {
-            steps: 100,
-            converged: true,
-            convergence_time_s: Some(20.0),
-            ate_m: Some(0.2),
-            max_error_after_convergence_m: Some(1.5),
-            success: false,
-        });
-        agg.push(SequenceResult {
-            steps: 100,
-            converged: false,
-            convergence_time_s: None,
-            ate_m: None,
-            max_error_after_convergence_m: None,
-            success: false,
-        });
+        agg.push(nominal_result(100, Some(5.0), Some(0.1), Some(0.3), true));
+        agg.push(nominal_result(100, Some(20.0), Some(0.2), Some(1.5), false));
+        agg.push(nominal_result(100, None, None, None, false));
         assert_eq!(agg.len(), 3);
         assert!((agg.mean_ate_m().unwrap() - 0.15).abs() < 1e-9);
         assert!((agg.success_rate_percent() - 100.0 / 3.0).abs() < 1e-9);
@@ -345,5 +501,106 @@ mod tests {
         let agg = ResultAggregator::new();
         assert!(agg.mean_ate_m().is_none());
         assert!(agg.mean_convergence_time_s().is_none());
+        assert!(agg.recovery_rate_percent().is_none());
+        assert!(agg.mean_recovery_time_s().is_none());
+        assert!(agg.mean_dropout_ate_m().is_none());
+    }
+
+    #[test]
+    fn nominal_runs_report_no_stress_metrics() {
+        let mut tracker = TrajectoryErrorTracker::new(ConvergenceCriterion::default());
+        let truth = Pose2::new(0.0, 0.0, 0.0);
+        tracker.record(0.0, &estimate_at(0.1, 0.0, 0.0), &truth);
+        let result = tracker.finish();
+        assert_eq!(result.kidnaps, 0);
+        assert_eq!(result.kidnaps_recovered, 0);
+        assert!(result.mean_recovery_time_s.is_none());
+        assert!(result.dropout_ate_m.is_none());
+        assert!(tracker.timeline().is_empty());
+    }
+
+    #[test]
+    fn kidnap_recovery_time_is_measured_from_the_kidnap_instant() {
+        let timeline = StressTimeline {
+            kidnap_times_s: vec![2.0],
+            dropout_windows_s: vec![],
+        };
+        let mut tracker =
+            TrajectoryErrorTracker::with_timeline(ConvergenceCriterion::default(), timeline);
+        let truth = Pose2::new(0.0, 0.0, 0.0);
+        // Converged from the start.
+        tracker.record(0.0, &estimate_at(0.05, 0.0, 0.0), &truth);
+        tracker.record(1.0, &estimate_at(0.05, 0.0, 0.0), &truth);
+        // Kidnap at t = 2 s: the estimate is far for two steps…
+        tracker.record(2.0, &estimate_at(2.0, 0.0, 0.0), &truth);
+        tracker.record(3.0, &estimate_at(1.5, 0.0, 0.0), &truth);
+        // …and close again at t = 4 s → recovery took 2 s.
+        tracker.record(4.0, &estimate_at(0.1, 0.0, 0.0), &truth);
+        let result = tracker.finish();
+        assert_eq!(result.kidnaps, 1);
+        assert_eq!(result.kidnaps_recovered, 1);
+        assert!((result.mean_recovery_time_s.unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrecovered_kidnap_counts_but_reports_no_time() {
+        let timeline = StressTimeline {
+            kidnap_times_s: vec![1.0],
+            dropout_windows_s: vec![],
+        };
+        let mut tracker =
+            TrajectoryErrorTracker::with_timeline(ConvergenceCriterion::default(), timeline);
+        let truth = Pose2::new(0.0, 0.0, 0.0);
+        tracker.record(0.0, &estimate_at(0.05, 0.0, 0.0), &truth);
+        tracker.record(1.0, &estimate_at(3.0, 0.0, 0.0), &truth);
+        tracker.record(2.0, &estimate_at(3.0, 0.0, 0.0), &truth);
+        let result = tracker.finish();
+        assert_eq!(result.kidnaps, 1);
+        assert_eq!(result.kidnaps_recovered, 0);
+        assert!(result.mean_recovery_time_s.is_none());
+    }
+
+    #[test]
+    fn dropout_ate_scores_only_post_convergence_window_steps() {
+        let timeline = StressTimeline {
+            kidnap_times_s: vec![],
+            dropout_windows_s: vec![(2.0, 3.0)],
+        };
+        assert!(timeline.in_dropout(2.0) && timeline.in_dropout(3.0));
+        assert!(!timeline.in_dropout(1.99) && !timeline.in_dropout(3.01));
+        let mut tracker =
+            TrajectoryErrorTracker::with_timeline(ConvergenceCriterion::default(), timeline);
+        let truth = Pose2::new(0.0, 0.0, 0.0);
+        tracker.record(0.0, &estimate_at(0.05, 0.0, 0.0), &truth); // converged
+        tracker.record(1.0, &estimate_at(0.30, 0.0, 0.0), &truth); // outside window
+        tracker.record(2.0, &estimate_at(0.40, 0.0, 0.0), &truth); // in window
+        tracker.record(3.0, &estimate_at(0.20, 0.0, 0.0), &truth); // in window
+        tracker.record(4.0, &estimate_at(0.90, 0.0, 0.0), &truth); // outside window
+        let result = tracker.finish();
+        // Mean of 0.40 and 0.20 only.
+        assert!((result.dropout_ate_m.unwrap() - 0.3).abs() < 1e-6);
+        // The plain ATE still averages every post-convergence step.
+        assert!((result.ate_m.unwrap() - (0.05 + 0.30 + 0.40 + 0.20 + 0.90) / 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggregator_folds_stress_metrics() {
+        let mut agg = ResultAggregator::new();
+        let mut kidnapped = nominal_result(50, Some(1.0), Some(0.1), Some(0.2), true);
+        kidnapped.kidnaps = 2;
+        kidnapped.kidnaps_recovered = 1;
+        kidnapped.mean_recovery_time_s = Some(3.0);
+        let mut dropped = nominal_result(50, Some(1.0), Some(0.1), Some(0.2), true);
+        dropped.kidnaps = 1;
+        dropped.kidnaps_recovered = 1;
+        dropped.mean_recovery_time_s = Some(5.0);
+        dropped.dropout_ate_m = Some(0.4);
+        agg.push(kidnapped);
+        agg.push(dropped);
+        agg.push(nominal_result(50, None, None, None, false));
+        // 2 of 3 kidnaps recovered across the batch.
+        assert!((agg.recovery_rate_percent().unwrap() - 200.0 / 3.0).abs() < 1e-12);
+        assert!((agg.mean_recovery_time_s().unwrap() - 4.0).abs() < 1e-12);
+        assert!((agg.mean_dropout_ate_m().unwrap() - 0.4).abs() < 1e-12);
     }
 }

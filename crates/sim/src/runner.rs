@@ -63,7 +63,11 @@ pub fn run_sequence<S: Scalar, D: DistanceField>(
         filter.particles().is_initialized(),
         "initialize the filter before replaying a sequence"
     );
-    let mut tracker = TrajectoryErrorTracker::new(runner.criterion);
+    // The sequence's stress timeline (kidnaps, dropout windows) drives the
+    // recovery-time and dropout-ATE metrics; nominal sequences carry an empty
+    // timeline and score exactly the paper's three metrics.
+    let mut tracker =
+        TrajectoryErrorTracker::with_timeline(runner.criterion, sequence.stress.clone());
     for step in &sequence.steps {
         filter.predict(step.odometry);
         let frame_limit = runner.sensor_count.min(step.frames.len());

@@ -51,10 +51,6 @@ impl PaperScenario {
     /// A scenario with a custom number of sequences and duration.
     pub fn with_settings(seed: u64, num_sequences: usize, duration_s: f32) -> Self {
         let maze = DroneMaze::paper_layout(seed);
-        let r_max = 1.5;
-        let edt_fp32 = EuclideanDistanceField::compute(maze.map(), r_max);
-        let edt_f16 = edt_fp32.to_f16();
-        let edt_quantized = edt_fp32.quantize();
         let sequence_config = SequenceConfig {
             trajectory: TrajectoryConfig {
                 duration_s,
@@ -67,6 +63,23 @@ impl PaperScenario {
         let sequences = (0..num_sequences)
             .map(|id| generator.generate(maze.map(), id, seed.wrapping_add(id as u64 * 101)))
             .collect();
+        Self::from_parts(maze, sequences, sequence_config)
+    }
+
+    /// Assembles a scenario from an already-generated world and its (possibly
+    /// stress-injected) sequences — the entry point used by
+    /// [`crate::suite::ScenarioSpec::build`]. The three distance-field
+    /// precisions are computed here with the paper's 1.5 m truncation, so every
+    /// suite world is evaluated through exactly the pipeline the paper maze is.
+    pub fn from_parts(
+        maze: DroneMaze,
+        sequences: Vec<Sequence>,
+        sequence_config: SequenceConfig,
+    ) -> Self {
+        let r_max = 1.5;
+        let edt_fp32 = EuclideanDistanceField::compute(maze.map(), r_max);
+        let edt_f16 = edt_fp32.to_f16();
+        let edt_quantized = edt_fp32.quantize();
         PaperScenario {
             maze,
             edt_fp32,

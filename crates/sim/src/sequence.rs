@@ -7,6 +7,7 @@
 //! truth is reserved for the metrics, exactly as in the paper's off-line
 //! evaluation of its recorded sequences.
 
+use crate::metrics::StressTimeline;
 use crate::odometry::{OdometryConfig, OdometryModel};
 use crate::trajectory::{Trajectory, TrajectoryConfig, TrajectoryGenerator};
 use mcl_core::MotionDelta;
@@ -64,6 +65,10 @@ pub struct Sequence {
     pub config: SequenceConfig,
     /// The per-step records.
     pub steps: Vec<SequenceStep>,
+    /// Stress events injected into this sequence (kidnaps, dropout windows).
+    /// Empty for nominal recordings; the metrics tracker reads it to score
+    /// recovery time and dropout-window ATE.
+    pub stress: StressTimeline,
 }
 
 impl Sequence {
@@ -128,11 +133,33 @@ impl SequenceGenerator {
     }
 
     /// Records a sequence along an externally supplied trajectory (used by tests
-    /// and by the kidnapped-robot example, which needs a specific path).
+    /// and by the kidnapped-robot scenarios, which need a specific path).
     pub fn record<R: Rng + ?Sized>(
         &self,
         map: &OccupancyGrid,
         trajectory: &Trajectory,
+        id: usize,
+        seed: u64,
+        rng: &mut R,
+    ) -> Sequence {
+        self.record_with_kidnaps(map, trajectory, &[], id, seed, rng)
+    }
+
+    /// [`SequenceGenerator::record`] for a kidnapped-robot flight: at every
+    /// step index in `kidnap_steps` the trajectory teleports (the caller
+    /// stitches the ground-truth path accordingly), and the recorded odometry
+    /// reports **no motion** for that step — the Flow deck of a carried drone
+    /// sees the floor leave its field of view, and the paper's firmware
+    /// discards such frames. The kidnap instants are published in the
+    /// sequence's [`StressTimeline`] so the metrics can score recovery time.
+    ///
+    /// Steps listed in `kidnap_steps` that are zero or out of range are
+    /// ignored (step 0 never carries motion anyway).
+    pub fn record_with_kidnaps<R: Rng + ?Sized>(
+        &self,
+        map: &OccupancyGrid,
+        trajectory: &Trajectory,
+        kidnap_steps: &[usize],
         id: usize,
         seed: u64,
         rng: &mut R,
@@ -148,14 +175,10 @@ impl SequenceGenerator {
         let mut steps = Vec::with_capacity(poses.len());
         for (i, pose) in poses.iter().enumerate() {
             let timestamp = trajectory.timestamp(i);
-            let true_delta = if i == 0 {
+            let reported = if i == 0 || kidnap_steps.contains(&i) {
                 MotionDelta::default()
             } else {
-                MotionDelta::between(&poses[i - 1], pose)
-            };
-            let reported = if i == 0 {
-                MotionDelta::default()
-            } else {
+                let true_delta = MotionDelta::between(&poses[i - 1], pose);
                 odometry.corrupt(&true_delta, rng)
             };
             let frames = rig.capture_at(map, pose, timestamp, rng);
@@ -166,11 +189,20 @@ impl SequenceGenerator {
                 frames,
             });
         }
+        let stress = StressTimeline {
+            kidnap_times_s: kidnap_steps
+                .iter()
+                .filter(|&&s| s > 0 && s < poses.len())
+                .map(|&s| trajectory.timestamp(s))
+                .collect(),
+            ..StressTimeline::default()
+        };
         Sequence {
             id,
             seed,
             config: self.config,
             steps,
+            stress,
         }
     }
 }
@@ -270,6 +302,41 @@ mod tests {
         // 8 per sensor and never more than the number of valid zones.
         assert!(beams.len() <= 16);
         assert!(beams.len() <= valid_zones);
+    }
+
+    #[test]
+    fn kidnap_steps_mask_the_reported_odometry() {
+        use crate::trajectory::{Trajectory, TrajectoryGenerator};
+        use rand::SeedableRng;
+
+        let maze = DroneMaze::paper_layout(6);
+        let config = short_config(maze.physical_region());
+        let generator = SequenceGenerator::new(config);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+
+        // Stitch a trajectory that teleports at step 40.
+        let tg = TrajectoryGenerator::new(config.trajectory);
+        let head = tg.generate_from(maze.map(), Pose2::new(1.0, 1.0, 0.0), 40, &mut rng);
+        let tail = tg.generate_from(maze.map(), Pose2::new(3.0, 3.0, 2.0), 60, &mut rng);
+        let mut poses = head.poses().to_vec();
+        poses.extend_from_slice(tail.poses());
+        let stitched = Trajectory::new(poses, head.dt());
+
+        let sequence = generator.record_with_kidnaps(maze.map(), &stitched, &[40], 0, 31, &mut rng);
+        assert_eq!(sequence.len(), 100);
+        // The ground truth jumps at the kidnap step…
+        let jump = sequence.steps[39]
+            .ground_truth
+            .translation_distance(&sequence.steps[40].ground_truth);
+        assert!(jump > 1.0, "kidnap jump only {jump} m");
+        // …but the recorded odometry claims the drone did not move.
+        assert!(sequence.steps[40].odometry.is_zero());
+        // The kidnap instant lands in the stress timeline (40 / 15 Hz).
+        assert_eq!(sequence.stress.kidnap_times_s.len(), 1);
+        assert!((sequence.stress.kidnap_times_s[0] - 40.0 / 15.0).abs() < 1e-5);
+        // Nominal recordings carry an empty timeline.
+        let nominal = generator.generate(maze.map(), 0, 31);
+        assert!(nominal.stress.is_empty());
     }
 
     #[test]

@@ -140,26 +140,81 @@ impl TrajectoryGenerator {
     /// Panics when the map (restricted to the configured region) contains no
     /// candidate waypoint with the required clearance.
     pub fn generate<R: Rng + ?Sized>(&self, map: &OccupancyGrid, rng: &mut R) -> Trajectory {
+        // One candidate scan serves both the start draw and the flight: the
+        // clearance scan is the expensive part of generation.
+        let candidates = self.checked_candidates(map);
+        let start = self.random_start_from(&candidates, rng);
+        self.generate_with_candidates(map, &candidates, start, self.config.sample_count(), rng)
+    }
+
+    /// Draws a random start pose: a clearance-respecting waypoint candidate
+    /// with a uniform heading — exactly the draw [`TrajectoryGenerator::generate`]
+    /// opens with. Exposed so the scenario suite can draw kidnap teleport
+    /// targets from the same distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the map (restricted to the configured region) contains no
+    /// candidate waypoint with the required clearance.
+    pub fn random_start<R: Rng + ?Sized>(&self, map: &OccupancyGrid, rng: &mut R) -> Pose2 {
+        self.random_start_from(&self.checked_candidates(map), rng)
+    }
+
+    fn random_start_from<R: Rng + ?Sized>(&self, candidates: &[Point2], rng: &mut R) -> Pose2 {
+        let start = candidates[rng.gen_range(0..candidates.len())];
+        Pose2::new(start.x, start.y, rng.gen_range(0.0..core::f32::consts::TAU))
+    }
+
+    /// Generates a `samples`-long trajectory starting at the given pose (used
+    /// by the scenario suite to stitch kidnapped-robot flights from segments).
+    /// `generate` is equivalent to `generate_from` at a [`TrajectoryGenerator::random_start`]
+    /// with the configured sample count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is zero or no waypoint candidate exists.
+    pub fn generate_from<R: Rng + ?Sized>(
+        &self,
+        map: &OccupancyGrid,
+        start: Pose2,
+        samples: usize,
+        rng: &mut R,
+    ) -> Trajectory {
+        let candidates = self.checked_candidates(map);
+        self.generate_with_candidates(map, &candidates, start, samples, rng)
+    }
+
+    fn checked_candidates(&self, map: &OccupancyGrid) -> Vec<Point2> {
         let candidates = self.waypoint_candidates(map);
         assert!(
             !candidates.is_empty(),
             "no free cells with the required clearance inside the waypoint region"
         );
+        candidates
+    }
+
+    fn generate_with_candidates<R: Rng + ?Sized>(
+        &self,
+        map: &OccupancyGrid,
+        candidates: &[Point2],
+        start: Pose2,
+        samples: usize,
+        rng: &mut R,
+    ) -> Trajectory {
+        assert!(samples > 0, "a trajectory needs at least one sample");
         let dt = self.config.dt();
-        let samples = self.config.sample_count();
         let max_step = self.config.max_speed_mps * dt;
         let max_turn = self.config.max_yaw_rate_rps * dt;
 
-        let start = candidates[rng.gen_range(0..candidates.len())];
-        let mut pose = Pose2::new(start.x, start.y, rng.gen_range(0.0..core::f32::consts::TAU));
-        let mut target = self.pick_target(map, &pose, &candidates, rng);
+        let mut pose = start;
+        let mut target = self.pick_target(map, &pose, candidates, rng);
         let mut poses = Vec::with_capacity(samples);
         poses.push(pose);
 
         for _ in 1..samples {
             // Re-target when the current waypoint is reached.
             if pose.position().distance(&target) < 0.15 {
-                target = self.pick_target(map, &pose, &candidates, rng);
+                target = self.pick_target(map, &pose, candidates, rng);
             }
             let to_target = target - pose.position();
             let desired_heading = to_target.y.atan2(to_target.x);
@@ -178,7 +233,7 @@ impl TrajectoryGenerator {
             pose = if map.is_free_world(next.x, next.y) {
                 next
             } else {
-                target = self.pick_target(map, &pose, &candidates, rng);
+                target = self.pick_target(map, &pose, candidates, rng);
                 Pose2::new(pose.x, pose.y, next.theta)
             };
             poses.push(pose);
@@ -360,6 +415,46 @@ mod tests {
         let c = TrajectoryGenerator::new(cfg).generate(maze.map(), &mut rng(10));
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generate_is_random_start_plus_generate_from() {
+        // The refactor for the scenario suite must not change the RNG draw
+        // order of the original entry point.
+        let maze = DroneMaze::paper_layout(7);
+        let cfg = TrajectoryConfig {
+            duration_s: 8.0,
+            region: Some(maze.physical_region()),
+            ..TrajectoryConfig::default()
+        };
+        let generator = TrajectoryGenerator::new(cfg);
+        let direct = generator.generate(maze.map(), &mut rng(5));
+        let mut r = rng(5);
+        let start = generator.random_start(maze.map(), &mut r);
+        let stitched = generator.generate_from(maze.map(), start, cfg.sample_count(), &mut r);
+        assert_eq!(direct, stitched);
+    }
+
+    #[test]
+    fn generate_from_starts_at_the_given_pose_and_length() {
+        let maze = DroneMaze::paper_layout(8);
+        let cfg = TrajectoryConfig {
+            region: Some(maze.physical_region()),
+            ..TrajectoryConfig::default()
+        };
+        let generator = TrajectoryGenerator::new(cfg);
+        let start = Pose2::new(1.0, 1.0, 0.3);
+        let t = generator.generate_from(maze.map(), start, 45, &mut rng(4));
+        assert_eq!(t.len(), 45);
+        assert_eq!(t.poses()[0], start);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_sample_segment_is_rejected() {
+        let maze = DroneMaze::paper_layout(9);
+        let generator = TrajectoryGenerator::new(TrajectoryConfig::default());
+        let _ = generator.generate_from(maze.map(), Pose2::default(), 0, &mut rng(1));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use mcl_core::{Particle, PoseEstimate};
 use mcl_gridmap::Pose2;
 use mcl_sim::{
     aggregate, run_batch, BatchJob, ConvergenceCriterion, PaperScenario, ResultAggregator,
-    SequenceResult, TrajectoryErrorTracker,
+    SequenceResult, StressTimeline, TrajectoryErrorTracker,
 };
 
 fn estimate_at(x: f32, y: f32, theta: f32) -> PoseEstimate {
@@ -31,6 +31,10 @@ fn result(convergence_time_s: Option<f64>, ate_m: Option<f64>, success: bool) ->
         ate_m,
         max_error_after_convergence_m: ate_m,
         success,
+        kidnaps: 0,
+        kidnaps_recovered: 0,
+        mean_recovery_time_s: None,
+        dropout_ate_m: None,
     }
 }
 
@@ -117,6 +121,121 @@ fn tracker_ate_is_the_mean_from_convergence_onwards() {
     assert_eq!(result.convergence_time_s, Some(2.0));
     assert!((result.ate_m.unwrap() - (0.1 + 0.2 + 0.15) / 3.0).abs() < 1e-6);
     assert!(result.success);
+}
+
+#[test]
+fn recovery_time_after_kidnap_matches_hand_arithmetic() {
+    // Two kidnaps at t = 3 s and t = 10 s. The filter recovers from the first
+    // at t = 5 s (2 s) and from the second at t = 13 s (3 s):
+    // mean recovery = (2 + 3) / 2 = 2.5 s.
+    let timeline = StressTimeline {
+        kidnap_times_s: vec![10.0, 3.0], // deliberately unsorted
+        dropout_windows_s: vec![],
+    };
+    let mut tracker =
+        TrajectoryErrorTracker::with_timeline(ConvergenceCriterion::default(), timeline);
+    let truth = Pose2::new(0.0, 0.0, 0.0);
+    let close = estimate_at(0.1, 0.0, 0.0);
+    let far = estimate_at(4.0, 0.0, 0.0);
+    tracker.record(0.0, &close, &truth); // converged immediately
+    tracker.record(3.0, &far, &truth); // kidnap 1
+    tracker.record(4.0, &far, &truth);
+    tracker.record(5.0, &close, &truth); // recovered after 2 s
+    tracker.record(10.0, &far, &truth); // kidnap 2
+    tracker.record(13.0, &close, &truth); // recovered after 3 s
+    let result = tracker.finish();
+    assert_eq!(result.kidnaps, 2);
+    assert_eq!(result.kidnaps_recovered, 2);
+    assert!((result.mean_recovery_time_s.unwrap() - 2.5).abs() < 1e-12);
+    // The post-kidnap excursions exceed 1 m, so the paper's success criterion
+    // correctly fails the run even though both kidnaps were recovered.
+    assert!(result.converged);
+    assert!(!result.success);
+}
+
+#[test]
+fn back_to_back_kidnaps_abandon_the_unrecovered_one() {
+    // A second kidnap arrives before the filter recovered from the first: the
+    // first counts as not recovered, the recovery clock restarts at the
+    // second's instant.
+    let timeline = StressTimeline {
+        kidnap_times_s: vec![2.0, 4.0],
+        dropout_windows_s: vec![],
+    };
+    let mut tracker =
+        TrajectoryErrorTracker::with_timeline(ConvergenceCriterion::default(), timeline);
+    let truth = Pose2::new(0.0, 0.0, 0.0);
+    tracker.record(0.0, &estimate_at(0.1, 0.0, 0.0), &truth);
+    tracker.record(2.0, &estimate_at(4.0, 0.0, 0.0), &truth); // kidnap 1, never recovered
+    tracker.record(4.0, &estimate_at(4.0, 0.0, 0.0), &truth); // kidnap 2
+    tracker.record(7.0, &estimate_at(0.1, 0.0, 0.0), &truth); // recovered: 7 - 4 = 3 s
+    let result = tracker.finish();
+    assert_eq!(result.kidnaps, 2);
+    assert_eq!(result.kidnaps_recovered, 1);
+    assert!((result.mean_recovery_time_s.unwrap() - 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn dropout_window_ate_matches_hand_arithmetic() {
+    // Window [2 s, 4 s], converged from t = 1 s. Errors inside the window are
+    // 0.3, 0.5, 0.1 → dropout ATE = 0.3; the full ATE averages every
+    // post-convergence step: (0.05 + 0.3 + 0.5 + 0.1 + 0.2) / 5 = 0.23.
+    let timeline = StressTimeline {
+        kidnap_times_s: vec![],
+        dropout_windows_s: vec![(2.0, 4.0)],
+    };
+    let mut tracker =
+        TrajectoryErrorTracker::with_timeline(ConvergenceCriterion::default(), timeline);
+    let truth = Pose2::new(0.0, 0.0, 0.0);
+    tracker.record(0.0, &estimate_at(5.0, 0.0, 0.0), &truth); // not yet converged
+    tracker.record(1.0, &estimate_at(0.05, 0.0, 0.0), &truth); // converges
+    tracker.record(2.0, &estimate_at(0.3, 0.0, 0.0), &truth); // in window
+    tracker.record(3.0, &estimate_at(0.5, 0.0, 0.0), &truth); // in window
+    tracker.record(4.0, &estimate_at(0.1, 0.0, 0.0), &truth); // in window (inclusive)
+    tracker.record(5.0, &estimate_at(0.2, 0.0, 0.0), &truth); // outside
+    let result = tracker.finish();
+    assert!((result.dropout_ate_m.unwrap() - 0.3).abs() < 1e-7);
+    assert!((result.ate_m.unwrap() - 0.23).abs() < 1e-7);
+    assert_eq!(result.kidnaps, 0);
+}
+
+#[test]
+fn pre_convergence_dropout_steps_are_not_scored() {
+    // The window covers only never-converged steps → no dropout ATE, exactly
+    // like the plain ATE rule.
+    let timeline = StressTimeline {
+        kidnap_times_s: vec![],
+        dropout_windows_s: vec![(0.0, 1.0)],
+    };
+    let mut tracker =
+        TrajectoryErrorTracker::with_timeline(ConvergenceCriterion::default(), timeline);
+    let truth = Pose2::new(0.0, 0.0, 0.0);
+    tracker.record(0.0, &estimate_at(5.0, 0.0, 0.0), &truth);
+    tracker.record(1.0, &estimate_at(5.0, 0.0, 0.0), &truth);
+    tracker.record(2.0, &estimate_at(0.1, 0.0, 0.0), &truth); // converges after the window
+    let result = tracker.finish();
+    assert!(result.dropout_ate_m.is_none());
+    assert!(result.converged);
+}
+
+#[test]
+fn aggregator_recovery_rate_counts_kidnaps_not_runs() {
+    let mut agg = ResultAggregator::new();
+    let mut a = result(Some(1.0), Some(0.1), true);
+    a.kidnaps = 3;
+    a.kidnaps_recovered = 2;
+    a.mean_recovery_time_s = Some(2.0);
+    let mut b = result(Some(1.0), Some(0.1), true);
+    b.kidnaps = 1;
+    b.kidnaps_recovered = 0;
+    agg.push(a);
+    agg.push(b);
+    agg.push(result(None, None, false)); // nominal run: no kidnaps
+                                         // 2 recovered out of 4 kidnaps = 50 %, regardless of run count.
+    assert!((agg.recovery_rate_percent().unwrap() - 50.0).abs() < 1e-12);
+    // Only runs that recovered contribute a recovery time.
+    assert!((agg.mean_recovery_time_s().unwrap() - 2.0).abs() < 1e-12);
+    assert!(agg.mean_dropout_ate_m().is_none());
 }
 
 #[test]

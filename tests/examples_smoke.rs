@@ -3,10 +3,12 @@
 //! Compilation of all five examples is enforced by `cargo check --examples`
 //! (run in CI); this test additionally drives the quickstart example's exact
 //! code path in-process — scenario construction, sequence generation and a
-//! full filter evaluation — so a regression that makes the walk-through
-//! panic or diverge is caught by `cargo test` alone.
+//! full filter evaluation — and the kidnapped-robot path of
+//! `examples/global_relocalization.rs`, so a regression that makes either
+//! walk-through panic or diverge is caught by `cargo test` alone.
 
 use tof_mcl::core::precision::PipelineConfig;
+use tof_mcl::sim::suite::ScenarioSuite;
 use tof_mcl::sim::PaperScenario;
 
 /// Mirrors `examples/quickstart.rs` with a shorter flight so the suite stays
@@ -43,4 +45,33 @@ fn quickstart_path_is_deterministic() {
     assert_eq!(a.convergence_time_s, b.convergence_time_s);
     assert_eq!(a.ate_m, b.ate_m);
     assert_eq!(a.success, b.success);
+}
+
+/// Mirrors `examples/global_relocalization.rs` with a shorter flight and
+/// fewer particles: the suite's kidnapped-robot scenario builds, the kidnap
+/// lands in the sequence's stress timeline, and a full evaluation scores the
+/// recovery metrics without panicking.
+#[test]
+fn kidnapped_robot_path_runs_to_completion() {
+    let mut spec = ScenarioSuite::quick()
+        .get("paper-kidnap")
+        .expect("the suite registers the kidnapped-robot scenario")
+        .clone();
+    spec.duration_s = 8.0;
+    let scenario = spec.build(7);
+    let sequence = &scenario.sequences()[0];
+    assert_eq!(sequence.stress.kidnap_times_s.len(), 1);
+
+    let result = scenario.evaluate(sequence, PipelineConfig::FP32_QM, 512, 3);
+    assert_eq!(result.steps, sequence.len());
+    assert_eq!(result.kidnaps, 1);
+    // Recovery within a scaled-down run is not guaranteed, but when reported
+    // the time must be well-formed.
+    if let Some(t) = result.mean_recovery_time_s {
+        assert!(t >= 0.0 && t <= sequence.duration_s());
+        assert_eq!(result.kidnaps_recovered, 1);
+    }
+    // The path is deterministic, recovery metrics included.
+    let again = scenario.evaluate(sequence, PipelineConfig::FP32_QM, 512, 3);
+    assert_eq!(result, again);
 }

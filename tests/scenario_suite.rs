@@ -1,0 +1,140 @@
+//! Determinism harness for the scenario suite.
+//!
+//! The suite's promise is that a whole-suite sweep is *reproducible
+//! infrastructure*: building the worlds and stressed sequences is
+//! bit-identical per seed, and a `run_suite` sweep over the full registry
+//! returns bit-identical metrics for every host thread count and for both
+//! kernel backends. CI additionally runs this file under
+//! `MCL_TEST_WORKERS ∈ {1, 3, 8}` (which sizes the shared pool) and
+//! `MCL_KERNEL_BACKEND ∈ {scalar, lanes}` (which flips every filter's
+//! default), so the pins below hold on real multi-thread dispatch of either
+//! backend.
+
+use tof_mcl::core::precision::PipelineConfig;
+use tof_mcl::core::KernelBackend;
+use tof_mcl::sim::suite::{run_suite, ScenarioSuite, SuiteScenario};
+
+fn build_quick_suite(seed: u64) -> Vec<SuiteScenario> {
+    ScenarioSuite::quick().build_all(seed)
+}
+
+/// The acceptance pin: one sweep over the full quick suite —
+/// (scenario × pipeline × particles × backend × seed) — is bit-identical
+/// across worker counts, and within it the scalar and lanes halves of every
+/// grid point agree exactly.
+#[test]
+fn full_suite_sweep_is_bit_identical_across_threads_and_backends() {
+    let scenarios = build_quick_suite(11);
+    assert!(
+        scenarios.len() >= 6,
+        "registry shrank below the suite floor"
+    );
+    let pipelines = [PipelineConfig::FP32, PipelineConfig::FP16_QM];
+    let backends = [KernelBackend::Scalar, KernelBackend::Lanes];
+    let particle_counts = [64];
+    let seeds = [1];
+
+    let reference = run_suite(
+        &scenarios,
+        &pipelines,
+        &particle_counts,
+        &backends,
+        &seeds,
+        1,
+    );
+    let runs_per_backend = pipelines.len() * particle_counts.len() * seeds.len();
+    assert_eq!(
+        reference.len(),
+        scenarios.len() * runs_per_backend * backends.len()
+    );
+
+    // Bit-identical across host thread counts.
+    for threads in [3usize, 8] {
+        let swept = run_suite(
+            &scenarios,
+            &pipelines,
+            &particle_counts,
+            &backends,
+            &seeds,
+            threads,
+        );
+        assert_eq!(swept.len(), reference.len());
+        for (a, b) in reference.iter().zip(swept.iter()) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.outcome.job, b.outcome.job);
+            assert_eq!(
+                a.outcome.result, b.outcome.result,
+                "threads={threads} diverged on {} {:?}",
+                a.scenario, a.outcome.job
+            );
+        }
+    }
+
+    // Bit-identical between the scalar and lanes halves of every scenario:
+    // run_suite replicates each scenario's base grid once per backend, in
+    // backend order, so the two halves pair up index-wise.
+    for scenario_chunk in reference.chunks(runs_per_backend * backends.len()) {
+        let (scalar, lanes) = scenario_chunk.split_at(runs_per_backend);
+        for (s, l) in scalar.iter().zip(lanes.iter()) {
+            assert_eq!(s.outcome.job.kernel_backend, KernelBackend::Scalar);
+            assert_eq!(l.outcome.job.kernel_backend, KernelBackend::Lanes);
+            assert_eq!(
+                s.outcome.job.with_kernel_backend(KernelBackend::Lanes),
+                l.outcome.job
+            );
+            assert_eq!(
+                s.outcome.result, l.outcome.result,
+                "backends diverged on {} {:?}",
+                s.scenario, s.outcome.job
+            );
+        }
+    }
+}
+
+/// Building the suite twice from the same seed reproduces every world and
+/// every stressed sequence bit for bit — scenario generation itself is part
+/// of the determinism contract, not just filter execution.
+#[test]
+fn suite_builds_are_bit_identical_per_seed() {
+    let a = build_quick_suite(23);
+    let b = build_quick_suite(23);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.spec.name, y.spec.name);
+        assert_eq!(
+            x.scenario.maze().map(),
+            y.scenario.maze().map(),
+            "{}: world diverged between builds",
+            x.spec.name
+        );
+        assert_eq!(
+            x.scenario.sequences(),
+            y.scenario.sequences(),
+            "{}: sequences diverged between builds",
+            x.spec.name
+        );
+    }
+}
+
+/// The stress scenarios actually carry their events into the built sequences;
+/// an empty timeline here would silently turn the stress variants back into
+/// nominal runs.
+#[test]
+fn stress_scenarios_expose_their_timelines() {
+    let scenarios = build_quick_suite(5);
+    let by_name = |name: &str| {
+        scenarios
+            .iter()
+            .find(|s| s.spec.name == name)
+            .unwrap_or_else(|| panic!("scenario {name} missing"))
+    };
+    for sequence in by_name("paper-kidnap").scenario.sequences() {
+        assert_eq!(sequence.stress.kidnap_times_s.len(), 1);
+    }
+    for sequence in by_name("paper-dropout").scenario.sequences() {
+        assert_eq!(sequence.stress.dropout_windows_s.len(), 2);
+    }
+    for sequence in by_name("paper").scenario.sequences() {
+        assert!(sequence.stress.is_empty());
+    }
+}
