@@ -34,9 +34,11 @@
 //! cores — and the counter-based RNG ([`rng::CounterRng`]) keys every random
 //! draw on `(seed, update, particle index)`, so the filter state is
 //! bit-identical for every worker count. The workers themselves live in a
-//! persistent [`pool::WorkerPool`] ([`pool::shared`]): resident threads park
-//! between dispatches and are handed kernel invocations, mirroring the
-//! resident GAP9 cluster instead of spawning OS threads per update.
+//! persistent work-stealing [`pool::WorkerPool`] ([`pool::shared`]): resident
+//! threads park between dispatches and claim kernel invocations off per-worker
+//! Chase–Lev deques, mirroring the resident GAP9 cluster instead of spawning
+//! OS threads per update — and, beyond the single-chip paper setup, letting
+//! many independent filter instances dispatch concurrently onto one pool.
 //!
 //! Particles are stored as a **structure of arrays** ([`ParticleBuffer`]): four
 //! contiguous component arrays `x[]`, `y[]`, `theta[]`, `weight[]`, double

@@ -15,24 +15,28 @@
 //! or pairs of both (a particle chunk zipped with its output chunk). The
 //! [`crate::kernel`] module provides the per-chunk bodies.
 //!
-//! # Execution backend: the persistent pool
+//! # Execution backend: the work-stealing pool
 //!
 //! Every dispatch entry point runs its worker chunks on the process-wide
 //! [`WorkerPool`](crate::pool::WorkerPool) (see [`crate::pool::shared`]):
-//! resident threads park between dispatches and are handed kernel invocations,
-//! exactly like the paper's resident cluster cores — no OS thread is spawned
-//! on the hot path. Chunk boundaries are computed *before* execution and are
-//! identical for the pool and for the scoped-spawn reference, so the backend
-//! is unobservable in the results. Each pool-backed entry point has a
-//! `*_scoped` twin that spawns `std::thread::scope` threads per dispatch
-//! instead; the twins exist as the reference implementation the determinism
-//! suite (`tests/pool_determinism.rs`) pins the pool against, and as the
-//! baseline of the spawn-vs-pool benchmark groups.
+//! resident threads park between dispatches and claim kernel invocations
+//! through the pool's work-stealing scheduler — per-worker Chase–Lev deques
+//! plus a shared injector — so no OS thread is spawned on the hot path and
+//! any number of independent dispatches share the workers concurrently.
+//! Chunk boundaries are computed *before* execution and are identical for
+//! the pool and for the scoped-spawn reference, so neither the backend nor
+//! the steal schedule is observable in the results. Each pool-backed entry
+//! point has a `*_scoped` twin that spawns `std::thread::scope` threads per
+//! dispatch instead; the twins exist as the reference implementation the
+//! determinism suite (`tests/pool_determinism.rs`) pins the pool against,
+//! and as the baseline of the spawn-vs-pool benchmark groups.
 //!
-//! Nested dispatches (a layout dispatch while the pool is already executing a
-//! job, e.g. a filter update inside `mcl_sim::run_batch`) run inline on the
-//! calling thread, so stacking job-level on kernel-level parallelism never
-//! oversubscribes the host.
+//! Nested dispatches (a layout dispatch from inside a pool task, e.g. a
+//! filter update inside a `mcl_sim::run_batch` job) enqueue on the
+//! submitting worker's own deque: idle workers steal the nested kernel
+//! chunks, so kernel-level parallelism stays available inside job-level
+//! parallelism, and the scheduler's concurrency caps keep the host from
+//! oversubscribing.
 //!
 //! The wall-clock speedups measured on the host by the Criterion benches are
 //! *not* the paper's numbers (different silicon); the GAP9 latency figures of

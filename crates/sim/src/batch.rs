@@ -3,25 +3,29 @@
 //!
 //! One filter update is data-parallel over particles; a *study* — the paper's
 //! Figs. 6–8 sweep sequences, pipeline configurations, particle counts and
-//! seeds — is embarrassingly parallel over runs. [`run_batch`] evaluates a list
-//! of [`BatchJob`]s on the persistent shared worker pool
-//! ([`mcl_core::pool::shared`], work-stealing over the pool's task cursor,
-//! capped at `threads` concurrent workers) and returns the results **in job
-//! order**, so the output is deterministic and independent of the thread
-//! count: each job's filter owns its particles and its counter-based RNG
-//! streams, making runs bit-identical to serial [`PaperScenario::evaluate`]
-//! calls.
+//! seeds — is embarrassingly parallel over runs. [`run_batch`] evaluates a
+//! list of [`BatchJob`]s as one **first-class dispatch** on the shared
+//! work-stealing worker pool ([`mcl_core::pool::shared`], capped at `threads`
+//! concurrent workers) and returns the results **in job order**, so the
+//! output is deterministic and independent of the thread count: each job's
+//! filter owns its particles and its counter-based RNG streams, making runs
+//! bit-identical to serial [`PaperScenario::evaluate`] calls.
 //!
 //! # How job-level and filter-level parallelism share the pool
 //!
-//! While `run_batch` occupies the pool, every filter update *inside* a job
-//! that asks its [`ClusterLayout`](mcl_core::ClusterLayout) to parallelize
-//! finds the pool busy and runs its kernels inline on the job's thread (see
-//! [`mcl_core::pool::WorkerPool::dispatch_limited`]). The host's threads are
-//! therefore partitioned at the job level — the right granularity for an
-//! embarrassingly parallel study — and job × kernel nesting can never
-//! oversubscribe the machine. Results are unaffected either way: kernel
-//! chunking is index-keyed and worker-count invariant.
+//! Under the work-stealing scheduler a batch no longer owns the pool while it
+//! runs. Several `run_batch` sweeps issued from separate threads execute
+//! **concurrently**, their jobs interleaving across the workers fairly
+//! instead of queueing whole-sweep behind one another. And when a filter
+//! update *inside* a job asks its [`ClusterLayout`](mcl_core::ClusterLayout)
+//! to parallelize, that nested kernel dispatch is enqueued on the job's
+//! worker deque where idle workers steal it — a sweep with fewer jobs than
+//! workers still lights up the whole pool at kernel granularity (the
+//! single-slot scheduler forced those kernels inline). The scheduler's
+//! per-dispatch concurrency caps keep job × kernel nesting from
+//! oversubscribing the machine. Results are unaffected either way: kernel
+//! chunking is index-keyed and worker-count invariant, and each job writes
+//! only its own result slot.
 
 use crate::metrics::{ResultAggregator, SequenceResult};
 use crate::scenario::PaperScenario;
@@ -102,11 +106,14 @@ pub struct BatchOutcome {
 /// `threads` concurrent workers) and returns one [`BatchOutcome`] per job, in
 /// job order.
 ///
-/// Each pool worker pops the next unclaimed job off the dispatch cursor, runs
-/// [`PaperScenario::evaluate`] — global uniform initialization, exactly like
-/// the serial path — and stores the result at the job's slot. Results are
-/// therefore identical for any `threads`, including 1 (which runs serially on
-/// the calling thread without touching the pool).
+/// Each participating thread claims the next unclaimed job off the dispatch
+/// cursor, runs [`PaperScenario::evaluate`] — global uniform initialization,
+/// exactly like the serial path — and stores the result at the job's slot.
+/// Results are therefore identical for any `threads`, including 1 (which runs
+/// serially on the calling thread without touching the pool). Concurrent
+/// `run_batch` calls from different threads share the pool's workers instead
+/// of serializing, and each job's own kernel dispatches are stealable too —
+/// see the [module docs](self).
 ///
 /// # Panics
 ///
@@ -142,12 +149,10 @@ pub fn run_batch(scenario: &PaperScenario, jobs: &[BatchJob], threads: usize) ->
             evaluate(index);
         }
     } else {
-        // Queued dispatch: if another study (or any other dispatch) owns the
-        // pool right now, wait for it and then run with full parallelism —
-        // a minutes-long batch must not silently serialize because it lost a
-        // transient race. A run_batch issued from *inside* a pool task still
-        // runs inline (nested dispatch), as before.
-        mcl_core::pool::shared().dispatch_queued(jobs.len(), threads, &evaluate);
+        // First-class dispatch on the work-stealing scheduler: this sweep
+        // runs concurrently with whatever else is in flight (other sweeps,
+        // other filters), sharing the workers instead of waiting for a slot.
+        mcl_core::pool::shared().dispatch_limited(jobs.len(), threads, &evaluate);
     }
 
     jobs.iter()
