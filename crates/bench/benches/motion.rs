@@ -90,6 +90,19 @@ fn bench_motion(c: &mut Criterion) {
                 criterion::BatchSize::LargeInput,
             )
         });
+        // The avx2 entry documents the delegation (motion_predict_avx2 runs
+        // the lanes body — the kernel is RNG/trig-bound): the archived table
+        // should show parity, not a win.
+        backend_group.bench_with_input(BenchmarkId::new("avx2", n), &soa, |b, soa| {
+            b.iter_batched(
+                || soa.clone(),
+                |mut batch| {
+                    kernel::motion_predict_avx2(batch.as_mut_slice(), &model, &delta, 7, 3, 0);
+                    batch
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
     }
     backend_group.finish();
 

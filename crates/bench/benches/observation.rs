@@ -256,6 +256,41 @@ fn bench_observation(c: &mut Criterion) {
                 out
             })
         });
+        // The explicit-AVX2 backend, on both map storages; its quantized-map
+        // ratio against `scalar_qm` is what the GAP9 cost-model fixture
+        // (mcl_gap9::cost) checks `simd_speedup` against. Skipped (visibly)
+        // when the host cannot run the intrinsics — archiving the Lanes
+        // fallback under the avx2 label would poison the comparison.
+        if kernel::KernelBackend::Avx2.is_available() {
+            backend_group.bench_with_input(BenchmarkId::new("avx2", n), &soa, |b, soa| {
+                b.iter(|| {
+                    let mut out = vec![0.0f32; soa.len()];
+                    kernel::observation_log_likelihoods_avx2(
+                        soa.as_slice(),
+                        scenario.edt_fp32(),
+                        &model,
+                        &batch,
+                        &mut out,
+                    );
+                    out
+                })
+            });
+            backend_group.bench_with_input(BenchmarkId::new("avx2_qm", n), &soa, |b, soa| {
+                b.iter(|| {
+                    let mut out = vec![0.0f32; soa.len()];
+                    kernel::observation_log_likelihoods_avx2(
+                        soa.as_slice(),
+                        scenario.edt_quantized(),
+                        &model,
+                        &batch,
+                        &mut out,
+                    );
+                    out
+                })
+            });
+        } else {
+            eprintln!("observation_backend: host lacks AVX2 — skipping the avx2/avx2_qm entries");
+        }
     }
     backend_group.finish();
 

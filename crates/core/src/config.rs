@@ -35,11 +35,12 @@ pub struct MclConfig {
     pub workers: usize,
     /// Random seed for the filter's internal (counter-based) noise generator.
     pub seed: u64,
-    /// Which kernel implementations the filter dispatches
-    /// ([`KernelBackend::Lanes`] by default — bit-identical to
-    /// [`KernelBackend::Scalar`], see the `mcl_core::kernel` backend
-    /// contract). [`MclConfig::default`] honours the `MCL_KERNEL_BACKEND`
-    /// environment override so whole test/bench runs can be flipped.
+    /// Which kernel implementations the filter dispatches. All backends are
+    /// bit-identical (see the `mcl_core::kernel` backend contract);
+    /// [`MclConfig::default`] honours the `MCL_KERNEL_BACKEND` environment
+    /// override so whole test/bench runs can be flipped, and otherwise
+    /// resolves [`KernelBackend::detect`] — [`KernelBackend::Avx2`] on
+    /// AVX2-capable x86-64 hosts, [`KernelBackend::Lanes`] everywhere else.
     pub kernel_backend: KernelBackend,
 }
 
@@ -54,7 +55,7 @@ impl Default for MclConfig {
             d_theta: 0.1,
             workers: 1,
             seed: 0,
-            kernel_backend: KernelBackend::from_env().unwrap_or_default(),
+            kernel_backend: KernelBackend::from_env().unwrap_or_else(KernelBackend::detect),
         }
     }
 }
@@ -175,10 +176,11 @@ mod tests {
 
     #[test]
     fn default_backend_is_the_env_resolution() {
-        // Without an override the production default is the lane-batched
-        // backend; under the CI matrix the override wins. Either way the
+        // Without an override the production default is the host-detected
+        // backend (AVX2 where available, the portable lane backend
+        // otherwise); under the CI matrix the override wins. Either way the
         // default must equal the documented resolution rule.
-        let expected = KernelBackend::from_env().unwrap_or_default();
+        let expected = KernelBackend::from_env().unwrap_or_else(KernelBackend::detect);
         assert_eq!(MclConfig::default().kernel_backend, expected);
         assert_eq!(KernelBackend::default(), KernelBackend::Lanes);
     }

@@ -24,7 +24,7 @@
 //!
 //! # Kernel backends and the lane-width contract
 //!
-//! Every kernel exists in two implementations selected by [`KernelBackend`]:
+//! Every kernel exists in three implementations selected by [`KernelBackend`]:
 //!
 //! * [`KernelBackend::Scalar`] — the per-particle reference loops above.
 //! * [`KernelBackend::Lanes`] — lane-batched (SIMD-shaped) loops: the body
@@ -32,17 +32,38 @@
 //!   straight-line array arithmetic the compiler can autovectorize (the shape
 //!   of the paper's GAP9 fp16-SIMD inner loops), followed by a
 //!   **scalar-reference tail** for the `len % LANES` leftover particles.
+//! * [`KernelBackend::Avx2`] — explicit `core::arch::x86_64` intrinsics: the
+//!   same [`LANES`]-wide groups issued as 8×f32 register ops (including the
+//!   gather-based quantized/fp16 EDT lookups of
+//!   [`DistanceField::distances_at_world_lanes_avx2`]), runtime-gated behind
+//!   `is_x86_feature_detected!("avx2")`. On any host where the probe fails —
+//!   and on non-x86 builds, where the intrinsic bodies do not exist — every
+//!   `Avx2` dispatch falls back to the `Lanes` body, so selecting it is
+//!   always safe and always bit-identical.
 //!
 //! The lane-width contract: lane grouping is an *execution* detail, never a
 //! *numeric* one. Each lane performs exactly the per-particle op sequence of
 //! the scalar kernel (same operands, same order, same roundings — SIMD and
 //! scalar IEEE 754 ops round identically), so for every storage precision the
-//! `Lanes` kernels are **bit-identical** to `Scalar`, for every chunk length
-//! and therefore every tail length `len % LANES` ∈ `0..LANES`. The reductions
-//! keep their serial per-accumulator fold order for the same reason. This is
-//! pinned by `tests/kernel_backend_equivalence.rs` across tail lengths,
-//! cluster layouts and warm-pool reruns; the `MCL_KERNEL_BACKEND` environment
-//! variable (`scalar` / `lanes`, read by
+//! `Lanes` and `Avx2` kernels are **bit-identical** to `Scalar`, for every
+//! chunk length and therefore every tail length `len % LANES` ∈ `0..LANES`.
+//! The reductions keep their serial per-accumulator fold order for the same
+//! reason.
+//!
+//! For the intrinsic bodies the contract additionally pins the instruction
+//! selection: only single-rounding IEEE 754 ops (`vaddps`, `vsubps`,
+//! `vmulps`, `vdivps`, `vminps`, exact converts/gathers) are permitted, and
+//! **FMA is never used** — a fused multiply-add rounds once where the scalar
+//! body rounds twice, which would silently break bit-identity even though the
+//! host advertises the `fma` feature. Masked lanes (out-of-bounds lookups,
+//! loop tails) replay the scalar select order. Ops with
+//! implementation-ambiguous tie-breaking in scalar Rust (`f32::max` weight
+//! clamps, `exp`, `sin_cos`, the branching angular difference) stay scalar
+//! per lane inside the AVX2 kernels.
+//!
+//! All of this is pinned by `tests/kernel_backend_equivalence.rs` across tail
+//! lengths, cluster layouts and warm-pool reruns; the `MCL_KERNEL_BACKEND`
+//! environment variable (`scalar` / `lanes` / `avx2`, read by
 //! [`MclConfig::default`](crate::config::MclConfig)) flips whole test runs
 //! between the backends.
 
@@ -79,23 +100,35 @@ pub enum KernelBackend {
     /// Per-particle reference loops — the simplest correct implementation,
     /// kept as the equivalence baseline and the tail body of `Lanes`.
     Scalar,
-    /// Lane-batched loops: fixed [`LANES`]-wide, fused-multiply-add-friendly
+    /// Lane-batched loops: fixed [`LANES`]-wide, autovectorizer-friendly
     /// chunk bodies plus a scalar-reference tail. Bit-identical to `Scalar`;
-    /// the production default.
+    /// the portable default.
     #[default]
     Lanes,
+    /// Explicit AVX2 intrinsic bodies (x86-64, runtime-detected): the lane
+    /// groups issued as 8×f32 register ops with gather-based EDT lookups.
+    /// Bit-identical to `Scalar` (single-rounding ops only, no FMA); every
+    /// dispatch falls back to `Lanes` when the host lacks AVX2, so selecting
+    /// it is safe everywhere. [`KernelBackend::detect`] picks it by default
+    /// on capable hosts.
+    Avx2,
 }
 
 impl KernelBackend {
-    /// Both backends, scalar first (the reference order used by the
+    /// All backends, scalar first (the reference order used by the
     /// equivalence tests and the bench groups).
-    pub const ALL: [KernelBackend; 2] = [KernelBackend::Scalar, KernelBackend::Lanes];
+    pub const ALL: [KernelBackend; 3] = [
+        KernelBackend::Scalar,
+        KernelBackend::Lanes,
+        KernelBackend::Avx2,
+    ];
 
     /// The label used in experiment output and bench group names.
     pub fn name(self) -> &'static str {
         match self {
             KernelBackend::Scalar => "scalar",
             KernelBackend::Lanes => "lanes",
+            KernelBackend::Avx2 => "avx2",
         }
     }
 
@@ -106,29 +139,77 @@ impl KernelBackend {
         match value.trim().to_ascii_lowercase().as_str() {
             "scalar" => Some(KernelBackend::Scalar),
             "lanes" => Some(KernelBackend::Lanes),
+            "avx2" => Some(KernelBackend::Avx2),
             _ => None,
         }
     }
 
+    /// Whether this backend's dedicated kernel bodies can run on this host.
+    /// `Scalar` and `Lanes` are portable; `Avx2` requires a runtime-detected
+    /// x86-64 AVX2 CPU. Dispatching an unavailable backend is still valid —
+    /// it runs the `Lanes` bodies — so this only reports whether selecting it
+    /// changes the instructions executed.
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelBackend::Scalar | KernelBackend::Lanes => true,
+            KernelBackend::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    crate::simd::available()
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+        }
+    }
+
+    /// The best backend for the running host: [`KernelBackend::Avx2`] where
+    /// the CPU supports it, otherwise the portable default. This is what
+    /// [`MclConfig::default`](crate::config::MclConfig) resolves when the
+    /// `MCL_KERNEL_BACKEND` override is absent.
+    pub fn detect() -> KernelBackend {
+        if KernelBackend::Avx2.is_available() {
+            KernelBackend::Avx2
+        } else {
+            KernelBackend::default()
+        }
+    }
+
     /// The `MCL_KERNEL_BACKEND` environment override, or `None` when the
-    /// variable is unset or empty. This is how the CI backend matrix and the
-    /// bench-smoke job flip whole runs between the backends without touching
-    /// configuration structs.
+    /// variable is unset, empty or unrecognized. This is how the CI backend
+    /// matrix and the bench-smoke job flip whole runs between the backends
+    /// without touching configuration structs.
     ///
-    /// # Panics
-    ///
-    /// Panics on an unrecognized value, so a typo in a CI matrix fails loudly
-    /// instead of silently testing the default backend.
+    /// An unrecognized value logs one `eprintln!` warning naming the accepted
+    /// values (once per process) and resolves to `None`, so a typo in a CI
+    /// matrix is visible in the log instead of silently panicking the whole
+    /// suite or masquerading as a real backend choice.
     pub fn from_env() -> Option<KernelBackend> {
-        let raw = std::env::var("MCL_KERNEL_BACKEND").ok()?;
+        Self::resolve_env(std::env::var("MCL_KERNEL_BACKEND").ok().as_deref())
+    }
+
+    /// The pure resolution rule behind [`KernelBackend::from_env`], factored
+    /// out so the unrecognized-value warning path is unit-testable without
+    /// mutating process-global environment state.
+    fn resolve_env(raw: Option<&str>) -> Option<KernelBackend> {
+        let raw = raw?;
         if raw.trim().is_empty() {
             return None;
         }
-        Some(Self::parse(&raw).unwrap_or_else(|| {
-            panic!(
-                "unrecognized MCL_KERNEL_BACKEND value {raw:?} (expected \"scalar\" or \"lanes\")"
-            )
-        }))
+        let parsed = Self::parse(raw);
+        if parsed.is_none() {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "warning: unrecognized MCL_KERNEL_BACKEND value {raw:?} \
+                     (accepted values: \"scalar\", \"lanes\", \"avx2\"); \
+                     falling back to the default backend"
+                );
+            });
+        }
+        parsed
     }
 }
 
@@ -203,6 +284,24 @@ pub fn motion_predict_lanes<S: Scalar>(
     }
 }
 
+/// The [`KernelBackend::Avx2`] prediction kernel. The per-particle body —
+/// three counter-based Gaussian draws plus the trigonometric pose composition
+/// — is RNG/`sin_cos`-bound with no wide arithmetic to issue, so there is no
+/// explicit-SIMD body to win anything with: this delegates to the
+/// lane-batched kernel (whose group scatter is already the memory-optimal
+/// shape), keeping the backend selection uniform across all four steps.
+/// Bit-identical to [`motion_predict`] on every host.
+pub fn motion_predict_avx2<S: Scalar>(
+    particles: ParticleSliceMut<'_, S>,
+    model: &MotionModel,
+    delta: &MotionDelta,
+    seed: u64,
+    update_index: u64,
+    first_index: u64,
+) {
+    motion_predict_lanes(particles, model, delta, seed, update_index, first_index)
+}
+
 /// Dispatches the prediction kernel of the selected [`KernelBackend`].
 pub fn motion_predict_with<S: Scalar>(
     backend: KernelBackend,
@@ -219,6 +318,9 @@ pub fn motion_predict_with<S: Scalar>(
         }
         KernelBackend::Lanes => {
             motion_predict_lanes(particles, model, delta, seed, update_index, first_index)
+        }
+        KernelBackend::Avx2 => {
+            motion_predict_avx2(particles, model, delta, seed, update_index, first_index)
         }
     }
 }
@@ -294,6 +396,61 @@ pub fn observation_log_likelihoods_lanes<S: Scalar, D: DistanceField + ?Sized>(
     }
 }
 
+/// Explicit-SIMD correction kernel, part 1: the [`KernelBackend::Avx2`] body
+/// scores each [`LANES`]-wide pose group through
+/// [`BeamEndPointModel::batch_log_likelihood_avx2`], which keeps the pose
+/// registers, the per-beam rotation and the Eq. 1 accumulation in 8×f32 AVX2
+/// registers (and gathers the EDT lookups on AVX2-capable distance fields),
+/// with the same scalar-reference tail as the lane kernel. On hosts without
+/// AVX2 (checked at runtime) and on non-x86 builds this falls back to
+/// [`observation_log_likelihoods_lanes`]. Bit-identical to
+/// [`observation_log_likelihoods`] in every case: the AVX2 body performs the
+/// scalar body's single-rounding IEEE ops in the scalar order and never fuses
+/// a multiply-add.
+///
+/// # Panics
+///
+/// Panics when `out` is shorter than the particle chunk.
+pub fn observation_log_likelihoods_avx2<S: Scalar, D: DistanceField + ?Sized>(
+    particles: ParticleSlice<'_, S>,
+    field: &D,
+    model: &BeamEndPointModel,
+    batch: &BeamBatch,
+    out: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::available() {
+        let n = particles.len();
+        assert!(out.len() >= n, "output chunk too short");
+        let mut i = 0usize;
+        while i + LANES <= n {
+            let mut xs = [0.0f32; LANES];
+            let mut ys = [0.0f32; LANES];
+            let mut thetas = [0.0f32; LANES];
+            for l in 0..LANES {
+                xs[l] = particles.x[i + l].to_f32();
+                ys[l] = particles.y[i + l].to_f32();
+                thetas[l] = particles.theta[i + l].to_f32();
+            }
+            let mut lane_out = [0.0f32; LANES];
+            model.batch_log_likelihood_avx2(field, &xs, &ys, &thetas, batch, &mut lane_out);
+            out[i..i + LANES].copy_from_slice(&lane_out);
+            i += LANES;
+        }
+        for (j, slot) in out[..n].iter_mut().enumerate().skip(i) {
+            *slot = model.batch_log_likelihood(
+                field,
+                particles.x[j].to_f32(),
+                particles.y[j].to_f32(),
+                particles.theta[j].to_f32(),
+                batch,
+            );
+        }
+        return;
+    }
+    observation_log_likelihoods_lanes(particles, field, model, batch, out)
+}
+
 /// Dispatches the first correction kernel of the selected [`KernelBackend`].
 ///
 /// # Panics
@@ -311,6 +468,9 @@ pub fn observation_log_likelihoods_with<S: Scalar, D: DistanceField + ?Sized>(
         KernelBackend::Scalar => observation_log_likelihoods(particles, field, model, batch, out),
         KernelBackend::Lanes => {
             observation_log_likelihoods_lanes(particles, field, model, batch, out)
+        }
+        KernelBackend::Avx2 => {
+            observation_log_likelihoods_avx2(particles, field, model, batch, out)
         }
     }
 }
@@ -403,6 +563,53 @@ pub fn reweight_lanes<S: Scalar>(weights: &mut [S], log_likelihoods: &[f32], max
     }
 }
 
+/// Explicit-SIMD correction kernel, part 2: the [`KernelBackend::Avx2`] body
+/// computes each group's exponent inputs `log_lik − max_log` with one 8-wide
+/// register subtraction; the `exp` and the generic weight store stay scalar
+/// per lane (the transcendental is a libm call — vectorizing it would change
+/// the roundings). Falls back to [`reweight_lanes`] without AVX2 and on
+/// non-x86 builds. Bit-identical to [`reweight`], including the
+/// collapsed-observation zeroing.
+///
+/// # Panics
+///
+/// Panics when the chunks differ in length.
+pub fn reweight_avx2<S: Scalar>(weights: &mut [S], log_likelihoods: &[f32], max_log: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::available() {
+        assert_eq!(
+            weights.len(),
+            log_likelihoods.len(),
+            "chunk length mismatch"
+        );
+        debug_assert_reweight_contract(log_likelihoods, max_log);
+        if max_log == f32::NEG_INFINITY {
+            weights.fill(S::from_f32(0.0));
+            return;
+        }
+        let mut weight_groups = weights.chunks_exact_mut(LANES);
+        let mut log_groups = log_likelihoods.chunks_exact(LANES);
+        for (wg, lg) in (&mut weight_groups).zip(&mut log_groups) {
+            let lg: &[f32; LANES] = lg.try_into().expect("group is exactly LANES entries");
+            let mut inputs = [0.0f32; LANES];
+            crate::simd::exp_inputs(lg, max_log, &mut inputs);
+            for l in 0..LANES {
+                wg[l] = S::from_f32(wg[l].to_f32() * inputs[l].exp());
+            }
+        }
+        for (w, &log_lik) in weight_groups
+            .into_remainder()
+            .iter_mut()
+            .zip(log_groups.remainder().iter())
+        {
+            let scaled = (log_lik - max_log).exp();
+            *w = S::from_f32(w.to_f32() * scaled);
+        }
+        return;
+    }
+    reweight_lanes(weights, log_likelihoods, max_log)
+}
+
 /// Dispatches the second correction kernel of the selected [`KernelBackend`].
 ///
 /// # Panics
@@ -417,6 +624,7 @@ pub fn reweight_with<S: Scalar>(
     match backend {
         KernelBackend::Scalar => reweight(weights, log_likelihoods, max_log),
         KernelBackend::Lanes => reweight_lanes(weights, log_likelihoods, max_log),
+        KernelBackend::Avx2 => reweight_avx2(weights, log_likelihoods, max_log),
     }
 }
 
@@ -492,6 +700,26 @@ pub fn resample_scatter_lanes<S: Scalar>(
     target.weight.fill(uniform_weight);
 }
 
+/// The [`KernelBackend::Avx2`] resampling kernel. The scatter is pure
+/// index-driven copies of a generic scalar type `S` — memory-bound,
+/// arithmetic-free, and (for binary16 storage) not even an f32 element type —
+/// so an intrinsic gather buys nothing over the lane-grouped copy loop the
+/// `Lanes` backend already streams: this delegates to
+/// [`resample_scatter_lanes`], keeping the backend selection uniform across
+/// all four steps. Bit-identical to [`resample_scatter`] on every host.
+///
+/// # Panics
+///
+/// Panics when `indices` and the target chunk differ in length.
+pub fn resample_scatter_avx2<S: Scalar>(
+    source: ParticleSlice<'_, S>,
+    target: ParticleSliceMut<'_, S>,
+    indices: &[usize],
+    uniform_weight: S,
+) {
+    resample_scatter_lanes(source, target, indices, uniform_weight)
+}
+
 /// Dispatches the resampling kernel of the selected [`KernelBackend`].
 ///
 /// # Panics
@@ -507,6 +735,7 @@ pub fn resample_scatter_with<S: Scalar>(
     match backend {
         KernelBackend::Scalar => resample_scatter(source, target, indices, uniform_weight),
         KernelBackend::Lanes => resample_scatter_lanes(source, target, indices, uniform_weight),
+        KernelBackend::Avx2 => resample_scatter_avx2(source, target, indices, uniform_weight),
     }
 }
 
@@ -603,6 +832,60 @@ impl PosePartials {
         p
     }
 
+    /// Explicit-SIMD accumulation for [`KernelBackend::Avx2`]: the exact
+    /// f32 → f64 widening of each group's positions runs as `vcvtps2pd`
+    /// register ops (`crate::simd::widen`); the weight clamp (`f32::max`
+    /// has implementation-defined `-0.0`/NaN tie-breaking that `vmaxps` need
+    /// not share) and the heading trigonometry stay scalar per lane, and the
+    /// fold goes through the shared per-particle push **in particle order**.
+    /// Falls back to [`PosePartials::accumulate_lanes`] without AVX2 and on
+    /// non-x86 builds; bit-identical to [`PosePartials::accumulate`] in every
+    /// case.
+    pub fn accumulate_avx2<S: Scalar>(particles: ParticleSlice<'_, S>) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::available() {
+            let mut p = PosePartials::default();
+            let n = particles.len();
+            let mut i = 0usize;
+            while i + LANES <= n {
+                let mut w = [0.0f64; LANES];
+                for (l, wl) in w.iter_mut().enumerate() {
+                    *wl = f64::from(particles.weight[i + l].to_f32().max(0.0));
+                }
+                let mut xf = [0.0f32; LANES];
+                let mut yf = [0.0f32; LANES];
+                for l in 0..LANES {
+                    xf[l] = particles.x[i + l].to_f32();
+                    yf[l] = particles.y[i + l].to_f32();
+                }
+                let mut x = [0.0f64; LANES];
+                let mut y = [0.0f64; LANES];
+                crate::simd::widen(&xf, &mut x);
+                crate::simd::widen(&yf, &mut y);
+                let mut sin_t = [0.0f64; LANES];
+                let mut cos_t = [0.0f64; LANES];
+                for l in 0..LANES {
+                    let theta = particles.theta[i + l].to_f32();
+                    sin_t[l] = f64::from(theta.sin());
+                    cos_t[l] = f64::from(theta.cos());
+                }
+                for l in 0..LANES {
+                    p.push(w[l], x[l], y[l], sin_t[l], cos_t[l]);
+                }
+                i += LANES;
+            }
+            for j in i..n {
+                let w = f64::from(particles.weight[j].to_f32().max(0.0));
+                let x = f64::from(particles.x[j].to_f32());
+                let y = f64::from(particles.y[j].to_f32());
+                let theta = particles.theta[j].to_f32();
+                p.push(w, x, y, f64::from(theta.sin()), f64::from(theta.cos()));
+            }
+            return p;
+        }
+        Self::accumulate_lanes(particles)
+    }
+
     /// Accumulates with the implementation of the selected [`KernelBackend`].
     pub fn accumulate_with<S: Scalar>(
         backend: KernelBackend,
@@ -611,6 +894,7 @@ impl PosePartials {
         match backend {
             KernelBackend::Scalar => Self::accumulate(particles),
             KernelBackend::Lanes => Self::accumulate_lanes(particles),
+            KernelBackend::Avx2 => Self::accumulate_avx2(particles),
         }
     }
 
@@ -784,6 +1068,66 @@ impl SpreadPartials {
         p
     }
 
+    /// Explicit-SIMD accumulation for [`KernelBackend::Avx2`]: each group's
+    /// position deviations subtract-and-widen as one `vsubps` + `vcvtps2pd`
+    /// pass (`crate::simd::widen_deviation` — the same single f32 rounding
+    /// as the scalar subtraction); the weight clamp and the branching angular
+    /// difference stay scalar per lane, and the fold goes through the shared
+    /// push **in particle order**. Falls back to
+    /// [`SpreadPartials::accumulate_lanes`] without AVX2 and on non-x86
+    /// builds; bit-identical to [`SpreadPartials::accumulate`] in every case.
+    pub fn accumulate_avx2<S: Scalar>(
+        particles: ParticleSlice<'_, S>,
+        mean: &Pose2,
+        unweighted: bool,
+    ) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::available() {
+            let mut p = SpreadPartials::default();
+            let n = particles.len();
+            let mut i = 0usize;
+            while i + LANES <= n {
+                let mut w = [1.0f64; LANES];
+                if !unweighted {
+                    for (slot, stored) in w.iter_mut().zip(&particles.weight[i..i + LANES]) {
+                        *slot = f64::from(stored.to_f32().max(0.0));
+                    }
+                }
+                let mut xf = [0.0f32; LANES];
+                let mut yf = [0.0f32; LANES];
+                for l in 0..LANES {
+                    xf[l] = particles.x[i + l].to_f32();
+                    yf[l] = particles.y[i + l].to_f32();
+                }
+                let mut dx = [0.0f64; LANES];
+                let mut dy = [0.0f64; LANES];
+                crate::simd::widen_deviation(&xf, mean.x, &mut dx);
+                crate::simd::widen_deviation(&yf, mean.y, &mut dy);
+                let mut dt = [0.0f64; LANES];
+                for (slot, stored) in dt.iter_mut().zip(&particles.theta[i..i + LANES]) {
+                    *slot = f64::from(angular_difference(stored.to_f32(), mean.theta));
+                }
+                for l in 0..LANES {
+                    p.push(w[l], dx[l], dy[l], dt[l]);
+                }
+                i += LANES;
+            }
+            for j in i..n {
+                let w = if unweighted {
+                    1.0
+                } else {
+                    f64::from(particles.weight[j].to_f32().max(0.0))
+                };
+                let dx = f64::from(particles.x[j].to_f32() - mean.x);
+                let dy = f64::from(particles.y[j].to_f32() - mean.y);
+                let dt = f64::from(angular_difference(particles.theta[j].to_f32(), mean.theta));
+                p.push(w, dx, dy, dt);
+            }
+            return p;
+        }
+        Self::accumulate_lanes(particles, mean, unweighted)
+    }
+
     /// Accumulates with the implementation of the selected [`KernelBackend`].
     pub fn accumulate_with<S: Scalar>(
         backend: KernelBackend,
@@ -794,6 +1138,7 @@ impl SpreadPartials {
         match backend {
             KernelBackend::Scalar => Self::accumulate(particles, mean, unweighted),
             KernelBackend::Lanes => Self::accumulate_lanes(particles, mean, unweighted),
+            KernelBackend::Avx2 => Self::accumulate_avx2(particles, mean, unweighted),
         }
     }
 
@@ -972,16 +1317,53 @@ mod tests {
         }
         assert_eq!(KernelBackend::parse(" LANES\n"), Some(KernelBackend::Lanes));
         assert_eq!(KernelBackend::parse("Scalar"), Some(KernelBackend::Scalar));
+        assert_eq!(KernelBackend::parse("AVX2"), Some(KernelBackend::Avx2));
         assert_eq!(KernelBackend::parse("simd"), None);
         assert_eq!(KernelBackend::parse(""), None);
         assert_eq!(KernelBackend::default(), KernelBackend::Lanes);
     }
 
     #[test]
-    fn collapsed_observation_zeroes_the_weights_on_both_backends() {
+    fn unrecognized_env_values_warn_and_fall_back_instead_of_panicking() {
+        // `resolve_env` is `from_env` minus the process-global variable read:
+        // unset and empty resolve to None (the caller's default applies), any
+        // recognized spelling resolves case-insensitively, and an unrecognized
+        // value warns on stderr once and falls back to None rather than
+        // panicking (a typo in MCL_KERNEL_BACKEND must not take the filter
+        // down).
+        assert_eq!(KernelBackend::resolve_env(None), None);
+        assert_eq!(KernelBackend::resolve_env(Some("")), None);
+        assert_eq!(KernelBackend::resolve_env(Some("  ")), None);
+        assert_eq!(
+            KernelBackend::resolve_env(Some("AVX2")),
+            Some(KernelBackend::Avx2)
+        );
+        assert_eq!(
+            KernelBackend::resolve_env(Some(" scalar ")),
+            Some(KernelBackend::Scalar)
+        );
+        assert_eq!(KernelBackend::resolve_env(Some("simd")), None);
+        assert_eq!(KernelBackend::resolve_env(Some("avx512")), None);
+    }
+
+    #[test]
+    fn detect_prefers_avx2_only_when_it_is_available() {
+        let detected = KernelBackend::detect();
+        if KernelBackend::Avx2.is_available() {
+            assert_eq!(detected, KernelBackend::Avx2);
+        } else {
+            assert_eq!(detected, KernelBackend::default());
+        }
+        // Scalar and Lanes are portable and always available.
+        assert!(KernelBackend::Scalar.is_available());
+        assert!(KernelBackend::Lanes.is_available());
+    }
+
+    #[test]
+    fn collapsed_observation_zeroes_the_weights_on_every_backend() {
         // Every particle scored −∞ (the weights-collapsed observation): the
-        // naive exponent would be NaN (−∞ − −∞) and poison the filter. Both
-        // backends must zero the chunk instead, for both storage precisions.
+        // naive exponent would be NaN (−∞ − −∞) and poison the filter. Every
+        // backend must zero the chunk instead, for both storage precisions.
         use mcl_num::F16;
         let logs = vec![f32::NEG_INFINITY; 11];
         for backend in KernelBackend::ALL {
@@ -1068,6 +1450,80 @@ mod tests {
 
         let a = pose_estimate_with(&scalar_target, &ClusterLayout::GAP9, KernelBackend::Scalar);
         let b = pose_estimate_with(&lanes_target, &ClusterLayout::GAP9, KernelBackend::Lanes);
+        assert_eq!(a.pose.x.to_bits(), b.pose.x.to_bits());
+        assert_eq!(a.pose.y.to_bits(), b.pose.y.to_bits());
+        assert_eq!(a.pose.theta.to_bits(), b.pose.theta.to_bits());
+        assert_eq!(a.position_std_m.to_bits(), b.position_std_m.to_bits());
+        assert_eq!(a.yaw_std_rad.to_bits(), b.yaw_std_rad.to_bits());
+        assert_eq!(a.neff.to_bits(), b.neff.to_bits());
+    }
+
+    #[test]
+    fn avx2_kernels_match_scalar_on_a_tailed_chunk() {
+        // The Avx2 twin of the check above. On non-AVX2 hosts the Avx2
+        // kernels run the Lanes bodies, so the assertions still hold — the
+        // test then pins the fallback rather than the intrinsics.
+        let n = 1003usize;
+        let model = MotionModel::new([0.05, 0.05, 0.02]);
+        let delta = MotionDelta::new(0.1, 0.02, 0.05);
+        let mut scalar = buffer(n);
+        motion_predict(scalar.as_mut_slice(), &model, &delta, 9, 2, 0);
+        let mut avx2 = buffer(n);
+        motion_predict_avx2(avx2.as_mut_slice(), &model, &delta, 9, 2, 0);
+        assert_eq!(scalar, avx2);
+
+        let map = MapBuilder::new(4.0, 4.0, 0.05).border_walls().build();
+        let edt = EuclideanDistanceField::compute(&map, 1.5);
+        let obs = BeamEndPointModel::new(0.3, 1.5);
+        let rig = SensorRig::front_and_rear(
+            SensorConfig::default()
+                .with_range_noise(0.0)
+                .with_interference_probability(0.0),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let beams = rig.observe(&map, &Pose2::new(1.0, 1.0, 0.0), 0.0, &mut rng);
+        // Score through both batch shapes: the raw batch exercises the
+        // NaN-skipping fallback beam loop, the partitioned batch the
+        // branch-free in-range prefix.
+        for partitioned in [false, true] {
+            let mut batch = BeamBatch::from_beams(&beams);
+            if partitioned {
+                batch.partition_in_range(obs.r_max());
+            }
+            let mut scalar_logs = vec![0.0f32; n];
+            observation_log_likelihoods(scalar.as_slice(), &edt, &obs, &batch, &mut scalar_logs);
+            let mut avx2_logs = vec![0.0f32; n];
+            observation_log_likelihoods_avx2(avx2.as_slice(), &edt, &obs, &batch, &mut avx2_logs);
+            for (a, b) in scalar_logs.iter().zip(avx2_logs.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "partitioned={partitioned}");
+            }
+            if partitioned {
+                let max_log = scalar_logs.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+                reweight(scalar.weight_mut(), &scalar_logs, max_log);
+                reweight_avx2(avx2.weight_mut(), &avx2_logs, max_log);
+                assert_eq!(scalar, avx2);
+            }
+        }
+
+        let indices: Vec<usize> = (0..n).map(|i| (i * 13) % n).collect();
+        let mut scalar_target = buffer(n);
+        resample_scatter(
+            scalar.as_slice(),
+            scalar_target.as_mut_slice(),
+            &indices,
+            0.125f32,
+        );
+        let mut avx2_target = buffer(n);
+        resample_scatter_avx2(
+            avx2.as_slice(),
+            avx2_target.as_mut_slice(),
+            &indices,
+            0.125f32,
+        );
+        assert_eq!(scalar_target, avx2_target);
+
+        let a = pose_estimate_with(&scalar_target, &ClusterLayout::GAP9, KernelBackend::Scalar);
+        let b = pose_estimate_with(&avx2_target, &ClusterLayout::GAP9, KernelBackend::Avx2);
         assert_eq!(a.pose.x.to_bits(), b.pose.x.to_bits());
         assert_eq!(a.pose.y.to_bits(), b.pose.y.to_bits());
         assert_eq!(a.pose.theta.to_bits(), b.pose.theta.to_bits());

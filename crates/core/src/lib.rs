@@ -101,6 +101,8 @@ pub mod pool;
 pub mod precision;
 pub mod resampling;
 pub mod rng;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 
 pub use config::{MclConfig, MclError};
 pub use estimate::PoseEstimate;

@@ -80,6 +80,12 @@ impl ParticlePrecision {
     /// width 2 vs 1. This is what makes the `fp16qm` configuration faster
     /// per particle, not just smaller; feed it to
     /// `mcl_gap9::CostModel::kernel_invocation_cycles_lanes`.
+    ///
+    /// The host analogue is the AVX2 kernel backend's 8×f32 lane width:
+    /// there the compact storages win on the gather-and-widen lookup —
+    /// byte cells for the quantized map, fp16 **pairs** for the binary16
+    /// field — not on a wider FPU op; the arithmetic stays f32 either way
+    /// so the bit-identity contract holds.
     pub fn simd_lane_width(self) -> usize {
         match self {
             ParticlePrecision::Fp32 => 1,

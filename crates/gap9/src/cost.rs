@@ -366,9 +366,20 @@ impl CostModel {
 
     /// Speedup the SIMD datapath buys on one invocation of `step` when the
     /// particle storage packs `lane_width` elements per op — e.g. the fp16
-    /// pair datapath (`lane_width` 2) vs fp32 scalar (`lane_width` 1). This
-    /// is the latency half of the `fp16qm` story; the byte accounting
+    /// pair datapath (`lane_width` 2) vs fp32 scalar (`lane_width` 1), or
+    /// the host's explicit 8×f32 AVX2 backend (`lane_width` 8). This is the
+    /// latency half of the `fp16qm` story; the byte accounting
     /// (`ParticlePrecision::bytes_per_particle`) is the memory half.
+    ///
+    /// The prediction is pure loop shape — Amdahl over the step's
+    /// [`CostModel::vectorizable_fraction`] — because the measured
+    /// counterpart is too: the `mcl_core::kernel` backends hold a
+    /// bit-identity contract (single-rounding IEEE ops in scalar order,
+    /// never a fused multiply-add), so a measured `scalar / avx2` bench
+    /// ratio compares *identical arithmetic* issued at different widths,
+    /// exactly what this ratio models. The `modeled_vs_measured` fixture in
+    /// this module's tests pins the prediction against the archived
+    /// `observation_backend` medians of `BENCH_kernels.json`.
     pub fn simd_speedup(
         &self,
         step: McStep,
@@ -1134,6 +1145,135 @@ mod tests {
         // The group charge interpolates between 1× and lane_width× per-item.
         let group = model.lane_group_cycles(McStep::Observation, 2, BEAMS, false, false);
         assert!(group > per_item && group < 2.0 * per_item);
+    }
+
+    /// Closing the loop between the cost model and the host's explicit-SIMD
+    /// backend: `simd_speedup` must predict the **measured** `scalar / avx2`
+    /// ratio of the observation kernel, not just tell a plausible story.
+    ///
+    /// The measured side is the `observation_backend` bench group (4096
+    /// particles, quantized map — the configuration the acceptance gate
+    /// names), archived into `BENCH_kernels.json`; the medians pinned below
+    /// were taken on this repository's AVX2+FMA+F16C reference host. The
+    /// modeled side is `simd_speedup(Observation, 4096, 8, …)` — the 8×f32
+    /// AVX2 lane width over the observation step's vectorizable fraction.
+    ///
+    /// # The stated tolerance band
+    ///
+    /// `modeled ≤ measured ≤ lane width` — both bounds are structural, not
+    /// fitted:
+    ///
+    /// * **`measured ≥ modeled`** — the model must be a *conservative lower
+    ///   bound*. Its vectorizable fraction (0.55) is calibrated for GAP9's
+    ///   in-order cluster cores, where every scalar residue cycle (the
+    ///   per-particle `sin_cos`, the lookup address math) serializes against
+    ///   the vector work. The out-of-order host overlaps that residue with
+    ///   the 8-wide beam loop and replaces eight dependent loads with one
+    ///   hardware gather, so it must never do *worse* than the in-order
+    ///   prediction. This is the direction that matters for deployment: a
+    ///   configuration the model calls fast enough really is.
+    /// * **`measured ≤ 8`** — an 8-wide datapath cannot legally beat its own
+    ///   lane count on the same op sequence (the bit-identity contract rules
+    ///   out algorithmic shortcuts). A measurement past the lane width means
+    ///   the bench labels or the harness are broken, not that the backend is
+    ///   a miracle. The reference host measures ≈6.8×, between the in-order
+    ///   prediction (≈1.9×) and the ceiling.
+    ///
+    /// Set `MCL_BENCH_JSONL=<path>` to check a freshly measured
+    /// `bench_lines.jsonl` instead of the pinned medians; rows are used only
+    /// if the file was produced on an AVX2 host (the emitter stamps
+    /// `cpu_features` on every line).
+    mod modeled_vs_measured {
+        use super::*;
+
+        /// `observation_backend/scalar_qm/4096` median, nanoseconds
+        /// (20-sample run on an otherwise idle host; two runs agreed
+        /// within 4 %).
+        const SCALAR_QM_MEDIAN_NS: f64 = 841_843.0;
+        /// `observation_backend/avx2_qm/4096` median, nanoseconds
+        /// (same runs).
+        const AVX2_QM_MEDIAN_NS: f64 = 123_975.0;
+        /// The fixture's particle count and AVX2 lane width.
+        const BENCH_PARTICLES: usize = 4096;
+        const AVX2_LANE_WIDTH: usize = 8;
+
+        fn assert_in_band(modeled: f64, measured: f64, source: &str) {
+            assert!(
+                measured >= modeled,
+                "{source}: measured {measured:.3}× below the modeled {modeled:.3}× — \
+                 the cost model must be a conservative lower bound"
+            );
+            assert!(
+                measured <= AVX2_LANE_WIDTH as f64,
+                "{source}: measured {measured:.3}× exceeds the {AVX2_LANE_WIDTH}-wide \
+                 lane ceiling — the bench labels or harness are broken"
+            );
+        }
+
+        /// Pulls `"median_ns":<digits>` out of the bench line whose label
+        /// matches, if any.
+        fn median_ns(jsonl: &str, label: &str) -> Option<f64> {
+            let needle = format!("\"label\":\"{label}\"");
+            let line = jsonl.lines().find(|l| l.contains(&needle))?;
+            let tail = line.split("\"median_ns\":").nth(1)?;
+            let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse().ok()
+        }
+
+        #[test]
+        fn prediction_matches_the_archived_backend_medians() {
+            let model = CostModel::default();
+            let modeled = model.simd_speedup(
+                McStep::Observation,
+                BENCH_PARTICLES,
+                AVX2_LANE_WIDTH,
+                BEAMS,
+                true,
+            );
+            // The ratio is pure loop shape: per-item cycles (and with them the
+            // beam count and the L2 penalty) cancel between numerator and
+            // denominator, so the same prediction must hold in L1.
+            let in_l1 = model.simd_speedup(
+                McStep::Observation,
+                BENCH_PARTICLES,
+                AVX2_LANE_WIDTH,
+                BEAMS,
+                false,
+            );
+            assert!((modeled - in_l1).abs() < 1e-9);
+            assert_in_band(modeled, SCALAR_QM_MEDIAN_NS / AVX2_QM_MEDIAN_NS, "archived");
+        }
+
+        #[test]
+        fn prediction_matches_a_live_bench_file_when_provided() {
+            let Ok(path) = std::env::var("MCL_BENCH_JSONL") else {
+                return; // opt-in: no live bench file to check against
+            };
+            let jsonl = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("MCL_BENCH_JSONL={path}: {e}"));
+            let scalar = median_ns(&jsonl, "observation_backend/scalar_qm/4096");
+            let avx2 = median_ns(&jsonl, "observation_backend/avx2_qm/4096");
+            let (Some(scalar), Some(avx2)) = (scalar, avx2) else {
+                // The avx2 rows are skipped (visibly) on non-AVX2 hosts;
+                // nothing to validate then.
+                eprintln!("{path}: no scalar_qm/avx2_qm pair archived; skipping");
+                return;
+            };
+            if !jsonl.lines().any(|l| {
+                l.contains("\"cpu_features\"") && l.contains("avx2") && l.contains("median_ns")
+            }) {
+                eprintln!("{path}: rows not stamped as AVX2-capable; skipping");
+                return;
+            }
+            let modeled = CostModel::default().simd_speedup(
+                McStep::Observation,
+                BENCH_PARTICLES,
+                AVX2_LANE_WIDTH,
+                BEAMS,
+                true,
+            );
+            assert_in_band(modeled, scalar / avx2, "live");
+        }
     }
 
     #[test]

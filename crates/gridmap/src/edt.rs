@@ -20,6 +20,20 @@
 use crate::grid::{CellIndex, CellState, OccupancyGrid};
 use mcl_num::{Quantizer, F16};
 
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+
+/// Trailing pad bytes appended to the quantized code vector: an AVX2 byte
+/// gather reads a full 32-bit word per lane, so a lookup at the last cell
+/// spills up to 3 bytes past it. The pad is appended on every architecture so
+/// the stored layout is identical everywhere; scalar lookups never address it.
+const QUANTIZED_GATHER_PAD: usize = 3;
+
+/// Trailing pad element appended to the fp16 value vector: the AVX2 pair-word
+/// gather reads the 32-bit word containing the addressed element, which for
+/// the last cell of an odd-sized field includes one element past the end.
+const F16_GATHER_PAD: usize = 1;
+
 /// Width of one lane group in [`DistanceField::distances_at_world_lanes`]:
 /// the number of world positions a lane-batched lookup resolves per call.
 /// `mcl_core::kernel` pins its own lane width to this constant so the
@@ -60,6 +74,28 @@ pub trait DistanceField: Send + Sync {
         }
     }
 
+    /// AVX2 gather twin of [`DistanceField::distances_at_world_lanes`]
+    /// (x86-64 only): the same contract and the same bit-exact results, but
+    /// the storage back-ends override it with `_mm256_i32gather_*`-based
+    /// bodies that replace the eight per-lane memory reads with one hardware
+    /// gather (plus a `_mm256_cvtph_ps` fp16-pair decode for binary16
+    /// storage).
+    ///
+    /// The default implementation — and every override on a host missing the
+    /// required CPU features (AVX2, plus F16C for fp16 storage) or holding a
+    /// field too large to index with i32 gather lanes — falls back to the
+    /// portable lane path, so the results are identical everywhere; only the
+    /// instructions differ.
+    #[cfg(target_arch = "x86_64")]
+    fn distances_at_world_lanes_avx2(
+        &self,
+        xs: &[f32; DISTANCE_LANES],
+        ys: &[f32; DISTANCE_LANES],
+        out: &mut [f32; DISTANCE_LANES],
+    ) {
+        self.distances_at_world_lanes(xs, ys, out);
+    }
+
     /// The truncation distance `rmax` used when the field was computed.
     fn max_distance(&self) -> f32;
 
@@ -83,6 +119,12 @@ struct FieldGeometry {
 }
 
 impl FieldGeometry {
+    /// Number of cells in the field (excluding any gather padding the storage
+    /// back-end appends) — the authoritative count for memory accounting.
+    fn cells(&self) -> usize {
+        self.width * self.height
+    }
+
     fn index_of_world(&self, x: f32, y: f32) -> Option<usize> {
         if x < 0.0 || y < 0.0 || !x.is_finite() || !y.is_finite() {
             return None;
@@ -252,11 +294,14 @@ impl EuclideanDistanceField {
     pub fn quantize(&self) -> QuantizedDistanceField {
         let quantizer = Quantizer::new(self.geometry.max_distance)
             .expect("max_distance was validated at construction");
-        let codes = self
+        let mut codes: Vec<u8> = self
             .distances
             .iter()
             .map(|&d| quantizer.quantize(d))
             .collect();
+        // Keeps the AVX2 byte gather's 4-byte lane reads in bounds at the
+        // last cells; scalar and portable-lane lookups never address the pad.
+        codes.extend(core::iter::repeat_n(0u8, QUANTIZED_GATHER_PAD));
         QuantizedDistanceField {
             geometry: self.geometry.clone(),
             quantizer,
@@ -266,7 +311,10 @@ impl EuclideanDistanceField {
 
     /// Converts this field into a 2-byte-per-cell [`F16DistanceField`].
     pub fn to_f16(&self) -> F16DistanceField {
-        let values = self.distances.iter().map(|&d| F16::from_f32(d)).collect();
+        let mut values: Vec<F16> = self.distances.iter().map(|&d| F16::from_f32(d)).collect();
+        // Keeps the AVX2 pair-word gather in bounds when the last cell of an
+        // odd-sized field is addressed; scalar lookups never read the pad.
+        values.extend(core::iter::repeat_n(F16::ZERO, F16_GATHER_PAD));
         F16DistanceField {
             geometry: self.geometry.clone(),
             values,
@@ -362,6 +410,21 @@ impl DistanceField for EuclideanDistanceField {
         }
     }
 
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    fn distances_at_world_lanes_avx2(
+        &self,
+        xs: &[f32; DISTANCE_LANES],
+        ys: &[f32; DISTANCE_LANES],
+        out: &mut [f32; DISTANCE_LANES],
+    ) {
+        if avx2::usable(self.distances.len()) {
+            avx2::gather_f32(&self.geometry, &self.distances, xs, ys, out);
+        } else {
+            self.distances_at_world_lanes(xs, ys, out);
+        }
+    }
+
     fn max_distance(&self) -> f32 {
         self.geometry.max_distance
     }
@@ -371,7 +434,7 @@ impl DistanceField for EuclideanDistanceField {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.distances.len() * 4
+        self.geometry.cells() * 4
     }
 
     fn storage_name(&self) -> &'static str {
@@ -420,6 +483,21 @@ impl DistanceField for F16DistanceField {
         }
     }
 
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    fn distances_at_world_lanes_avx2(
+        &self,
+        xs: &[f32; DISTANCE_LANES],
+        ys: &[f32; DISTANCE_LANES],
+        out: &mut [f32; DISTANCE_LANES],
+    ) {
+        if avx2::usable_f16(self.geometry.cells()) {
+            avx2::gather_f16(&self.geometry, &self.values, xs, ys, out);
+        } else {
+            self.distances_at_world_lanes(xs, ys, out);
+        }
+    }
+
     fn max_distance(&self) -> f32 {
         self.geometry.max_distance
     }
@@ -429,7 +507,7 @@ impl DistanceField for F16DistanceField {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.values.len() * 2
+        self.geometry.cells() * 2
     }
 
     fn storage_name(&self) -> &'static str {
@@ -490,6 +568,28 @@ impl DistanceField for QuantizedDistanceField {
         }
     }
 
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    fn distances_at_world_lanes_avx2(
+        &self,
+        xs: &[f32; DISTANCE_LANES],
+        ys: &[f32; DISTANCE_LANES],
+        out: &mut [f32; DISTANCE_LANES],
+    ) {
+        if avx2::usable(self.geometry.cells()) {
+            avx2::gather_quantized(
+                &self.geometry,
+                self.quantizer.step(),
+                &self.codes,
+                xs,
+                ys,
+                out,
+            );
+        } else {
+            self.distances_at_world_lanes(xs, ys, out);
+        }
+    }
+
     fn max_distance(&self) -> f32 {
         self.geometry.max_distance
     }
@@ -499,7 +599,7 @@ impl DistanceField for QuantizedDistanceField {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.codes.len()
+        self.geometry.cells()
     }
 
     fn storage_name(&self) -> &'static str {
@@ -725,6 +825,152 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// The AVX2 gather path must agree with the portable lane path — and the
+    /// scalar lookup — bit for bit on every storage back-end, for every edge
+    /// the masked predicate handles. On a host without AVX2 (or F16C for the
+    /// fp16 pair path) the override falls back to the portable body, so these
+    /// tests pass trivially there; the CI `avx2` backend leg runs them on
+    /// hardware where the gathers are live.
+    #[cfg(target_arch = "x86_64")]
+    mod avx2_gather {
+        use super::*;
+
+        /// An odd-cell-count map (31 × 31 = 961 cells) so the fp16 pair-word
+        /// gather at the last cell must read its padding element, plus an
+        /// interior wall so distances vary across cells.
+        fn fields() -> (
+            EuclideanDistanceField,
+            F16DistanceField,
+            QuantizedDistanceField,
+        ) {
+            let map = MapBuilder::new(1.55, 1.55, 0.05)
+                .border_walls()
+                .wall((0.75, 0.0), (0.75, 1.0))
+                .build();
+            assert_eq!(map.cell_count() % 2, 1, "pad test needs an odd field");
+            let edt = EuclideanDistanceField::compute(&map, 1.5);
+            let half = edt.to_f16();
+            let quantized = edt.quantize();
+            (edt, half, quantized)
+        }
+
+        /// Probes that exercise every branch of the bounds predicate and the
+        /// gather padding: NaN and ±inf coordinates, far-out-of-bounds
+        /// values, negative zero, and the exact last cell of the map (whose
+        /// byte/pair gathers read into the pad).
+        fn edge_probes() -> Vec<(f32, f32)> {
+            vec![
+                (f32::NAN, 0.5),
+                (0.5, f32::NAN),
+                (f32::NAN, f32::NAN),
+                (f32::INFINITY, 0.5),
+                (0.5, f32::NEG_INFINITY),
+                (f32::NEG_INFINITY, f32::INFINITY),
+                (-1e30, 0.5),
+                (1e9, 1e9),
+                (-0.0, -0.0),
+                (1.549, 1.549), // last cell: gathers read into the pad
+                (1.549, 0.0),   // last column, first row
+                (0.0, 1.549),   // first column, last row
+                (2.0, 2.0),     // one cell out of bounds on both axes
+                (1.2, -1e-30),  // infinitesimally negative: must be invalid
+            ]
+        }
+
+        /// Lane-group comparison of the AVX2 override against the scalar
+        /// lookup (the portable lane path is already pinned to scalar by
+        /// `lane_batched_lookup_is_bit_identical_to_the_scalar_lookup`).
+        fn assert_group_matches(field: &dyn DistanceField, xs: &[f32; 8], ys: &[f32; 8]) {
+            let mut gathered = [0.0f32; DISTANCE_LANES];
+            field.distances_at_world_lanes_avx2(xs, ys, &mut gathered);
+            let mut portable = [0.0f32; DISTANCE_LANES];
+            field.distances_at_world_lanes(xs, ys, &mut portable);
+            for l in 0..DISTANCE_LANES {
+                let scalar = field.distance_at_world(xs[l], ys[l]);
+                assert_eq!(
+                    scalar.to_bits(),
+                    gathered[l].to_bits(),
+                    "{} gather lane {l} diverged from scalar at ({}, {})",
+                    field.storage_name(),
+                    xs[l],
+                    ys[l]
+                );
+                assert_eq!(
+                    portable[l].to_bits(),
+                    gathered[l].to_bits(),
+                    "{} gather lane {l} diverged from the portable lane path at ({}, {})",
+                    field.storage_name(),
+                    xs[l],
+                    ys[l]
+                );
+            }
+        }
+
+        #[test]
+        fn gather_lookup_is_bit_identical_on_edge_probes() {
+            if !avx2::detected() {
+                eprintln!("note: host lacks AVX2, gather path falls back to the portable body");
+            }
+            let (edt, half, quantized) = fields();
+            let probes: Vec<(f32, f32)> = (0..64)
+                .map(|k| (0.031 * k as f32 - 0.2, 0.029 * (63 - k) as f32 - 0.2))
+                .chain(edge_probes())
+                .collect();
+            for group in probes.chunks(DISTANCE_LANES) {
+                let mut xs = [f32::NAN; DISTANCE_LANES];
+                let mut ys = [f32::NAN; DISTANCE_LANES];
+                for (l, &(x, y)) in group.iter().enumerate() {
+                    xs[l] = x;
+                    ys[l] = y;
+                }
+                let fields: [&dyn DistanceField; 3] = [&edt, &half, &quantized];
+                for field in fields {
+                    assert_group_matches(field, &xs, &ys);
+                }
+            }
+        }
+
+        #[test]
+        fn gather_lookup_is_bit_identical_for_every_tail_length() {
+            // Exhaustive over all `n mod 8` tails: lanes [0, tail) carry
+            // in-bounds probes, lanes [tail, 8) cycle through the edge cases
+            // — the shape a kernel tail group presents to the lookup.
+            let (edt, half, quantized) = fields();
+            let edges = edge_probes();
+            for tail in 0..DISTANCE_LANES {
+                let mut xs = [0.0f32; DISTANCE_LANES];
+                let mut ys = [0.0f32; DISTANCE_LANES];
+                for l in 0..DISTANCE_LANES {
+                    if l < tail {
+                        xs[l] = 0.05 + 0.17 * l as f32;
+                        ys[l] = 1.45 - 0.13 * l as f32;
+                    } else {
+                        let (x, y) = edges[(tail + l) % edges.len()];
+                        xs[l] = x;
+                        ys[l] = y;
+                    }
+                }
+                let fields: [&dyn DistanceField; 3] = [&edt, &half, &quantized];
+                for field in fields {
+                    assert_group_matches(field, &xs, &ys);
+                }
+            }
+        }
+
+        #[test]
+        fn gather_padding_is_present_and_excluded_from_memory_accounting() {
+            let (edt, half, quantized) = fields();
+            let cells = edt.width() * edt.height();
+            // The pads exist for the gathers...
+            assert_eq!(quantized.codes.len(), cells + QUANTIZED_GATHER_PAD);
+            assert_eq!(half.values.len(), cells + F16_GATHER_PAD);
+            // ...but memory accounting reports the logical field size.
+            assert_eq!(quantized.memory_bytes(), cells);
+            assert_eq!(half.memory_bytes(), cells * 2);
+            assert_eq!(edt.memory_bytes(), cells * 4);
         }
     }
 

@@ -1,0 +1,246 @@
+//! AVX2 gather lookups for the three [`DistanceField`](super::DistanceField)
+//! storage back-ends.
+//!
+//! Each function here is the explicit-SIMD twin of one storage's
+//! `distances_at_world_lanes` override: the world→cell quotients, the bounds
+//! predicate and the index arithmetic are computed 8-wide with
+//! `core::arch::x86_64` intrinsics, and the per-lane memory reads become a
+//! single hardware gather (`_mm256_i32gather_ps` for f32 storage,
+//! `_mm256_i32gather_epi32` over the u8 code array for quantized storage, and
+//! a pair-word `_mm256_i32gather_epi32` + `_mm256_cvtph_ps` for fp16 storage
+//! — two binary16 values per 32-bit lane word, the x86 analogue of GAP9's
+//! `simd_lane_width = 2` fp16 packing).
+//!
+//! # Bit-identity contract
+//!
+//! Results are bit-identical to the portable lane path (and therefore to the
+//! scalar `distance_at_world`) for **every** input, including NaN/±inf and
+//! out-of-bounds probes:
+//!
+//! * `_mm256_div_ps` is the same single-rounding IEEE division the portable
+//!   path performs per lane;
+//! * the ordered compares (`_CMP_GE_OQ` / `_CMP_LT_OQ`) reproduce the scalar
+//!   predicate exactly — NaN fails every ordered compare, just as it fails
+//!   the scalar sign/finite guards;
+//! * `_mm256_cvttps_epi32` equals the scalar truncating cast for the
+//!   in-range quotients of valid lanes; invalid lanes (where the conversion
+//!   may saturate to `0x8000_0000`) are masked to cell index 0 before the
+//!   gather, exactly like the portable path's select;
+//! * the dequantize multiply (`_mm256_cvtepi32_ps` — exact for codes ≤ 255 —
+//!   then `_mm256_mul_ps` by the quantizer's reconstruction step) is the same
+//!   single rounding as `Quantizer::dequantize`; `_mm256_cvtph_ps` is the
+//!   exact binary16→f32 widening. **No FMA is used anywhere**: contraction
+//!   would change rounding and break the contract.
+//!
+//! # Out-of-bounds reads and padding
+//!
+//! A 32-bit gather lane always reads four bytes. For the u8 code array that
+//! read spills up to 3 bytes past the addressed cell, and for fp16 the
+//! pair-word read spills one element past an odd-length array, so the
+//! construction paths append [`super::QUANTIZED_GATHER_PAD`] /
+//! [`super::F16_GATHER_PAD`] trailing pad entries that keep every gather read
+//! inside the allocation. The f32 gather reads exactly the addressed cell and
+//! needs no padding.
+
+// The gather bodies are raw `core::arch` intrinsics: each `unsafe` block in
+// this module carries a SAFETY comment discharging the two obligations
+// (required CPU features runtime-checked by the safe wrappers; every lane
+// read kept in bounds by index masking plus the documented padding).
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::*;
+
+use super::{FieldGeometry, DISTANCE_LANES, F16_GATHER_PAD, QUANTIZED_GATHER_PAD};
+use mcl_num::F16;
+
+/// Runtime probe for the baseline gather path (f32 and quantized storage).
+pub(super) fn detected() -> bool {
+    is_x86_feature_detected!("avx2")
+}
+
+/// Runtime probe for the fp16 pair path, which additionally needs the F16C
+/// half-precision conversion extension for `_mm256_cvtph_ps`.
+pub(super) fn f16c_detected() -> bool {
+    detected() && is_x86_feature_detected!("f16c")
+}
+
+/// Whether the gather path can serve a field of `cells` cells: the CPU must
+/// have AVX2 and every cell index must fit an i32 gather lane.
+pub(super) fn usable(cells: usize) -> bool {
+    cells <= i32::MAX as usize && detected()
+}
+
+/// [`usable`] plus the F16C requirement of the fp16 pair path.
+pub(super) fn usable_f16(cells: usize) -> bool {
+    cells <= i32::MAX as usize && f16c_detected()
+}
+
+/// Gathered f32 lookup for [`super::EuclideanDistanceField`].
+pub(super) fn gather_f32(
+    geometry: &FieldGeometry,
+    distances: &[f32],
+    xs: &[f32; DISTANCE_LANES],
+    ys: &[f32; DISTANCE_LANES],
+    out: &mut [f32; DISTANCE_LANES],
+) {
+    debug_assert!(usable(distances.len()));
+    debug_assert_eq!(distances.len(), geometry.cells());
+    // SAFETY: callers gate on `usable`, so AVX2 is present.
+    unsafe { gather_f32_impl(geometry, distances, xs, ys, out) }
+}
+
+/// Gathered u8-code lookup + dequantization for
+/// [`super::QuantizedDistanceField`]. `inv_scale` is the quantizer's
+/// reconstruction step (`Quantizer::step`), the exact factor
+/// `Quantizer::dequantize` multiplies by.
+pub(super) fn gather_quantized(
+    geometry: &FieldGeometry,
+    inv_scale: f32,
+    codes: &[u8],
+    xs: &[f32; DISTANCE_LANES],
+    ys: &[f32; DISTANCE_LANES],
+    out: &mut [f32; DISTANCE_LANES],
+) {
+    debug_assert!(usable(geometry.cells()));
+    debug_assert!(codes.len() >= geometry.cells() + QUANTIZED_GATHER_PAD);
+    // SAFETY: callers gate on `usable`, so AVX2 is present.
+    unsafe { gather_quantized_impl(geometry, inv_scale, codes, xs, ys, out) }
+}
+
+/// Gathered fp16-pair lookup for [`super::F16DistanceField`]: two binary16
+/// values per 32-bit gather word, the addressed half selected by a variable
+/// shift and widened in hardware.
+pub(super) fn gather_f16(
+    geometry: &FieldGeometry,
+    values: &[F16],
+    xs: &[f32; DISTANCE_LANES],
+    ys: &[f32; DISTANCE_LANES],
+    out: &mut [f32; DISTANCE_LANES],
+) {
+    debug_assert!(usable_f16(geometry.cells()));
+    debug_assert!(values.len() >= geometry.cells() + F16_GATHER_PAD);
+    // SAFETY: callers gate on `usable_f16`, so AVX2 and F16C are present.
+    unsafe { gather_f16_impl(geometry, values, xs, ys, out) }
+}
+
+/// 8-wide twin of [`FieldGeometry::lane_indices`]: returns the flat cell
+/// index per lane (invalid lanes masked to 0, always in bounds) and the
+/// validity mask as all-ones/all-zeros f32 lanes ready for `blendv`.
+#[target_feature(enable = "avx2")]
+unsafe fn lane_cells(
+    geometry: &FieldGeometry,
+    xs: &[f32; DISTANCE_LANES],
+    ys: &[f32; DISTANCE_LANES],
+) -> (__m256i, __m256) {
+    let x = _mm256_loadu_ps(xs.as_ptr());
+    let y = _mm256_loadu_ps(ys.as_ptr());
+    let resolution = _mm256_set1_ps(geometry.resolution);
+    // The same single-rounding IEEE divisions as the portable lane pass.
+    let col_q = _mm256_div_ps(x, resolution);
+    let row_q = _mm256_div_ps(y, resolution);
+    let zero = _mm256_setzero_ps();
+    let width_f = _mm256_set1_ps(geometry.width as f32);
+    let height_f = _mm256_set1_ps(geometry.height as f32);
+    // Ordered compares: NaN coordinates (and NaN quotients from ±inf inputs)
+    // fail every term, matching the scalar finiteness/sign guards. +inf fails
+    // the `< width` term via its +inf quotient, like the portable predicate.
+    let valid = _mm256_and_ps(
+        _mm256_and_ps(
+            _mm256_cmp_ps::<_CMP_GE_OQ>(x, zero),
+            _mm256_cmp_ps::<_CMP_GE_OQ>(y, zero),
+        ),
+        _mm256_and_ps(
+            _mm256_cmp_ps::<_CMP_LT_OQ>(col_q, width_f),
+            _mm256_cmp_ps::<_CMP_LT_OQ>(row_q, height_f),
+        ),
+    );
+    // Valid quotients are in [0, 2²⁴) (grid dimensions are debug-asserted
+    // below 2²⁴ by `lane_indices`), where the truncating conversion equals
+    // the scalar `as u32` cast and `row · width + col` cannot overflow the
+    // i32 lane (callers guard `cells ≤ i32::MAX`). Invalid lanes may
+    // saturate to 0x8000_0000 — the mask below forces them to cell 0, the
+    // same select the portable path performs.
+    let col_i = _mm256_cvttps_epi32(col_q);
+    let row_i = _mm256_cvttps_epi32(row_q);
+    let width_i = _mm256_set1_epi32(geometry.width as i32);
+    let flat = _mm256_add_epi32(_mm256_mullo_epi32(row_i, width_i), col_i);
+    let idx = _mm256_and_si256(flat, _mm256_castps_si256(valid));
+    (idx, valid)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn gather_f32_impl(
+    geometry: &FieldGeometry,
+    distances: &[f32],
+    xs: &[f32; DISTANCE_LANES],
+    ys: &[f32; DISTANCE_LANES],
+    out: &mut [f32; DISTANCE_LANES],
+) {
+    let (idx, valid) = lane_cells(geometry, xs, ys);
+    // SAFETY: every index lane is in [0, cells) — valid lanes by the bounds
+    // predicate, invalid lanes masked to 0 (a grid has at least one cell) —
+    // so each 4-byte read is exactly one in-bounds f32 element.
+    let d = unsafe { _mm256_i32gather_ps::<4>(distances.as_ptr(), idx) };
+    let max = _mm256_set1_ps(geometry.max_distance);
+    _mm256_storeu_ps(out.as_mut_ptr(), _mm256_blendv_ps(max, d, valid));
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn gather_quantized_impl(
+    geometry: &FieldGeometry,
+    inv_scale: f32,
+    codes: &[u8],
+    xs: &[f32; DISTANCE_LANES],
+    ys: &[f32; DISTANCE_LANES],
+    out: &mut [f32; DISTANCE_LANES],
+) {
+    let (idx, valid) = lane_cells(geometry, xs, ys);
+    // SAFETY: a scale-1 gather lane reads the 4 bytes at `codes[idx..idx+4]`;
+    // every index lane is in [0, cells) and the code vector carries
+    // QUANTIZED_GATHER_PAD (3) trailing pad bytes (debug-asserted by the safe
+    // wrapper), so the widest read — at cell `cells − 1` — stays inside the
+    // allocation. The gather instruction has no alignment requirement.
+    let words = unsafe { _mm256_i32gather_epi32::<1>(codes.as_ptr().cast::<i32>(), idx) };
+    // The addressed code is the low byte of each little-endian lane word.
+    let code = _mm256_and_si256(words, _mm256_set1_epi32(0xFF));
+    // Exactly `Quantizer::dequantize`: an exact u8→f32 conversion, then one
+    // rounding multiply by the reconstruction step. No FMA.
+    let d = _mm256_mul_ps(_mm256_cvtepi32_ps(code), _mm256_set1_ps(inv_scale));
+    let max = _mm256_set1_ps(geometry.max_distance);
+    _mm256_storeu_ps(out.as_mut_ptr(), _mm256_blendv_ps(max, d, valid));
+}
+
+#[target_feature(enable = "avx2,f16c")]
+unsafe fn gather_f16_impl(
+    geometry: &FieldGeometry,
+    values: &[F16],
+    xs: &[f32; DISTANCE_LANES],
+    ys: &[f32; DISTANCE_LANES],
+    out: &mut [f32; DISTANCE_LANES],
+) {
+    let (idx, valid) = lane_cells(geometry, xs, ys);
+    // Word w of the value array holds the binary16 pair (2w, 2w + 1).
+    let word_idx = _mm256_srli_epi32::<1>(idx);
+    // SAFETY: for the maximum index lane `cells − 1` the pair word covers at
+    // most element `cells`, which exists because `to_f16` appends
+    // F16_GATHER_PAD (1) trailing pad element (debug-asserted by the safe
+    // wrapper). `F16` is `repr(transparent)` over `u16`, so the pointer cast
+    // reads the raw bit patterns.
+    let words = unsafe { _mm256_i32gather_epi32::<4>(values.as_ptr().cast::<i32>(), word_idx) };
+    // Select the addressed half of each little-endian pair word: element 2w
+    // sits in the low 16 bits, 2w + 1 in the high — shift odd indices down
+    // by 16, even by 0.
+    let shift = _mm256_slli_epi32::<4>(_mm256_and_si256(idx, _mm256_set1_epi32(1)));
+    let half = _mm256_and_si256(_mm256_srlv_epi32(words, shift), _mm256_set1_epi32(0xFFFF));
+    // Pack the eight 16-bit payloads into one 128-bit register. The inputs
+    // are in [0, 0xFFFF], so the unsigned-saturating pack is exact.
+    let packed = _mm_packus_epi32(
+        _mm256_castsi256_si128(half),
+        _mm256_extracti128_si256::<1>(half),
+    );
+    // Hardware binary16 → f32 widening: exact for every finite binary16, the
+    // same value the software converter produces.
+    let d = _mm256_cvtph_ps(packed);
+    let max = _mm256_set1_ps(geometry.max_distance);
+    _mm256_storeu_ps(out.as_mut_ptr(), _mm256_blendv_ps(max, d, valid));
+}

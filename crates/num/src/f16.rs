@@ -26,7 +26,12 @@ use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAss
 /// assert_eq!(F16::from_f32(65504.0), F16::MAX);
 /// assert!(F16::from_f32(1e6).to_f32().is_infinite());
 /// ```
+///
+/// The layout is guaranteed to be exactly that of the underlying `u16`
+/// (`repr(transparent)`): `mcl_gridmap`'s AVX2 fp16-pair gather reads an
+/// `&[F16]` as raw little-endian 16-bit patterns and relies on it.
 #[derive(Clone, Copy, Default)]
+#[repr(transparent)]
 pub struct F16(u16);
 
 impl F16 {

@@ -48,8 +48,8 @@ pub struct BatchJob {
     pub seed: u64,
     /// Kernel backend for this job's filter. [`BatchJob::grid`] fills in the
     /// default resolution (the `MCL_KERNEL_BACKEND` override, else the
-    /// lane-batched production backend); the backends are bit-identical, so
-    /// this changes how fast a job runs, never what it returns.
+    /// host-detected backend); the backends are bit-identical, so this
+    /// changes how fast a job runs, never what it returns.
     pub kernel_backend: KernelBackend,
 }
 
@@ -64,7 +64,7 @@ impl BatchJob {
         particle_counts: &[usize],
         seeds: &[u64],
     ) -> Vec<BatchJob> {
-        let kernel_backend = KernelBackend::from_env().unwrap_or_default();
+        let kernel_backend = KernelBackend::from_env().unwrap_or_else(KernelBackend::detect);
         let mut jobs = Vec::with_capacity(
             sequence_indices.len() * pipelines.len() * particle_counts.len() * seeds.len(),
         );
@@ -225,10 +225,12 @@ mod tests {
     }
 
     #[test]
-    fn scalar_and_lanes_jobs_return_identical_results() {
+    fn all_backend_jobs_return_identical_results() {
         // The kernel backends are bit-identical, so the same job grid pinned
-        // to either backend must produce exactly the same metrics — across
-        // both storage precisions of the paper's design space.
+        // to any backend must produce exactly the same metrics — across
+        // both storage precisions of the paper's design space. (On non-AVX2
+        // hosts the Avx2 jobs run the Lanes bodies, which keeps the
+        // assertion meaningful everywhere.)
         let scenario = PaperScenario::quick(15);
         let base = BatchJob::grid(
             &[0],
@@ -240,14 +242,16 @@ mod tests {
             .iter()
             .map(|j| j.with_kernel_backend(KernelBackend::Scalar))
             .collect();
-        let lanes_jobs: Vec<BatchJob> = base
-            .iter()
-            .map(|j| j.with_kernel_backend(KernelBackend::Lanes))
-            .collect();
         let scalar = run_batch(&scenario, &scalar_jobs, 2);
-        let lanes = run_batch(&scenario, &lanes_jobs, 2);
-        for (s, l) in scalar.iter().zip(lanes.iter()) {
-            assert_eq!(s.result, l.result, "backends diverged on {:?}", s.job);
+        for backend in [KernelBackend::Lanes, KernelBackend::Avx2] {
+            let jobs: Vec<BatchJob> = base
+                .iter()
+                .map(|j| j.with_kernel_backend(backend))
+                .collect();
+            let results = run_batch(&scenario, &jobs, 2);
+            for (s, r) in scalar.iter().zip(results.iter()) {
+                assert_eq!(s.result, r.result, "backends diverged on {:?}", r.job);
+            }
         }
     }
 

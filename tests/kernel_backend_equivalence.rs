@@ -1,10 +1,14 @@
-//! Equivalence harness pinning the lane-batched kernel backend to the scalar
-//! reference.
+//! Equivalence harness pinning the lane-batched and explicit-AVX2 kernel
+//! backends to the scalar reference.
 //!
 //! The `mcl_core::kernel` lane-width contract promises that
-//! [`KernelBackend::Lanes`] is **bit-identical** to [`KernelBackend::Scalar`]
-//! for `f32` storage: lane grouping restructures the loops, never the
-//! per-particle arithmetic. This suite pins that promise
+//! [`KernelBackend::Lanes`] **and** [`KernelBackend::Avx2`] are
+//! **bit-identical** to [`KernelBackend::Scalar`] for `f32` storage: lane
+//! grouping (and, for Avx2, issuing the group bodies as single-rounding
+//! AVX2 register ops with gathered EDT lookups) restructures the loops,
+//! never the per-particle arithmetic. On hosts without AVX2 the Avx2 legs
+//! run the lane bodies, so the suite passes everywhere; on AVX2 hosts they
+//! pin the intrinsics. This suite pins that promise
 //!
 //! * per kernel, across **every tail length** `n % LANES ∈ 0..LANES` (the
 //!   lane kernels switch from group bodies to the scalar-reference tail at
@@ -119,10 +123,11 @@ fn assert_buffers_bit_identical(a: &ParticleBuffer<f32>, b: &ParticleBuffer<f32>
     }
 }
 
-/// Every tail length, every layout, every kernel, both batch paths: the lane
-/// kernels must be bit-identical to the scalar reference. `n = 4·LANES + tail`
-/// keeps several full lane groups in front of each tail class, and the uneven
-/// layouts cut chunks that produce further `chunk_len % LANES` classes.
+/// Every non-scalar backend, every tail length, every layout, every kernel,
+/// both batch paths: the batched kernels must be bit-identical to the scalar
+/// reference. `n = 4·LANES + tail` keeps several full lane groups in front of
+/// each tail class, and the uneven layouts cut chunks that produce further
+/// `chunk_len % LANES` classes.
 #[test]
 fn all_four_kernels_are_bit_identical_across_every_tail_length_and_layout() {
     let map = arena();
@@ -135,106 +140,123 @@ fn all_four_kernels_are_bit_identical_across_every_tail_length_and_layout() {
     let mut partitioned = unpartitioned.clone();
     partitioned.partition_in_range(model.r_max());
 
-    for tail in 0..LANES {
-        let n = 4 * LANES + tail;
-        for layout in layouts() {
-            // Motion kernel.
-            let mut scalar: ParticleBuffer<f32> = buffer(n, tail as u64);
-            let mut lanes = scalar.clone();
-            layout.for_each_split(scalar.as_mut_slice(), |start, chunk| {
-                kernel::motion_predict(chunk, &motion, &delta, 5, 1, start as u64);
-            });
-            layout.for_each_split(lanes.as_mut_slice(), |start, chunk| {
-                kernel::motion_predict_lanes(chunk, &motion, &delta, 5, 1, start as u64);
-            });
-            assert_buffers_bit_identical(&scalar, &lanes, &format!("motion n={n}"));
-
-            // Observation kernel, branch-free prefix and skipping fallback.
-            for (batch, path) in [(&partitioned, "prefix"), (&unpartitioned, "fallback")] {
-                let mut scalar_logs = vec![0.0f32; n];
-                layout.for_each_split(
-                    (scalar.as_slice(), scalar_logs.as_mut_slice()),
-                    |_, (chunk, out)| {
-                        kernel::observation_log_likelihoods(chunk, &edt, &model, batch, out);
-                    },
-                );
-                let mut lanes_logs = vec![0.0f32; n];
-                layout.for_each_split(
-                    (lanes.as_slice(), lanes_logs.as_mut_slice()),
-                    |_, (chunk, out)| {
-                        kernel::observation_log_likelihoods_lanes(chunk, &edt, &model, batch, out);
-                    },
-                );
-                for (i, (a, b)) in scalar_logs.iter().zip(lanes_logs.iter()).enumerate() {
-                    assert_eq!(
-                        a.to_bits(),
-                        b.to_bits(),
-                        "observation[{path}] n={n} log[{i}]"
+    for backend in [KernelBackend::Lanes, KernelBackend::Avx2] {
+        for tail in 0..LANES {
+            let n = 4 * LANES + tail;
+            for layout in layouts() {
+                let label = |kern: &str| format!("{} {kern} n={n}", backend.name());
+                // Motion kernel.
+                let mut scalar: ParticleBuffer<f32> = buffer(n, tail as u64);
+                let mut batched = scalar.clone();
+                layout.for_each_split(scalar.as_mut_slice(), |start, chunk| {
+                    kernel::motion_predict(chunk, &motion, &delta, 5, 1, start as u64);
+                });
+                layout.for_each_split(batched.as_mut_slice(), |start, chunk| {
+                    kernel::motion_predict_with(
+                        backend,
+                        chunk,
+                        &motion,
+                        &delta,
+                        5,
+                        1,
+                        start as u64,
                     );
+                });
+                assert_buffers_bit_identical(&scalar, &batched, &label("motion"));
+
+                // Observation kernel, branch-free prefix and skipping fallback.
+                for (batch, path) in [(&partitioned, "prefix"), (&unpartitioned, "fallback")] {
+                    let mut scalar_logs = vec![0.0f32; n];
+                    layout.for_each_split(
+                        (scalar.as_slice(), scalar_logs.as_mut_slice()),
+                        |_, (chunk, out)| {
+                            kernel::observation_log_likelihoods(chunk, &edt, &model, batch, out);
+                        },
+                    );
+                    let mut batched_logs = vec![0.0f32; n];
+                    layout.for_each_split(
+                        (batched.as_slice(), batched_logs.as_mut_slice()),
+                        |_, (chunk, out)| {
+                            kernel::observation_log_likelihoods_with(
+                                backend, chunk, &edt, &model, batch, out,
+                            );
+                        },
+                    );
+                    for (i, (a, b)) in scalar_logs.iter().zip(batched_logs.iter()).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{} observation[{path}] n={n} log[{i}]",
+                            backend.name()
+                        );
+                    }
+
+                    // Reweight on the logs just produced.
+                    let max_log = scalar_logs.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+                    let mut scalar_w: Vec<f32> = scalar.weight().to_vec();
+                    let mut batched_w = scalar_w.clone();
+                    layout.for_each_split(
+                        (scalar_w.as_mut_slice(), scalar_logs.as_slice()),
+                        |_, (w, l)| kernel::reweight(w, l, max_log),
+                    );
+                    layout.for_each_split(
+                        (batched_w.as_mut_slice(), batched_logs.as_slice()),
+                        |_, (w, l)| kernel::reweight_with(backend, w, l, max_log),
+                    );
+                    for (i, (a, b)) in scalar_w.iter().zip(batched_w.iter()).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{} reweight[{path}] n={n} w[{i}]",
+                            backend.name()
+                        );
+                    }
                 }
 
-                // Reweight on the logs just produced.
-                let max_log = scalar_logs.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-                let mut scalar_w: Vec<f32> = scalar.weight().to_vec();
-                let mut lanes_w = scalar_w.clone();
-                layout.for_each_split(
-                    (scalar_w.as_mut_slice(), scalar_logs.as_slice()),
-                    |_, (w, l)| kernel::reweight(w, l, max_log),
+                // Resampling scatter (near-sorted indices, like a systematic plan).
+                let indices: Vec<usize> = (0..n).map(|i| (i * 2).min(n - 1)).collect();
+                let uniform = 1.0f32 / n as f32;
+                let mut scalar_target: ParticleBuffer<f32> = buffer(n, 99);
+                let mut batched_target = scalar_target.clone();
+                kernel::resample_scatter(
+                    scalar.as_slice(),
+                    scalar_target.as_mut_slice(),
+                    &indices,
+                    uniform,
                 );
-                layout.for_each_split(
-                    (lanes_w.as_mut_slice(), lanes_logs.as_slice()),
-                    |_, (w, l)| kernel::reweight_lanes(w, l, max_log),
+                kernel::resample_scatter_with(
+                    backend,
+                    batched.as_slice(),
+                    batched_target.as_mut_slice(),
+                    &indices,
+                    uniform,
                 );
-                for (i, (a, b)) in scalar_w.iter().zip(lanes_w.iter()).enumerate() {
-                    assert_eq!(a.to_bits(), b.to_bits(), "reweight[{path}] n={n} w[{i}]");
-                }
+                assert_buffers_bit_identical(&scalar_target, &batched_target, &label("scatter"));
+
+                // Pose reduction.
+                let a = kernel::pose_estimate_with(&scalar_target, &layout, KernelBackend::Scalar);
+                let b = kernel::pose_estimate_with(&batched_target, &layout, backend);
+                let pose = label("pose");
+                assert_eq!(a.pose.x.to_bits(), b.pose.x.to_bits(), "{pose}");
+                assert_eq!(a.pose.y.to_bits(), b.pose.y.to_bits(), "{pose}");
+                assert_eq!(a.pose.theta.to_bits(), b.pose.theta.to_bits(), "{pose}");
+                assert_eq!(
+                    a.position_std_m.to_bits(),
+                    b.position_std_m.to_bits(),
+                    "{pose}"
+                );
+                assert_eq!(a.yaw_std_rad.to_bits(), b.yaw_std_rad.to_bits(), "{pose}");
+                assert_eq!(a.neff.to_bits(), b.neff.to_bits(), "{pose}");
             }
-
-            // Resampling scatter (near-sorted indices, like a systematic plan).
-            let indices: Vec<usize> = (0..n).map(|i| (i * 2).min(n - 1)).collect();
-            let uniform = 1.0f32 / n as f32;
-            let mut scalar_target: ParticleBuffer<f32> = buffer(n, 99);
-            let mut lanes_target = scalar_target.clone();
-            kernel::resample_scatter(
-                scalar.as_slice(),
-                scalar_target.as_mut_slice(),
-                &indices,
-                uniform,
-            );
-            kernel::resample_scatter_lanes(
-                lanes.as_slice(),
-                lanes_target.as_mut_slice(),
-                &indices,
-                uniform,
-            );
-            assert_buffers_bit_identical(&scalar_target, &lanes_target, &format!("scatter n={n}"));
-
-            // Pose reduction.
-            let a = kernel::pose_estimate_with(&scalar_target, &layout, KernelBackend::Scalar);
-            let b = kernel::pose_estimate_with(&lanes_target, &layout, KernelBackend::Lanes);
-            assert_eq!(a.pose.x.to_bits(), b.pose.x.to_bits(), "pose n={n}");
-            assert_eq!(a.pose.y.to_bits(), b.pose.y.to_bits(), "pose n={n}");
-            assert_eq!(a.pose.theta.to_bits(), b.pose.theta.to_bits(), "pose n={n}");
-            assert_eq!(
-                a.position_std_m.to_bits(),
-                b.position_std_m.to_bits(),
-                "pose n={n}"
-            );
-            assert_eq!(
-                a.yaw_std_rad.to_bits(),
-                b.yaw_std_rad.to_bits(),
-                "pose n={n}"
-            );
-            assert_eq!(a.neff.to_bits(), b.neff.to_bits(), "pose n={n}");
         }
     }
 }
 
 /// Runs a full filter (uniform init + three gated updates) under `backend`
 /// and returns the particle buffer and final estimate.
-fn run_filter<S: Scalar>(
+fn run_filter<S: Scalar, D: tof_mcl::gridmap::DistanceField + Clone>(
     map: &OccupancyGrid,
-    edt: &EuclideanDistanceField,
+    edt: &D,
     beams: &[Beam],
     n: usize,
     seed: u64,
@@ -263,10 +285,10 @@ proptest! {
 
     /// Full-filter equivalence for f32 storage: for every seed, particle
     /// count (the `+ tail` term sweeps the `n % LANES` classes with the
-    /// case index), worker layout and a warm-pool rerun, the `Lanes` filter
-    /// is bit-identical to the `Scalar` filter.
+    /// case index), worker layout and a warm-pool rerun, the `Lanes` and
+    /// `Avx2` filters are bit-identical to the `Scalar` filter.
     #[test]
-    fn lanes_filter_is_bit_identical_to_scalar_for_f32(
+    fn batched_filters_are_bit_identical_to_scalar_for_f32(
         seed in 0u64..300,
         base in 2usize..12,
         tail in 0usize..LANES,
@@ -277,32 +299,34 @@ proptest! {
         let beams = synthetic_beams(seed);
         for workers in [1usize, 3, 8] {
             let (scalar_particles, scalar_estimate) =
-                run_filter::<f32>(&map, &edt, &beams, n, seed, workers, KernelBackend::Scalar);
-            // Two lanes runs: the second re-dispatches on the already-warm
-            // shared pool and must not drift.
-            for rerun in 0..2 {
-                let (lanes_particles, lanes_estimate) =
-                    run_filter::<f32>(&map, &edt, &beams, n, seed, workers, KernelBackend::Lanes);
-                prop_assert_eq!(
-                    &scalar_particles,
-                    &lanes_particles,
-                    "workers={} rerun={} diverged", workers, rerun
-                );
-                prop_assert_eq!(scalar_estimate.pose.x.to_bits(), lanes_estimate.pose.x.to_bits());
-                prop_assert_eq!(scalar_estimate.pose.y.to_bits(), lanes_estimate.pose.y.to_bits());
-                prop_assert_eq!(
-                    scalar_estimate.pose.theta.to_bits(),
-                    lanes_estimate.pose.theta.to_bits()
-                );
-                prop_assert_eq!(
-                    scalar_estimate.position_std_m.to_bits(),
-                    lanes_estimate.position_std_m.to_bits()
-                );
-                prop_assert_eq!(
-                    scalar_estimate.yaw_std_rad.to_bits(),
-                    lanes_estimate.yaw_std_rad.to_bits()
-                );
-                prop_assert_eq!(scalar_estimate.neff.to_bits(), lanes_estimate.neff.to_bits());
+                run_filter::<f32, _>(&map, &edt, &beams, n, seed, workers, KernelBackend::Scalar);
+            for backend in [KernelBackend::Lanes, KernelBackend::Avx2] {
+                // Two runs: the second re-dispatches on the already-warm
+                // shared pool and must not drift.
+                for rerun in 0..2 {
+                    let (particles, estimate) =
+                        run_filter::<f32, _>(&map, &edt, &beams, n, seed, workers, backend);
+                    prop_assert_eq!(
+                        &scalar_particles,
+                        &particles,
+                        "{} workers={} rerun={} diverged", backend.name(), workers, rerun
+                    );
+                    prop_assert_eq!(scalar_estimate.pose.x.to_bits(), estimate.pose.x.to_bits());
+                    prop_assert_eq!(scalar_estimate.pose.y.to_bits(), estimate.pose.y.to_bits());
+                    prop_assert_eq!(
+                        scalar_estimate.pose.theta.to_bits(),
+                        estimate.pose.theta.to_bits()
+                    );
+                    prop_assert_eq!(
+                        scalar_estimate.position_std_m.to_bits(),
+                        estimate.position_std_m.to_bits()
+                    );
+                    prop_assert_eq!(
+                        scalar_estimate.yaw_std_rad.to_bits(),
+                        estimate.yaw_std_rad.to_bits()
+                    );
+                    prop_assert_eq!(scalar_estimate.neff.to_bits(), estimate.neff.to_bits());
+                }
             }
         }
     }
@@ -314,7 +338,7 @@ proptest! {
     /// and stays valid if the bound is ever relaxed above zero.)
     #[allow(clippy::absurd_extreme_comparisons)]
     #[test]
-    fn lanes_filter_stays_within_the_stated_f16_ulp_bound(
+    fn batched_filters_stay_within_the_stated_f16_ulp_bound(
         seed in 0u64..300,
         base in 2usize..10,
         tail in 0usize..LANES,
@@ -325,29 +349,90 @@ proptest! {
         let beams = synthetic_beams(seed);
         for workers in [1usize, 8] {
             let (scalar_particles, scalar_estimate) =
-                run_filter::<F16>(&map, &edt, &beams, n, seed, workers, KernelBackend::Scalar);
-            let (lanes_particles, lanes_estimate) =
-                run_filter::<F16>(&map, &edt, &beams, n, seed, workers, KernelBackend::Lanes);
-            for i in 0..n {
-                let (a, b) = (scalar_particles.get(i), lanes_particles.get(i));
-                for (sa, sb, component) in [
-                    (a.x, b.x, "x"),
-                    (a.y, b.y, "y"),
-                    (a.theta, b.theta, "theta"),
-                    (a.weight, b.weight, "weight"),
-                ] {
-                    let ulps = f16_ulp_distance(sa, sb);
-                    prop_assert!(
-                        ulps <= F16_BACKEND_ULP_BOUND,
-                        "{}[{}] off by {} ULPs (> {}) at workers={}",
-                        component, i, ulps, F16_BACKEND_ULP_BOUND, workers
-                    );
+                run_filter::<F16, _>(&map, &edt, &beams, n, seed, workers, KernelBackend::Scalar);
+            for backend in [KernelBackend::Lanes, KernelBackend::Avx2] {
+                let (particles, estimate) =
+                    run_filter::<F16, _>(&map, &edt, &beams, n, seed, workers, backend);
+                for i in 0..n {
+                    let (a, b) = (scalar_particles.get(i), particles.get(i));
+                    for (sa, sb, component) in [
+                        (a.x, b.x, "x"),
+                        (a.y, b.y, "y"),
+                        (a.theta, b.theta, "theta"),
+                        (a.weight, b.weight, "weight"),
+                    ] {
+                        let ulps = f16_ulp_distance(sa, sb);
+                        prop_assert!(
+                            ulps <= F16_BACKEND_ULP_BOUND,
+                            "{} {}[{}] off by {} ULPs (> {}) at workers={}",
+                            backend.name(), component, i, ulps, F16_BACKEND_ULP_BOUND, workers
+                        );
+                    }
                 }
+                // The estimate is computed in f32/f64 from the f16 components;
+                // with 0-ULP particle agreement it must match bit for bit.
+                prop_assert_eq!(scalar_estimate.pose.x.to_bits(), estimate.pose.x.to_bits());
+                prop_assert_eq!(scalar_estimate.neff.to_bits(), estimate.neff.to_bits());
             }
-            // The estimate is computed in f32/f64 from the f16 components;
-            // with 0-ULP particle agreement it must match bit for bit.
-            prop_assert_eq!(scalar_estimate.pose.x.to_bits(), lanes_estimate.pose.x.to_bits());
-            prop_assert_eq!(scalar_estimate.neff.to_bits(), lanes_estimate.neff.to_bits());
+        }
+    }
+}
+
+/// The paper's FP16_QM configuration — binary16 particles over the 8-bit
+/// quantized distance field — is where the Avx2 backend takes its gather
+/// path through the quantized codes. Full-filter equivalence across every
+/// backend must hold there too, at the same zero-ULP bound.
+#[allow(clippy::absurd_extreme_comparisons)]
+#[test]
+fn every_backend_matches_scalar_on_the_quantized_f16_pipeline() {
+    let map = arena();
+    let quantized = EuclideanDistanceField::compute(&map, 1.5).quantize();
+    for (seed, tail) in [(3u64, 1usize), (11, 5), (29, 0)] {
+        let n = 6 * LANES + tail;
+        let beams = synthetic_beams(seed);
+        for workers in [1usize, 8] {
+            let (scalar_particles, scalar_estimate) = run_filter::<F16, _>(
+                &map,
+                &quantized,
+                &beams,
+                n,
+                seed,
+                workers,
+                KernelBackend::Scalar,
+            );
+            for backend in [KernelBackend::Lanes, KernelBackend::Avx2] {
+                let (particles, estimate) =
+                    run_filter::<F16, _>(&map, &quantized, &beams, n, seed, workers, backend);
+                for i in 0..n {
+                    let (a, b) = (scalar_particles.get(i), particles.get(i));
+                    for (sa, sb, component) in [
+                        (a.x, b.x, "x"),
+                        (a.y, b.y, "y"),
+                        (a.theta, b.theta, "theta"),
+                        (a.weight, b.weight, "weight"),
+                    ] {
+                        let ulps = f16_ulp_distance(sa, sb);
+                        assert!(
+                            ulps <= F16_BACKEND_ULP_BOUND,
+                            "{} {component}[{i}] off by {ulps} ULPs at workers={workers} \
+                             seed={seed}",
+                            backend.name()
+                        );
+                    }
+                }
+                assert_eq!(
+                    scalar_estimate.pose.x.to_bits(),
+                    estimate.pose.x.to_bits(),
+                    "{} seed={seed}",
+                    backend.name()
+                );
+                assert_eq!(
+                    scalar_estimate.neff.to_bits(),
+                    estimate.neff.to_bits(),
+                    "{} seed={seed}",
+                    backend.name()
+                );
+            }
         }
     }
 }

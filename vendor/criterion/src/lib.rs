@@ -20,7 +20,10 @@
 //!
 //! * `MCL_BENCH_QUICK=1` — 5 samples / 1 warm-up instead of 10 / 3.
 //! * `MCL_BENCH_JSON=<path>` — append one JSON line per benchmark
-//!   (`{"label":…,"median_ns":…,"samples":…,"rejected":…}`) to `<path>`.
+//!   (`{"label":…,"median_ns":…,"samples":…,"rejected":…,"cpu_features":…}`)
+//!   to `<path>`; `cpu_features` records the host's detected SIMD extensions
+//!   (`avx2`/`fma`/`f16c`) so archived medians are attributable to a CPU
+//!   class.
 
 #![deny(unsafe_code)]
 
@@ -128,6 +131,33 @@ pub fn robust_stats(samples: &[Duration]) -> Option<SampleStats> {
     })
 }
 
+/// The SIMD-relevant CPU features of the machine the benchmark ran on, as a
+/// comma-separated list (`"avx2,fma,f16c"` on a fully capable x86-64 host,
+/// `""` elsewhere). Archived with every JSON line so consumers comparing
+/// explicit-SIMD medians against a model — e.g. the `modeled_vs_measured`
+/// fixture in `mcl_gap9::cost` — can tell whether an `avx2`-labelled entry
+/// really exercised the intrinsics or a fallback.
+pub fn cpu_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut features = Vec::new();
+        if std::arch::is_x86_feature_detected!("avx2") {
+            features.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            features.push("fma");
+        }
+        if std::arch::is_x86_feature_detected!("f16c") {
+            features.push("f16c");
+        }
+        features.join(",")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        String::new()
+    }
+}
+
 /// Appends one JSON line describing a finished benchmark to `path`.
 /// The label is escaped for the characters benchmark ids can contain.
 pub fn append_json_line(path: &str, label: &str, stats: &SampleStats) -> std::io::Result<()> {
@@ -146,10 +176,11 @@ pub fn append_json_line(path: &str, label: &str, stats: &SampleStats) -> std::io
         .open(path)?;
     writeln!(
         file,
-        "{{\"label\":\"{escaped}\",\"median_ns\":{},\"samples\":{},\"rejected\":{}}}",
+        "{{\"label\":\"{escaped}\",\"median_ns\":{},\"samples\":{},\"rejected\":{},\"cpu_features\":\"{}\"}}",
         stats.median.as_nanos(),
         stats.kept,
-        stats.rejected
+        stats.rejected,
+        cpu_features()
     )
 }
 
@@ -491,7 +522,24 @@ mod tests {
         assert!(lines[0].contains("\\\"quoted\\\""));
         assert!(lines[0].contains("\"median_ns\":1234"));
         assert!(lines[1].contains("\"samples\":10"));
+        // Every line is stamped with the host's SIMD features (possibly the
+        // empty list) so archived medians are attributable to a CPU class.
+        let features = cpu_features();
+        for line in &lines {
+            assert!(line.contains(&format!("\"cpu_features\":\"{features}\"")));
+        }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cpu_features_is_a_comma_list_of_known_names() {
+        let features = cpu_features();
+        for feature in features.split(',').filter(|f| !f.is_empty()) {
+            assert!(
+                ["avx2", "fma", "f16c"].contains(&feature),
+                "unexpected feature name {feature:?}"
+            );
+        }
     }
 
     #[test]
