@@ -1,24 +1,30 @@
 //! Scenario-suite sweep: every registered world and failure mode, both kernel
-//! backends, per-scenario medians and success rates.
+//! backends, fixed and KLD-adaptive population control, per-scenario medians
+//! and success rates.
 //!
 //! Runs [`mcl_sim::suite::run_suite`] over the full
-//! (scenario × pipeline × particles × backend × seed) grid and reports, per
-//! (scenario, backend): the median ATE and convergence time, the success
-//! rate, and — for the stress scenarios — the kidnap recovery rate and the
-//! dropout-window ATE. The two backends are bit-identical by construction
-//! (pinned by `tests/scenario_suite.rs`), so their rows must agree; CI
-//! archives the output as `BENCH_scenarios.json` and a regression shows up as
-//! a diff in either backend's row.
+//! (scenario × pipeline × particles × backend × seed) grid twice — once with
+//! the fixed population, once under `run_suite_with_mode`'s adaptive leg
+//! (KLD-sampling plus Augmented-MCL recovery injection) — and reports, per
+//! (scenario, backend, mode): the median ATE and convergence time, the
+//! success rate, the average population the runs actually used, and — for
+//! the stress scenarios — the kidnap recovery rate, the median recovery time
+//! and the dropout-window ATE. The two backends are bit-identical by
+//! construction (pinned by `tests/scenario_suite.rs`), so their rows must
+//! agree; CI archives the output as `BENCH_scenarios.json` and a regression
+//! shows up as a diff in any row. The adaptive rows are the acceptance
+//! evidence for the adaptive resampler: kidnap recovery at or below the
+//! fixed baseline's time while averaging strictly fewer particles.
 //!
 //! Run with `cargo run --release -p mcl-bench --bin scenario_suite`; add
 //! `--full` (after `--`) for the study-scale sweep. When `MCL_BENCH_JSON` is
-//! set, one JSON line per (scenario, backend) row is appended to that path —
-//! the same contract as the criterion stub's kernel benches.
+//! set, one JSON line per (scenario, backend, mode) row is appended to that
+//! path — the same contract as the criterion stub's kernel benches.
 
 use mcl_bench::print_header;
 use mcl_core::precision::PipelineConfig;
 use mcl_core::KernelBackend;
-use mcl_sim::suite::{run_suite, ScenarioSuite, SuiteOutcome};
+use mcl_sim::suite::{run_suite_with_mode, ScenarioSuite, SuiteOutcome};
 use mcl_sim::SequenceResult;
 use std::io::Write;
 
@@ -74,19 +80,26 @@ fn median(mut values: Vec<f64>) -> Option<f64> {
     })
 }
 
-/// Per-(scenario, backend) aggregate row.
+/// Per-(scenario, backend, mode) aggregate row.
 struct Row {
     scenario: &'static str,
     backend: KernelBackend,
+    mode: &'static str,
     runs: usize,
     success_rate_percent: f64,
     median_ate_m: Option<f64>,
     median_convergence_time_s: Option<f64>,
     recovery_rate_percent: Option<f64>,
+    median_recovery_time_s: Option<f64>,
     median_dropout_ate_m: Option<f64>,
+    mean_particles: Option<f64>,
 }
 
-fn fold_rows(outcomes: &[SuiteOutcome], backends: &[KernelBackend]) -> Vec<Row> {
+fn fold_rows(
+    outcomes: &[SuiteOutcome],
+    backends: &[KernelBackend],
+    mode: &'static str,
+) -> Vec<Row> {
     let mut rows = Vec::new();
     let mut scenarios: Vec<&'static str> = outcomes.iter().map(|o| o.scenario).collect();
     scenarios.dedup();
@@ -101,9 +114,15 @@ fn fold_rows(outcomes: &[SuiteOutcome], backends: &[KernelBackend]) -> Vec<Row> 
             let successes = results.iter().filter(|r| r.success).count();
             let kidnaps: usize = results.iter().map(|r| r.kidnaps).sum();
             let recovered: usize = results.iter().map(|r| r.kidnaps_recovered).sum();
+            let populations: Vec<f64> = results
+                .iter()
+                .filter(|r| r.mean_particles > 0.0)
+                .map(|r| f64::from(r.mean_particles))
+                .collect();
             rows.push(Row {
                 scenario,
                 backend,
+                mode,
                 runs,
                 success_rate_percent: 100.0 * successes as f64 / runs.max(1) as f64,
                 median_ate_m: median(results.iter().filter_map(|r| r.ate_m).collect()),
@@ -115,9 +134,17 @@ fn fold_rows(outcomes: &[SuiteOutcome], backends: &[KernelBackend]) -> Vec<Row> 
                 ),
                 recovery_rate_percent: (kidnaps > 0)
                     .then(|| 100.0 * recovered as f64 / kidnaps as f64),
+                median_recovery_time_s: median(
+                    results
+                        .iter()
+                        .filter_map(|r| r.mean_recovery_time_s)
+                        .collect(),
+                ),
                 median_dropout_ate_m: median(
                     results.iter().filter_map(|r| r.dropout_ate_m).collect(),
                 ),
+                mean_particles: (!populations.is_empty())
+                    .then(|| populations.iter().sum::<f64>() / populations.len() as f64),
             });
         }
     }
@@ -141,20 +168,24 @@ fn json_opt(value: Option<f64>) -> String {
 fn json_line(row: &Row, quick: bool) -> String {
     format!(
         concat!(
-            "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"quick_mode\":{},",
+            "{{\"scenario\":\"{}\",\"backend\":\"{}\",\"mode\":\"{}\",\"quick_mode\":{},",
             "\"runs\":{},\"success_rate_percent\":{:.3},\"median_ate_m\":{},",
             "\"median_convergence_time_s\":{},\"recovery_rate_percent\":{},",
-            "\"median_dropout_ate_m\":{}}}"
+            "\"median_recovery_time_s\":{},\"median_dropout_ate_m\":{},",
+            "\"mean_particles\":{}}}"
         ),
         row.scenario,
         row.backend.name(),
+        row.mode,
         quick,
         row.runs,
         row.success_rate_percent,
         json_opt(row.median_ate_m),
         json_opt(row.median_convergence_time_s),
         json_opt(row.recovery_rate_percent),
+        json_opt(row.median_recovery_time_s),
         json_opt(row.median_dropout_ate_m),
+        json_opt(row.mean_particles),
     )
 }
 
@@ -162,10 +193,11 @@ fn main() {
     let shape = SweepShape::from_args();
     let quick = shape.quick;
     let backends = [KernelBackend::Scalar, KernelBackend::Lanes];
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     print_header("Scenario suite — per-scenario medians and success rates");
     println!(
-        "({} scenarios x {} pipelines x {} particle counts x {} seeds x both backends)",
+        "({} scenarios x {} pipelines x {} particle counts x {} seeds x both backends x fixed+adaptive)",
         shape.suite.len(),
         shape.pipelines.len(),
         shape.particle_counts.len(),
@@ -173,31 +205,48 @@ fn main() {
     );
 
     let scenarios = shape.suite.build_all(shape.scenario_seed);
-    let outcomes = run_suite(
-        &scenarios,
-        &shape.pipelines,
-        &shape.particle_counts,
-        &backends,
-        &shape.seeds,
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
-    );
-    let rows = fold_rows(&outcomes, &backends);
+    let mut rows = Vec::new();
+    for (adaptive, mode) in [(false, "fixed"), (true, "adaptive")] {
+        let outcomes = run_suite_with_mode(
+            &scenarios,
+            &shape.pipelines,
+            &shape.particle_counts,
+            &backends,
+            &shape.seeds,
+            threads,
+            adaptive,
+        );
+        rows.extend(fold_rows(&outcomes, &backends, mode));
+    }
 
     println!(
-        "\n{:>20} {:>8} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "scenario", "backend", "runs", "succ %", "med ATE", "med conv", "recov %", "drop ATE"
+        "\n{:>20} {:>8} {:>9} {:>5} {:>8} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8}",
+        "scenario",
+        "backend",
+        "mode",
+        "runs",
+        "succ %",
+        "med ATE",
+        "med conv",
+        "recov %",
+        "med recov",
+        "drop ATE",
+        "mean N"
     );
     for row in &rows {
         println!(
-            "{:>20} {:>8} {:>6} {:>10.1} {:>10} {:>10} {:>10} {:>10}",
+            "{:>20} {:>8} {:>9} {:>5} {:>8.1} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8}",
             row.scenario,
             row.backend.name(),
+            row.mode,
             row.runs,
             row.success_rate_percent,
             fmt_opt(row.median_ate_m),
             fmt_opt(row.median_convergence_time_s),
             fmt_opt(row.recovery_rate_percent),
+            fmt_opt(row.median_recovery_time_s),
             fmt_opt(row.median_dropout_ate_m),
+            fmt_opt(row.mean_particles.map(|n| n.round())),
         );
     }
 

@@ -1,0 +1,772 @@
+//! Adaptive population control: KLD-sampling and Augmented-MCL recovery.
+//!
+//! The paper runs a fixed-size filter sized for the GAP9 L2 budget. This
+//! module implements the two standard adaptations that let the population
+//! track the *uncertainty* instead:
+//!
+//! * **KLD-sampling** (Fox, *Adapting the sample size in particle filters
+//!   through KLD-sampling*, IJRR 2003): the pose space is divided into a
+//!   regular grid of bins ([`AdaptiveConfig::bin_xy_m`] ×
+//!   [`AdaptiveConfig::bin_theta_rad`]); the number `k` of bins the current
+//!   cloud occupies measures how complex the posterior still is, and the
+//!   chi-square bound (via the Wilson–Hilferty transform, [`kld_bound`])
+//!   gives the population needed to keep the KL divergence between the
+//!   sampled and the true posterior below `epsilon` with probability
+//!   `1 − delta`. A converged cloud occupies a handful of bins and shrinks
+//!   to [`AdaptiveConfig::min_particles`]; an ambiguous (multi-hypothesis)
+//!   cloud occupies hundreds and grows to [`AdaptiveConfig::max_particles`].
+//! * **Recovery injection** (Augmented MCL, Thrun/Burgard/Fox, *Probabilistic
+//!   Robotics* §8.3): [`LikelihoodMonitor`] tracks short- and long-term
+//!   exponential averages of the mean observation likelihood. When the
+//!   short-term average collapses below the long-term one — the sensor-model
+//!   signature of a kidnapped robot or a diverged filter — a proportional
+//!   fraction of the next generation is drawn uniformly over the map's free
+//!   space instead of resampled, re-seeding hypotheses where the wheel alone
+//!   would need unbounded time to recover.
+//!
+//! Both pieces are deterministic pure functions of the filter state, so the
+//! population trajectory is bit-identical for every worker count and kernel
+//! backend — the dynamic size threads through the same schedule-independent
+//! chunk geometry as the fixed-size filter (see
+//! [`crate::resampling::PartialSumResampler::plan_resize_into`]).
+
+use crate::config::MclError;
+use crate::particle::ParticleSlice;
+use crate::rng::CounterRng;
+use mcl_num::Scalar;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Salt XORed into the filter seed for the recovery-injection RNG stream, so
+/// injected poses can never collide with the motion kernel's per-particle
+/// streams (which key on the unsalted seed and the same update index).
+const INJECTION_STREAM_SALT: u64 = 0xA5A5_5A5A_C3C3_3C3C;
+
+/// Configuration of the adaptive (KLD + recovery) population control.
+///
+/// Defaults follow the widely used AMCL parameterization for the KLD bound —
+/// `ε = 0.05`, `δ = 0.01` (the 99 % chi-square quantile), 0.5 m × 30° bins —
+/// but the likelihood averaging rates are retuned for the paper's short
+/// (≤ 60 s, 15 Hz) flights: `α_fast = 0.5` reacts to a kidnap within a few
+/// updates, and `α_slow = 0.02` (a ~3 s horizon) both anchors the long-term
+/// reference to the *converged* likelihood level — the textbook 0.001 never
+/// leaves the poor global-initialization level on a 300-update sequence — and
+/// lets an injection episode self-terminate: injected particles drag the mean
+/// likelihood down, and a slow average that tracks within ~50 updates closes
+/// the feedback loop instead of injecting forever. The injection cap is 5 %
+/// per generation for the same reason. Disabled by default — the fixed-size
+/// filter stays bit-identical to the seed behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Master switch. When `false` every other field is ignored and the
+    /// filter keeps its fixed `num_particles` population.
+    pub enabled: bool,
+    /// Lower population clamp (the filter never shrinks below this).
+    pub min_particles: usize,
+    /// Upper population clamp (the filter never grows beyond this).
+    pub max_particles: usize,
+    /// KLD error bound `ε` between the sampled and true posterior.
+    pub epsilon: f32,
+    /// KLD confidence parameter `δ`: the bound holds with probability `1−δ`.
+    pub delta: f32,
+    /// Side length of the square x/y occupancy bins, metres.
+    pub bin_xy_m: f32,
+    /// Angular bin size, radians.
+    pub bin_theta_rad: f32,
+    /// Short-term likelihood averaging rate `α_fast` (Augmented MCL).
+    pub alpha_fast: f32,
+    /// Long-term likelihood averaging rate `α_slow` (Augmented MCL).
+    pub alpha_slow: f32,
+    /// Cap on the fraction of one generation drawn by recovery injection,
+    /// keeping the filter from discarding its whole belief in a single bad
+    /// update. `0.0` disables injection entirely.
+    pub max_injection_fraction: f32,
+    /// ESS resampling gate: while the effective sample size stays at or above
+    /// `ess_threshold × population` (and no recovery episode is running), the
+    /// update skips resampling entirely — weights keep accumulating
+    /// multiplicatively and every hypothesis survives. Resampling every
+    /// update is what starves multi-modal beliefs: in a symmetric world the
+    /// wheel kills the competing mode within a couple of seconds, long
+    /// before the sensor can disambiguate. `0.0` disables the gate
+    /// (resample every update, the fixed-pipeline behaviour).
+    pub ess_threshold: f32,
+    /// Likelihood-tempering ESS floor, as a fraction of the population. When
+    /// a single observation would crash the effective sample size below
+    /// `temper_ess × population`, the log-likelihoods are annealed by the
+    /// exponent `β ∈ (0, 1]` that lands the post-update ESS exactly on the
+    /// floor (adaptive annealing, as in sequential Monte Carlo samplers).
+    /// This is the weight-degeneracy fix for sharp multi-beam models: a
+    /// 128-beam product is so peaked that during global localization one
+    /// aliased particle can take essentially all the mass in a single
+    /// update, and the very first resample then discards the true mode
+    /// forever. Tempering bounds how much of the cloud one update may kill,
+    /// letting evidence accumulate over several updates instead. Must stay
+    /// below [`AdaptiveConfig::ess_threshold`], otherwise every tempered
+    /// update would also skip resampling and the population could never
+    /// adapt. `0.0` disables tempering.
+    pub temper_ess: f32,
+    /// Dead-band on the raw Augmented-MCL fraction `1 − w_fast/w_slow`:
+    /// recovery (injection and the population growth that accompanies it)
+    /// fires only when the collapse exceeds this threshold. Ordinary
+    /// likelihood fluctuations during a healthy flight produce small positive
+    /// fractions every few seconds; without a dead-band each one would grow
+    /// the population and seed random hypotheses for nothing.
+    ///
+    /// The monitor is fed the *per-beam* likelihood (see
+    /// [`LikelihoodMonitor`]), which compresses the collapse relative to the
+    /// raw multi-beam product: a kidnap that would crash the raw ratio to
+    /// nearly zero moves the per-beam fraction to only ~0.1–0.15, while
+    /// healthy-tracking jitter stays under ~0.04. The default dead-band of
+    /// 0.06 sits between the two.
+    pub injection_trigger: f32,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            enabled: false,
+            min_particles: 256,
+            max_particles: 4096,
+            epsilon: 0.05,
+            delta: 0.01,
+            bin_xy_m: 0.5,
+            bin_theta_rad: core::f32::consts::PI / 6.0,
+            alpha_fast: 0.5,
+            alpha_slow: 0.02,
+            max_injection_fraction: 0.05,
+            ess_threshold: 0.5,
+            temper_ess: 0.15,
+            injection_trigger: 0.06,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// The default configuration with the master switch on.
+    pub fn enabled() -> Self {
+        AdaptiveConfig {
+            enabled: true,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    /// Returns a copy with different population clamps.
+    pub fn with_population_range(mut self, min: usize, max: usize) -> Self {
+        self.min_particles = min;
+        self.max_particles = max;
+        self
+    }
+
+    /// The configuration resolved from the environment:
+    /// `MCL_ADAPTIVE=1|true` flips the master switch, and
+    /// `MCL_ADAPTIVE_MIN` / `MCL_ADAPTIVE_MAX` override the population
+    /// clamps. Unset variables keep the defaults; unparsable values are
+    /// ignored (the filter must never panic over an environment typo).
+    pub fn from_env() -> Self {
+        let mut config = AdaptiveConfig::default();
+        if let Ok(v) = std::env::var("MCL_ADAPTIVE") {
+            let v = v.trim().to_ascii_lowercase();
+            config.enabled = v == "1" || v == "true" || v == "on";
+        }
+        if let Some(min) = std::env::var("MCL_ADAPTIVE_MIN")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            config.min_particles = min;
+        }
+        if let Some(max) = std::env::var("MCL_ADAPTIVE_MAX")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            config.max_particles = max;
+        }
+        config
+    }
+
+    /// Validates the configuration (only meaningful when `enabled`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MclError::InvalidConfig`] naming the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), MclError> {
+        if self.min_particles == 0 {
+            return Err(MclError::InvalidConfig(
+                "adaptive min_particles must be > 0",
+            ));
+        }
+        if self.max_particles < self.min_particles {
+            return Err(MclError::InvalidConfig(
+                "adaptive max_particles must be >= min_particles",
+            ));
+        }
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0) {
+            return Err(MclError::InvalidConfig("adaptive epsilon must be positive"));
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return Err(MclError::InvalidConfig("adaptive delta must be in (0, 1)"));
+        }
+        if !(self.bin_xy_m.is_finite() && self.bin_xy_m > 0.0) {
+            return Err(MclError::InvalidConfig(
+                "adaptive bin_xy_m must be positive",
+            ));
+        }
+        if !(self.bin_theta_rad.is_finite() && self.bin_theta_rad > 0.0) {
+            return Err(MclError::InvalidConfig(
+                "adaptive bin_theta_rad must be positive",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.alpha_slow)
+            || !(0.0..=1.0).contains(&self.alpha_fast)
+            || self.alpha_slow >= self.alpha_fast
+        {
+            return Err(MclError::InvalidConfig(
+                "adaptive averaging rates must satisfy 0 <= alpha_slow < alpha_fast <= 1",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.max_injection_fraction) {
+            return Err(MclError::InvalidConfig(
+                "adaptive max_injection_fraction must be in [0, 1]",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.ess_threshold) {
+            return Err(MclError::InvalidConfig(
+                "adaptive ess_threshold must be in [0, 1]",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.temper_ess) {
+            return Err(MclError::InvalidConfig(
+                "adaptive temper_ess must be in [0, 1]",
+            ));
+        }
+        if self.temper_ess > 0.0
+            && self.ess_threshold > 0.0
+            && self.temper_ess >= self.ess_threshold
+        {
+            return Err(MclError::InvalidConfig(
+                "adaptive temper_ess must be below ess_threshold",
+            ));
+        }
+        if !(0.0..1.0).contains(&self.injection_trigger) {
+            return Err(MclError::InvalidConfig(
+                "adaptive injection_trigger must be in [0, 1)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The `1−p` standard-normal quantile `z_p`, via the Acklam rational
+/// approximation (absolute error below `1.15e-9` over `(0, 1)` — far inside
+/// what the chi-square bound needs).
+fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0, 1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// The KLD-sampling population bound for `k` occupied bins: the smallest `n`
+/// such that the KL divergence between the sampled distribution and the true
+/// posterior stays below `epsilon` with probability `1 − delta`, using the
+/// Wilson–Hilferty approximation of the chi-square quantile:
+///
+/// ```text
+/// n = (k−1)/(2ε) · [ 1 − 2/(9(k−1)) + √(2/(9(k−1))) · z_{1−δ} ]³
+/// ```
+///
+/// Returns `1` for `k ≤ 1` (a single occupied bin carries no divergence).
+pub fn kld_bound(k: usize, epsilon: f32, delta: f32) -> usize {
+    if k <= 1 {
+        return 1;
+    }
+    let k = k as f64;
+    let z = normal_quantile(1.0 - f64::from(delta));
+    let d = 2.0 / (9.0 * (k - 1.0));
+    let t = 1.0 - d + d.sqrt() * z;
+    let n = (k - 1.0) / (2.0 * f64::from(epsilon)) * t * t * t;
+    n.ceil().max(1.0) as usize
+}
+
+/// Bin-occupancy statistics over the pose-space grid, feeding [`kld_bound`].
+///
+/// The sampler keeps its hash set across updates so the steady-state
+/// per-update cost is one clear plus one insert per particle; the occupied
+/// *count* is independent of iteration and hash order, so the resulting
+/// population target is deterministic.
+#[derive(Debug, Clone)]
+pub struct KldSampler {
+    config: AdaptiveConfig,
+    bins: HashSet<(i32, i32, i32)>,
+}
+
+impl KldSampler {
+    /// Creates a sampler for the given configuration.
+    pub fn new(config: AdaptiveConfig) -> Self {
+        KldSampler {
+            config,
+            bins: HashSet::new(),
+        }
+    }
+
+    /// Counts the pose-space bins occupied by `particles`.
+    pub fn occupied_bins<S: Scalar>(&mut self, particles: ParticleSlice<'_, S>) -> usize {
+        self.bins.clear();
+        let inv_xy = 1.0 / self.config.bin_xy_m;
+        let inv_theta = 1.0 / self.config.bin_theta_rad;
+        for i in 0..particles.len() {
+            let x = particles.x[i].to_f32();
+            let y = particles.y[i].to_f32();
+            let theta = particles.theta[i].to_f32();
+            self.bins.insert((
+                (x * inv_xy).floor() as i32,
+                (y * inv_xy).floor() as i32,
+                (theta * inv_theta).floor() as i32,
+            ));
+        }
+        self.bins.len()
+    }
+
+    /// The unclamped [`kld_bound`] for the bins `particles` occupies. A bound
+    /// at or below `min_particles` means the cloud is *concentrated* — the
+    /// belief fits in a handful of bins — which is the precondition for
+    /// recovery injection: a kidnapped converged filter is tight and
+    /// unlikely, while a still-localizing cloud is spread and must not be
+    /// perturbed.
+    pub fn population_bound<S: Scalar>(&mut self, particles: ParticleSlice<'_, S>) -> usize {
+        let k = self.occupied_bins(particles);
+        kld_bound(k, self.config.epsilon, self.config.delta)
+    }
+
+    /// The population the next generation should have: the
+    /// [`KldSampler::population_bound`], clamped to the configured
+    /// `[min_particles, max_particles]` range.
+    pub fn target_population<S: Scalar>(&mut self, particles: ParticleSlice<'_, S>) -> usize {
+        self.population_bound(particles)
+            .clamp(self.config.min_particles, self.config.max_particles)
+    }
+}
+
+/// Short- vs long-term mean-likelihood tracking (Augmented MCL).
+///
+/// Feed the mean observation likelihood of every applied update into
+/// [`LikelihoodMonitor::observe`]; [`LikelihoodMonitor::injection_fraction`]
+/// returns `max(0, 1 − w_fast / w_slow)` — positive exactly when recent
+/// observations are systematically less likely than the long-term trend,
+/// i.e. when the filter has diverged or the robot was kidnapped.
+///
+/// The caller must feed a value whose *scale* does not depend on the
+/// observation itself: a raw multi-beam likelihood product grows or shrinks
+/// exponentially with the number of in-range beams and the clutter of the
+/// viewpoint, which makes the short/long-term ratio track scene hardness
+/// instead of filter health. The filter therefore feeds the per-beam
+/// (geometric-mean) likelihood — see the correction step of
+/// `MonteCarloLocalization`.
+#[derive(Debug, Clone, Copy)]
+pub struct LikelihoodMonitor {
+    alpha_fast: f64,
+    alpha_slow: f64,
+    w_fast: f64,
+    w_slow: f64,
+    primed: bool,
+}
+
+impl LikelihoodMonitor {
+    /// Creates a monitor with the configured averaging rates.
+    pub fn new(config: AdaptiveConfig) -> Self {
+        LikelihoodMonitor {
+            alpha_fast: f64::from(config.alpha_fast),
+            alpha_slow: f64::from(config.alpha_slow),
+            w_fast: 0.0,
+            w_slow: 0.0,
+            primed: false,
+        }
+    }
+
+    /// Feeds the mean observation likelihood of one applied update.
+    pub fn observe(&mut self, mean_likelihood: f64) {
+        let w = mean_likelihood.max(0.0);
+        if !self.primed {
+            self.w_fast = w;
+            self.w_slow = w;
+            self.primed = true;
+            return;
+        }
+        self.w_fast += self.alpha_fast * (w - self.w_fast);
+        self.w_slow += self.alpha_slow * (w - self.w_slow);
+    }
+
+    /// The raw Augmented-MCL injection fraction `max(0, 1 − w_fast/w_slow)`,
+    /// in `[0, 1]`. Zero until the monitor has seen at least one update or
+    /// while the short-term average keeps up with the long-term one.
+    pub fn injection_fraction(&self) -> f64 {
+        if !self.primed || self.w_slow <= f64::MIN_POSITIVE {
+            return 0.0;
+        }
+        (1.0 - self.w_fast / self.w_slow).max(0.0)
+    }
+
+    /// The current short-term average (exposed for diagnostics/tests).
+    pub fn short_term(&self) -> f64 {
+        self.w_fast
+    }
+
+    /// The current long-term average (exposed for diagnostics/tests).
+    pub fn long_term(&self) -> f64 {
+        self.w_slow
+    }
+}
+
+/// The effective sample size of `weights[i] · exp(beta · (logs[i] − max_log))`,
+/// computed in `f64` (serial — part of the schedule-independent planning
+/// path, like the ESS gate itself).
+fn tempered_ess(weights: &[f32], logs: &[f32], max_log: f32, beta: f64) -> f64 {
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for (&w, &l) in weights.iter().zip(logs) {
+        let tempered = f64::from(w) * (beta * f64::from(l - max_log)).exp();
+        sum += tempered;
+        sum_sq += tempered * tempered;
+    }
+    if sum_sq <= 0.0 {
+        return 0.0;
+    }
+    sum * sum / sum_sq
+}
+
+/// Solves for the likelihood-tempering exponent `β ∈ (0, 1]` such that
+/// multiplying `weights` by `exp(β·(logs − max_log))` keeps the effective
+/// sample size at or above `target_ess` (adaptive annealing, as used by
+/// sequential Monte Carlo samplers to bound per-step weight degeneracy).
+///
+/// Returns `1.0` when the untempered update already satisfies the target —
+/// i.e. tempering only ever weakens an observation that would otherwise
+/// collapse the cloud onto a handful of particles. When even `β = 0` cannot
+/// reach the target (the incoming weights are already degenerate), the
+/// bisection converges toward `0` and the caller effectively discards an
+/// observation it could not absorb; with the ESS resampling gate active the
+/// incoming ESS is always at least the gate threshold, so this case does not
+/// arise in the filter loop.
+pub fn temper_beta(weights: &[f32], logs: &[f32], max_log: f32, target_ess: f64) -> f64 {
+    if tempered_ess(weights, logs, max_log, 1.0) >= target_ess {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    // 40 halvings puts the bracket width below 1e-12 — far inside what the
+    // f32 log-likelihood resolution can distinguish.
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if tempered_ess(weights, logs, max_log, mid) >= target_ess {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Mode-refinement window radius for the published adaptive pose estimate,
+/// metres. Must sit below half the repetition pitch of the worlds the filter
+/// is expected to disambiguate (the suite's warehouse racks repeat every
+/// 1.2–1.6 m), so the window can shed the losing mode instead of averaging
+/// across both.
+pub const MODE_REFINE_RADIUS_M: f32 = 0.6;
+
+/// Maximum mean-shift iterations for the mode-refined estimate (each pass
+/// recenters once; the walk converges in a few steps and exits early).
+pub const MODE_REFINE_ITERATIONS: usize = 8;
+
+/// Minimum fraction of the total particle mass the refined window must hold
+/// before the mode-refined pose is published. Below a majority the belief is
+/// still genuinely multi-modal and the refined pose would just be one live
+/// hypothesis among several; the conservative full-cloud mean is published
+/// instead.
+pub const MODE_REFINE_MIN_MASS: f64 = 0.5;
+
+/// Concentration gate for recovery episodes: a collapse may latch an episode
+/// only while the unclamped KLD population bound is at most this multiple of
+/// `min_particles`. A genuinely converged-but-wrong belief (kidnapped robot,
+/// or a filter committed to an aliased mode in a repetitive world) sits
+/// within a couple of bins of the floor; a still-localizing cloud is spread
+/// far above it and must not be perturbed by injection. The factor of two
+/// admits the slightly-diffuse wrong-mode clouds cluttered worlds produce —
+/// requiring the exact floor misses them, while no gate at all re-seeds the
+/// filter mid-convergence.
+pub const RECOVERY_CONCENTRATION_FACTOR: usize = 2;
+
+/// Length of one recovery episode, in applied updates (2 s at the paper's
+/// 15 Hz): once a collapse latches recovery on, injection and the
+/// accompanying population growth persist this long — injecting once is
+/// useless (a single 5 % draw rarely lands a hypothesis near the true pose),
+/// and injecting forever destroys the belief. The episode ends early the
+/// moment the short-term likelihood recovers ([`RECOVERY_END_FRACTION`]).
+pub const RECOVERY_EPISODE_UPDATES: u32 = 30;
+
+/// Raw fraction below which a running recovery episode ends early: the
+/// short-term likelihood has caught back up with the long-term reference, so
+/// a re-seeded hypothesis took over and further injection would only erode
+/// it. On the per-beam scale a recovered filter drops straight to ~0, while
+/// an unresolved collapse holds above the 0.08 dead-band.
+pub const RECOVERY_END_FRACTION: f64 = 0.02;
+
+/// Per-beam collapse fraction treated as a *total* collapse when sizing the
+/// recovery response. The monitor's per-beam normalization compresses even a
+/// hard kidnap to a fraction of ~0.1–0.25, so using it directly would grow
+/// the population only marginally and inject almost nothing; dividing by
+/// this saturation point (and clamping to 1) restores full-strength recovery
+/// for genuine collapses while keeping the response proportional below it.
+pub const RECOVERY_COLLAPSE_SATURATION: f64 = 0.25;
+
+/// The per-filter adaptive state: bin statistics, the likelihood monitor and
+/// the recovery-episode latch.
+#[derive(Debug, Clone)]
+pub struct AdaptiveState {
+    /// KLD bin-occupancy sampler.
+    pub kld: KldSampler,
+    /// Augmented-MCL likelihood monitor.
+    pub monitor: LikelihoodMonitor,
+    /// Applied updates remaining in the current recovery episode
+    /// (0 = not recovering). See [`RECOVERY_EPISODE_UPDATES`].
+    pub recovery_updates_left: u32,
+}
+
+impl AdaptiveState {
+    /// Creates the state for one filter instance.
+    pub fn new(config: AdaptiveConfig) -> Self {
+        AdaptiveState {
+            kld: KldSampler::new(config),
+            monitor: LikelihoodMonitor::new(config),
+            recovery_updates_left: 0,
+        }
+    }
+}
+
+/// The deterministic RNG stream for recovery-injected particle `slot` of
+/// update `update_index` — salted so it cannot collide with the motion
+/// kernel's per-particle streams of the same update, and keyed on the slot so
+/// the draw is independent of worker count and dispatch schedule.
+pub fn injection_rng(seed: u64, update_index: u64, slot: u64) -> CounterRng {
+    CounterRng::for_particle(seed ^ INJECTION_STREAM_SALT, update_index, slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particle::{Particle, ParticleBuffer};
+    use mcl_gridmap::Pose2;
+
+    #[test]
+    fn normal_quantile_matches_reference_values() {
+        // Φ⁻¹(0.99) = 2.3263, Φ⁻¹(0.975) = 1.9600, Φ⁻¹(0.5) = 0.
+        assert!((normal_quantile(0.99) - 2.326_348).abs() < 1e-4);
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        // Symmetry and the low-tail branch.
+        assert!((normal_quantile(0.01) + normal_quantile(0.99)).abs() < 1e-9);
+        assert!((normal_quantile(0.001) + 3.090_232).abs() < 1e-4);
+    }
+
+    #[test]
+    fn kld_bound_grows_with_bin_count_and_shrinks_with_epsilon() {
+        assert_eq!(kld_bound(0, 0.05, 0.01), 1);
+        assert_eq!(kld_bound(1, 0.05, 0.01), 1);
+        let n10 = kld_bound(10, 0.05, 0.01);
+        let n100 = kld_bound(100, 0.05, 0.01);
+        let n500 = kld_bound(500, 0.05, 0.01);
+        assert!(n10 < n100 && n100 < n500);
+        // Looser bound → fewer particles.
+        assert!(kld_bound(100, 0.1, 0.01) < n100);
+        // Chi-square sanity at k=100, δ=0.01: the quantile is ≈ 135.8, so the
+        // bound is ≈ 135.8 / (2·0.05) ≈ 1358.
+        assert!((1300..1420).contains(&n100), "n100 = {n100}");
+    }
+
+    #[test]
+    fn occupied_bins_track_cloud_spread() {
+        let config = AdaptiveConfig::default();
+        let mut sampler = KldSampler::new(config);
+        // A converged cloud: every particle in the same 0.5 m / 30° bin.
+        let tight: ParticleBuffer<f32> = (0..100)
+            .map(|i| Particle::from_pose(&Pose2::new(1.01 + 1e-4 * i as f32, 1.01, 0.1), 0.01))
+            .collect();
+        assert_eq!(sampler.occupied_bins(tight.as_slice()), 1);
+        assert_eq!(sampler.target_population(tight.as_slice()), 256);
+        // A spread cloud: one particle per bin.
+        let spread: ParticleBuffer<f32> = (0..100)
+            .map(|i| Particle::from_pose(&Pose2::new(i as f32, 10.0 + i as f32, 0.0), 0.01))
+            .collect();
+        assert_eq!(sampler.occupied_bins(spread.as_slice()), 100);
+        // 100 bins ask for ~1350 particles (clamped inside [256, 4096]).
+        let target = sampler.target_population(spread.as_slice());
+        assert!((1300..1420).contains(&target), "target = {target}");
+        // Reuse keeps no stale state.
+        assert_eq!(sampler.occupied_bins(tight.as_slice()), 1);
+    }
+
+    #[test]
+    fn likelihood_collapse_triggers_injection() {
+        let mut monitor = LikelihoodMonitor::new(AdaptiveConfig::default());
+        assert_eq!(monitor.injection_fraction(), 0.0);
+        // Stable tracking: short-term equals long-term, no injection.
+        for _ in 0..50 {
+            monitor.observe(0.8);
+        }
+        assert_eq!(monitor.injection_fraction(), 0.0);
+        // Kidnap: likelihood collapses; the fast average drops much sooner
+        // than the slow one and the fraction becomes positive.
+        for _ in 0..5 {
+            monitor.observe(0.01);
+        }
+        let fraction = monitor.injection_fraction();
+        assert!(fraction > 0.2, "fraction = {fraction}");
+        assert!(monitor.short_term() < monitor.long_term());
+        // Recovery: likelihood returns, injection stops.
+        for _ in 0..80 {
+            monitor.observe(0.8);
+        }
+        assert_eq!(monitor.injection_fraction(), 0.0);
+    }
+
+    #[test]
+    fn injection_rng_is_keyed_and_collision_free() {
+        // Distinct slots and updates give distinct draws; equal keys agree.
+        let a = injection_rng(7, 3, 0).next_u64();
+        let b = injection_rng(7, 3, 1).next_u64();
+        let c = injection_rng(7, 4, 0).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, injection_rng(7, 3, 0).next_u64());
+        // The salted stream differs from the motion kernel's stream for the
+        // same (seed, update, particle) key.
+        assert_ne!(a, CounterRng::for_particle(7, 3, 0).next_u64());
+    }
+
+    #[test]
+    fn config_validation_names_violations() {
+        let ok = AdaptiveConfig::default();
+        assert!(ok.validate().is_ok());
+        assert!(AdaptiveConfig::enabled().validate().is_ok());
+        let mut c = ok;
+        c.min_particles = 0;
+        assert!(c.validate().is_err());
+        let mut c = ok;
+        c.max_particles = c.min_particles - 1;
+        assert!(c.validate().is_err());
+        let mut c = ok;
+        c.epsilon = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ok;
+        c.delta = 1.0;
+        assert!(c.validate().is_err());
+        let mut c = ok;
+        c.bin_xy_m = f32::NAN;
+        assert!(c.validate().is_err());
+        let mut c = ok;
+        c.bin_theta_rad = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = ok;
+        c.alpha_slow = 0.5;
+        c.alpha_fast = 0.1;
+        assert!(c.validate().is_err());
+        let mut c = ok;
+        c.max_injection_fraction = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = ok;
+        c.injection_trigger = 1.0;
+        assert!(c.validate().is_err());
+        let mut c = ok;
+        c.ess_threshold = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = ok;
+        c.temper_ess = 1.5;
+        assert!(c.validate().is_err());
+        // The temper floor must sit below the resampling gate, otherwise
+        // every tempered update would skip resampling.
+        let mut c = ok;
+        c.temper_ess = c.ess_threshold;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn temper_beta_leaves_healthy_updates_alone() {
+        // Near-flat likelihoods keep the ESS high; no tempering.
+        let weights = [0.25f32; 4];
+        let logs = [-0.1f32, -0.2, -0.15, -0.05];
+        assert_eq!(temper_beta(&weights, &logs, -0.05, 2.0), 1.0);
+    }
+
+    #[test]
+    fn temper_beta_lands_the_ess_on_the_floor() {
+        // One particle takes essentially all the mass untempered: ESS → 1.
+        let n = 64;
+        let weights = vec![1.0 / n as f32; n];
+        let mut logs = vec![-200.0f32; n];
+        logs[7] = 0.0;
+        assert!(tempered_ess(&weights, &logs, 0.0, 1.0) < 1.5);
+        let target = 0.25 * n as f64;
+        let beta = temper_beta(&weights, &logs, 0.0, target);
+        assert!(beta > 0.0 && beta < 1.0, "beta = {beta}");
+        let ess = tempered_ess(&weights, &logs, 0.0, beta);
+        assert!(
+            (ess - target).abs() < 1e-3 * target,
+            "ess = {ess}, target = {target}"
+        );
+    }
+
+    #[test]
+    fn temper_beta_is_monotone_in_the_target() {
+        let n = 32;
+        let weights = vec![1.0 / n as f32; n];
+        let logs: Vec<f32> = (0..n).map(|i| -(i as f32)).collect();
+        let loose = temper_beta(&weights, &logs, 0.0, 4.0);
+        let tight = temper_beta(&weights, &logs, 0.0, 16.0);
+        assert!(tight < loose, "tight = {tight}, loose = {loose}");
+    }
+
+    #[test]
+    fn population_range_builder() {
+        let c = AdaptiveConfig::enabled().with_population_range(128, 2048);
+        assert!(c.enabled);
+        assert_eq!(c.min_particles, 128);
+        assert_eq!(c.max_particles, 2048);
+    }
+}

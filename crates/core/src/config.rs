@@ -1,5 +1,6 @@
 //! Filter configuration and error type.
 
+use crate::adaptive::AdaptiveConfig;
 use crate::kernel::KernelBackend;
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +43,13 @@ pub struct MclConfig {
     /// resolves [`KernelBackend::detect`] — [`KernelBackend::Avx2`] on
     /// AVX2-capable x86-64 hosts, [`KernelBackend::Lanes`] everywhere else.
     pub kernel_backend: KernelBackend,
+    /// Adaptive (KLD-sampling + recovery-injection) population control.
+    /// Disabled by default, in which case the filter keeps the fixed
+    /// `num_particles` population and is bit-identical to the seed
+    /// behaviour. [`MclConfig::default`] honours the `MCL_ADAPTIVE`,
+    /// `MCL_ADAPTIVE_MIN` and `MCL_ADAPTIVE_MAX` environment overrides
+    /// (see [`AdaptiveConfig::from_env`]).
+    pub adaptive: AdaptiveConfig,
 }
 
 impl Default for MclConfig {
@@ -56,6 +64,7 @@ impl Default for MclConfig {
             workers: 1,
             seed: 0,
             kernel_backend: KernelBackend::from_env().unwrap_or_else(KernelBackend::detect),
+            adaptive: AdaptiveConfig::from_env(),
         }
     }
 }
@@ -83,6 +92,14 @@ impl MclConfig {
     /// default and the `MCL_KERNEL_BACKEND` environment resolution).
     pub fn with_kernel_backend(mut self, backend: KernelBackend) -> Self {
         self.kernel_backend = backend;
+        self
+    }
+
+    /// Returns a copy with a different adaptive population configuration
+    /// (overriding both the default and the `MCL_ADAPTIVE*` environment
+    /// resolution).
+    pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.adaptive = adaptive;
         self
     }
 
@@ -115,6 +132,9 @@ impl MclConfig {
         }
         if self.workers == 0 {
             return Err(MclError::InvalidConfig("workers must be > 0"));
+        }
+        if self.adaptive.enabled {
+            self.adaptive.validate()?;
         }
         Ok(())
     }
@@ -210,6 +230,25 @@ mod tests {
         let mut c = ok;
         c.workers = 0;
         assert!(c.validate().is_err());
+        // Adaptive constraints are only enforced when the switch is on.
+        let mut c = ok;
+        c.adaptive.epsilon = -1.0;
+        assert!(c.validate().is_ok());
+        c.adaptive.enabled = true;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn adaptive_builder_and_default() {
+        // The default keeps adaptive off unless MCL_ADAPTIVE is set in the
+        // environment (never set inside the test suite).
+        let cfg = MclConfig::default();
+        assert_eq!(cfg.adaptive, AdaptiveConfig::from_env());
+        let cfg = cfg.with_adaptive(AdaptiveConfig::enabled().with_population_range(64, 512));
+        assert!(cfg.adaptive.enabled);
+        assert_eq!(cfg.adaptive.min_particles, 64);
+        assert_eq!(cfg.adaptive.max_particles, 512);
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -27,13 +27,14 @@
 //! across updates, so the steady-state hot path performs no heap allocation
 //! beyond the resampling plan.
 
+use crate::adaptive::{self, AdaptiveState};
 use crate::config::{MclConfig, MclError};
 use crate::estimate::PoseEstimate;
 use crate::kernel;
 use crate::motion::{MotionDelta, MotionModel};
 use crate::observation::BeamEndPointModel;
 use crate::parallel::ClusterLayout;
-use crate::particle::ParticleSet;
+use crate::particle::{Particle, ParticleSet};
 use crate::resampling::{PartialSumResampler, ResamplePlan};
 use crate::rng::CounterRng;
 use mcl_gridmap::{DistanceField, OccupancyGrid, Pose2};
@@ -74,6 +75,21 @@ pub struct FilterCounters {
     pub updates_skipped: u64,
     /// Number of odometry increments accumulated.
     pub predictions: u64,
+    /// Cumulative population over all applied updates (post-resampling), so
+    /// `resampled_particles / updates_applied` is the average population the
+    /// adaptive filter actually ran — the figure of merit the KLD adaptation
+    /// optimizes.
+    pub resampled_particles: u64,
+    /// Number of recovery particles injected by the Augmented-MCL monitor.
+    pub particles_injected: u64,
+    /// Number of applied updates whose resampling step was skipped by the
+    /// ESS gate (weights were still healthy, likelihoods multiplied in
+    /// place instead).
+    pub resamples_skipped: u64,
+    /// Number of applied updates whose log-likelihoods were annealed by the
+    /// ESS-targeted tempering guard (the raw observation alone would have
+    /// collapsed the effective sample size below the configured floor).
+    pub updates_tempered: u64,
 }
 
 /// The Monte Carlo localization filter, generic over particle storage precision
@@ -98,6 +114,18 @@ pub struct MonteCarloLocalization<S: Scalar, D: DistanceField> {
     weights_f32: Vec<f32>,
     /// Per-update scratch: the resampling plan, allocations reused.
     plan: ResamplePlan,
+    /// Adaptive population state (KLD bins + likelihood monitor); `None`
+    /// when `config.adaptive.enabled` is false, keeping the fixed-size path
+    /// byte-identical to the seed behaviour.
+    adaptive: Option<AdaptiveState>,
+    /// World coordinates of the map's free-cell centres, captured by
+    /// [`MonteCarloLocalization::initialize_uniform`] for recovery
+    /// injection. Empty when unknown (e.g. Gaussian initialization), in
+    /// which case injection is skipped.
+    free_space: Vec<(f32, f32)>,
+    /// Half the map resolution: injected poses jitter inside their cell
+    /// exactly like the uniform initialization.
+    free_space_jitter: f32,
 }
 
 impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
@@ -124,6 +152,12 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
                 indices: Vec::with_capacity(config.num_particles),
                 worker_output_ranges: Vec::with_capacity(config.workers),
             },
+            adaptive: config
+                .adaptive
+                .enabled
+                .then(|| AdaptiveState::new(config.adaptive)),
+            free_space: Vec::new(),
+            free_space_jitter: 0.0,
             config,
         })
     }
@@ -148,6 +182,13 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
         self.counters
     }
 
+    /// The adaptive-control state (KLD sampler, likelihood monitor and
+    /// recovery latch) when adaptive population control is enabled. Exposed
+    /// for diagnostics and tests.
+    pub fn adaptive_state(&self) -> Option<&adaptive::AdaptiveState> {
+        self.adaptive.as_ref()
+    }
+
     /// Spreads the particles uniformly over the free space of `map` — global
     /// localization with no prior, as in the paper's kidnapped start (Fig. 1).
     ///
@@ -156,7 +197,22 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
     /// Returns [`MclError::NoFreeSpace`] when the map has no free cell.
     pub fn initialize_uniform(&mut self, map: &OccupancyGrid, seed: u64) -> Result<(), MclError> {
         self.particles
-            .initialize_uniform(self.config.num_particles, map, seed)
+            .initialize_uniform(self.config.num_particles, map, seed)?;
+        if self.config.adaptive.enabled {
+            // Capture the free space for recovery injection: the filter only
+            // holds the distance field afterwards, which has no notion of
+            // "free", so the table is built once here.
+            self.free_space = map
+                .indices()
+                .filter(|&i| map.state(i) == mcl_gridmap::CellState::Free)
+                .map(|i| {
+                    let centre = map.cell_to_world(i);
+                    (centre.x, centre.y)
+                })
+                .collect();
+            self.free_space_jitter = map.resolution() * 0.5;
+        }
+        Ok(())
     }
 
     /// Concentrates the particles around a known starting pose (pose tracking).
@@ -277,6 +333,42 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
         )
     }
 
+    /// The estimate an applied update publishes: reduced over the first
+    /// `kept` particles (freshly injected recovery particles are excluded —
+    /// they carry no posterior support yet), and, in adaptive mode, with the
+    /// pose refined onto the dominant mode. A multi-modal belief — exactly
+    /// what the ESS gate is designed to preserve in symmetric worlds — puts
+    /// the plain weighted average *between* the modes; the mean-shift pass
+    /// reports the heaviest one instead, the convention of deployed MCL
+    /// stacks.
+    fn published_estimate(&self, kept: usize) -> PoseEstimate {
+        let mut estimate = kernel::pose_estimate_prefix_with(
+            self.particles.current(),
+            kept,
+            &self.cluster,
+            self.config.kernel_backend,
+        );
+        if self.adaptive.is_some() {
+            let (pose, mass) = kernel::refine_mode_estimate(
+                self.particles.current(),
+                kept,
+                estimate.pose,
+                adaptive::MODE_REFINE_RADIUS_M,
+                adaptive::MODE_REFINE_ITERATIONS,
+            );
+            // Publish the refined pose only once the dominant mode holds a
+            // majority of the mass: while several hypotheses are still live,
+            // confidently reporting one of them makes the estimate jump
+            // between modes (false convergence, lost-tracking flags); the
+            // conservative full-cloud mean stays far from every mode and
+            // honestly signals "not converged yet".
+            if mass >= adaptive::MODE_REFINE_MIN_MASS {
+                estimate.pose = pose;
+            }
+        }
+        estimate
+    }
+
     fn apply_iteration(&mut self, batch: &BeamBatch) -> PoseEstimate {
         let delta = self.pending;
         self.pending = MotionDelta::default();
@@ -330,10 +422,85 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
                 );
             },
         );
-        let max_log = self
+        let mut max_log = self
             .log_likelihoods
             .iter()
             .fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        // Adaptive pre-processing of the raw log-likelihoods, before the
+        // reweight kernels consume them:
+        //
+        // * the Augmented-MCL monitor input must be taken from the *raw*
+        //   logs, so it is computed here and stashed for step 3. The value
+        //   fed is the **per-beam** mean likelihood,
+        //   `exp(ln(mean_i exp(l_i)) / beams)`: the raw multi-beam product
+        //   scales exponentially with how many beams are in range and how
+        //   cluttered the viewpoint is, so an unnormalized short/long-term
+        //   ratio tracks observation hardness instead of localization
+        //   quality (and its `exp(l)` terms underflow outright for harsh
+        //   scenes). The per-beam root makes the signal comparable across
+        //   viewpoints; the shift by `max_log` keeps the sum finite.
+        // * likelihood tempering: when this observation alone would collapse
+        //   the effective sample size below `temper_ess × n`, anneal the logs
+        //   by the `β` that lands the post-update ESS on that floor. This is
+        //   the weight-degeneracy guard for sharp multi-beam models — without
+        //   it the very first resample of a global init can hand the whole
+        //   cloud to one aliased particle. Serial and a pure function of the
+        //   weights and logs, so the outcome is schedule- and
+        //   backend-independent.
+        let raw_mean_likelihood = if self.adaptive.is_some() {
+            let beams = batch
+                .in_range_prefix(self.config.r_max)
+                .unwrap_or_else(|| batch.len())
+                .max(1);
+            let mean = if max_log.is_finite() {
+                let mean_rel = self
+                    .log_likelihoods
+                    .iter()
+                    .map(|&l| (f64::from(l) - f64::from(max_log)).exp())
+                    .sum::<f64>()
+                    / n as f64;
+                ((f64::from(max_log) + mean_rel.ln()) / beams as f64).exp()
+            } else {
+                0.0
+            };
+            // Halve the tempering floor while a recovery episode runs: the
+            // episode exists to let freshly injected hypotheses seize mass
+            // from a wrong mode quickly, which is exactly the weight
+            // concentration tempering suppresses. Keeping half the floor
+            // (instead of disabling tempering outright) still bounds how
+            // much of the cloud a single garbage observation — a noise
+            // burst that itself triggered the episode — can hand to one
+            // lucky particle.
+            let mut temper = f64::from(self.config.adaptive.temper_ess);
+            if self
+                .adaptive
+                .as_ref()
+                .is_some_and(|s| s.recovery_updates_left > 0)
+            {
+                temper *= 0.5;
+            }
+            if temper > 0.0 && max_log.is_finite() {
+                self.weights_f32.clear();
+                self.weights_f32
+                    .extend(self.particles.current().weight().iter().map(|w| w.to_f32()));
+                let beta = adaptive::temper_beta(
+                    &self.weights_f32,
+                    &self.log_likelihoods,
+                    max_log,
+                    temper * n as f64,
+                );
+                if beta < 1.0 {
+                    for l in &mut self.log_likelihoods {
+                        *l = (f64::from(*l) * beta) as f32;
+                    }
+                    max_log = (f64::from(max_log) * beta) as f32;
+                    self.counters.updates_tempered += 1;
+                }
+            }
+            Some(mean)
+        } else {
+            None
+        };
         cluster.for_each_split(
             (
                 self.particles.current_mut().weight_mut(),
@@ -347,36 +514,192 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
         // weight array to the plan directly, other precisions widen into the
         // reusable scratch. The plan itself reuses its allocations too, so the
         // steady state allocates nothing here.
+        //
+        // With adaptive population control enabled, this step additionally
+        // (a) picks the next population from the KLD bin statistics of the
+        // predicted cloud and (b) replaces the tail of the new generation
+        // with recovery particles when the likelihood monitor reports a
+        // short-term collapse (Augmented MCL). Both decisions are pure
+        // functions of the filter state, so the population trajectory is
+        // bit-identical for every worker count and kernel backend.
         self.particles.normalize_weights();
         let mut offset_rng = CounterRng::for_update(seed, update_index);
         let offset = offset_rng.uniform();
         let resampler = self.resampler;
+        let decision = match self.adaptive.as_mut() {
+            Some(state) => {
+                // Per-beam mean observation likelihood of this update, fed
+                // to the short/long-term monitor. Stashed by step 2 from the
+                // raw (pre-tempering) log-likelihoods, in f64 so the scale
+                // is storage-independent.
+                let mean_likelihood =
+                    raw_mean_likelihood.expect("computed in step 2 when adaptive is on");
+                state.monitor.observe(mean_likelihood);
+                let min = self.config.adaptive.min_particles;
+                let bound = state
+                    .kld
+                    .population_bound(self.particles.current().as_slice());
+                let kld_target = bound.clamp(min, self.config.adaptive.max_particles);
+                // Recovery latches on only when the belief is concentrated
+                // (the unclamped bound sits near the population floor) AND
+                // the likelihood collapse clears the dead-band. A kidnapped
+                // or aliased-but-committed filter is exactly that: tight and
+                // suddenly unlikely. A still-localizing cloud is spread —
+                // injecting into it would only perturb global convergence —
+                // and small fractions are ordinary likelihood noise. Once
+                // latched, the episode persists for up to
+                // RECOVERY_EPISODE_UPDATES (the first injection spreads the
+                // cloud, so the concentration gate alone would make recovery
+                // a useless single shot), ending early as soon as the
+                // short-term likelihood catches back up.
+                let concentrated = bound <= min * adaptive::RECOVERY_CONCENTRATION_FACTOR;
+                let trigger = f64::from(self.config.adaptive.injection_trigger);
+                let raw_fraction = state.monitor.injection_fraction();
+                if state.recovery_updates_left > 0 {
+                    state.recovery_updates_left -= 1;
+                    // Ending early needs more than a recovered likelihood:
+                    // right after injection the cloud holds several competing
+                    // hypotheses, and an aliased competitor can score well
+                    // for a few updates. Only a likelihood that has caught up
+                    // *and* a belief that has re-concentrated onto a single
+                    // mode mean the episode did its job; stopping before
+                    // consolidation lets the next resample hand the cloud to
+                    // whichever mode happened to win that round.
+                    if raw_fraction < adaptive::RECOVERY_END_FRACTION && concentrated {
+                        state.recovery_updates_left = 0;
+                    }
+                } else if concentrated && raw_fraction >= trigger {
+                    state.recovery_updates_left = adaptive::RECOVERY_EPISODE_UPDATES;
+                }
+                // Hold the collapse at the trigger floor while latched so the
+                // population stays grown for the whole episode even as the
+                // slow average decays toward the collapsed level. The
+                // per-beam fraction is compressed relative to the underlying
+                // likelihood collapse, so it is rescaled by the saturation
+                // point before sizing the growth and injection response.
+                let collapse = if state.recovery_updates_left > 0 {
+                    (raw_fraction.max(trigger) / adaptive::RECOVERY_COLLAPSE_SATURATION).min(1.0)
+                } else {
+                    0.0
+                };
+                // A likelihood collapse means the belief is concentrated on a
+                // wrong mode — a situation the bin statistics cannot see (a
+                // confidently wrong cloud occupies as few bins as a correct
+                // one). Grow toward the population ceiling in proportion to
+                // the collapse so the re-seeded hypotheses get the
+                // resolution global re-localization needs.
+                let max = self.config.adaptive.max_particles;
+                let target = if collapse > 0.0 && !self.free_space.is_empty() {
+                    (kld_target as f64 + collapse * (max - kld_target) as f64).round() as usize
+                } else {
+                    kld_target
+                };
+                // Injection follows the *current* mismatch (the classic
+                // Augmented-MCL `1 - w_fast/w_slow` rule), not the latched
+                // collapse: the latch keeps the population grown for the
+                // whole episode, but pouring uniform poses into a cloud whose
+                // observations already match again only dilutes the surviving
+                // hypotheses and stalls re-convergence.
+                // fractions under the trigger dead-band are likelihood noise,
+                // not evidence of a bad hypothesis set.
+                let fraction = if state.recovery_updates_left > 0 && raw_fraction >= trigger {
+                    raw_fraction.min(f64::from(self.config.adaptive.max_injection_fraction))
+                } else {
+                    0.0
+                };
+                let injected = if self.free_space.is_empty() {
+                    0
+                } else {
+                    // At least one slot always comes from the wheel, so the
+                    // surviving belief is never discarded outright.
+                    ((target as f64 * fraction).round() as usize).min(target - 1)
+                };
+                // ESS resampling gate: while the weights are still healthy
+                // (effective sample size at or above the configured fraction
+                // of the population) and no recovery episode is running, skip
+                // resampling entirely. The reweight kernels multiply new
+                // likelihoods into the surviving weights, so skipped updates
+                // accumulate the Bayesian product instead of being thrown
+                // away — which is what keeps low-weight-but-alive competitor
+                // modes (symmetric aisles, repeated rooms) from being starved
+                // out by per-update resampling noise.
+                let ess_threshold = f64::from(self.config.adaptive.ess_threshold);
+                let ess = f64::from(self.particles.effective_sample_size());
+                if state.recovery_updates_left == 0
+                    && ess_threshold > 0.0
+                    && ess >= ess_threshold * n as f64
+                {
+                    None
+                } else {
+                    Some((target, injected))
+                }
+            }
+            None => Some((n, 0)),
+        };
+        let Some((target_n, injected)) = decision else {
+            // Skipped resample: the normalized, likelihood-multiplied weights
+            // carry over to the next update untouched. The population is
+            // unchanged, so the cycle accounting still charges a full update.
+            self.counters.updates_applied += 1;
+            self.counters.resampled_particles += n as u64;
+            self.counters.resamples_skipped += 1;
+            return self.published_estimate(n);
+        };
+        let kept = target_n - injected;
         if let Some(direct) = S::f32_slice(self.particles.current().weight()) {
-            resampler.plan_into(direct, offset, &mut self.plan);
+            resampler.plan_resize_into(direct, offset, kept, &mut self.plan);
         } else {
             self.weights_f32.clear();
             self.weights_f32
                 .extend(self.particles.current().weight().iter().map(|w| w.to_f32()));
-            resampler.plan_into(&self.weights_f32, offset, &mut self.plan);
+            resampler.plan_resize_into(&self.weights_f32, offset, kept, &mut self.plan);
         }
-        let uniform_weight = S::from_f32(1.0 / n as f32);
+        let uniform_weight = S::from_f32(1.0 / target_n as f32);
         {
             let plan = &self.plan;
             let (current, scratch) = self.particles.buffers_mut();
+            scratch.resize(target_n);
             let source = current.as_slice();
+            // The scatter covers the resampled prefix; injected slots (the
+            // suffix) are filled below. The plan's worker ranges tile the
+            // prefix exactly, so `for_each_range`'s coverage check still
+            // guards the dispatch.
+            let (kept_slots, _) = scratch.as_mut_slice().split_at_mut(kept);
             cluster.for_each_range(
-                (scratch.as_mut_slice(), plan.indices.as_slice()),
+                (kept_slots, plan.indices.as_slice()),
                 &plan.worker_output_ranges,
                 |_, (target, indices)| {
                     kernel::resample_scatter_with(backend, source, target, indices, uniform_weight);
                 },
             );
         }
+        if injected > 0 {
+            // Recovery injection: uniform poses over the captured free space,
+            // drawn from a salted per-slot RNG stream (independent of worker
+            // count and of the motion kernel's streams).
+            let jitter = self.free_space_jitter;
+            let weight = 1.0 / target_n as f32;
+            let cells = self.free_space.len() as u64;
+            let (_, scratch) = self.particles.buffers_mut();
+            for slot in kept..target_n {
+                let mut rng = adaptive::injection_rng(seed, update_index, slot as u64);
+                let (cx, cy) = self.free_space[(rng.next_u64() % cells) as usize];
+                let pose = Pose2::new(
+                    cx + rng.uniform_range(-jitter, jitter),
+                    cy + rng.uniform_range(-jitter, jitter),
+                    rng.uniform_range(0.0, core::f32::consts::TAU),
+                );
+                scratch.set(slot, Particle::from_pose(&pose, weight));
+            }
+            self.counters.particles_injected += injected as u64;
+        }
         self.particles.swap_buffers();
         self.counters.updates_applied += 1;
+        self.counters.resampled_particles += target_n as u64;
 
-        // 4. Pose computation (fixed-block reduction kernel).
-        self.estimate()
+        // 4. Pose computation (fixed-block reduction kernel), excluding the
+        // injected suffix and mode-refined in adaptive mode.
+        self.published_estimate(kept)
     }
 }
 

@@ -1191,11 +1191,30 @@ pub fn pose_estimate_with<S: Scalar>(
     layout: &ClusterLayout,
     backend: KernelBackend,
 ) -> PoseEstimate {
+    pose_estimate_prefix_with(particles, particles.len(), layout, backend)
+}
+
+/// [`pose_estimate_with`] restricted to the first `n` particles. The filter
+/// uses this to publish a pose that excludes freshly injected recovery
+/// particles (the buffer suffix): they are drawn uniformly over free space
+/// and carry no posterior support until the next observation weighs them, so
+/// including them would bias the estimate toward the map centroid for the
+/// whole injection episode. Same fixed block geometry, so the result is
+/// bit-identical across backends and worker counts.
+///
+/// # Panics
+///
+/// Panics when `n` is zero or exceeds the buffer length.
+pub fn pose_estimate_prefix_with<S: Scalar>(
+    particles: &ParticleBuffer<S>,
+    n: usize,
+    layout: &ClusterLayout,
+    backend: KernelBackend,
+) -> PoseEstimate {
     assert!(
-        !particles.is_empty(),
-        "cannot estimate a pose from an empty particle set"
+        n > 0 && n <= particles.len(),
+        "estimate prefix must be non-empty and within the particle set"
     );
-    let n = particles.len();
     let view = particles.as_slice();
     let slice_of = |start: usize, end: usize| {
         let (_, tail) = view.split_at(start);
@@ -1228,6 +1247,71 @@ pub fn pose_estimate_with<S: Scalar>(
     }
 }
 
+/// Weighted mean-shift refinement of a pose estimate onto the dominant mode
+/// of the cloud, considering only the first `n` particles.
+///
+/// The plain weighted average is the wrong statistic for a multi-modal
+/// belief: with the cloud split across two aisles of a symmetric world it
+/// lands *between* the modes, and the filter looks unconverged even while
+/// two thirds of the mass sits on the true pose. Each iteration recenters on
+/// the weighted mean of the particles within `radius_m` (xy) of the current
+/// center — the window walks toward the heavier mode and sheds the lighter
+/// one, exactly the "report the dominant cluster" convention of deployed MCL
+/// stacks. Yaw is the circular mean of the in-window particles.
+///
+/// Serial `f64` accumulation in index order, so the result is bit-identical
+/// for every backend and worker count. Returns the refined pose together
+/// with the fraction of the total prefix weight the final window holds —
+/// the caller should only *publish* the refined pose when that fraction is a
+/// majority, otherwise the refinement confidently reports one of several
+/// live hypotheses and the estimate jumps between modes. Returns `start`
+/// with fraction `0.0` when no particle falls inside the window.
+pub fn refine_mode_estimate<S: Scalar>(
+    particles: &ParticleBuffer<S>,
+    n: usize,
+    start: Pose2,
+    radius_m: f32,
+    iterations: usize,
+) -> (Pose2, f64) {
+    let view = particles.as_slice();
+    let r2 = f64::from(radius_m) * f64::from(radius_m);
+    let total: f64 = view.weight[..n].iter().map(|w| f64::from(w.to_f32())).sum();
+    if total <= 0.0 {
+        return (start, 0.0);
+    }
+    let mut center = start;
+    let mut window_mass = 0.0f64;
+    for _ in 0..iterations {
+        let cx = f64::from(center.x);
+        let cy = f64::from(center.y);
+        let (mut sw, mut sx, mut sy, mut ssin, mut scos) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+        for i in 0..n {
+            let x = f64::from(view.x[i].to_f32());
+            let y = f64::from(view.y[i].to_f32());
+            let (dx, dy) = (x - cx, y - cy);
+            if dx * dx + dy * dy <= r2 {
+                let w = f64::from(view.weight[i].to_f32());
+                let theta = f64::from(view.theta[i].to_f32());
+                sw += w;
+                sx += w * x;
+                sy += w * y;
+                ssin += w * theta.sin();
+                scos += w * theta.cos();
+            }
+        }
+        if sw <= 0.0 {
+            break;
+        }
+        window_mass = sw;
+        let next = Pose2::new((sx / sw) as f32, (sy / sw) as f32, ssin.atan2(scos) as f32);
+        if next.x == center.x && next.y == center.y && next.theta == center.theta {
+            break;
+        }
+        center = next;
+    }
+    (center, window_mass / total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1249,6 +1333,33 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    #[test]
+    fn pose_estimate_prefix_matches_a_truncated_buffer() {
+        let full = buffer(513);
+        let prefix: ParticleBuffer<f32> = full.iter().take(300).collect();
+        let truncated = pose_estimate_with(&prefix, &ClusterLayout::GAP9, KernelBackend::Scalar);
+        for backend in [KernelBackend::Scalar, KernelBackend::Lanes] {
+            let limited = pose_estimate_prefix_with(&full, 300, &ClusterLayout::GAP9, backend);
+            assert_eq!(limited.pose.x.to_bits(), truncated.pose.x.to_bits());
+            assert_eq!(limited.pose.y.to_bits(), truncated.pose.y.to_bits());
+            assert_eq!(limited.pose.theta.to_bits(), truncated.pose.theta.to_bits());
+            assert_eq!(
+                limited.position_std_m.to_bits(),
+                truncated.position_std_m.to_bits()
+            );
+        }
+        // The full-length prefix is exactly the whole-buffer estimate.
+        let whole = pose_estimate_with(&full, &ClusterLayout::GAP9, KernelBackend::Scalar);
+        let all = pose_estimate_prefix_with(
+            &full,
+            full.len(),
+            &ClusterLayout::GAP9,
+            KernelBackend::Scalar,
+        );
+        assert_eq!(whole.pose.x.to_bits(), all.pose.x.to_bits());
+        assert_eq!(whole.neff.to_bits(), all.neff.to_bits());
     }
 
     #[test]

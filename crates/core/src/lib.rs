@@ -89,6 +89,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod adaptive;
 pub mod config;
 pub mod estimate;
 pub mod filter;
@@ -104,9 +105,10 @@ pub mod rng;
 #[cfg(target_arch = "x86_64")]
 mod simd;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveState, KldSampler, LikelihoodMonitor};
 pub use config::{MclConfig, MclError};
 pub use estimate::PoseEstimate;
-pub use filter::{MonteCarloLocalization, UpdateOutcome};
+pub use filter::{FilterCounters, MonteCarloLocalization, UpdateOutcome};
 pub use kernel::{KernelBackend, LANES};
 pub use motion::{MotionDelta, MotionModel};
 pub use observation::BeamEndPointModel;

@@ -207,6 +207,17 @@ impl<S: Scalar> ParticleBuffer<S> {
         self.iter().collect()
     }
 
+    /// Resizes the buffer to `n` particles. New slots are zero-filled — the
+    /// adaptive resampling path resizes the scratch generation to the target
+    /// population before the scatter kernels overwrite every slot.
+    pub fn resize(&mut self, n: usize) {
+        let zero = S::from_f32(0.0);
+        self.x.resize(n, zero);
+        self.y.resize(n, zero);
+        self.theta.resize(n, zero);
+        self.weight.resize(n, zero);
+    }
+
     /// Bytes of particle storage this buffer accounts for: 4 scalars per
     /// particle, counting reserved capacity like the firmware's static arrays.
     pub fn storage_bytes(&self) -> usize {
@@ -506,11 +517,12 @@ impl<S: Scalar> ParticleSet<S> {
     }
 
     /// Normalizes the weights to sum to one. If the sum has collapsed to zero
-    /// (every particle is impossible under the observation), the weights are
-    /// reset to uniform — the standard MCL recovery behaviour.
+    /// (every particle is impossible under the observation) or is non-finite
+    /// (a NaN/∞ weight slipped in — dividing by it would poison every weight),
+    /// the weights are reset to uniform — the standard MCL recovery behaviour.
     pub fn normalize_weights(&mut self) {
         let sum = self.weight_sum();
-        if sum <= f32::MIN_POSITIVE {
+        if !sum.is_finite() || sum <= f32::MIN_POSITIVE {
             let uniform = S::from_f32(1.0 / self.current.len().max(1) as f32);
             for w in &mut self.current.weight {
                 *w = uniform;
@@ -522,21 +534,21 @@ impl<S: Scalar> ParticleSet<S> {
         }
     }
 
-    /// Effective sample size `1 / Σ wᵢ²` of the (normalized) weights.
+    /// Effective sample size `(Σ wᵢ)² / Σ wᵢ²` of the weights.
+    ///
+    /// The ratio form is invariant under weight rescaling, so the estimate is
+    /// correct whether or not [`ParticleSet::normalize_weights`] ran first —
+    /// on normalized weights it reduces to the textbook `1 / Σ wᵢ²`. Returns
+    /// `0.0` for a fully collapsed (or non-finite) weight set.
     pub fn effective_sample_size(&self) -> f32 {
-        let sum_sq: f32 = self
-            .current
-            .weight
-            .iter()
-            .map(|w| {
-                let w = w.to_f32();
-                w * w
-            })
-            .sum();
-        if sum_sq <= f32::MIN_POSITIVE {
+        let (sum, sum_sq) = self.current.weight.iter().fold((0.0f32, 0.0f32), |acc, w| {
+            let w = w.to_f32();
+            (acc.0 + w, acc.1 + w * w)
+        });
+        if !(sum.is_finite() && sum_sq.is_finite()) || sum_sq <= f32::MIN_POSITIVE {
             0.0
         } else {
-            1.0 / sum_sq
+            (sum * sum) / sum_sq
         }
     }
 
@@ -689,6 +701,71 @@ mod tests {
         set.normalize_weights();
         assert!((set.weight_sum() - 1.0).abs() < 1e-5);
         assert!((set.effective_sample_size() - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn normalize_weights_recovers_from_nan_weight_sum() {
+        // Regression: a NaN weight made weight_sum() NaN, which passed the
+        // `sum <= f32::MIN_POSITIVE` collapse guard (NaN comparisons are
+        // false) and the division then poisoned every weight with NaN.
+        let map = map();
+        let mut set = ParticleSet::<f32>::with_capacity(10).unwrap();
+        set.initialize_uniform(10, &map, 1).unwrap();
+        set.current_mut().weight_mut()[3] = f32::NAN;
+        assert!(set.weight_sum().is_nan());
+        set.normalize_weights();
+        assert!(set.current().weight().iter().all(|w| w.is_finite()));
+        assert!((set.weight_sum() - 1.0).abs() < 1e-5);
+        // Same hole with an infinite sum.
+        set.current_mut().weight_mut()[0] = f32::INFINITY;
+        set.normalize_weights();
+        assert!((set.weight_sum() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn effective_sample_size_is_normalization_invariant() {
+        // Regression: `1 / Σ wᵢ²` on UNnormalized weights is wrong — uniform
+        // weights of 2.0 over 8 particles gave 1/(8·4) = 0.03 instead of 8.
+        // The ratio form (Σw)²/Σw² must agree before and after normalization.
+        let map = map();
+        let mut set = ParticleSet::<f32>::with_capacity(8).unwrap();
+        set.initialize_uniform(8, &map, 4).unwrap();
+        for w in set.current_mut().weight_mut() {
+            *w = 2.0;
+        }
+        assert!((set.effective_sample_size() - 8.0).abs() < 1e-3);
+        let before = set.effective_sample_size();
+        set.normalize_weights();
+        assert!((set.effective_sample_size() - before).abs() < 1e-3);
+
+        // Skewed unnormalized weights: ESS = (Σw)²/Σw² analytically.
+        let weights = [4.0f32, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0];
+        for (w, v) in set.current_mut().weight_mut().iter_mut().zip(weights) {
+            *w = v;
+        }
+        let expected = {
+            let s: f32 = weights.iter().sum();
+            let sq: f32 = weights.iter().map(|w| w * w).sum();
+            s * s / sq
+        };
+        assert!((set.effective_sample_size() - expected).abs() < 1e-3);
+        set.normalize_weights();
+        assert!((set.effective_sample_size() - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn effective_sample_size_is_normalization_invariant_at_f16() {
+        let map = map();
+        let mut set = ParticleSet::<F16>::with_capacity(16).unwrap();
+        set.initialize_uniform(16, &map, 9).unwrap();
+        // Uniform but unnormalized: ESS must still read the population size
+        // (binary16 storage rounds the normalized weights, so allow slack).
+        for w in set.current_mut().weight_mut() {
+            *w = F16::from_f32(0.25);
+        }
+        assert!((set.effective_sample_size() - 16.0).abs() < 0.1);
+        set.normalize_weights();
+        assert!((set.effective_sample_size() - 16.0).abs() < 0.1);
     }
 
     #[test]

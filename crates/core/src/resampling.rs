@@ -173,6 +173,22 @@ impl PartialSumResampler {
         plan
     }
 
+    /// [`PartialSumResampler::plan_resize_into`] returning a fresh plan —
+    /// `target_n` output slots drawn from `weights.len()` source particles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights` is empty, `target_n` is zero or `offset` is
+    /// outside `[0, 1)`.
+    pub fn plan_resize(&self, weights: &[f32], offset: f32, target_n: usize) -> ResamplePlan {
+        let mut plan = ResamplePlan {
+            indices: Vec::new(),
+            worker_output_ranges: Vec::new(),
+        };
+        self.plan_resize_into(weights, offset, target_n, &mut plan);
+        plan
+    }
+
     /// Computes the plan into an existing [`ResamplePlan`], reusing its
     /// allocations. The filter calls this every applied update, so the
     /// steady-state hot path performs no plan allocation (the seed behaviour
@@ -183,7 +199,35 @@ impl PartialSumResampler {
     ///
     /// Panics when `weights` is empty or `offset` is outside `[0, 1)`.
     pub fn plan_into(&self, weights: &[f32], offset: f32, plan: &mut ResamplePlan) {
+        self.plan_resize_into(weights, offset, weights.len(), plan);
+    }
+
+    /// Computes a plan with `target_n` output slots drawn from the
+    /// `weights.len()` source particles — the wheel is walked with `target_n`
+    /// equally spaced arrows instead of one per source, which is how the
+    /// adaptive (KLD) filter grows or shrinks the population during the
+    /// resampling pass itself. `target_n == weights.len()` reproduces
+    /// [`PartialSumResampler::plan_into`] bit for bit.
+    ///
+    /// The source chunking (and with it each worker's partial-sum span) still
+    /// depends only on the worker count and the *source* population, and every
+    /// arrow's slot is a pure function of the weights and `offset`, so the plan
+    /// stays schedule-independent: `worker_output_ranges` tile `0..target_n`
+    /// contiguously and deterministically for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights` is empty, `target_n` is zero or `offset` is
+    /// outside `[0, 1)`.
+    pub fn plan_resize_into(
+        &self,
+        weights: &[f32],
+        offset: f32,
+        target_n: usize,
+        plan: &mut ResamplePlan,
+    ) {
         assert!(!weights.is_empty(), "cannot resample an empty particle set");
+        assert!(target_n > 0, "target population must be > 0");
         assert!(
             (0.0..1.0).contains(&offset),
             "resampling offset must be in [0, 1)"
@@ -194,7 +238,7 @@ impl PartialSumResampler {
         // 8 particles over 5 workers give 4 chunks of 2, not 5).
         let workers = n.div_ceil(chunk);
         plan.indices.clear();
-        plan.indices.resize(n, 0);
+        plan.indices.resize(target_n, 0);
         plan.worker_output_ranges.clear();
 
         // Step 1 (done during weight normalization on GAP9): per-chunk partial
@@ -211,16 +255,23 @@ impl PartialSumResampler {
         }
         let total: f64 = chunk_sums.iter().sum();
         if total <= 0.0 {
+            // Degenerate weights: identity copy, cycling over the sources when
+            // the output is larger than the input. Output slots are split into
+            // the same even chunking the arrow walk would produce under
+            // uniform weights (⌈target/W⌉ per worker; for target_n == n this
+            // is exactly the source chunking, preserving the seed behaviour).
             for (i, slot) in plan.indices.iter_mut().enumerate() {
-                *slot = i;
+                *slot = i % n;
             }
+            let out_chunk = target_n.div_ceil(workers);
             for w in 0..workers {
-                plan.worker_output_ranges
-                    .push((w * chunk, ((w + 1) * chunk).min(n)));
+                let start = (w * out_chunk).min(target_n);
+                let end = ((w + 1) * out_chunk).min(target_n);
+                plan.worker_output_ranges.push((start, end));
             }
             return;
         }
-        let step = total / n as f64;
+        let step = total / target_n as f64;
 
         // Step 2: every worker independently determines the arrows that fall in
         // its cumulative-weight span and walks only its own chunk.
@@ -239,8 +290,8 @@ impl PartialSumResampler {
             let mut arrow = first_arrow;
             let mut cumulative = span_start + f64::from(weights[start].max(0.0));
             let mut source = start;
-            let out_start = arrow.min(n);
-            while arrow < n {
+            let out_start = arrow.min(target_n);
+            while arrow < target_n {
                 let position = (f64::from(offset) + arrow as f64) * step;
                 if position >= span_end {
                     break;
@@ -253,7 +304,18 @@ impl PartialSumResampler {
                 arrow += 1;
             }
             plan.worker_output_ranges
-                .push((out_start, arrow.min(n).max(out_start)));
+                .push((out_start, arrow.min(target_n).max(out_start)));
+        }
+        // Float roundoff in the last span can leave the final arrows
+        // unclaimed ((offset + i)·step landing a ULP above the prefix total);
+        // charge them to the last worker so the ranges always tile the output.
+        if let Some(last) = plan.worker_output_ranges.last_mut() {
+            if last.1 < target_n {
+                for arrow in last.1..target_n {
+                    plan.indices[arrow] = n - 1;
+                }
+                last.1 = target_n;
+            }
         }
     }
 }
@@ -425,5 +487,130 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         PartialSumResampler::new(0);
+    }
+
+    /// Sequential reference for a resized wheel: `target_n` arrows over the
+    /// cumulative weights of `weights.len()` sources.
+    fn sequential_resize(weights: &[f32], offset: f32, target_n: usize) -> Vec<usize> {
+        let n = weights.len();
+        let total: f64 = weights.iter().map(|&w| f64::from(w.max(0.0))).sum();
+        if total <= 0.0 {
+            return (0..target_n).map(|i| i % n).collect();
+        }
+        let step = total / target_n as f64;
+        let mut indices = Vec::with_capacity(target_n);
+        let mut cumulative = f64::from(weights[0].max(0.0));
+        let mut source = 0usize;
+        for arrow in 0..target_n {
+            let position = (f64::from(offset) + arrow as f64) * step;
+            while position >= cumulative && source + 1 < n {
+                source += 1;
+                cumulative += f64::from(weights[source].max(0.0));
+            }
+            indices.push(source);
+        }
+        indices
+    }
+
+    #[test]
+    fn resized_plans_match_the_sequential_wheel_for_grow_and_shrink() {
+        for &n in &[8usize, 100, 1024] {
+            for &target in &[1usize, 3, 50, 100, 197, 1024, 2500] {
+                for &workers in &[1usize, 3, 8] {
+                    let weights = weights_from_pattern(n, n as u64 + target as u64);
+                    let plan =
+                        PartialSumResampler::new(workers).plan_resize(&weights, 0.37, target);
+                    assert_eq!(
+                        plan.indices,
+                        sequential_resize(&weights, 0.37, target),
+                        "n={n} target={target} workers={workers}"
+                    );
+                    // Ranges tile 0..target contiguously.
+                    let mut covered = 0usize;
+                    for &(start, end) in &plan.worker_output_ranges {
+                        assert!(start <= end);
+                        assert_eq!(start, covered);
+                        covered = end;
+                    }
+                    assert_eq!(covered, target);
+                    assert!(plan.indices.iter().all(|&i| i < n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resized_plan_at_identity_target_matches_plan_into_exactly() {
+        // target_n == n must reproduce the fixed-size plan bit for bit — this
+        // is what keeps the adaptive-off filter on the pinned golden traces.
+        for &n in &[8usize, 100, 1024] {
+            for &workers in &[1usize, 3, 8] {
+                let weights = weights_from_pattern(n, n as u64);
+                let fixed = PartialSumResampler::new(workers).plan(&weights, 0.73);
+                let resized = PartialSumResampler::new(workers).plan_resize(&weights, 0.73, n);
+                assert_eq!(fixed, resized, "n={n} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn resized_heavy_particle_keeps_its_weight_share() {
+        let mut weights = vec![0.5f32 / 999.0; 1000];
+        weights[500] = 0.5;
+        // Shrink to 200: the heavy particle still owns ~half the slots.
+        let plan = PartialSumResampler::new(8).plan_resize(&weights, 0.123, 200);
+        let copies = plan.indices.iter().filter(|&&i| i == 500).count();
+        assert!((99..=101).contains(&copies), "copies = {copies}");
+        // Grow to 4000: same share at the larger population.
+        let plan = PartialSumResampler::new(8).plan_resize(&weights, 0.123, 4000);
+        let copies = plan.indices.iter().filter(|&&i| i == 500).count();
+        assert!((1999..=2001).contains(&copies), "copies = {copies}");
+    }
+
+    #[test]
+    fn degenerate_total_stays_correct_when_resizing() {
+        // Shrink: identity prefix.
+        let plan = PartialSumResampler::new(4).plan_resize(&[0.0; 16], 0.3, 5);
+        assert_eq!(plan.indices, vec![0, 1, 2, 3, 4]);
+        assert_eq!(plan.per_worker_draws().iter().sum::<usize>(), 5);
+        // Grow: identity cycles over the sources (never out of bounds).
+        let plan = PartialSumResampler::new(4).plan_resize(&[f32::NAN.min(0.0); 3], 0.3, 8);
+        assert_eq!(plan.indices, vec![0, 1, 2, 0, 1, 2, 0, 1]);
+        let mut covered = 0usize;
+        for &(start, end) in &plan.worker_output_ranges {
+            assert!(start <= end);
+            assert_eq!(start, covered);
+            covered = end;
+        }
+        assert_eq!(covered, 8);
+        // Negative-only weights clamp to zero and take the same fallback.
+        let plan = PartialSumResampler::new(2).plan_resize(&[-1.0, -2.0], 0.0, 4);
+        assert_eq!(plan.indices, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn degenerate_identity_target_keeps_the_seed_ranges() {
+        // At target_n == n the degenerate fallback must keep producing the
+        // source chunking (the pre-resize behaviour).
+        for &(n, workers) in &[(16usize, 4usize), (8, 5), (10, 3), (3, 8)] {
+            let weights = vec![0.0f32; n];
+            let plan = PartialSumResampler::new(workers).plan_resize(&weights, 0.3, n);
+            assert_eq!(plan.indices, (0..n).collect::<Vec<_>>());
+            let chunk = n.div_ceil(workers.min(n));
+            let effective = n.div_ceil(chunk);
+            let expected: Vec<(usize, usize)> = (0..effective)
+                .map(|w| (w * chunk, ((w + 1) * chunk).min(n)))
+                .collect();
+            assert_eq!(
+                plan.worker_output_ranges, expected,
+                "n={n} workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target population")]
+    fn zero_target_panics() {
+        PartialSumResampler::new(2).plan_resize(&[1.0, 1.0], 0.1, 0);
     }
 }

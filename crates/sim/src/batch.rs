@@ -51,6 +51,12 @@ pub struct BatchJob {
     /// host-detected backend); the backends are bit-identical, so this
     /// changes how fast a job runs, never what it returns.
     pub kernel_backend: KernelBackend,
+    /// Run the job's filter under adaptive (KLD + recovery-injection)
+    /// population control instead of the fixed `particles` count — see
+    /// [`PaperScenario::adaptive_config`] for the population range the job
+    /// then sweeps. [`BatchJob::grid`] leaves this off; flip it per job via
+    /// [`BatchJob::with_adaptive`].
+    pub adaptive: bool,
 }
 
 impl BatchJob {
@@ -78,6 +84,7 @@ impl BatchJob {
                             particles,
                             seed,
                             kernel_backend,
+                            adaptive: false,
                         });
                     }
                 }
@@ -89,6 +96,13 @@ impl BatchJob {
     /// Returns a copy of the job pinned to `backend`.
     pub fn with_kernel_backend(mut self, backend: KernelBackend) -> Self {
         self.kernel_backend = backend;
+        self
+    }
+
+    /// Returns a copy of the job with adaptive population control switched
+    /// on or off.
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
         self
     }
 }
@@ -134,12 +148,13 @@ pub fn run_batch(scenario: &PaperScenario, jobs: &[BatchJob], threads: usize) ->
     let evaluate = |index: usize| {
         let job = jobs[index];
         let sequence = &scenario.sequences()[job.sequence_index];
-        let result = scenario.evaluate_with_backend(
+        let result = scenario.evaluate_with_options(
             sequence,
             job.pipeline,
             job.particles,
             job.seed,
             job.kernel_backend,
+            job.adaptive,
         );
         *results[index].lock().expect("result slot poisoned") = Some(result);
     };
@@ -272,6 +287,32 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_jobs_change_the_population_and_stay_deterministic() {
+        let scenario = PaperScenario::quick(16);
+        let fixed_jobs = BatchJob::grid(&[0], &[PipelineConfig::FP32], &[256], &[1, 2]);
+        let adaptive_jobs: Vec<BatchJob> =
+            fixed_jobs.iter().map(|j| j.with_adaptive(true)).collect();
+        assert!(adaptive_jobs.iter().all(|j| j.adaptive));
+        let fixed = run_batch(&scenario, &fixed_jobs, 2);
+        // Fixed-size runs report exactly the configured population.
+        for outcome in &fixed {
+            assert_eq!(outcome.result.mean_particles, 256.0);
+        }
+        // Adaptive runs are deterministic across thread counts…
+        let adaptive = run_batch(&scenario, &adaptive_jobs, 2);
+        let adaptive_serial = run_batch(&scenario, &adaptive_jobs, 1);
+        for (a, b) in adaptive.iter().zip(adaptive_serial.iter()) {
+            assert_eq!(a.result, b.result, "adaptive job diverged across threads");
+        }
+        // …and actually adapt: from a global uniform init the KLD target
+        // leaves the fixed count on at least one run.
+        assert!(
+            adaptive.iter().any(|o| o.result.mean_particles != 256.0),
+            "no adaptive run ever changed its population"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_is_rejected() {
         let scenario = PaperScenario::quick(13);
@@ -288,6 +329,7 @@ mod tests {
             particles: 64,
             seed: 1,
             kernel_backend: KernelBackend::default(),
+            adaptive: false,
         };
         let _ = run_batch(&scenario, &[job], 1);
     }

@@ -101,6 +101,13 @@ pub struct SequenceResult {
     /// Mean translation error over post-convergence steps inside sensor-dropout
     /// windows, metres (`None` when no such step was scored).
     pub dropout_ate_m: Option<f64>,
+    /// Mean post-resampling particle population over the applied updates of
+    /// the run — the configured count for a fixed-size filter, lower on
+    /// average under adaptive (KLD) population control. `0` when the harness
+    /// that produced the result did not record populations (the tracker
+    /// itself scores poses only; `run_sequence` fills this in from the filter
+    /// counters).
+    pub mean_particles: f32,
 }
 
 impl SequenceResult {
@@ -250,6 +257,7 @@ impl TrajectoryErrorTracker {
             kidnaps_recovered: self.recovery_times.count() as usize,
             mean_recovery_time_s,
             dropout_ate_m,
+            mean_particles: 0.0,
         }
     }
 }
@@ -375,6 +383,23 @@ impl ResultAggregator {
         }
     }
 
+    /// Mean of the per-run mean particle populations, over the runs that
+    /// recorded one; `None` when no run did. For adaptive sweeps this is the
+    /// average population the filters actually paid for.
+    pub fn mean_particles(&self) -> Option<f64> {
+        let mut stats = RunningStats::new();
+        for r in &self.results {
+            if r.mean_particles > 0.0 {
+                stats.push(f64::from(r.mean_particles));
+            }
+        }
+        if stats.count() == 0 {
+            None
+        } else {
+            Some(stats.mean())
+        }
+    }
+
     /// The raw results.
     pub fn results(&self) -> &[SequenceResult] {
         &self.results
@@ -413,6 +438,7 @@ mod tests {
             kidnaps_recovered: 0,
             mean_recovery_time_s: None,
             dropout_ate_m: None,
+            mean_particles: 0.0,
         }
     }
 

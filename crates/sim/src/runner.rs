@@ -87,7 +87,18 @@ pub fn run_sequence<S: Scalar, D: DistanceField>(
         };
         tracker.record(step.timestamp_s, &estimate, &step.ground_truth);
     }
-    tracker.finish()
+    let mut result = tracker.finish();
+    // The population the filter actually ran: for fixed-size filters this is
+    // exactly the configured count, under adaptive control it is the average
+    // the KLD adaptation settled on. Counters accumulate over the filter's
+    // lifetime, so reusing one filter across replays averages across them.
+    let counters = filter.counters();
+    result.mean_particles = if counters.updates_applied > 0 {
+        counters.resampled_particles as f32 / counters.updates_applied as f32
+    } else {
+        filter.particles().len() as f32
+    };
+    result
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ use crate::runner::{run_sequence, RunnerConfig};
 use crate::sequence::{Sequence, SequenceConfig, SequenceGenerator};
 use crate::trajectory::TrajectoryConfig;
 use mcl_core::precision::{MapPrecision, ParticlePrecision, PipelineConfig};
-use mcl_core::{KernelBackend, MclConfig, MonteCarloLocalization};
+use mcl_core::{AdaptiveConfig, KernelBackend, MclConfig, MonteCarloLocalization};
 use mcl_gridmap::{
     DistanceField, DroneMaze, EuclideanDistanceField, F16DistanceField, OccupancyGrid,
     QuantizedDistanceField,
@@ -138,6 +138,18 @@ impl PaperScenario {
             .with_seed(seed)
     }
 
+    /// The adaptive population configuration an adaptive evaluation of
+    /// `particles` uses: KLD population control over
+    /// `[max(particles/8, 64), 2·particles]`, starting from `particles`
+    /// itself. An evaluation at the paper's 2048-particle quick-sweep count
+    /// therefore sweeps `[256, 4096]` — it can shrink to an eighth once
+    /// converged and grow past the fixed baseline while the belief is still
+    /// multi-modal.
+    pub fn adaptive_config(particles: usize) -> AdaptiveConfig {
+        let min = (particles / 8).max(64).min(particles.max(1));
+        AdaptiveConfig::enabled().with_population_range(min, particles.saturating_mul(2).max(min))
+    }
+
     /// Evaluates one pipeline configuration on one sequence with global
     /// (uniform) initialization — the paper's main experiment. Runs under the
     /// default kernel backend (honouring the `MCL_KERNEL_BACKEND` override);
@@ -172,13 +184,36 @@ impl PaperScenario {
         seed: u64,
         backend: KernelBackend,
     ) -> SequenceResult {
+        self.evaluate_with_options(sequence, pipeline, particles, seed, backend, false)
+    }
+
+    /// [`PaperScenario::evaluate_with_backend`] with the adaptive population
+    /// switch exposed: when `adaptive` is true the filter runs under
+    /// [`PaperScenario::adaptive_config`]`(particles)` — KLD-sampling picks
+    /// the population every update and the Augmented-MCL monitor injects
+    /// recovery particles after likelihood collapses. The result's
+    /// `mean_particles` then reports the population the run actually
+    /// averaged. `adaptive == false` is byte-identical to
+    /// [`PaperScenario::evaluate_with_backend`].
+    pub fn evaluate_with_options(
+        &self,
+        sequence: &Sequence,
+        pipeline: PipelineConfig,
+        particles: usize,
+        seed: u64,
+        backend: KernelBackend,
+        adaptive: bool,
+    ) -> SequenceResult {
         let runner = RunnerConfig {
             sensor_count: pipeline.sensor_count,
             ..RunnerConfig::default()
         };
-        let config = self
+        let mut config = self
             .mcl_config(particles, seed)
             .with_kernel_backend(backend);
+        if adaptive {
+            config = config.with_adaptive(Self::adaptive_config(particles));
+        }
         match (pipeline.particle_precision, pipeline.map_precision) {
             (ParticlePrecision::Fp32, MapPrecision::Fp32) => {
                 self.run::<f32, _>(config, self.edt_fp32.clone(), sequence, &runner, seed)

@@ -410,13 +410,43 @@ pub fn run_suite(
     seeds: &[u64],
     threads: usize,
 ) -> Vec<SuiteOutcome> {
+    run_suite_with_mode(
+        scenarios,
+        pipelines,
+        particle_counts,
+        backends,
+        seeds,
+        threads,
+        false,
+    )
+}
+
+/// [`run_suite`] with the adaptive population switch exposed: every job of
+/// the grid runs with [`BatchJob::with_adaptive`]`(adaptive)`, so a `true`
+/// sweep evaluates the KLD-adaptive filter over exactly the same grid the
+/// fixed sweep covers — same worlds, same sequences, same seeds — and the
+/// two are directly comparable row by row. `adaptive == false` is identical
+/// to [`run_suite`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_suite_with_mode(
+    scenarios: &[SuiteScenario],
+    pipelines: &[PipelineConfig],
+    particle_counts: &[usize],
+    backends: &[KernelBackend],
+    seeds: &[u64],
+    threads: usize,
+    adaptive: bool,
+) -> Vec<SuiteOutcome> {
     let mut outcomes = Vec::new();
     for suite_scenario in scenarios {
         let sequence_indices: Vec<usize> = (0..suite_scenario.scenario.sequences().len()).collect();
         let base = BatchJob::grid(&sequence_indices, pipelines, particle_counts, seeds);
         let jobs: Vec<BatchJob> = backends
             .iter()
-            .flat_map(|&backend| base.iter().map(move |job| job.with_kernel_backend(backend)))
+            .flat_map(|&backend| {
+                base.iter()
+                    .map(move |job| job.with_kernel_backend(backend).with_adaptive(adaptive))
+            })
             .collect();
         for outcome in run_batch(&suite_scenario.scenario, &jobs, threads) {
             outcomes.push(SuiteOutcome {
@@ -587,6 +617,27 @@ mod tests {
         assert_eq!(super::window_steps(0.0, 1.0, 100), (0, 99));
         assert_eq!(super::window_steps(0.25, 0.5, 100), (25, 50));
         assert_eq!(super::window_steps(0.9, 0.2, 100), (90, 90));
+    }
+
+    #[test]
+    fn adaptive_mode_sweeps_the_same_grid_with_adaptive_jobs() {
+        let suite = ScenarioSuite::quick();
+        let spec = suite.get("paper-kidnap").unwrap().clone();
+        let scenarios = [SuiteScenario {
+            scenario: spec.build(2),
+            spec,
+        }];
+        let pipelines = [PipelineConfig::FP32];
+        let backends = [KernelBackend::Lanes];
+        let fixed = run_suite(&scenarios, &pipelines, &[128], &backends, &[1], 2);
+        let adaptive =
+            run_suite_with_mode(&scenarios, &pipelines, &[128], &backends, &[1], 2, true);
+        assert_eq!(fixed.len(), adaptive.len());
+        for (f, a) in fixed.iter().zip(adaptive.iter()) {
+            assert!(!f.outcome.job.adaptive);
+            assert!(a.outcome.job.adaptive);
+            assert_eq!(f.outcome.job.with_adaptive(true), a.outcome.job);
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn result(convergence_time_s: Option<f64>, ate_m: Option<f64>, success: bool) ->
         kidnaps_recovered: 0,
         mean_recovery_time_s: None,
         dropout_ate_m: None,
+        mean_particles: 0.0,
     }
 }
 

@@ -23,8 +23,8 @@
 use proptest::prelude::*;
 use tof_mcl::core::kernel::{self, KernelBackend, LANES};
 use tof_mcl::core::{
-    BeamEndPointModel, ClusterLayout, MclConfig, MonteCarloLocalization, MotionDelta, MotionModel,
-    Particle, ParticleBuffer,
+    AdaptiveConfig, BeamEndPointModel, ClusterLayout, MclConfig, MonteCarloLocalization,
+    MotionDelta, MotionModel, Particle, ParticleBuffer,
 };
 use tof_mcl::gridmap::{EuclideanDistanceField, MapBuilder, OccupancyGrid, Pose2};
 use tof_mcl::num::{Scalar, F16};
@@ -432,6 +432,85 @@ fn every_backend_matches_scalar_on_the_quantized_f16_pipeline() {
                     "{} seed={seed}",
                     backend.name()
                 );
+            }
+        }
+    }
+}
+
+/// Runs a KLD-adaptive filter (uniform init + eight gated updates) under
+/// `backend` and returns the final particle buffer, the estimate and the
+/// per-update population trajectory.
+fn run_adaptive_filter(
+    map: &OccupancyGrid,
+    edt: &EuclideanDistanceField,
+    beams: &[Beam],
+    n: usize,
+    seed: u64,
+    workers: usize,
+    backend: KernelBackend,
+) -> (ParticleBuffer<f32>, tof_mcl::core::PoseEstimate, Vec<usize>) {
+    let config = MclConfig::default()
+        .with_particles(n)
+        .with_seed(seed)
+        .with_workers(workers)
+        .with_kernel_backend(backend)
+        .with_adaptive(AdaptiveConfig::enabled().with_population_range(64, 2 * n));
+    let mut filter = MonteCarloLocalization::<f32, _>::new(config, edt.clone()).unwrap();
+    filter.initialize_uniform(map, seed).unwrap();
+    let delta = MotionDelta::new(0.12, 0.01, 0.05);
+    let mut populations = Vec::new();
+    for _ in 0..8 {
+        filter.predict(delta);
+        let outcome = filter.update(beams).unwrap();
+        assert!(outcome.is_applied());
+        populations.push(filter.particles().len());
+    }
+    let estimate = filter.estimate();
+    (filter.particles().current().clone(), estimate, populations)
+}
+
+/// The adaptive (KLD + recovery-injection) filter *changes its population
+/// mid-run*, which stresses the size-generalized resampling plan and the
+/// dynamic scatter geometry. The backend contract must survive that: for
+/// every worker layout, the `Lanes` and `Avx2` adaptive filters must stay
+/// bit-identical to the `Scalar` one — same particles, same estimate, and
+/// the exact same population trajectory.
+#[test]
+fn adaptive_filters_are_bit_identical_across_backends_while_resizing() {
+    let map = arena();
+    let edt = EuclideanDistanceField::compute(&map, 1.5);
+    for (seed, n) in [(5u64, 96usize), (17, 257), (41, 512)] {
+        let beams = synthetic_beams(seed);
+        for workers in [1usize, 3, 8] {
+            let (scalar_particles, scalar_estimate, scalar_populations) =
+                run_adaptive_filter(&map, &edt, &beams, n, seed, workers, KernelBackend::Scalar);
+            // The run must actually exercise resizing, otherwise this test
+            // degenerates into the fixed-size equivalence suite above.
+            assert!(
+                scalar_populations.iter().any(|&p| p != n),
+                "seed={seed}: population never left {n}: {scalar_populations:?}"
+            );
+            for backend in [KernelBackend::Lanes, KernelBackend::Avx2] {
+                let (particles, estimate, populations) =
+                    run_adaptive_filter(&map, &edt, &beams, n, seed, workers, backend);
+                assert_eq!(
+                    scalar_populations,
+                    populations,
+                    "{} workers={workers} seed={seed}: population trajectory diverged",
+                    backend.name()
+                );
+                assert_buffers_bit_identical(
+                    &scalar_particles,
+                    &particles,
+                    &format!("{} adaptive workers={workers} seed={seed}", backend.name()),
+                );
+                assert_eq!(scalar_estimate.pose.x.to_bits(), estimate.pose.x.to_bits());
+                assert_eq!(scalar_estimate.pose.y.to_bits(), estimate.pose.y.to_bits());
+                assert_eq!(
+                    scalar_estimate.pose.theta.to_bits(),
+                    estimate.pose.theta.to_bits()
+                );
+                assert_eq!(scalar_estimate.neff.to_bits(), estimate.neff.to_bits());
             }
         }
     }

@@ -20,8 +20,8 @@
 use proptest::prelude::*;
 use tof_mcl::core::kernel::{self, PosePartials, POSE_REDUCTION_BLOCK};
 use tof_mcl::core::{
-    pool, ClusterLayout, MclConfig, MonteCarloLocalization, MotionDelta, MotionModel, Particle,
-    ParticleBuffer, PoseEstimate,
+    pool, AdaptiveConfig, ClusterLayout, MclConfig, MonteCarloLocalization, MotionDelta,
+    MotionModel, Particle, ParticleBuffer, PoseEstimate,
 };
 use tof_mcl::gridmap::{EuclideanDistanceField, MapBuilder, OccupancyGrid, Pose2};
 use tof_mcl::sensor::Beam;
@@ -295,6 +295,94 @@ fn repeated_pose_reductions_on_the_warm_pool_are_stable() {
             PosePartials::accumulate(slice_of(start, end))
         });
         assert_eq!(partials.len(), buffer.len().div_ceil(POSE_REDUCTION_BLOCK));
+    }
+}
+
+/// Runs one KLD-adaptive filter and returns the final particles, the
+/// estimate and the per-update population trajectory.
+fn run_adaptive_filter(
+    map: &OccupancyGrid,
+    edt: &EuclideanDistanceField,
+    beams: &[Beam],
+    workers: usize,
+    n: usize,
+    seed: u64,
+) -> (Vec<Particle<f32>>, PoseEstimate, Vec<usize>) {
+    let config = MclConfig::default()
+        .with_particles(n)
+        .with_seed(seed)
+        .with_workers(workers)
+        .with_adaptive(AdaptiveConfig::enabled().with_population_range(48, 2 * n));
+    let mut filter = MonteCarloLocalization::<f32, _>::new(config, edt.clone()).unwrap();
+    filter.initialize_uniform(map, seed).unwrap();
+    let delta = MotionDelta::new(0.12, 0.01, 0.06);
+    let mut populations = Vec::new();
+    for _ in 0..6 {
+        filter.predict(delta);
+        let outcome = filter.update(beams).unwrap();
+        assert!(outcome.is_applied(), "gate must be open every update");
+        populations.push(filter.particles().len());
+    }
+    (
+        filter.particles().to_particles(),
+        filter.estimate(),
+        populations,
+    )
+}
+
+/// The adaptive filter re-sizes its particle buffers mid-run, so every update
+/// dispatches a *different* plan geometry onto the warm pool. Particles,
+/// estimates and the population trajectory itself must stay bit-identical
+/// across worker layouts and across reruns on the same warm pool.
+#[test]
+fn adaptive_filter_is_bit_identical_across_layouts_and_warm_pool_reruns() {
+    let map = arena();
+    let edt = EuclideanDistanceField::compute(&map, 1.5);
+    for (seed, n) in [(9u64, 128usize), (33, 300)] {
+        let beams = synthetic_beams(seed);
+        let mut reference: Option<(Vec<Particle<f32>>, PoseEstimate, Vec<usize>)> = None;
+        for layout in layouts() {
+            let workers = layout.workers();
+            let first = run_adaptive_filter(&map, &edt, &beams, workers, n, seed);
+            // The run must actually change size, or this collapses into the
+            // fixed-size property above.
+            assert!(
+                first.2.iter().any(|&p| p != n),
+                "seed={seed}: population never left {n}: {:?}",
+                first.2
+            );
+            // Second run on the now-warm pool: no cross-run state may leak
+            // through the size-changing dispatches.
+            let second = run_adaptive_filter(&map, &edt, &beams, workers, n, seed);
+            assert_eq!(first.0, second.0, "workers={workers} rerun diverged");
+            assert_eq!(
+                first.2, second.2,
+                "workers={workers} rerun population trajectory diverged"
+            );
+            assert_estimates_bit_equal(
+                &first.1,
+                &second.1,
+                &format!("adaptive workers={workers} rerun"),
+            );
+            match &reference {
+                None => reference = Some(first),
+                Some((particles, estimate, populations)) => {
+                    assert_eq!(
+                        populations, &first.2,
+                        "workers={workers} population trajectory diverged from single-worker"
+                    );
+                    assert_eq!(
+                        particles, &first.0,
+                        "workers={workers} diverged from the single-worker particles"
+                    );
+                    assert_estimates_bit_equal(
+                        estimate,
+                        &first.1,
+                        &format!("adaptive workers={workers} vs single"),
+                    );
+                }
+            }
+        }
     }
 }
 
