@@ -105,6 +105,24 @@ pub struct AdaptiveConfig {
     /// update would also skip resampling and the population could never
     /// adapt. `0.0` disables tempering.
     pub temper_ess: f32,
+    /// Lower clamp on the tempering exponent `β` solved by [`temper_beta`].
+    ///
+    /// Unbounded tempering has a failure mode during global localization on
+    /// aliased worlds (the paper maze): while many look-alike hypotheses are
+    /// live, *every* update ESS-crashes and gets annealed hard (`β` in the
+    /// 0.05–0.2 range), so almost no evidence flows per update. The wheel's
+    /// noise then thins the cloud faster than the sensor can separate the
+    /// modes — the filter drifts into a commitment the observations never
+    /// voted for, and the adaptive leg trails the fixed baseline exactly on
+    /// global init. A floor bounds how much of an observation tempering may
+    /// discard: `β = max(β_solved, floor)` keeps at least this fraction of
+    /// every observation's log-evidence flowing, accepting a post-update ESS
+    /// below the [`AdaptiveConfig::temper_ess`] target in exchange.
+    ///
+    /// `0.0` (the default) preserves the pure ESS-targeted annealing
+    /// bit-for-bit; `1.0` disables tempering relief entirely. Values around
+    /// `0.25–0.5` are the useful range.
+    pub temper_beta_floor: f32,
     /// Dead-band on the raw Augmented-MCL fraction `1 − w_fast/w_slow`:
     /// recovery (injection and the population growth that accompanies it)
     /// fires only when the collapse exceeds this threshold. Ordinary
@@ -136,6 +154,7 @@ impl Default for AdaptiveConfig {
             max_injection_fraction: 0.05,
             ess_threshold: 0.5,
             temper_ess: 0.15,
+            temper_beta_floor: 0.0,
             injection_trigger: 0.06,
         }
     }
@@ -154,6 +173,13 @@ impl AdaptiveConfig {
     pub fn with_population_range(mut self, min: usize, max: usize) -> Self {
         self.min_particles = min;
         self.max_particles = max;
+        self
+    }
+
+    /// Returns a copy with a different tempering-exponent floor
+    /// (see [`AdaptiveConfig::temper_beta_floor`]).
+    pub fn with_temper_beta_floor(mut self, floor: f32) -> Self {
+        self.temper_beta_floor = floor;
         self
     }
 
@@ -245,6 +271,11 @@ impl AdaptiveConfig {
         {
             return Err(MclError::InvalidConfig(
                 "adaptive temper_ess must be below ess_threshold",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.temper_beta_floor) {
+            return Err(MclError::InvalidConfig(
+                "adaptive temper_beta_floor must be in [0, 1]",
             ));
         }
         if !(0.0..1.0).contains(&self.injection_trigger) {
@@ -724,6 +755,12 @@ mod tests {
         let mut c = ok;
         c.temper_ess = c.ess_threshold;
         assert!(c.validate().is_err());
+        let mut c = ok;
+        c.temper_beta_floor = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = ok;
+        c.temper_beta_floor = -0.1;
+        assert!(c.validate().is_err());
     }
 
     #[test]
@@ -768,5 +805,13 @@ mod tests {
         assert!(c.enabled);
         assert_eq!(c.min_particles, 128);
         assert_eq!(c.max_particles, 2048);
+    }
+
+    #[test]
+    fn temper_beta_floor_builder_defaults_off() {
+        assert_eq!(AdaptiveConfig::default().temper_beta_floor, 0.0);
+        let c = AdaptiveConfig::enabled().with_temper_beta_floor(0.5);
+        assert_eq!(c.temper_beta_floor, 0.5);
+        assert!(c.validate().is_ok());
     }
 }

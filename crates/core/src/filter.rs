@@ -483,12 +483,18 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
                 self.weights_f32.clear();
                 self.weights_f32
                     .extend(self.particles.current().weight().iter().map(|w| w.to_f32()));
+                // The β floor bounds how much of the observation annealing
+                // may discard (see `AdaptiveConfig::temper_beta_floor`):
+                // during aliased global init every update ESS-crashes, and
+                // unfloored annealing starves the filter of evidence until
+                // the wheel commits it to an arbitrary mode.
                 let beta = adaptive::temper_beta(
                     &self.weights_f32,
                     &self.log_likelihoods,
                     max_log,
                     temper * n as f64,
-                );
+                )
+                .max(f64::from(self.config.adaptive.temper_beta_floor));
                 if beta < 1.0 {
                     for l in &mut self.log_likelihoods {
                         *l = (f64::from(*l) * beta) as f32;

@@ -1,0 +1,160 @@
+//! A small blocking client for the fleet protocol — the load generator and
+//! the fault-injection tests speak through this (or through raw sockets when
+//! they *want* to send garbage).
+
+use crate::fleet::{DroneConfig, FleetError};
+use crate::protocol::{decode_response, encode_request, read_frame, ErrorCode, Request, Response};
+use mcl_core::MotionDelta;
+use mcl_sensor::Beam;
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking fleet-protocol client over one TCP connection.
+pub struct FleetClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    scratch: Vec<u8>,
+    payload: Vec<u8>,
+    /// Responses read while waiting for a specific ack.
+    buffered: VecDeque<Response>,
+}
+
+impl FleetClient {
+    /// Connects to a fleet server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<FleetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(FleetClient {
+            reader,
+            writer: BufWriter::new(stream),
+            scratch: Vec::new(),
+            payload: Vec::new(),
+            buffered: VecDeque::new(),
+        })
+    }
+
+    /// Sets the read timeout used by the `recv` calls.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request (buffered; flushed immediately).
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        self.scratch.clear();
+        encode_request(request, &mut self.scratch);
+        self.writer.write_all(&self.scratch)?;
+        self.writer.flush()
+    }
+
+    /// Sends one request without flushing — callers batching a burst of
+    /// frames call [`FleetClient::flush`] once at the end.
+    pub fn send_buffered(&mut self, request: &Request) -> io::Result<()> {
+        self.scratch.clear();
+        encode_request(request, &mut self.scratch);
+        self.writer.write_all(&self.scratch)
+    }
+
+    /// Flushes buffered requests to the socket.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Receives the next response (buffered first), blocking per the read
+    /// timeout. `Ok(None)` means the server closed the stream.
+    pub fn recv(&mut self) -> io::Result<Option<Response>> {
+        if let Some(buffered) = self.buffered.pop_front() {
+            return Ok(Some(buffered));
+        }
+        self.recv_socket()
+    }
+
+    /// Reads the next response off the socket, ignoring the buffered queue —
+    /// [`FleetClient::wait_for`] must never re-read what it just set aside.
+    fn recv_socket(&mut self) -> io::Result<Option<Response>> {
+        if !read_frame(&mut self.reader, &mut self.payload)? {
+            return Ok(None);
+        }
+        decode_response(&self.payload)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Registers `drone` and waits for the ack.
+    pub fn register(
+        &mut self,
+        drone: u64,
+        config: DroneConfig,
+    ) -> io::Result<Result<(), FleetError>> {
+        self.send(&Request::Register {
+            drone_id: drone,
+            particles: config.particles as u32,
+            seed: config.seed,
+            backend: config.backend,
+            adaptive: config.adaptive,
+        })?;
+        self.wait_for(drone, |response| {
+            matches!(response, Response::Registered { drone_id, .. } if *drone_id == drone)
+        })
+    }
+
+    /// Pushes one frame without waiting (the pose arrives on the stream).
+    pub fn push_frame(&mut self, drone: u64, delta: MotionDelta, beams: &[Beam]) -> io::Result<()> {
+        self.send_buffered(&Request::Frame {
+            drone_id: drone,
+            delta,
+            beams: beams.to_vec(),
+        })
+    }
+
+    /// Deregisters `drone` and waits for the ack.
+    pub fn deregister(&mut self, drone: u64) -> io::Result<Result<(), FleetError>> {
+        self.send(&Request::Deregister { drone_id: drone })?;
+        self.wait_for(drone, |response| {
+            matches!(response, Response::Deregistered { drone_id } if *drone_id == drone)
+        })
+    }
+
+    fn wait_for(
+        &mut self,
+        drone: u64,
+        matches_ack: impl Fn(&Response) -> bool,
+    ) -> io::Result<Result<(), FleetError>> {
+        let is_outcome = |response: &Response| -> Option<Result<(), FleetError>> {
+            match response {
+                Response::Error { code, drone_id }
+                    if *drone_id == drone || matches!(code, ErrorCode::Shutdown) =>
+                {
+                    Some(Err(FleetError::Rejected(*code)))
+                }
+                response if matches_ack(response) => Some(Ok(())),
+                _ => None,
+            }
+        };
+        // Scan what earlier waits set aside — each entry exactly once.
+        for i in 0..self.buffered.len() {
+            if let Some(outcome) = is_outcome(&self.buffered[i]) {
+                self.buffered.remove(i);
+                return Ok(outcome);
+            }
+        }
+        // Then read fresh responses off the socket, setting aside the
+        // unrelated ones (e.g. poses streaming in ahead of the ack).
+        loop {
+            match self.recv_socket()? {
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the stream before the ack",
+                    ))
+                }
+                Some(response) => match is_outcome(&response) {
+                    Some(outcome) => return Ok(outcome),
+                    None => self.buffered.push_back(response),
+                },
+            }
+        }
+    }
+}

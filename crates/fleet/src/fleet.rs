@@ -1,0 +1,556 @@
+//! The fleet itself: shared world, shard set, registration accounting and
+//! the in-process client handle.
+
+use crate::outbox::Outbox;
+use crate::protocol::{ErrorCode, Request, Response};
+use crate::shard::{BarrierGate, Command, FrameCmd, Shard, ShardCtx};
+use crate::stats::FleetStats;
+use mcl_core::adaptive::AdaptiveConfig;
+use mcl_core::{pool, KernelBackend, MclConfig, MotionDelta};
+use mcl_gridmap::{EuclideanDistanceField, OccupancyGrid};
+use mcl_sensor::Beam;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by the in-process fleet API. The wire protocol maps them
+/// onto [`ErrorCode`] responses instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetError {
+    /// The fleet is shutting down; the command was not accepted.
+    Closed,
+    /// The server rejected the request; the code says why.
+    Rejected(ErrorCode),
+    /// No response arrived within the deadline.
+    Timeout,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Closed => write!(f, "fleet is shut down"),
+            FleetError::Rejected(code) => write!(f, "request rejected: {code:?}"),
+            FleetError::Timeout => write!(f, "timed out waiting for the fleet"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Per-drone filter settings carried by a register request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DroneConfig {
+    /// Particle count (fixed population, or the adaptive starting point).
+    pub particles: usize,
+    /// Seed of the filter's counter-based noise generator.
+    pub seed: u64,
+    /// Kernel backend; `None` follows the server default
+    /// (`MCL_KERNEL_BACKEND`, else auto-detection).
+    pub backend: Option<KernelBackend>,
+    /// Enable KLD-adaptive population control.
+    pub adaptive: bool,
+}
+
+impl DroneConfig {
+    /// A fixed-population drone at `particles`, seeded with `seed`.
+    pub fn new(particles: usize, seed: u64) -> Self {
+        DroneConfig {
+            particles,
+            seed,
+            backend: None,
+            adaptive: false,
+        }
+    }
+}
+
+/// The immutable world every hosted filter shares: the occupancy grid and
+/// one precomputed fp32 distance field behind `Arc`s.
+#[derive(Debug, Clone)]
+pub struct FleetWorld {
+    map: Arc<OccupancyGrid>,
+    field: Arc<EuclideanDistanceField>,
+}
+
+impl FleetWorld {
+    /// Computes the distance field for `map` truncated at `r_max` and wraps
+    /// both for sharing.
+    pub fn new(map: OccupancyGrid, r_max: f32) -> Self {
+        let field = EuclideanDistanceField::compute(&map, r_max);
+        FleetWorld {
+            map: Arc::new(map),
+            field: Arc::new(field),
+        }
+    }
+
+    /// Wraps an already computed map/field pair (e.g. a scenario's).
+    pub fn from_parts(map: Arc<OccupancyGrid>, field: Arc<EuclideanDistanceField>) -> Self {
+        FleetWorld { map, field }
+    }
+
+    /// The shared occupancy grid.
+    pub fn map(&self) -> &Arc<OccupancyGrid> {
+        &self.map
+    }
+
+    /// The shared distance field.
+    pub fn field(&self) -> &Arc<EuclideanDistanceField> {
+        &self.field
+    }
+}
+
+/// Fleet sizing and template-filter settings.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Shard (thread) count.
+    pub shards: usize,
+    /// Per-shard command-queue bound (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Per-connection outbox bound (slow-consumer threshold).
+    pub outbox_capacity: usize,
+    /// Worker cap for one coalesced-batch dispatch.
+    pub dispatch_workers: usize,
+    /// Registration capacity across all shards.
+    pub max_drones: usize,
+    /// Template for per-drone filter configs: noise model, `r_max`, gates
+    /// and the default kernel backend come from here; particle count, seed,
+    /// backend override and adaptive mode come from each register request.
+    /// `workers` is forced to 1 — parallelism comes from the coalesced
+    /// dispatch across drones, not from splitting one small filter.
+    pub base: MclConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl FleetConfig {
+    /// The built-in defaults with the `MCL_FLEET_*` environment overrides
+    /// applied (`MCL_FLEET_SHARDS`, `MCL_FLEET_QUEUE_CAP`,
+    /// `MCL_FLEET_OUT_CAP`, `MCL_FLEET_MAX_DRONES`).
+    pub fn from_env() -> Self {
+        fn env_usize(name: &str, default: usize) -> usize {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or(default)
+        }
+        FleetConfig {
+            shards: env_usize("MCL_FLEET_SHARDS", pool::shared().workers().clamp(1, 8)),
+            queue_capacity: env_usize("MCL_FLEET_QUEUE_CAP", 1024),
+            outbox_capacity: env_usize("MCL_FLEET_OUT_CAP", 4096),
+            dispatch_workers: env_usize("MCL_FLEET_DISPATCH_WORKERS", pool::shared().workers()),
+            max_drones: env_usize("MCL_FLEET_MAX_DRONES", 16384),
+            base: MclConfig::default(),
+        }
+    }
+
+    /// Overrides the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Overrides the per-shard queue bound.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Overrides the per-connection outbox bound.
+    pub fn with_outbox_capacity(mut self, capacity: usize) -> Self {
+        self.outbox_capacity = capacity.max(1);
+        self
+    }
+
+    /// Overrides the registration capacity.
+    pub fn with_max_drones(mut self, max_drones: usize) -> Self {
+        self.max_drones = max_drones.max(1);
+        self
+    }
+
+    /// Overrides the template filter config.
+    pub fn with_base(mut self, base: MclConfig) -> Self {
+        self.base = base;
+        self
+    }
+}
+
+/// A running fleet: shards, shared world, registration accounting.
+pub struct Fleet {
+    world: FleetWorld,
+    config: FleetConfig,
+    shards: Vec<Arc<Shard>>,
+    drones: Arc<AtomicUsize>,
+    poses_dropped: Arc<AtomicU64>,
+    connections: AtomicUsize,
+    next_token: AtomicU64,
+    started: Instant,
+}
+
+/// The most recently started fleet, for the module-level [`crate::stats`]
+/// snapshot.
+static ACTIVE: OnceLock<Mutex<Weak<Fleet>>> = OnceLock::new();
+
+pub(crate) fn active_fleet() -> Option<Arc<Fleet>> {
+    ACTIVE.get()?.lock().unwrap().upgrade()
+}
+
+impl Fleet {
+    /// Starts the shard threads and returns the fleet.
+    pub fn start(world: FleetWorld, config: FleetConfig) -> Arc<Fleet> {
+        let drones = Arc::new(AtomicUsize::new(0));
+        let shards = (0..config.shards.max(1))
+            .map(|index| {
+                Shard::spawn(
+                    index,
+                    config.queue_capacity,
+                    ShardCtx {
+                        map: Arc::clone(&world.map),
+                        field: Arc::clone(&world.field),
+                        dispatch_workers: config.dispatch_workers,
+                        fleet_drones: Arc::clone(&drones),
+                        max_drones: config.max_drones,
+                    },
+                )
+            })
+            .collect();
+        let fleet = Arc::new(Fleet {
+            world,
+            config,
+            shards,
+            drones,
+            poses_dropped: Arc::new(AtomicU64::new(0)),
+            connections: AtomicUsize::new(0),
+            next_token: AtomicU64::new(1),
+            started: Instant::now(),
+        });
+        *ACTIVE
+            .get_or_init(|| Mutex::new(Weak::new()))
+            .lock()
+            .unwrap() = Arc::downgrade(&fleet);
+        fleet
+    }
+
+    /// The world the fleet serves.
+    pub fn world(&self) -> &FleetWorld {
+        &self.world
+    }
+
+    /// The fleet's sizing configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The exact filter configuration a register request with `drone` yields
+    /// — public so reference single-filter runs (tests, benches) can
+    /// construct bit-identical filters.
+    pub fn filter_config(&self, drone: &DroneConfig) -> MclConfig {
+        let mut config = self
+            .config
+            .base
+            .with_particles(drone.particles)
+            .with_seed(drone.seed)
+            .with_workers(1);
+        if let Some(backend) = drone.backend {
+            config = config.with_kernel_backend(backend);
+        }
+        config.adaptive = if drone.adaptive {
+            // The same population window the scenario harness uses:
+            // [max(N/8, 64), 2N], starting from N itself.
+            let min = (drone.particles / 8).max(64).min(drone.particles.max(1));
+            AdaptiveConfig::enabled()
+                .with_population_range(min, drone.particles.saturating_mul(2).max(min))
+        } else {
+            AdaptiveConfig::default()
+        };
+        config
+    }
+
+    /// Creates an in-process client handle (counts as a connection).
+    pub fn handle(self: &Arc<Self>) -> FleetHandle {
+        let token = self.next_token();
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        FleetHandle {
+            fleet: Arc::clone(self),
+            token,
+            outbox: self.new_outbox(),
+            buffered: VecDeque::new(),
+        }
+    }
+
+    pub(crate) fn next_token(&self) -> u64 {
+        self.next_token.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn new_outbox(&self) -> Arc<Outbox> {
+        Outbox::new(self.config.outbox_capacity, Arc::clone(&self.poses_dropped))
+    }
+
+    pub(crate) fn connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn connection_closed(&self) {
+        self.connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn shard_of(&self, drone: u64) -> &Shard {
+        &self.shards[(drone % self.shards.len() as u64) as usize]
+    }
+
+    /// Routes one already-decoded request from connection `token` into its
+    /// shard, blocking on shard backpressure. Register/deregister/pose
+    /// responses arrive on `reply`.
+    pub(crate) fn submit(
+        &self,
+        token: u64,
+        request: Request,
+        reply: &Arc<Outbox>,
+    ) -> Result<(), FleetError> {
+        match request {
+            Request::Register {
+                drone_id,
+                particles,
+                seed,
+                backend,
+                adaptive,
+            } => {
+                let drone_config = DroneConfig {
+                    particles: particles as usize,
+                    seed,
+                    backend,
+                    adaptive,
+                };
+                self.shard_of(drone_id).submit(Command::Register {
+                    token,
+                    drone: drone_id,
+                    config: self.filter_config(&drone_config),
+                    reply: Arc::clone(reply),
+                })
+            }
+            Request::Frame {
+                drone_id,
+                delta,
+                beams,
+            } => self.submit_frame(token, drone_id, delta, beams, reply),
+            Request::Deregister { drone_id } => {
+                self.shard_of(drone_id).submit(Command::Deregister {
+                    token,
+                    drone: drone_id,
+                    reply: Some(Arc::clone(reply)),
+                })
+            }
+        }
+    }
+
+    pub(crate) fn submit_frame(
+        &self,
+        token: u64,
+        drone: u64,
+        delta: MotionDelta,
+        beams: Vec<Beam>,
+        reply: &Arc<Outbox>,
+    ) -> Result<(), FleetError> {
+        self.shard_of(drone).submit(Command::Frame {
+            token,
+            drone,
+            frame: FrameCmd {
+                delta,
+                beams,
+                enqueued: Instant::now(),
+                reply: Arc::clone(reply),
+            },
+        })
+    }
+
+    /// Retires every drone owned by `token` (connection teardown). Bypasses
+    /// the queue bound so cleanup cannot deadlock.
+    pub(crate) fn drop_owner(&self, token: u64) {
+        for shard in &self.shards {
+            let _ = shard.submit(Command::DropOwner { token });
+        }
+    }
+
+    /// Blocks until every command submitted before this call has been
+    /// processed by its shard. Returns `false` on timeout.
+    pub fn barrier(&self, timeout: Duration) -> bool {
+        let gates: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let gate = BarrierGate::new();
+                let ok = shard
+                    .submit(Command::Barrier {
+                        gate: Arc::clone(&gate),
+                    })
+                    .is_ok();
+                (gate, ok)
+            })
+            .collect();
+        gates
+            .into_iter()
+            .all(|(gate, submitted)| !submitted || gate.wait(timeout))
+    }
+
+    /// Currently registered drones.
+    pub fn drones(&self) -> usize {
+        self.drones.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every shard's counters plus the fleet totals.
+    pub fn stats(&self) -> FleetStats {
+        let uptime_s = self.started.elapsed().as_secs_f64();
+        let shards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .counters
+                    .snapshot(shard.index(), shard.queue_depth(), uptime_s)
+            })
+            .collect();
+        FleetStats {
+            drones: self.drones(),
+            updates: shards.iter().map(|s| s.updates).sum(),
+            poses_dropped: self.poses_dropped.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            uptime_s,
+            pool_workers: pool::shared().workers(),
+            shards,
+        }
+    }
+
+    /// Stops accepting commands, drains the queues and joins the shard
+    /// threads. Idempotent.
+    pub fn shutdown(&self) {
+        for shard in &self.shards {
+            shard.close();
+        }
+        for shard in &self.shards {
+            shard.join();
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// An in-process client: the same command path as a TCP connection, minus
+/// the sockets — used by the determinism harness and embedders.
+pub struct FleetHandle {
+    fleet: Arc<Fleet>,
+    token: u64,
+    outbox: Arc<Outbox>,
+    /// Responses read while waiting for a specific ack.
+    buffered: VecDeque<Response>,
+}
+
+impl FleetHandle {
+    /// The fleet this handle feeds.
+    pub fn fleet(&self) -> &Arc<Fleet> {
+        &self.fleet
+    }
+
+    /// Registers `drone` and waits for the ack.
+    pub fn register(
+        &mut self,
+        drone: u64,
+        config: DroneConfig,
+        timeout: Duration,
+    ) -> Result<(), FleetError> {
+        self.fleet.submit(
+            self.token,
+            Request::Register {
+                drone_id: drone,
+                particles: config.particles as u32,
+                seed: config.seed,
+                backend: config.backend,
+                adaptive: config.adaptive,
+            },
+            &self.outbox,
+        )?;
+        self.wait_for_ack(drone, timeout, |response| {
+            matches!(response, Response::Registered { drone_id, .. } if *drone_id == drone)
+        })
+    }
+
+    /// Pushes one odometry+observation frame (fire-and-forget; the pose
+    /// arrives on the response stream). Blocks under shard backpressure.
+    pub fn push_frame(
+        &mut self,
+        drone: u64,
+        delta: MotionDelta,
+        beams: Vec<Beam>,
+    ) -> Result<(), FleetError> {
+        self.fleet
+            .submit_frame(self.token, drone, delta, beams, &self.outbox)
+    }
+
+    /// Deregisters `drone` and waits for the ack.
+    pub fn deregister(&mut self, drone: u64, timeout: Duration) -> Result<(), FleetError> {
+        self.fleet.submit(
+            self.token,
+            Request::Deregister { drone_id: drone },
+            &self.outbox,
+        )?;
+        self.wait_for_ack(drone, timeout, |response| {
+            matches!(response, Response::Deregistered { drone_id } if *drone_id == drone)
+        })
+    }
+
+    /// Receives the next response (buffered first), waiting up to `timeout`.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<Response> {
+        if let Some(buffered) = self.buffered.pop_front() {
+            return Some(buffered);
+        }
+        self.outbox.recv_timeout(timeout)
+    }
+
+    /// Waits until every command this fleet received so far is processed.
+    pub fn barrier(&self, timeout: Duration) -> bool {
+        self.fleet.barrier(timeout)
+    }
+
+    /// Poses dropped from this handle's outbox (slow-consumer accounting).
+    pub fn dropped_poses(&self) -> u64 {
+        self.outbox.dropped_poses()
+    }
+
+    fn wait_for_ack(
+        &mut self,
+        drone: u64,
+        timeout: Duration,
+        matches_ack: impl Fn(&Response) -> bool,
+    ) -> Result<(), FleetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(FleetError::Timeout);
+            }
+            match self.outbox.recv_timeout(deadline - now) {
+                None => return Err(FleetError::Timeout),
+                Some(Response::Error { code, drone_id }) if drone_id == drone => {
+                    return Err(FleetError::Rejected(code));
+                }
+                Some(response) if matches_ack(&response) => return Ok(()),
+                Some(other) => self.buffered.push_back(other),
+            }
+        }
+    }
+}
+
+impl Drop for FleetHandle {
+    fn drop(&mut self) {
+        self.fleet.drop_owner(self.token);
+        self.outbox.close();
+        self.fleet.connection_closed();
+    }
+}

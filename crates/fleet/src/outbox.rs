@@ -1,0 +1,208 @@
+//! Bounded per-connection response queues.
+//!
+//! Shard threads and pool workers must never block on a slow consumer — that
+//! would couple unrelated connections through the shard. An [`Outbox`] is
+//! therefore bounded with *drop-oldest-pose* overflow semantics: when a
+//! consumer stops draining, the oldest undelivered [`Response::Pose`] is
+//! discarded (pose streams are latest-wins telemetry) and counted, while
+//! control responses (register/deregister acks, errors) are preserved as long
+//! as any pose can be evicted instead. Inbound updates are unaffected: the
+//! filter still advances, only the stale estimate's delivery is skipped.
+
+use crate::protocol::Response;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+#[derive(Debug)]
+struct OutboxState {
+    queue: VecDeque<Response>,
+    closed: bool,
+}
+
+/// A bounded queue of server → client responses.
+#[derive(Debug)]
+pub struct Outbox {
+    state: Mutex<OutboxState>,
+    available: Condvar,
+    capacity: usize,
+    dropped_poses: AtomicU64,
+    /// Fleet-wide drop counter shared by every outbox, surfaced through
+    /// [`crate::FleetStats::poses_dropped`].
+    fleet_dropped: Arc<AtomicU64>,
+}
+
+impl Outbox {
+    pub(crate) fn new(capacity: usize, fleet_dropped: Arc<AtomicU64>) -> Arc<Self> {
+        Arc::new(Outbox {
+            state: Mutex::new(OutboxState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            dropped_poses: AtomicU64::new(0),
+            fleet_dropped,
+        })
+    }
+
+    /// Enqueues a response, evicting the oldest pose if the queue is full.
+    /// Never blocks. Responses pushed after [`Outbox::close`] are discarded.
+    pub(crate) fn push(&self, response: Response) {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return;
+        }
+        if state.queue.len() >= self.capacity {
+            let victim = state
+                .queue
+                .iter()
+                .position(|r| matches!(r, Response::Pose(_)))
+                .unwrap_or(0);
+            state.queue.remove(victim);
+            self.dropped_poses.fetch_add(1, Ordering::Relaxed);
+            self.fleet_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        state.queue.push_back(response);
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Dequeues the next response, waiting up to `timeout`. Returns `None` on
+    /// timeout or when the outbox is closed and drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Response> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(response) = state.queue.pop_front() {
+                return Some(response);
+            }
+            if state.closed {
+                return None;
+            }
+            let (next, wait) = self
+                .available
+                .wait_timeout(state, timeout)
+                .expect("outbox lock poisoned");
+            state = next;
+            if wait.timed_out() {
+                return state.queue.pop_front();
+            }
+        }
+    }
+
+    /// Dequeues the next response if one is ready.
+    pub fn try_recv(&self) -> Option<Response> {
+        self.state.lock().unwrap().queue.pop_front()
+    }
+
+    /// Marks the outbox closed: pending responses stay receivable, further
+    /// pushes are discarded, and blocked receivers wake with `None` once
+    /// drained.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Whether [`Outbox::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+
+    /// Responses currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    /// Whether no responses are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Poses evicted from this outbox because the consumer was too slow.
+    pub fn dropped_poses(&self) -> u64 {
+        self.dropped_poses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ErrorCode, PoseUpdate};
+
+    fn pose(update: u32) -> Response {
+        Response::Pose(PoseUpdate {
+            drone_id: 1,
+            update,
+            applied: true,
+            x: 0.0,
+            y: 0.0,
+            theta: 0.0,
+            position_std_m: 0.0,
+            yaw_std_rad: 0.0,
+            neff: 0.0,
+        })
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_pose_not_control_messages() {
+        let fleet_dropped = Arc::new(AtomicU64::new(0));
+        let outbox = Outbox::new(3, Arc::clone(&fleet_dropped));
+        outbox.push(Response::Registered {
+            drone_id: 1,
+            particles: 64,
+        });
+        outbox.push(pose(1));
+        outbox.push(pose(2));
+        outbox.push(pose(3)); // evicts pose(1)
+        assert_eq!(outbox.dropped_poses(), 1);
+        assert_eq!(fleet_dropped.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            outbox.try_recv(),
+            Some(Response::Registered {
+                drone_id: 1,
+                particles: 64
+            })
+        );
+        assert_eq!(outbox.try_recv(), Some(pose(2)));
+        assert_eq!(outbox.try_recv(), Some(pose(3)));
+        assert_eq!(outbox.try_recv(), None);
+    }
+
+    #[test]
+    fn full_queue_of_control_messages_drops_front() {
+        let outbox = Outbox::new(2, Arc::new(AtomicU64::new(0)));
+        outbox.push(Response::Error {
+            code: ErrorCode::UnknownDrone,
+            drone_id: 1,
+        });
+        outbox.push(Response::Error {
+            code: ErrorCode::UnknownDrone,
+            drone_id: 2,
+        });
+        outbox.push(Response::Error {
+            code: ErrorCode::UnknownDrone,
+            drone_id: 3,
+        });
+        assert_eq!(
+            outbox.try_recv(),
+            Some(Response::Error {
+                code: ErrorCode::UnknownDrone,
+                drone_id: 2
+            })
+        );
+    }
+
+    #[test]
+    fn close_wakes_receivers_and_discards_late_pushes() {
+        let outbox = Outbox::new(4, Arc::new(AtomicU64::new(0)));
+        outbox.push(pose(1));
+        outbox.close();
+        outbox.push(pose(2)); // discarded
+        assert_eq!(
+            outbox.recv_timeout(Duration::from_millis(10)),
+            Some(pose(1))
+        );
+        assert_eq!(outbox.recv_timeout(Duration::from_millis(10)), None);
+    }
+}

@@ -1,0 +1,245 @@
+//! The TCP front-end: one acceptor thread, one reader + one writer thread
+//! per connection, all plain `std::net` blocking I/O (the vendor-stub
+//! discipline: no async runtime dependency to vendor).
+//!
+//! The reader thread parses length-prefixed frames and routes decoded
+//! requests into the fleet's shards — blocking on shard backpressure, which
+//! stops the socket reads and lets TCP flow control push back on the client.
+//! The writer thread drains the connection's bounded [`Outbox`]. Faults
+//! degrade per connection: a malformed frame is answered with
+//! [`ErrorCode::MalformedFrame`] and the connection keeps going; an
+//! unrecoverable framing error (bad length prefix) or an I/O error tears
+//! down only that connection, deregistering every drone it owned.
+
+use crate::fleet::Fleet;
+use crate::outbox::Outbox;
+use crate::protocol::{self, decode_request, encode_response, ErrorCode, ProtocolError, Response};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the acceptor sleeps between polls of the nonblocking listener.
+const ACCEPT_POLL: Duration = Duration::from_micros(500);
+
+/// How long the writer waits for outbox traffic before re-checking shutdown.
+const WRITER_POLL: Duration = Duration::from_millis(50);
+
+struct Connection {
+    stream: TcpStream,
+    outbox: Arc<Outbox>,
+    reader: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+/// A listening fleet server.
+pub struct FleetServer {
+    fleet: Arc<Fleet>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<Connection>>>,
+}
+
+impl FleetServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts accepting connections
+    /// for `fleet`.
+    pub fn serve(fleet: Arc<Fleet>, addr: impl ToSocketAddrs) -> io::Result<FleetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let fleet = Arc::clone(&fleet);
+            let shutdown = Arc::clone(&shutdown);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new()
+                .name("mcl-fleet-accept".into())
+                .spawn(move || accept_loop(listener, fleet, shutdown, connections))
+                .expect("spawn fleet acceptor thread")
+        };
+        Ok(FleetServer {
+            fleet,
+            local_addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            connections,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The fleet this server fronts.
+    pub fn fleet(&self) -> &Arc<Fleet> {
+        &self.fleet
+    }
+
+    /// Stops accepting, tears down every connection (deregistering their
+    /// drones) and joins all threads. The fleet itself keeps running.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let mut connections = std::mem::take(&mut *self.connections.lock().unwrap());
+        for connection in &connections {
+            let _ = connection.stream.shutdown(std::net::Shutdown::Both);
+            connection.outbox.close();
+        }
+        for connection in &mut connections {
+            if let Some(reader) = connection.reader.take() {
+                let _ = reader.join();
+            }
+            if let Some(writer) = connection.writer.take() {
+                let _ = writer.join();
+            }
+        }
+    }
+}
+
+impl Drop for FleetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    fleet: Arc<Fleet>,
+    shutdown: Arc<AtomicBool>,
+    connections: Arc<Mutex<Vec<Connection>>>,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                match spawn_connection(&fleet, stream) {
+                    Ok(connection) => {
+                        let mut held = connections.lock().unwrap();
+                        // Prune finished connections so a register/deregister
+                        // storm of short-lived clients cannot grow the list.
+                        held.retain(|c| {
+                            c.reader.as_ref().is_none_or(|r| !r.is_finished())
+                                || c.writer.as_ref().is_none_or(|w| !w.is_finished())
+                        });
+                        held.push(connection);
+                    }
+                    Err(_) => { /* stream died during setup; nothing to keep */ }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn spawn_connection(fleet: &Arc<Fleet>, stream: TcpStream) -> io::Result<Connection> {
+    let token = fleet.next_token();
+    fleet.connection_opened();
+    let outbox = fleet.new_outbox();
+    let reader_stream = stream.try_clone()?;
+    let writer_stream = stream.try_clone()?;
+    let reader = {
+        let fleet = Arc::clone(fleet);
+        let outbox = Arc::clone(&outbox);
+        std::thread::Builder::new()
+            .name("mcl-fleet-conn-rx".into())
+            .spawn(move || {
+                reader_loop(&fleet, token, reader_stream, &outbox);
+                // Whatever ended the read side — EOF, fault, shutdown —
+                // this connection's drones must not leak.
+                fleet.drop_owner(token);
+                outbox.close();
+                fleet.connection_closed();
+            })?
+    };
+    let writer = {
+        let outbox = Arc::clone(&outbox);
+        std::thread::Builder::new()
+            .name("mcl-fleet-conn-tx".into())
+            .spawn(move || writer_loop(writer_stream, &outbox))?
+    };
+    Ok(Connection {
+        stream,
+        outbox,
+        reader: Some(reader),
+        writer: Some(writer),
+    })
+}
+
+fn reader_loop(fleet: &Arc<Fleet>, token: u64, stream: TcpStream, outbox: &Arc<Outbox>) {
+    let mut reader = BufReader::new(stream);
+    let mut payload = Vec::new();
+    loop {
+        match protocol::read_frame(&mut reader, &mut payload) {
+            Ok(false) => break, // clean EOF
+            Err(_) => {
+                // Truncated prefix/body or an unrecoverable length prefix:
+                // the byte stream cannot be trusted past this point.
+                outbox.push(Response::Error {
+                    code: ErrorCode::MalformedFrame,
+                    drone_id: 0,
+                });
+                break;
+            }
+            Ok(true) => match decode_request(&payload) {
+                Ok(request) => {
+                    if fleet.submit(token, request, outbox).is_err() {
+                        outbox.push(Response::Error {
+                            code: ErrorCode::Shutdown,
+                            drone_id: 0,
+                        });
+                        break;
+                    }
+                }
+                Err(ProtocolError::UnknownType(_))
+                | Err(ProtocolError::Truncated)
+                | Err(ProtocolError::TrailingBytes)
+                | Err(ProtocolError::BadLength(_))
+                | Err(ProtocolError::BadValue(_)) => {
+                    // The frame boundary was sound, only the payload was
+                    // bad: answer and keep the connection.
+                    outbox.push(Response::Error {
+                        code: ErrorCode::MalformedFrame,
+                        drone_id: 0,
+                    });
+                }
+            },
+        }
+    }
+}
+
+fn writer_loop(stream: TcpStream, outbox: &Arc<Outbox>) {
+    let mut writer = BufWriter::new(stream);
+    let mut framed = Vec::new();
+    loop {
+        match outbox.recv_timeout(WRITER_POLL) {
+            Some(response) => {
+                framed.clear();
+                encode_response(&response, &mut framed);
+                // Coalesce everything already queued into one syscall.
+                while let Some(next) = outbox.try_recv() {
+                    encode_response(&next, &mut framed);
+                }
+                if writer.write_all(&framed).is_err() || writer.flush().is_err() {
+                    outbox.close();
+                    break;
+                }
+            }
+            None => {
+                if outbox.is_closed() && outbox.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+    // Everything is flushed (or the write side already failed): send FIN so
+    // a client waiting on the stream sees EOF now, not at server shutdown.
+    let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+}

@@ -1,0 +1,258 @@
+//! Fleet observability: per-shard counters and latency histograms.
+//!
+//! Every counter is a relaxed atomic written from the shard threads and the
+//! pool workers executing coalesced batches; [`FleetStats`] is a consistent-
+//! enough snapshot for dashboards and CI gates, not a linearizable one (the
+//! same contract as [`mcl_core::pool::stats`]).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of power-of-two latency buckets: bucket `i` counts updates whose
+/// enqueue→published latency was in `[2^i, 2^{i+1})` microseconds, bucket 0
+/// additionally holding sub-microsecond samples. 2^31 µs ≈ 36 min caps the
+/// range far above anything a live server produces.
+const LATENCY_BUCKETS: usize = 32;
+
+/// Lock-free power-of-two histogram of update latencies in microseconds.
+#[derive(Debug, Default)]
+pub(crate) struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    pub(crate) fn record_us(&self, micros: u64) {
+        let bucket = (u64::BITS - micros.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[bucket.min(LATENCY_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> [u64; LATENCY_BUCKETS] {
+        let mut counts = [0u64; LATENCY_BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        counts
+    }
+}
+
+/// Resolves percentile `q` (in `[0, 1]`) to the upper bound of the bucket
+/// holding that rank — a conservative (over-)estimate with power-of-two
+/// resolution, which is plenty for regression gating.
+fn percentile_us(counts: &[u64; LATENCY_BUCKETS], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &count) in counts.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return 1u64 << (i + 1);
+        }
+    }
+    1u64 << LATENCY_BUCKETS
+}
+
+/// Atomic max update (relaxed; statistics only).
+fn fetch_max(cell: &AtomicU64, value: u64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    while value > current {
+        match cell.compare_exchange_weak(current, value, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// The live counters one shard maintains.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    pub(crate) drones: AtomicUsize,
+    pub(crate) updates: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_commands: AtomicU64,
+    pub(crate) max_batch: AtomicU64,
+    pub(crate) peak_queue_depth: AtomicU64,
+    pub(crate) enqueue_waits: AtomicU64,
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl ShardCounters {
+    pub(crate) fn record_batch(&self, commands: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_commands
+            .fetch_add(commands as u64, Ordering::Relaxed);
+        fetch_max(&self.max_batch, commands as u64);
+    }
+
+    pub(crate) fn record_queue_depth(&self, depth: usize) {
+        fetch_max(&self.peak_queue_depth, depth as u64);
+    }
+
+    pub(crate) fn snapshot(&self, shard: usize, queue_depth: usize, elapsed_s: f64) -> ShardStats {
+        let counts = self.latency.snapshot();
+        let updates = self.updates.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_commands.load(Ordering::Relaxed);
+        ShardStats {
+            shard,
+            drones: self.drones.load(Ordering::Relaxed),
+            updates,
+            updates_per_sec: if elapsed_s > 0.0 {
+                updates as f64 / elapsed_s
+            } else {
+                0.0
+            },
+            batches,
+            mean_batch: if batches > 0 {
+                batched as f64 / batches as f64
+            } else {
+                0.0
+            },
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            queue_depth,
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed) as usize,
+            enqueue_waits: self.enqueue_waits.load(Ordering::Relaxed),
+            p50_latency_us: percentile_us(&counts, 0.50),
+            p99_latency_us: percentile_us(&counts, 0.99),
+        }
+    }
+}
+
+/// One shard's counters at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Currently registered drones on this shard.
+    pub drones: usize,
+    /// Observation/odometry frames processed since start.
+    pub updates: u64,
+    /// `updates` divided by the fleet's uptime.
+    pub updates_per_sec: f64,
+    /// Coalesced batches executed (one pool dispatch each).
+    pub batches: u64,
+    /// Mean commands per coalesced batch — the dispatch-amortization factor.
+    pub mean_batch: f64,
+    /// Largest coalesced batch seen.
+    pub max_batch: u64,
+    /// Commands waiting in the shard queue right now.
+    pub queue_depth: usize,
+    /// High-water mark of the queue depth (bounded by `MCL_FLEET_QUEUE_CAP`).
+    pub peak_queue_depth: usize,
+    /// Times a producer blocked on a full queue (backpressure events).
+    pub enqueue_waits: u64,
+    /// Median enqueue→published update latency, microseconds (power-of-two
+    /// bucket upper bound).
+    pub p50_latency_us: u64,
+    /// 99th-percentile update latency, microseconds (same resolution).
+    pub p99_latency_us: u64,
+}
+
+/// A snapshot of the whole fleet's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Currently registered drones across all shards.
+    pub drones: usize,
+    /// Frames processed across all shards since start.
+    pub updates: u64,
+    /// Pose responses dropped on full outboxes (slow consumers). Inbound
+    /// updates are never dropped — the shard queue blocks instead.
+    pub poses_dropped: u64,
+    /// Live client connections (TCP; in-process handles count too).
+    pub connections: usize,
+    /// Seconds since the fleet started.
+    pub uptime_s: f64,
+    /// Worker threads in the shared kernel pool.
+    pub pool_workers: usize,
+}
+
+impl FleetStats {
+    /// Aggregate updates/sec across all shards.
+    pub fn updates_per_sec(&self) -> f64 {
+        if self.uptime_s > 0.0 {
+            self.updates as f64 / self.uptime_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Worst per-shard p99 update latency, microseconds.
+    pub fn p99_latency_us(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.p99_latency_us)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Worst per-shard p50 update latency, microseconds.
+    pub fn p50_latency_us(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.p50_latency_us)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean coalesced-batch size across shards (weighted by batch count).
+    pub fn mean_batch(&self) -> f64 {
+        let batches: u64 = self.shards.iter().map(|s| s.batches).sum();
+        if batches == 0 {
+            return 0.0;
+        }
+        let commands: f64 = self
+            .shards
+            .iter()
+            .map(|s| s.mean_batch * s.batches as f64)
+            .sum();
+        commands / batches as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_bucket_upper_bounds() {
+        let hist = LatencyHistogram::default();
+        for _ in 0..99 {
+            hist.record_us(3); // bucket [2, 4)
+        }
+        hist.record_us(1000); // bucket [512, 1024)
+        let counts = hist.snapshot();
+        assert_eq!(percentile_us(&counts, 0.50), 4);
+        assert_eq!(percentile_us(&counts, 0.99), 4);
+        assert_eq!(percentile_us(&counts, 1.0), 1024);
+        assert_eq!(percentile_us(&[0; LATENCY_BUCKETS], 0.99), 0);
+    }
+
+    #[test]
+    fn zero_and_huge_latencies_stay_in_range() {
+        let hist = LatencyHistogram::default();
+        hist.record_us(0);
+        hist.record_us(u64::MAX);
+        let counts = hist.snapshot();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[LATENCY_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn batch_counters_track_mean_and_max() {
+        let counters = ShardCounters::default();
+        counters.record_batch(4);
+        counters.record_batch(10);
+        counters.record_queue_depth(7);
+        counters.record_queue_depth(3);
+        let stats = counters.snapshot(2, 1, 2.0);
+        assert_eq!(stats.shard, 2);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.mean_batch, 7.0);
+        assert_eq!(stats.max_batch, 10);
+        assert_eq!(stats.peak_queue_depth, 7);
+        assert_eq!(stats.queue_depth, 1);
+    }
+}

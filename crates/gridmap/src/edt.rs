@@ -19,6 +19,7 @@
 
 use crate::grid::{CellIndex, CellState, OccupancyGrid};
 use mcl_num::{Quantizer, F16};
+use std::sync::Arc;
 
 #[cfg(target_arch = "x86_64")]
 mod avx2;
@@ -107,6 +108,57 @@ pub trait DistanceField: Send + Sync {
 
     /// Short label used in experiment output ("fp32", "fp16", "quantized").
     fn storage_name(&self) -> &'static str;
+}
+
+/// Shared-ownership forwarding: `Arc<D>` is a [`DistanceField`] whenever `D`
+/// is, delegating every method — including the lane and AVX2 fast paths a
+/// generic default would hide — to the inner field. A fleet of filters can
+/// then share one precomputed field instead of cloning megabytes of cells per
+/// filter, which is what makes hosting thousands of concurrent filters on one
+/// map affordable.
+impl<D: DistanceField + ?Sized> DistanceField for Arc<D> {
+    fn distance_at(&self, cell: CellIndex) -> f32 {
+        (**self).distance_at(cell)
+    }
+
+    fn distance_at_world(&self, x: f32, y: f32) -> f32 {
+        (**self).distance_at_world(x, y)
+    }
+
+    fn distances_at_world_lanes(
+        &self,
+        xs: &[f32; DISTANCE_LANES],
+        ys: &[f32; DISTANCE_LANES],
+        out: &mut [f32; DISTANCE_LANES],
+    ) {
+        (**self).distances_at_world_lanes(xs, ys, out)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn distances_at_world_lanes_avx2(
+        &self,
+        xs: &[f32; DISTANCE_LANES],
+        ys: &[f32; DISTANCE_LANES],
+        out: &mut [f32; DISTANCE_LANES],
+    ) {
+        (**self).distances_at_world_lanes_avx2(xs, ys, out)
+    }
+
+    fn max_distance(&self) -> f32 {
+        (**self).max_distance()
+    }
+
+    fn bytes_per_cell(&self) -> usize {
+        (**self).bytes_per_cell()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+
+    fn storage_name(&self) -> &'static str {
+        (**self).storage_name()
+    }
 }
 
 /// Shared dimensional bookkeeping for the three storage back-ends.

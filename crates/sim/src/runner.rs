@@ -11,10 +11,10 @@
 
 use crate::metrics::{ConvergenceCriterion, SequenceResult, TrajectoryErrorTracker};
 use crate::sequence::Sequence;
-use mcl_core::MonteCarloLocalization;
+use mcl_core::{MonteCarloLocalization, MotionDelta};
 use mcl_gridmap::DistanceField;
 use mcl_num::Scalar;
-use mcl_sensor::BeamBatch;
+use mcl_sensor::{Beam, BeamBatch, SensorRig};
 use serde::{Deserialize, Serialize};
 
 /// Options of the sequence runner.
@@ -44,6 +44,39 @@ impl RunnerConfig {
             ..RunnerConfig::default()
         }
     }
+}
+
+/// One step of scenario traffic in wire form: the odometry increment and the
+/// already-flattened beams a remote drone would push to a fleet server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficStep {
+    /// Body-frame odometry increment since the previous step.
+    pub delta: MotionDelta,
+    /// The step's beams, reduced exactly like [`run_sequence`] reduces them
+    /// (`sensor_count` frame limit, then [`SensorRig::frames_to_beams`]).
+    pub beams: Vec<Beam>,
+}
+
+/// Flattens `sequence` into per-step wire traffic.
+///
+/// A filter fed these steps — `predict(delta)` then an update over
+/// `BeamBatch::from_beams(&beams)` partitioned at its `r_max` — computes
+/// bit-identical results to [`run_sequence`] over the same sequence, because
+/// [`mcl_sensor::BeamBatch::from_frames`] is defined as exactly that
+/// flattening. This is the traffic source for the fleet load generator and
+/// the fleet determinism harness.
+pub fn sequence_traffic(sequence: &Sequence, runner: &RunnerConfig) -> Vec<TrafficStep> {
+    sequence
+        .steps
+        .iter()
+        .map(|step| {
+            let frame_limit = runner.sensor_count.min(step.frames.len());
+            TrafficStep {
+                delta: step.odometry,
+                beams: SensorRig::frames_to_beams(&step.frames[..frame_limit]),
+            }
+        })
+        .collect()
 }
 
 /// Replays `sequence` through `filter` and returns the paper's metrics.
@@ -168,6 +201,49 @@ mod tests {
         // The run completes and scores every step; accuracy assertions live in
         // the experiment harness where statistics over seeds are available.
         assert_eq!(result.steps, sequence.len());
+    }
+
+    #[test]
+    fn traffic_replay_is_bit_identical_to_run_sequence() {
+        let (maze, sequence) = scenario();
+        let config = MclConfig::default().with_particles(256).with_seed(9);
+        let runner = RunnerConfig::single_sensor();
+
+        let edt = EuclideanDistanceField::compute(maze.map(), 1.5);
+        let mut reference = MonteCarloLocalization::<f32, _>::new(config, edt).unwrap();
+        reference.initialize_uniform(maze.map(), 11).unwrap();
+        let mut expected = Vec::new();
+        for step in &sequence.steps {
+            reference.predict(step.odometry);
+            let frame_limit = runner.sensor_count.min(step.frames.len());
+            let mut batch = BeamBatch::from_frames(&step.frames[..frame_limit]);
+            batch.partition_in_range(reference.config().r_max);
+            let outcome = reference.update_batch(&batch).unwrap();
+            expected.push(match outcome.estimate() {
+                Some(estimate) => *estimate,
+                None => reference.estimate(),
+            });
+        }
+
+        let edt = EuclideanDistanceField::compute(maze.map(), 1.5);
+        let mut replica = MonteCarloLocalization::<f32, _>::new(config, edt).unwrap();
+        replica.initialize_uniform(maze.map(), 11).unwrap();
+        let traffic = sequence_traffic(&sequence, &runner);
+        assert_eq!(traffic.len(), sequence.len());
+        for (step, expect) in traffic.iter().zip(&expected) {
+            replica.predict(step.delta);
+            let mut batch = BeamBatch::from_beams(&step.beams);
+            batch.partition_in_range(replica.config().r_max);
+            let outcome = replica.update_batch(&batch).unwrap();
+            let estimate = match outcome.estimate() {
+                Some(estimate) => *estimate,
+                None => replica.estimate(),
+            };
+            assert_eq!(estimate.pose.x.to_bits(), expect.pose.x.to_bits());
+            assert_eq!(estimate.pose.y.to_bits(), expect.pose.y.to_bits());
+            assert_eq!(estimate.pose.theta.to_bits(), expect.pose.theta.to_bits());
+            assert_eq!(estimate.neff.to_bits(), expect.neff.to_bits());
+        }
     }
 
     #[test]

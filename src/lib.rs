@@ -16,6 +16,7 @@
 //! * [`sim`] — flight simulation, sequence generation and evaluation metrics.
 //! * [`platform`] — the Crazyflie/GAP9 firmware pipeline of the paper's Fig. 2.
 //! * [`baselines`] — UWB trilateration and dead-reckoning baselines.
+//! * [`fleet`] — localization-as-a-service: a sharded multi-drone fleet server.
 //!
 //! # Quickstart
 //!
@@ -27,6 +28,7 @@
 
 pub use mcl_baselines as baselines;
 pub use mcl_core as core;
+pub use mcl_fleet as fleet;
 pub use mcl_gap9 as gap9;
 pub use mcl_gridmap as gridmap;
 pub use mcl_num as num;

@@ -1,0 +1,446 @@
+//! Fleet server fault injection: hostile bytes, dying connections, slow
+//! consumers and registration storms must degrade *per connection* — the
+//! shard pool never panics, other connections never stall, and every filter
+//! slot is reclaimed (no leaks) no matter how a client misbehaves.
+//!
+//! The transport-level tests speak raw TCP on purpose: they exercise the
+//! framing layer with byte sequences the typed [`FleetClient`] cannot emit.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+use tof_mcl::core::MotionDelta;
+use tof_mcl::fleet::client::FleetClient;
+use tof_mcl::fleet::protocol::{
+    decode_response, encode_request, read_frame, ErrorCode, Request, Response,
+};
+use tof_mcl::fleet::{DroneConfig, Fleet, FleetConfig, FleetError, FleetServer, FleetWorld};
+use tof_mcl::gridmap::{MapBuilder, Pose2};
+use tof_mcl::sensor::Beam;
+
+const ACK: Duration = Duration::from_secs(30);
+
+/// A small bordered room — fault tests need a servable world, not the paper
+/// maze. Computed once and shared.
+fn world() -> &'static FleetWorld {
+    static WORLD: OnceLock<FleetWorld> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let map = MapBuilder::new(4.0, 4.0, 0.05).border_walls().build();
+        FleetWorld::new(map, 1.5)
+    })
+}
+
+fn start_fleet(config: FleetConfig) -> Arc<Fleet> {
+    Fleet::start(world().clone(), config)
+}
+
+fn one_beam() -> Vec<Beam> {
+    vec![Beam {
+        azimuth_body_rad: 0.0,
+        range_m: 1.0,
+        origin_body: Pose2::new(0.0, 0.0, 0.0),
+    }]
+}
+
+fn nudge() -> MotionDelta {
+    MotionDelta {
+        dx: 0.01,
+        dy: 0.0,
+        dtheta: 0.0,
+    }
+}
+
+/// Polls until the fleet reports no registered drones (teardown is
+/// asynchronous: EOF → DropOwner command → shard processing).
+fn wait_for_empty(fleet: &Fleet) {
+    let deadline = Instant::now() + ACK;
+    while fleet.drones() != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "drone slots leaked: {} still registered",
+            fleet.drones()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Reads one framed response off a raw socket.
+fn read_response(stream: &mut TcpStream) -> Option<Response> {
+    let mut payload = Vec::new();
+    if !read_frame(stream, &mut payload).ok()? {
+        return None;
+    }
+    decode_response(&payload).ok()
+}
+
+fn send_register(stream: &mut TcpStream, drone: u64) {
+    let mut buf = Vec::new();
+    encode_request(
+        &Request::Register {
+            drone_id: drone,
+            particles: 64,
+            seed: 1,
+            backend: None,
+            adaptive: false,
+        },
+        &mut buf,
+    );
+    stream.write_all(&buf).unwrap();
+}
+
+/// A decodable frame boundary around a garbage payload: the server must
+/// answer `MalformedFrame` and keep the connection usable.
+#[test]
+fn malformed_payload_is_answered_and_the_connection_survives() {
+    let fleet = start_fleet(FleetConfig::from_env());
+    let server = FleetServer::serve(Arc::clone(&fleet), "127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(ACK)).unwrap();
+
+    // Unknown message type.
+    stream.write_all(&5u32.to_le_bytes()).unwrap();
+    stream.write_all(&[0x7F, 1, 2, 3, 4]).unwrap();
+    assert!(matches!(
+        read_response(&mut stream),
+        Some(Response::Error {
+            code: ErrorCode::MalformedFrame,
+            ..
+        })
+    ));
+
+    // Truncated body: a register frame cut short (valid boundary, bad body).
+    stream.write_all(&3u32.to_le_bytes()).unwrap();
+    stream.write_all(&[0x01, 0xAA, 0xBB]).unwrap();
+    assert!(matches!(
+        read_response(&mut stream),
+        Some(Response::Error {
+            code: ErrorCode::MalformedFrame,
+            ..
+        })
+    ));
+
+    // Non-finite odometry in an otherwise well-formed frame.
+    let mut buf = Vec::new();
+    encode_request(
+        &Request::Frame {
+            drone_id: 1,
+            delta: MotionDelta {
+                dx: f32::NAN,
+                dy: 0.0,
+                dtheta: 0.0,
+            },
+            beams: Vec::new(),
+        },
+        &mut buf,
+    );
+    stream.write_all(&buf).unwrap();
+    assert!(matches!(
+        read_response(&mut stream),
+        Some(Response::Error {
+            code: ErrorCode::MalformedFrame,
+            ..
+        })
+    ));
+
+    // The same connection still registers and serves a drone.
+    send_register(&mut stream, 10);
+    assert!(matches!(
+        read_response(&mut stream),
+        Some(Response::Registered { drone_id: 10, .. })
+    ));
+    drop(stream);
+    wait_for_empty(&fleet);
+    fleet.shutdown();
+}
+
+/// A hostile length prefix cannot be resynchronized; only that connection
+/// dies, and its drones are reclaimed.
+#[test]
+fn bad_length_prefix_tears_down_only_that_connection() {
+    let fleet = start_fleet(FleetConfig::from_env());
+    let server = FleetServer::serve(Arc::clone(&fleet), "127.0.0.1:0").unwrap();
+
+    let mut victim = TcpStream::connect(server.local_addr()).unwrap();
+    victim.set_read_timeout(Some(ACK)).unwrap();
+    send_register(&mut victim, 1);
+    assert!(matches!(
+        read_response(&mut victim),
+        Some(Response::Registered { drone_id: 1, .. })
+    ));
+    assert_eq!(fleet.drones(), 1);
+
+    let mut bystander = FleetClient::connect(server.local_addr()).unwrap();
+    bystander.set_read_timeout(Some(ACK)).unwrap();
+    bystander
+        .register(2, DroneConfig::new(64, 2))
+        .unwrap()
+        .unwrap();
+
+    // Zero-length and oversized prefixes are both unrecoverable.
+    victim.write_all(&0u32.to_le_bytes()).unwrap();
+    assert!(matches!(
+        read_response(&mut victim),
+        Some(Response::Error {
+            code: ErrorCode::MalformedFrame,
+            ..
+        })
+    ));
+    // The server hangs up after the error; EOF follows.
+    assert!(read_response(&mut victim).is_none());
+
+    // The victim's drone is reclaimed; the bystander is unaffected.
+    let deadline = Instant::now() + ACK;
+    while fleet.drones() != 1 {
+        assert!(Instant::now() < deadline, "victim's slot not reclaimed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    bystander.push_frame(2, nudge(), &one_beam()).unwrap();
+    bystander.flush().unwrap();
+    assert!(matches!(
+        bystander.recv().unwrap(),
+        Some(Response::Pose(pose)) if pose.drone_id == 2
+    ));
+    bystander.deregister(2).unwrap().unwrap();
+    wait_for_empty(&fleet);
+    fleet.shutdown();
+}
+
+/// A connection that dies mid-frame (truncated bytes on the wire) or
+/// mid-stream frees every slot it owned, and the ids become reusable.
+#[test]
+fn disconnects_free_slots_and_ids_become_reusable() {
+    let fleet = start_fleet(FleetConfig::from_env());
+    let server = FleetServer::serve(Arc::clone(&fleet), "127.0.0.1:0").unwrap();
+
+    // Mid-frame death: announce 100 bytes, send 3, vanish.
+    let mut client = FleetClient::connect(server.local_addr()).unwrap();
+    client.set_read_timeout(Some(ACK)).unwrap();
+    for drone in [1u64, 2, 3] {
+        client
+            .register(drone, DroneConfig::new(64, drone))
+            .unwrap()
+            .unwrap();
+        client.push_frame(drone, nudge(), &one_beam()).unwrap();
+    }
+    client.flush().unwrap();
+    assert_eq!(fleet.drones(), 3);
+    drop(client); // vanish with frames possibly still in flight
+    wait_for_empty(&fleet);
+
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.set_read_timeout(Some(ACK)).unwrap();
+    send_register(&mut raw, 4);
+    assert!(matches!(
+        read_response(&mut raw),
+        Some(Response::Registered { drone_id: 4, .. })
+    ));
+    raw.write_all(&100u32.to_le_bytes()).unwrap();
+    raw.write_all(&[0x02, 0x00, 0x00]).unwrap();
+    drop(raw);
+    wait_for_empty(&fleet);
+
+    // All ids are registerable again on a fresh connection.
+    let mut fresh = FleetClient::connect(server.local_addr()).unwrap();
+    fresh.set_read_timeout(Some(ACK)).unwrap();
+    for drone in [1u64, 2, 3, 4] {
+        fresh
+            .register(drone, DroneConfig::new(64, drone))
+            .unwrap()
+            .unwrap();
+    }
+    assert_eq!(fleet.drones(), 4);
+    drop(fresh);
+    wait_for_empty(&fleet);
+    fleet.shutdown();
+}
+
+/// Ownership and identity errors: duplicates, unknown drones and frames from
+/// a connection that does not own the drone are rejected without touching the
+/// owner's stream.
+#[test]
+fn ownership_violations_are_rejected_per_connection() {
+    let fleet = start_fleet(FleetConfig::from_env());
+    let server = FleetServer::serve(Arc::clone(&fleet), "127.0.0.1:0").unwrap();
+
+    let mut owner = FleetClient::connect(server.local_addr()).unwrap();
+    owner.set_read_timeout(Some(ACK)).unwrap();
+    owner.register(7, DroneConfig::new(64, 7)).unwrap().unwrap();
+
+    let mut intruder = FleetClient::connect(server.local_addr()).unwrap();
+    intruder.set_read_timeout(Some(ACK)).unwrap();
+    assert_eq!(
+        intruder.register(7, DroneConfig::new(64, 8)).unwrap(),
+        Err(FleetError::Rejected(ErrorCode::DuplicateDrone))
+    );
+    // A frame for a foreign drone: rejected, not applied.
+    intruder.push_frame(7, nudge(), &one_beam()).unwrap();
+    intruder.flush().unwrap();
+    assert!(matches!(
+        intruder.recv().unwrap(),
+        Some(Response::Error {
+            code: ErrorCode::NotOwner,
+            drone_id: 7,
+        })
+    ));
+    // A frame for a drone nobody registered.
+    intruder.push_frame(99, nudge(), &one_beam()).unwrap();
+    intruder.flush().unwrap();
+    assert!(matches!(
+        intruder.recv().unwrap(),
+        Some(Response::Error {
+            code: ErrorCode::UnknownDrone,
+            drone_id: 99,
+        })
+    ));
+    assert_eq!(
+        intruder.deregister(7).unwrap(),
+        Err(FleetError::Rejected(ErrorCode::NotOwner))
+    );
+
+    // The owner's drone is untouched: its stream clock starts at 1.
+    owner.push_frame(7, nudge(), &one_beam()).unwrap();
+    owner.flush().unwrap();
+    assert!(matches!(
+        owner.recv().unwrap(),
+        Some(Response::Pose(pose)) if pose.drone_id == 7 && pose.update == 1
+    ));
+    owner.deregister(7).unwrap().unwrap();
+    wait_for_empty(&fleet);
+    fleet.shutdown();
+}
+
+/// Capacity and config rejection: both leave the registration count exact, so
+/// rejected registrations can never eat slots.
+#[test]
+fn capacity_and_bad_configs_reject_without_leaking_slots() {
+    let fleet = start_fleet(FleetConfig::from_env().with_max_drones(2));
+    let mut handle = fleet.handle();
+
+    // Zero particles is an invalid filter config.
+    assert_eq!(
+        handle.register(1, DroneConfig::new(0, 1), ACK),
+        Err(FleetError::Rejected(ErrorCode::BadConfig))
+    );
+    assert_eq!(fleet.drones(), 0);
+
+    handle.register(1, DroneConfig::new(64, 1), ACK).unwrap();
+    handle.register(2, DroneConfig::new(64, 2), ACK).unwrap();
+    assert_eq!(
+        handle.register(3, DroneConfig::new(64, 3), ACK),
+        Err(FleetError::Rejected(ErrorCode::Capacity))
+    );
+    assert_eq!(fleet.drones(), 2);
+
+    // Freeing a slot makes room again.
+    handle.deregister(1, ACK).unwrap();
+    handle.register(3, DroneConfig::new(64, 3), ACK).unwrap();
+    assert_eq!(fleet.drones(), 2);
+    drop(handle);
+    wait_for_empty(&fleet);
+    fleet.shutdown();
+}
+
+/// A consumer that never drains its outbox loses (counted) poses, never
+/// control responses, and never stalls the shards.
+#[test]
+fn slow_consumers_drop_poses_not_control_messages() {
+    let fleet = start_fleet(FleetConfig::from_env().with_outbox_capacity(4));
+    let mut handle = fleet.handle();
+    handle.register(1, DroneConfig::new(64, 1), ACK).unwrap();
+
+    // 50 frames into a 4-slot outbox nobody drains.
+    for _ in 0..50 {
+        handle.push_frame(1, nudge(), one_beam()).unwrap();
+    }
+    assert!(
+        handle.barrier(ACK),
+        "shards must not stall on a full outbox"
+    );
+    assert!(handle.dropped_poses() > 0);
+    assert_eq!(fleet.stats().poses_dropped, handle.dropped_poses());
+    assert_eq!(fleet.stats().updates, 50, "updates applied despite drops");
+
+    // The deregister ack must survive even though the outbox is full of
+    // poses: eviction prefers the oldest pose.
+    handle.deregister(1, ACK).unwrap();
+    wait_for_empty(&fleet);
+    fleet.shutdown();
+}
+
+/// A register/deregister storm from many short-lived connections: no panics,
+/// no slot leaks, and the server still serves afterwards.
+#[test]
+fn register_deregister_storm_leaks_nothing() {
+    let fleet = start_fleet(FleetConfig::from_env());
+    let server = FleetServer::serve(Arc::clone(&fleet), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let clean_exits = Arc::new(AtomicUsize::new(0));
+
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            let clean_exits = Arc::clone(&clean_exits);
+            std::thread::spawn(move || {
+                for round in 0..12u64 {
+                    let drone = 1 + t * 100 + round;
+                    let mut client = FleetClient::connect(addr).unwrap();
+                    client.set_read_timeout(Some(ACK)).unwrap();
+                    client
+                        .register(drone, DroneConfig::new(64, drone))
+                        .unwrap()
+                        .unwrap();
+                    client.push_frame(drone, nudge(), &one_beam()).unwrap();
+                    client.flush().unwrap();
+                    if round % 2 == 0 {
+                        // Polite exit: deregister and close.
+                        client.deregister(drone).unwrap().unwrap();
+                        clean_exits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Rude exit: drop the socket with the frame in flight.
+                    drop(client);
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().expect("storm thread must not panic");
+    }
+    wait_for_empty(&fleet);
+    assert_eq!(clean_exits.load(Ordering::Relaxed), 4 * 6);
+
+    // The fleet is still fully serviceable.
+    let mut client = FleetClient::connect(addr).unwrap();
+    client.set_read_timeout(Some(ACK)).unwrap();
+    client
+        .register(9999, DroneConfig::new(64, 9))
+        .unwrap()
+        .unwrap();
+    client.push_frame(9999, nudge(), &one_beam()).unwrap();
+    client.flush().unwrap();
+    assert!(matches!(
+        client.recv().unwrap(),
+        Some(Response::Pose(pose)) if pose.drone_id == 9999
+    ));
+    client.deregister(9999).unwrap().unwrap();
+    drop(client);
+    wait_for_empty(&fleet);
+    fleet.shutdown();
+}
+
+/// Odometry-only frames (zero beams) are legal traffic: the filter predicts
+/// and answers with its current estimate.
+#[test]
+fn empty_beam_frames_are_valid_odometry_only_steps() {
+    let fleet = start_fleet(FleetConfig::from_env());
+    let mut handle = fleet.handle();
+    handle.register(1, DroneConfig::new(64, 1), ACK).unwrap();
+    handle.push_frame(1, nudge(), Vec::new()).unwrap();
+    assert!(handle.barrier(ACK));
+    assert!(matches!(
+        handle.recv_timeout(ACK),
+        Some(Response::Pose(pose)) if pose.drone_id == 1 && pose.update == 1
+    ));
+    handle.deregister(1, ACK).unwrap();
+    fleet.shutdown();
+}
