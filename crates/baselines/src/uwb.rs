@@ -95,6 +95,11 @@ impl UwbLocalizer {
 
     /// Solves for the position given one range per anchor, starting the
     /// Gauss–Newton iteration from `initial`.
+    ///
+    /// Non-finite ranges (NaN *and* ±∞ — the same predicate the fused
+    /// anchor-range kernel applies) are dropped measurements: the
+    /// corresponding anchor simply does not contribute a residual that
+    /// iteration, instead of poisoning the normal equations.
     pub fn solve(&self, ranges: &[f32], initial: Point2) -> Point2 {
         let mut p = initial;
         for _ in 0..self.config.solver_iterations {
@@ -105,6 +110,9 @@ impl UwbLocalizer {
             let mut g0 = 0.0f64;
             let mut g1 = 0.0f64;
             for (anchor, &z) in self.anchors.iter().zip(ranges.iter()) {
+                if !z.is_finite() {
+                    continue;
+                }
                 let dx = f64::from(p.x - anchor.position.x);
                 let dy = f64::from(p.y - anchor.position.y);
                 let dist = (dx * dx + dy * dy).sqrt().max(1e-6);
@@ -204,6 +212,35 @@ mod tests {
             .collect();
         let solved = localizer.solve(&ranges, Point2::new(0.1, 3.9));
         assert!(solved.distance(&truth) < 1e-2, "solved {solved}");
+    }
+
+    #[test]
+    fn non_finite_ranges_are_skipped_not_propagated() {
+        // Regression: a NaN or infinite range used to flow straight into the
+        // normal equations and turn the whole solve into NaN. With the
+        // dropped-measurement rule the three healthy anchors still pin the
+        // position exactly.
+        let localizer = UwbLocalizer::corner_anchors(4.0, 4.0, UwbConfig::default());
+        let truth = Point2::new(1.3, 2.2);
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut ranges: Vec<f32> = localizer
+                .anchors()
+                .iter()
+                .map(|a| truth.distance(&a.position))
+                .collect();
+            ranges[2] = bad;
+            let solved = localizer.solve(&ranges, Point2::new(2.0, 2.0));
+            assert!(
+                solved.x.is_finite() && solved.y.is_finite(),
+                "solve produced a non-finite position for range {bad}"
+            );
+            assert!(solved.distance(&truth) < 1e-3, "solved {solved}");
+        }
+        // All ranges dropped: the solver must return the (finite) initial
+        // guess rather than NaN.
+        let all_bad = vec![f32::NAN; 4];
+        let solved = localizer.solve(&all_bad, Point2::new(2.0, 2.0));
+        assert_eq!(solved, Point2::new(2.0, 2.0));
     }
 
     #[test]

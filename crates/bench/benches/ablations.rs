@@ -95,7 +95,9 @@ fn bench_update_gating(c: &mut Criterion) {
                 for step in &sequence.steps {
                     filter.predict(step.odometry);
                     let beams = mcl_sensor::SensorRig::frames_to_beams(&step.frames);
-                    let _ = filter.update(&beams).unwrap();
+                    let mut obs = mcl_sensor::ObservationBatch::from_beams(&beams);
+                    obs.partition_in_range(filter.config().r_max);
+                    let _ = filter.update_observations(&obs).unwrap();
                 }
                 filter.counters().updates_applied
             })

@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcl_core::{MclConfig, MonteCarloLocalization};
 use mcl_num::F16;
+use mcl_sensor::ObservationBatch;
 use mcl_sim::PaperScenario;
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -26,12 +27,18 @@ fn bench_end_to_end(c: &mut Criterion) {
                     )
                     .unwrap();
                     filter.initialize_uniform(scenario.map(), 1).unwrap();
-                    b.iter(|| filter.force_update(&beams))
+                    b.iter(|| {
+                        // Flattening in the timed region, like the on-board
+                        // pipeline that rebuilds the batch every frame.
+                        let mut obs = ObservationBatch::from_beams(&beams);
+                        obs.partition_in_range(filter.config().r_max);
+                        filter.force_update_observations(&obs)
+                    })
                 },
             );
         }
-        // Prebuilt BeamBatch: what the sequence runner does — the per-update
-        // beam flattening drops out of the timed region entirely.
+        // Prebuilt ObservationBatch: what the sequence runner does — the
+        // per-update beam flattening drops out of the timed region entirely.
         group.bench_with_input(BenchmarkId::new("fp32_8core_batched", n), &n, |b, &n| {
             let mut filter = MonteCarloLocalization::<f32, _>::new(
                 MclConfig::default().with_particles(n).with_workers(8),
@@ -39,8 +46,9 @@ fn bench_end_to_end(c: &mut Criterion) {
             )
             .unwrap();
             filter.initialize_uniform(scenario.map(), 1).unwrap();
-            let batch = mcl_sensor::BeamBatch::from_beams(&beams);
-            b.iter(|| filter.force_update_batch(&batch))
+            let mut obs = ObservationBatch::from_beams(&beams);
+            obs.partition_in_range(filter.config().r_max);
+            b.iter(|| filter.force_update_observations(&obs))
         });
         group.bench_with_input(BenchmarkId::new("fp16qm_1core", n), &n, |b, &n| {
             let mut filter = MonteCarloLocalization::<F16, _>::new(
@@ -49,7 +57,11 @@ fn bench_end_to_end(c: &mut Criterion) {
             )
             .unwrap();
             filter.initialize_uniform(scenario.map(), 1).unwrap();
-            b.iter(|| filter.force_update(&beams))
+            b.iter(|| {
+                let mut obs = ObservationBatch::from_beams(&beams);
+                obs.partition_in_range(filter.config().r_max);
+                filter.force_update_observations(&obs)
+            })
         });
     }
     group.finish();

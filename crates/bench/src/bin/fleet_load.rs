@@ -38,7 +38,7 @@ use mcl_bench::print_header;
 use mcl_core::{pool, MonteCarloLocalization};
 use mcl_fleet::{DroneConfig, Fleet, FleetConfig, FleetWorld};
 use mcl_gridmap::{DroneMaze, EuclideanDistanceField};
-use mcl_sensor::BeamBatch;
+use mcl_sensor::{BeamBatch, ObservationBatch};
 use mcl_sim::{sequence_traffic, RunnerConfig, SequenceConfig, SequenceGenerator, TrafficStep};
 use mcl_sim::{Sequence, TrajectoryConfig};
 use std::io::Write;
@@ -301,7 +301,9 @@ fn replay(
         filter.predict(step.delta);
         let mut batch = BeamBatch::from_beams(&step.beams);
         batch.partition_in_range(filter.config().r_max);
-        let _ = filter.update_batch(&batch).expect("update");
+        let _ = filter
+            .update_observations(&ObservationBatch::from_beam_batch(batch))
+            .expect("update");
     }
 }
 

@@ -23,6 +23,13 @@ pub struct MclConfig {
     /// that value (0.1 m at the 0.05 m resolution) plus the hand-measured map
     /// inaccuracy the paper mentions.
     pub sigma_obs: f32,
+    /// UWB anchor-range standard deviation `σ_uwb` of the fusion pipeline's
+    /// [`AnchorRangeModel`](crate::observation::AnchorRangeModel), in metres.
+    /// Matches the ranging noise of the UWB trilateration baseline (0.15 m,
+    /// the figure the Land & Localize line of work reports for nano-UAV UWB
+    /// decks). Only consulted when an update carries anchor ranges; beam-only
+    /// updates never read it.
+    pub sigma_uwb: f32,
     /// Truncation distance of the Euclidean distance transform, metres.
     pub r_max: f32,
     /// Translation gate: observations are only processed once the drone moved at
@@ -58,6 +65,7 @@ impl Default for MclConfig {
             num_particles: 4096,
             sigma_odom: [0.1, 0.1, 0.1],
             sigma_obs: 0.2,
+            sigma_uwb: 0.15,
             r_max: 1.5,
             d_xy: 0.1,
             d_theta: 0.1,
@@ -85,6 +93,12 @@ impl MclConfig {
     /// Returns a copy with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different UWB anchor-range standard deviation.
+    pub fn with_sigma_uwb(mut self, sigma_uwb: f32) -> Self {
+        self.sigma_uwb = sigma_uwb;
         self
     }
 
@@ -120,6 +134,9 @@ impl MclConfig {
         }
         if !(self.sigma_obs.is_finite() && self.sigma_obs > 0.0) {
             return Err(MclError::InvalidConfig("sigma_obs must be positive"));
+        }
+        if !(self.sigma_uwb.is_finite() && self.sigma_uwb > 0.0) {
+            return Err(MclError::InvalidConfig("sigma_uwb must be positive"));
         }
         if !(self.r_max.is_finite() && self.r_max > 0.0) {
             return Err(MclError::InvalidConfig("r_max must be positive"));
@@ -176,6 +193,9 @@ mod tests {
         // The paper quotes σ_obs = 2.0 (map cells); in metres we default to
         // 0.2 m, which also absorbs the hand-measured map error it mentions.
         assert_eq!(cfg.sigma_obs, 0.2);
+        // The UWB fusion sigma matches the trilateration baseline's ranging
+        // noise (not a paper parameter — the paper is ToF-only).
+        assert_eq!(cfg.sigma_uwb, 0.15);
         assert_eq!(cfg.r_max, 1.5);
         assert_eq!(cfg.d_xy, 0.1);
         assert_eq!(cfg.d_theta, 0.1);
@@ -217,6 +237,12 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = ok;
         c.sigma_obs = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ok;
+        c.sigma_uwb = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = ok;
+        c.sigma_uwb = f32::NAN;
         assert!(c.validate().is_err());
         let mut c = ok;
         c.r_max = f32::NAN;

@@ -6,40 +6,49 @@
 //!
 //! * [`MonteCarloLocalization::predict`] is called whenever new odometry arrives
 //!   and merely accumulates the body-frame increment.
-//! * [`MonteCarloLocalization::update`] is called whenever a ToF observation
-//!   arrives; it applies the full prediction–correction–resampling–pose sequence
-//!   **only** when the accumulated motion exceeds the `d_xy` / `d_θ` gate,
-//!   otherwise the observation is skipped (the paper's strategy for not wasting
-//!   compute while hovering).
+//! * [`MonteCarloLocalization::update_observations`] is called whenever a
+//!   sensor observation arrives — an [`ObservationBatch`] carrying ToF beams,
+//!   UWB anchor ranges, or both; it applies the full
+//!   prediction–correction–resampling–pose sequence **only** when the
+//!   accumulated motion exceeds the `d_xy` / `d_θ` gate, otherwise the
+//!   observation is skipped (the paper's strategy for not wasting compute
+//!   while hovering).
 //!
-//! An applied update dispatches the four [`crate::kernel`] functions over the
+//! An applied update dispatches the [`crate::kernel`] functions over the
 //! [`ClusterLayout`] workers: each worker runs the same kernel on its contiguous
 //! slice of the structure-of-arrays [`ParticleSet`], executing on the
 //! persistent shared [`crate::pool::WorkerPool`] (resident threads, no spawn
 //! per update — and a filter updating inside an already-parallel job, such as
 //! an `mcl_sim::run_batch` worker, automatically runs its kernels inline
-//! instead of oversubscribing the host). The observation is
+//! instead of oversubscribing the host). The beams of the observation are
 //! flattened into a [`BeamBatch`] **once per update** and partitioned for the
-//! configured `r_max` so the correction loop body is branch-free (callers that
-//! already hold frames can pass a prebuilt batch to
-//! [`MonteCarloLocalization::update_batch`] and skip the intermediate beam
-//! list). Per-update scratch buffers (log-likelihoods, f32 weights) are reused
-//! across updates, so the steady-state hot path performs no heap allocation
-//! beyond the resampling plan.
+//! configured `r_max` so the correction loop body is branch-free. When the
+//! batch carries anchor ranges, the anchor-range kernel *adds* its per-sensor
+//! log-likelihoods into the same per-particle accumulator the beam kernel
+//! fills, so the correct step stays one reweight pass regardless of how many
+//! sensor modalities contributed. Per-update scratch buffers
+//! (log-likelihoods, f32 weights) are reused across updates, so the
+//! steady-state hot path performs no heap allocation beyond the resampling
+//! plan.
+//!
+//! The pre-fusion beam-only entry points (`update`, `update_batch`,
+//! `force_update`, `force_update_batch`) remain as deprecated shims that
+//! forward to the same iteration with no anchor block — bit-identical to the
+//! pre-redesign behaviour, as pinned by the golden trace test.
 
 use crate::adaptive::{self, AdaptiveState};
 use crate::config::{MclConfig, MclError};
 use crate::estimate::PoseEstimate;
 use crate::kernel;
 use crate::motion::{MotionDelta, MotionModel};
-use crate::observation::BeamEndPointModel;
+use crate::observation::{AnchorRangeModel, BeamEndPointModel};
 use crate::parallel::ClusterLayout;
 use crate::particle::{Particle, ParticleSet};
 use crate::resampling::{PartialSumResampler, ResamplePlan};
 use crate::rng::CounterRng;
 use mcl_gridmap::{DistanceField, OccupancyGrid, Pose2};
 use mcl_num::Scalar;
-use mcl_sensor::{Beam, BeamBatch};
+use mcl_sensor::{Beam, BeamBatch, ObservationBatch};
 
 /// Result of offering an observation to the filter.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,6 +108,7 @@ pub struct MonteCarloLocalization<S: Scalar, D: DistanceField> {
     config: MclConfig,
     motion: MotionModel,
     observation: BeamEndPointModel,
+    anchor_model: AnchorRangeModel,
     resampler: PartialSumResampler,
     cluster: ClusterLayout,
     particles: ParticleSet<S>,
@@ -139,6 +149,7 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
         Ok(MonteCarloLocalization {
             motion: MotionModel::new(config.sigma_odom),
             observation: BeamEndPointModel::new(config.sigma_obs, config.r_max),
+            anchor_model: AnchorRangeModel::new(config.sigma_uwb),
             resampler: PartialSumResampler::new(config.workers),
             cluster: ClusterLayout::new(config.workers),
             particles: ParticleSet::with_capacity(config.num_particles)?,
@@ -250,13 +261,69 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
             || self.pending.rotation() >= self.config.d_theta
     }
 
-    /// Offers an observation to the filter. Applies the full MCL iteration when
-    /// the motion gate is open, otherwise skips it.
+    /// Offers a sensor-agnostic observation to the filter — ToF beams, UWB
+    /// anchor ranges, or both in one [`ObservationBatch`]. Applies the full
+    /// MCL iteration when the motion gate is open, otherwise skips it.
+    ///
+    /// Per-sensor log-likelihood kernels sum into the particle weights: the
+    /// beam kernel fills the per-particle accumulator, then (only when the
+    /// batch [carries anchors](ObservationBatch::has_anchors)) the
+    /// anchor-range kernel adds its scores on top. A beam-only batch is
+    /// bit-identical to the deprecated [`MonteCarloLocalization::update_batch`]
+    /// path; non-finite anchor ranges are skipped, never propagated.
+    ///
+    /// Callers that [partition](BeamBatch::partition_in_range) the beam block
+    /// for this filter's `r_max` get the branch-free correction loop; an
+    /// unpartitioned batch is scored through the (bit-identical) per-beam
+    /// range test.
     ///
     /// # Errors
     ///
     /// Returns [`MclError::NotInitialized`] before the particles have been
     /// initialized.
+    pub fn update_observations(
+        &mut self,
+        observations: &ObservationBatch,
+    ) -> Result<UpdateOutcome, MclError> {
+        if !self.particles.is_initialized() {
+            return Err(MclError::NotInitialized);
+        }
+        if !self.gate_open() {
+            self.counters.updates_skipped += 1;
+            return Ok(UpdateOutcome::Skipped);
+        }
+        Ok(UpdateOutcome::Applied(
+            self.apply_iteration(observations.beams(), Some(observations)),
+        ))
+    }
+
+    /// Applies one full multi-sensor MCL iteration regardless of the motion
+    /// gate (used for the very first observation and by the benchmarks that
+    /// time a full iteration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the particles have not been initialized; use
+    /// [`MonteCarloLocalization::update_observations`] for the checked
+    /// variant.
+    pub fn force_update_observations(&mut self, observations: &ObservationBatch) -> PoseEstimate {
+        assert!(
+            self.particles.is_initialized(),
+            "initialize the particle set before updating"
+        );
+        self.apply_iteration(observations.beams(), Some(observations))
+    }
+
+    /// Offers a beam-only observation to the filter. Applies the full MCL
+    /// iteration when the motion gate is open, otherwise skips it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MclError::NotInitialized`] before the particles have been
+    /// initialized.
+    #[deprecated(
+        note = "use `update_observations` with an `ObservationBatch` (beam-only batches are bit-identical to this shim)"
+    )]
     pub fn update(&mut self, beams: &[Beam]) -> Result<UpdateOutcome, MclError> {
         if !self.particles.is_initialized() {
             return Err(MclError::NotInitialized);
@@ -267,12 +334,12 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
         }
         let mut batch = BeamBatch::from_beams(beams);
         batch.partition_in_range(self.config.r_max);
-        Ok(UpdateOutcome::Applied(self.apply_iteration(&batch)))
+        Ok(UpdateOutcome::Applied(self.apply_iteration(&batch, None)))
     }
 
-    /// Offers a pre-flattened observation to the filter — the allocation-lean
-    /// entry point for callers that build the [`BeamBatch`] straight from
-    /// sensor frames (e.g. the sequence runner). Callers that additionally
+    /// Offers a pre-flattened beam-only observation to the filter — the
+    /// allocation-lean entry point for callers that build the [`BeamBatch`]
+    /// straight from sensor frames. Callers that additionally
     /// [partition](BeamBatch::partition_in_range) the batch for this filter's
     /// `r_max` get the branch-free correction loop; an unpartitioned batch is
     /// scored through the (bit-identical) per-beam range test.
@@ -281,6 +348,9 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
     ///
     /// Returns [`MclError::NotInitialized`] before the particles have been
     /// initialized.
+    #[deprecated(
+        note = "use `update_observations` with an `ObservationBatch` (beam-only batches are bit-identical to this shim)"
+    )]
     pub fn update_batch(&mut self, batch: &BeamBatch) -> Result<UpdateOutcome, MclError> {
         if !self.particles.is_initialized() {
             return Err(MclError::NotInitialized);
@@ -289,20 +359,26 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
             self.counters.updates_skipped += 1;
             return Ok(UpdateOutcome::Skipped);
         }
-        Ok(UpdateOutcome::Applied(self.apply_iteration(batch)))
+        Ok(UpdateOutcome::Applied(self.apply_iteration(batch, None)))
     }
 
-    /// Applies one full MCL iteration regardless of the motion gate (used for the
-    /// very first observation and by the benchmarks that time a full iteration).
+    /// Applies one full beam-only MCL iteration regardless of the motion gate.
     ///
     /// # Panics
     ///
     /// Panics if the particles have not been initialized; use
     /// [`MonteCarloLocalization::update`] for the checked variant.
+    #[deprecated(
+        note = "use `force_update_observations` with an `ObservationBatch` (beam-only batches are bit-identical to this shim)"
+    )]
     pub fn force_update(&mut self, beams: &[Beam]) -> PoseEstimate {
         let mut batch = BeamBatch::from_beams(beams);
         batch.partition_in_range(self.config.r_max);
-        self.force_update_batch(&batch)
+        assert!(
+            self.particles.is_initialized(),
+            "initialize the particle set before updating"
+        );
+        self.apply_iteration(&batch, None)
     }
 
     /// Batched variant of [`MonteCarloLocalization::force_update`].
@@ -310,12 +386,15 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
     /// # Panics
     ///
     /// Panics if the particles have not been initialized.
+    #[deprecated(
+        note = "use `force_update_observations` with an `ObservationBatch` (beam-only batches are bit-identical to this shim)"
+    )]
     pub fn force_update_batch(&mut self, batch: &BeamBatch) -> PoseEstimate {
         assert!(
             self.particles.is_initialized(),
             "initialize the particle set before updating"
         );
-        self.apply_iteration(batch)
+        self.apply_iteration(batch, None)
     }
 
     /// The current pose estimate (weighted particle average), reduced by the
@@ -369,7 +448,15 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
         estimate
     }
 
-    fn apply_iteration(&mut self, batch: &BeamBatch) -> PoseEstimate {
+    /// One full prediction–correction–resampling–pose sequence. `fused`
+    /// carries the anchor-range block when the caller came through the
+    /// multi-sensor API; `None` (the deprecated beam-only shims) runs the
+    /// exact pre-fusion instruction sequence.
+    fn apply_iteration(
+        &mut self,
+        batch: &BeamBatch,
+        fused: Option<&ObservationBatch>,
+    ) -> PoseEstimate {
         let delta = self.pending;
         self.pending = MotionDelta::default();
         self.update_counter += 1;
@@ -422,6 +509,33 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
                 );
             },
         );
+        // Sensor fusion: when the observation carries UWB anchor ranges, the
+        // anchor-range kernel *adds* its per-particle log-likelihoods into
+        // the accumulator the beam kernel just filled — per-sensor
+        // log-likelihoods sum, which is the independent-sensor fusion rule.
+        // The dispatch is strictly gated on the anchor block being non-empty
+        // so beam-only updates execute the exact pre-fusion floating-point
+        // sequence (golden-trace pinned).
+        if let Some(observations) = fused {
+            if observations.has_anchors() {
+                let anchor_model = self.anchor_model;
+                cluster.for_each_split(
+                    (
+                        self.particles.current().as_slice(),
+                        self.log_likelihoods.as_mut_slice(),
+                    ),
+                    |_, (chunk, out)| {
+                        kernel::anchor_log_likelihoods_with(
+                            backend,
+                            chunk,
+                            &anchor_model,
+                            observations,
+                            out,
+                        );
+                    },
+                );
+            }
+        }
         let mut max_log = self
             .log_likelihoods
             .iter()
@@ -448,10 +562,17 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
         //   weights and logs, so the outcome is schedule- and
         //   backend-independent.
         let raw_mean_likelihood = if self.adaptive.is_some() {
-            let beams = batch
+            // Per-observation normalization count: in-range beams plus, for
+            // fused updates, the usable (finite) anchor ranges that also
+            // contributed log-likelihood mass. Integer-only, so the
+            // beam-only value is unchanged from the pre-fusion behaviour.
+            let mut observations_used = batch
                 .in_range_prefix(self.config.r_max)
-                .unwrap_or_else(|| batch.len())
-                .max(1);
+                .unwrap_or_else(|| batch.len());
+            if let Some(observations) = fused {
+                observations_used += observations.usable_anchor_count();
+            }
+            let beams = observations_used.max(1);
             let mean = if max_log.is_finite() {
                 let mean_rel = self
                     .log_likelihoods
@@ -711,10 +832,14 @@ impl<S: Scalar, D: DistanceField> MonteCarloLocalization<S, D> {
 
 #[cfg(test)]
 mod tests {
+    // The pre-fusion entry points are deprecated shims whose behaviour these
+    // tests deliberately keep pinned alongside the fused paths.
+    #![allow(deprecated)]
+
     use super::*;
     use mcl_gridmap::{EuclideanDistanceField, MapBuilder, OccupancyGrid};
     use mcl_num::F16;
-    use mcl_sensor::{SensorConfig, SensorRig};
+    use mcl_sensor::{AnchorRange, SensorConfig, SensorRig};
     use rand::SeedableRng;
 
     fn arena() -> OccupancyGrid {
@@ -822,6 +947,101 @@ mod tests {
             via_beams.particles().current(),
             via_batch.particles().current()
         );
+    }
+
+    #[test]
+    fn beam_only_observation_batch_matches_the_deprecated_shim_exactly() {
+        // The redesigned entry point with an anchor-free batch must replay
+        // the exact floating-point sequence of the deprecated beam-only
+        // path — this is the compatibility contract the shims promise.
+        let map = arena();
+        let mut via_shim = MonteCarloLocalization::<f32, _>::new(config(256), edt(&map)).unwrap();
+        let mut via_fused = MonteCarloLocalization::<f32, _>::new(config(256), edt(&map)).unwrap();
+        via_shim.initialize_uniform(&map, 7).unwrap();
+        via_fused.initialize_uniform(&map, 7).unwrap();
+        let rig = rig();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut truth = Pose2::new(1.0, 1.0, 0.0);
+        for step in 0..5 {
+            let next = truth.compose(&Pose2::new(0.12, 0.0, 0.05));
+            let delta = MotionDelta::between(&truth, &next);
+            truth = next;
+            let beams = rig.observe(&map, &truth, step as f64 / 15.0, &mut rng);
+            via_shim.predict(delta);
+            via_fused.predict(delta);
+            let a = via_shim
+                .update_batch(&BeamBatch::from_beams(&beams))
+                .unwrap();
+            let b = via_fused
+                .update_observations(&ObservationBatch::from_beams(&beams))
+                .unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            via_shim.particles().current(),
+            via_fused.particles().current()
+        );
+    }
+
+    #[test]
+    fn anchor_only_updates_localize_the_position() {
+        // UWB-only operation: no beams at all, three anchors with exact
+        // ranges. The range likelihood carries no heading information, but
+        // three circles intersect in one point, so the position must
+        // converge from a global (uniform) start.
+        let map = arena();
+        let mut mcl = MonteCarloLocalization::<f32, _>::new(config(2048), edt(&map)).unwrap();
+        mcl.initialize_uniform(&map, 13).unwrap();
+        let anchors = [(0.3_f32, 0.3_f32), (3.7, 0.4), (0.4, 3.6)];
+        let mut truth = Pose2::new(1.1, 1.3, 0.0);
+        for _ in 0..12 {
+            let next = truth.compose(&Pose2::new(0.11, 0.0, 0.0));
+            let delta = MotionDelta::between(&truth, &next);
+            truth = next;
+            mcl.predict(delta);
+            let mut batch = ObservationBatch::new();
+            for &(ax, ay) in &anchors {
+                let range = ((truth.x - ax).powi(2) + (truth.y - ay).powi(2)).sqrt();
+                batch.push_anchor(AnchorRange::new(ax, ay, range));
+            }
+            let _ = mcl.update_observations(&batch).unwrap();
+        }
+        let estimate = mcl.estimate();
+        let dx = estimate.pose.x - truth.x;
+        let dy = estimate.pose.y - truth.y;
+        let err = (dx * dx + dy * dy).sqrt();
+        assert!(
+            err < 0.3,
+            "anchor-only position error too large: {err} m ({estimate})"
+        );
+    }
+
+    #[test]
+    fn fused_update_differs_from_beam_only_when_anchors_are_present() {
+        // Same beams, same seeds — adding an anchor block must actually be
+        // observed by the correction step (this guards against the dispatch
+        // gate accidentally swallowing the anchor scores).
+        let map = arena();
+        let mut beam_only = MonteCarloLocalization::<f32, _>::new(config(256), edt(&map)).unwrap();
+        let mut fused = MonteCarloLocalization::<f32, _>::new(config(256), edt(&map)).unwrap();
+        beam_only.initialize_uniform(&map, 17).unwrap();
+        fused.initialize_uniform(&map, 17).unwrap();
+        let rig = rig();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let truth = Pose2::new(1.2, 0.9, 0.3);
+        let beams = rig.observe(&map, &truth, 0.0, &mut rng);
+        let batch = ObservationBatch::from_beams(&beams);
+        let mut with_anchors = batch.clone();
+        with_anchors.push_anchor(AnchorRange::new(0.3, 0.3, 1.08));
+        let a = beam_only.force_update_observations(&batch);
+        let b = fused.force_update_observations(&with_anchors);
+        assert_ne!(
+            beam_only.particles().current(),
+            fused.particles().current(),
+            "anchor block had no effect on the correction step"
+        );
+        // Both still publish finite, normalized estimates.
+        assert!(a.pose.x.is_finite() && b.pose.x.is_finite());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! |---|---|---|---|
 //! | [`motion_predict`] | prediction | particle chunk + odometry | poses in place |
 //! | [`observation_log_likelihoods`] | correction (Eq. 1) | particle chunk + [`BeamBatch`] | per-particle log-likelihoods |
+//! | [`anchor_log_likelihoods`] | correction (UWB fusion) | particle chunk + [`ObservationBatch`] anchors | log-likelihoods accumulated in place |
 //! | [`reweight`] | correction | weight chunk + log-likelihoods | weights in place |
 //! | [`resample_scatter`] | resampling | source set + index chunk | new generation chunk |
 //! | [`PosePartials`] / [`SpreadPartials`] | pose computation | particle chunk | partial reductions |
@@ -69,12 +70,12 @@
 
 use crate::estimate::PoseEstimate;
 use crate::motion::{MotionDelta, MotionModel};
-use crate::observation::BeamEndPointModel;
+use crate::observation::{AnchorRangeModel, BeamEndPointModel};
 use crate::parallel::ClusterLayout;
 use crate::particle::{Particle, ParticleBuffer, ParticleSlice, ParticleSliceMut};
 use mcl_gridmap::{DistanceField, Pose2};
 use mcl_num::{angular_difference, normalize_angle, Scalar};
-use mcl_sensor::BeamBatch;
+use mcl_sensor::{BeamBatch, ObservationBatch};
 use serde::{Deserialize, Serialize};
 
 /// Number of `f32` lanes one lane-group body of the [`KernelBackend::Lanes`]
@@ -472,6 +473,137 @@ pub fn observation_log_likelihoods_with<S: Scalar, D: DistanceField + ?Sized>(
         KernelBackend::Avx2 => {
             observation_log_likelihoods_avx2(particles, field, model, batch, out)
         }
+    }
+}
+
+/// Correction kernel, part 1b (sensor fusion): evaluates the UWB
+/// [`AnchorRangeModel`] for every particle of the chunk and **adds** the
+/// anchor log-likelihood onto the per-particle slot of `out` — the
+/// per-sensor log-likelihoods sum into the particle weights, so the beam
+/// kernel writes and the anchor kernel accumulates (one add per particle,
+/// identical association on every backend).
+///
+/// The filter only dispatches this kernel when the observation carries at
+/// least one anchor; a beam-only update never touches it, which keeps the
+/// beam-only floating-point op sequence byte-for-byte what it was before the
+/// fusion pipeline existed.
+///
+/// # Panics
+///
+/// Panics when `out` is shorter than the particle chunk.
+pub fn anchor_log_likelihoods<S: Scalar>(
+    particles: ParticleSlice<'_, S>,
+    model: &AnchorRangeModel,
+    batch: &ObservationBatch,
+    out: &mut [f32],
+) {
+    assert!(out.len() >= particles.len(), "output chunk too short");
+    for (i, slot) in out[..particles.len()].iter_mut().enumerate() {
+        *slot +=
+            model.batch_log_likelihood(particles.x[i].to_f32(), particles.y[i].to_f32(), batch);
+    }
+}
+
+/// Lane-batched twin of [`anchor_log_likelihoods`]: scores the chunk in
+/// [`LANES`]-wide position groups through
+/// [`AnchorRangeModel::batch_log_likelihood_lanes`], with a scalar-reference
+/// tail. Bit-identical to [`anchor_log_likelihoods`].
+///
+/// # Panics
+///
+/// Panics when `out` is shorter than the particle chunk.
+pub fn anchor_log_likelihoods_lanes<S: Scalar>(
+    particles: ParticleSlice<'_, S>,
+    model: &AnchorRangeModel,
+    batch: &ObservationBatch,
+    out: &mut [f32],
+) {
+    let n = particles.len();
+    assert!(out.len() >= n, "output chunk too short");
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let mut xs = [0.0f32; LANES];
+        let mut ys = [0.0f32; LANES];
+        for l in 0..LANES {
+            xs[l] = particles.x[i + l].to_f32();
+            ys[l] = particles.y[i + l].to_f32();
+        }
+        let mut lane_out = [0.0f32; LANES];
+        model.batch_log_likelihood_lanes(&xs, &ys, batch, &mut lane_out);
+        for l in 0..LANES {
+            out[i + l] += lane_out[l];
+        }
+        i += LANES;
+    }
+    for (j, slot) in out[..n].iter_mut().enumerate().skip(i) {
+        *slot +=
+            model.batch_log_likelihood(particles.x[j].to_f32(), particles.y[j].to_f32(), batch);
+    }
+}
+
+/// Explicit-SIMD twin of [`anchor_log_likelihoods`]: the
+/// [`KernelBackend::Avx2`] body scores each [`LANES`]-wide position group
+/// through [`AnchorRangeModel::batch_log_likelihood_avx2`] (8×f32 register
+/// residual arithmetic, `vsqrtps` for the anchor distance), with the same
+/// scalar-reference tail as the lane kernel. On hosts without AVX2 (checked
+/// at runtime) and on non-x86 builds this falls back to
+/// [`anchor_log_likelihoods_lanes`]. Bit-identical to
+/// [`anchor_log_likelihoods`] in every case.
+///
+/// # Panics
+///
+/// Panics when `out` is shorter than the particle chunk.
+pub fn anchor_log_likelihoods_avx2<S: Scalar>(
+    particles: ParticleSlice<'_, S>,
+    model: &AnchorRangeModel,
+    batch: &ObservationBatch,
+    out: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::available() {
+        let n = particles.len();
+        assert!(out.len() >= n, "output chunk too short");
+        let mut i = 0usize;
+        while i + LANES <= n {
+            let mut xs = [0.0f32; LANES];
+            let mut ys = [0.0f32; LANES];
+            for l in 0..LANES {
+                xs[l] = particles.x[i + l].to_f32();
+                ys[l] = particles.y[i + l].to_f32();
+            }
+            let mut lane_out = [0.0f32; LANES];
+            model.batch_log_likelihood_avx2(&xs, &ys, batch, &mut lane_out);
+            for l in 0..LANES {
+                out[i + l] += lane_out[l];
+            }
+            i += LANES;
+        }
+        for (j, slot) in out[..n].iter_mut().enumerate().skip(i) {
+            *slot +=
+                model.batch_log_likelihood(particles.x[j].to_f32(), particles.y[j].to_f32(), batch);
+        }
+        return;
+    }
+    anchor_log_likelihoods_lanes(particles, model, batch, out)
+}
+
+/// Dispatches the anchor-range correction kernel of the selected
+/// [`KernelBackend`].
+///
+/// # Panics
+///
+/// Panics when `out` is shorter than the particle chunk.
+pub fn anchor_log_likelihoods_with<S: Scalar>(
+    backend: KernelBackend,
+    particles: ParticleSlice<'_, S>,
+    model: &AnchorRangeModel,
+    batch: &ObservationBatch,
+    out: &mut [f32],
+) {
+    match backend {
+        KernelBackend::Scalar => anchor_log_likelihoods(particles, model, batch, out),
+        KernelBackend::Lanes => anchor_log_likelihoods_lanes(particles, model, batch, out),
+        KernelBackend::Avx2 => anchor_log_likelihoods_avx2(particles, model, batch, out),
     }
 }
 
@@ -1641,6 +1773,61 @@ mod tests {
         assert_eq!(a.position_std_m.to_bits(), b.position_std_m.to_bits());
         assert_eq!(a.yaw_std_rad.to_bits(), b.yaw_std_rad.to_bits());
         assert_eq!(a.neff.to_bits(), b.neff.to_bits());
+    }
+
+    #[test]
+    fn anchor_kernel_accumulates_and_matches_scalar_on_a_tailed_chunk() {
+        // 1003 = 125 × 8 + 3 forces the scalar tail in both lane kernels.
+        // The kernel *accumulates* — pre-seed `out` with beam-style values
+        // and check every backend adds the identical anchor contribution.
+        use mcl_sensor::{AnchorRange, ObservationBatch};
+        let n = 1003usize;
+        let particles = buffer(n);
+        let model = AnchorRangeModel::new(0.17);
+        let batch = ObservationBatch::new().with_anchors(&[
+            AnchorRange::new(0.2, 0.2, 1.1),
+            AnchorRange::new(3.8, 0.2, f32::NAN),
+            AnchorRange::new(3.8, 3.8, 2.3),
+            AnchorRange::new(0.2, 3.8, 0.4),
+        ]);
+        let seed: Vec<f32> = (0..n).map(|i| -0.01 * i as f32).collect();
+        let mut scalar_logs = seed.clone();
+        anchor_log_likelihoods(particles.as_slice(), &model, &batch, &mut scalar_logs);
+        for (i, &value) in scalar_logs.iter().enumerate() {
+            let direct = model.batch_log_likelihood(particles.x()[i], particles.y()[i], &batch);
+            assert_eq!(value.to_bits(), (seed[i] + direct).to_bits());
+        }
+        let mut lanes_logs = seed.clone();
+        anchor_log_likelihoods_lanes(particles.as_slice(), &model, &batch, &mut lanes_logs);
+        let mut avx2_logs = seed.clone();
+        anchor_log_likelihoods_avx2(particles.as_slice(), &model, &batch, &mut avx2_logs);
+        for i in 0..n {
+            assert_eq!(
+                scalar_logs[i].to_bits(),
+                lanes_logs[i].to_bits(),
+                "lane {i}"
+            );
+            assert_eq!(scalar_logs[i].to_bits(), avx2_logs[i].to_bits(), "avx {i}");
+        }
+        // Chunked dispatch writes exactly the sequential values.
+        for backend in KernelBackend::ALL {
+            let mut chunked = seed.clone();
+            ClusterLayout::GAP9.for_each_split(
+                (particles.as_slice(), chunked.as_mut_slice()),
+                |_, (chunk, out)| anchor_log_likelihoods_with(backend, chunk, &model, &batch, out),
+            );
+            assert_eq!(scalar_logs, chunked, "{backend:?}");
+        }
+        // An anchor-free (or all-skipped) batch leaves the accumulator
+        // untouched: the neutral 0.0 adds nothing.
+        let mut untouched = seed.clone();
+        anchor_log_likelihoods(
+            particles.as_slice(),
+            &model,
+            &ObservationBatch::new(),
+            &mut untouched,
+        );
+        assert_eq!(untouched, seed);
     }
 
     #[test]

@@ -63,7 +63,7 @@
 //! ```
 //! use mcl_core::{MclConfig, MonteCarloLocalization};
 //! use mcl_gridmap::{EuclideanDistanceField, MapBuilder, Pose2};
-//! use mcl_sensor::{SensorConfig, SensorRig};
+//! use mcl_sensor::{AnchorRange, ObservationBatch, SensorConfig, SensorRig};
 //! use rand::SeedableRng;
 //!
 //! // Map and its distance transform.
@@ -76,12 +76,14 @@
 //! let mut mcl = MonteCarloLocalization::<f32, _>::new(config, edt).unwrap();
 //! mcl.initialize_uniform(&map, 7);
 //!
-//! // One simulated observation from the true pose re-weights the particles.
+//! // One simulated observation from the true pose re-weights the particles:
+//! // ToF beams plus an optional UWB anchor range, fused in one batch.
 //! let rig = SensorRig::front_and_rear(SensorConfig::default());
 //! let truth = Pose2::new(1.0, 2.0, 0.0);
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-//! let beams = rig.observe(&map, &truth, 0.0, &mut rng);
-//! mcl.force_update(&beams);
+//! let mut batch = ObservationBatch::from_beams(&rig.observe(&map, &truth, 0.0, &mut rng));
+//! batch.push_anchor(AnchorRange::new(0.2, 0.2, 1.97));
+//! mcl.force_update_observations(&batch);
 //! let estimate = mcl.estimate();
 //! assert!(estimate.neff > 0.0);
 //! ```
@@ -111,7 +113,7 @@ pub use estimate::PoseEstimate;
 pub use filter::{FilterCounters, MonteCarloLocalization, UpdateOutcome};
 pub use kernel::{KernelBackend, LANES};
 pub use motion::{MotionDelta, MotionModel};
-pub use observation::BeamEndPointModel;
+pub use observation::{AnchorRangeModel, BeamEndPointModel};
 pub use parallel::{ClusterLayout, Subdivide};
 pub use particle::{Particle, ParticleBuffer, ParticleSet, ParticleSlice, ParticleSliceMut};
 pub use pool::WorkerPool;

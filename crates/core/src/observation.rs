@@ -19,7 +19,7 @@
 use crate::particle::Particle;
 use mcl_gridmap::DistanceField;
 use mcl_num::Scalar;
-use mcl_sensor::{Beam, BeamBatch};
+use mcl_sensor::{Beam, BeamBatch, ObservationBatch};
 
 /// The beam-end-point likelihood model of Eq. 1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -368,6 +368,183 @@ impl BeamEndPointModel {
     }
 }
 
+/// The UWB anchor-range likelihood model — the second sensor of the fusion
+/// pipeline.
+///
+/// For a particle position `p = (x, y)`, a fixed anchor at `a_i` and a
+/// measured range `z_i`, the model scores the range residual with the same
+/// Gaussian shape as Eq. 1:
+///
+/// ```text
+/// p(z_i | x_t) = 1/√(2π σ_uwb²) · exp( − (|p − a_i| − z_i)² / (2 σ_uwb²) )
+/// ```
+///
+/// Non-finite ranges (NaN or ±∞ — failed or denied measurements) are skipped
+/// with the same neutral-when-empty convention as the beam model: an
+/// observation whose anchors are all skipped contributes log-likelihood 0.0
+/// (likelihood 1), leaving the particle weight untouched.
+///
+/// Like [`BeamEndPointModel`], the model exists in scalar, lane-batched and
+/// explicit-AVX2 forms, all **bit-identical**: the hot body is one subtract
+/// pair, two multiplies, one add, one square root (`sqrtps` is a
+/// correctly-rounded IEEE 754 op, so the vector form matches `f32::sqrt`
+/// exactly), one subtract, and the Eq. 1 log-term — no FMA, no `hypot`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnchorRangeModel {
+    sigma_uwb: f32,
+    log_normalizer: f32,
+}
+
+impl AnchorRangeModel {
+    /// Creates the model with the UWB ranging standard deviation `σ_uwb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_uwb` is not positive and finite; it is a static
+    /// configuration value.
+    pub fn new(sigma_uwb: f32) -> Self {
+        assert!(
+            sigma_uwb.is_finite() && sigma_uwb > 0.0,
+            "sigma_uwb must be positive"
+        );
+        AnchorRangeModel {
+            sigma_uwb,
+            log_normalizer: -(core::f32::consts::TAU.sqrt() * sigma_uwb).ln(),
+        }
+    }
+
+    /// The UWB ranging standard deviation.
+    pub fn sigma_uwb(&self) -> f32 {
+        self.sigma_uwb
+    }
+
+    /// The precomputed `−ln(√(2π) σ_uwb)` term, shared with the
+    /// explicit-SIMD scorer so both paths use the identical constant.
+    #[cfg(target_arch = "x86_64")]
+    pub(crate) fn log_normalizer(&self) -> f32 {
+        self.log_normalizer
+    }
+
+    /// Log-likelihood of a single anchor range for a particle at `(x, y)`.
+    ///
+    /// Returns `None` when the measurement is skipped — a range is scored
+    /// only when it is finite (the beam path's PR 3 NaN rule, extended to
+    /// the infinities a denied UWB link may report).
+    pub fn range_log_likelihood(
+        &self,
+        x: f32,
+        y: f32,
+        anchor: &mcl_sensor::AnchorRange,
+    ) -> Option<f32> {
+        self.score(x, y, anchor.anchor_x_m, anchor.anchor_y_m, anchor.range_m)
+    }
+
+    /// The scored-or-skipped core: `None` marks a skipped (non-finite)
+    /// range.
+    #[inline(always)]
+    fn score(&self, x: f32, y: f32, ax: f32, ay: f32, z: f32) -> Option<f32> {
+        if !z.is_finite() {
+            return None;
+        }
+        let dx = x - ax;
+        let dy = y - ay;
+        let dist = (dx * dx + dy * dy).sqrt();
+        let r = dist - z;
+        Some(self.log_normalizer - (r * r) / (2.0 * self.sigma_uwb * self.sigma_uwb))
+    }
+
+    /// Log-likelihood of the full anchor set of `batch` for a particle at
+    /// `(x, y)`: the sum of the per-anchor log-terms in anchor order.
+    ///
+    /// Non-finite ranges are skipped; when every anchor is skipped (or the
+    /// batch carries none) the method returns 0.0 (likelihood 1), leaving
+    /// the particle's weight untouched — the beam model's convention.
+    pub fn batch_log_likelihood(&self, x: f32, y: f32, batch: &ObservationBatch) -> f32 {
+        let anchor_x = batch.anchor_x_m();
+        let anchor_y = batch.anchor_y_m();
+        let mut log_sum = 0.0f32;
+        let mut used = 0usize;
+        for (i, &z) in batch.anchor_range_m().iter().enumerate() {
+            let Some(ll) = self.score(x, y, anchor_x[i], anchor_y[i], z) else {
+                continue;
+            };
+            log_sum += ll;
+            used += 1;
+        }
+        if used == 0 {
+            return 0.0;
+        }
+        log_sum
+    }
+
+    /// Lane-batched twin of [`AnchorRangeModel::batch_log_likelihood`]:
+    /// scores one [`LANES`](crate::kernel::LANES)-wide group of particle
+    /// positions at once. Per lane the arithmetic is the exact per-particle
+    /// op order of the scalar path, so every lane's score is
+    /// **bit-identical** to the scalar entry point; the lane structure only
+    /// turns the residual arithmetic into straight-line loops over
+    /// fixed-width arrays that vectorize.
+    pub fn batch_log_likelihood_lanes(
+        &self,
+        x: &[f32; crate::kernel::LANES],
+        y: &[f32; crate::kernel::LANES],
+        batch: &ObservationBatch,
+        out: &mut [f32; crate::kernel::LANES],
+    ) {
+        const LANES: usize = crate::kernel::LANES;
+        let anchor_x = batch.anchor_x_m();
+        let anchor_y = batch.anchor_y_m();
+        let mut log_sum = [0.0f32; LANES];
+        let mut used = 0usize;
+        for (i, &z) in batch.anchor_range_m().iter().enumerate() {
+            // Same skipping predicate as the scalar path.
+            if !z.is_finite() {
+                continue;
+            }
+            let ax = anchor_x[i];
+            let ay = anchor_y[i];
+            for l in 0..LANES {
+                let dx = x[l] - ax;
+                let dy = y[l] - ay;
+                let dist = (dx * dx + dy * dy).sqrt();
+                let r = dist - z;
+                log_sum[l] +=
+                    self.log_normalizer - (r * r) / (2.0 * self.sigma_uwb * self.sigma_uwb);
+            }
+            used += 1;
+        }
+        if used == 0 {
+            *out = [0.0; LANES];
+            return;
+        }
+        *out = log_sum;
+    }
+
+    /// Explicit-AVX2 twin of
+    /// [`AnchorRangeModel::batch_log_likelihood_lanes`] (x86-64 only): the
+    /// residual arithmetic runs as 8×f32 `core::arch` register ops.
+    /// Restricted to single-rounding IEEE ops in the scalar order —
+    /// `vsqrtps` rounds exactly like `f32::sqrt`, and no FMA is emitted —
+    /// so every lane's score is **bit-identical** to
+    /// [`AnchorRangeModel::batch_log_likelihood`]. On a host without AVX2
+    /// this method falls back to the lane-batched twin, which upholds the
+    /// same contract.
+    #[cfg(target_arch = "x86_64")]
+    pub fn batch_log_likelihood_avx2(
+        &self,
+        x: &[f32; crate::kernel::LANES],
+        y: &[f32; crate::kernel::LANES],
+        batch: &ObservationBatch,
+        out: &mut [f32; crate::kernel::LANES],
+    ) {
+        if crate::simd::available() {
+            crate::simd::score_anchor_group(self, x, y, batch, out);
+        } else {
+            self.batch_log_likelihood_lanes(x, y, batch, out);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -649,5 +826,103 @@ mod tests {
         let mut p = Particle::<f32>::from_pose(&Pose2::new(1.0, 1.0, 0.0), 0.7);
         model.reweight_particle(&edt, &mut p, &[]);
         assert_eq!(p.weight, 0.7);
+    }
+
+    use mcl_sensor::AnchorRange;
+
+    fn anchors_for(truth: (f32, f32)) -> ObservationBatch {
+        let anchors = [(0.2, 0.2), (3.8, 0.2), (0.2, 3.8)];
+        let mut obs = ObservationBatch::new();
+        for (ax, ay) in anchors {
+            let range = ((truth.0 - ax).powi(2) + (truth.1 - ay).powi(2)).sqrt();
+            obs.push_anchor(AnchorRange::new(ax, ay, range));
+        }
+        obs
+    }
+
+    #[test]
+    fn anchor_model_rejects_bad_parameters() {
+        let ok = AnchorRangeModel::new(0.15);
+        assert_eq!(ok.sigma_uwb(), 0.15);
+        assert!(std::panic::catch_unwind(|| AnchorRangeModel::new(0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| AnchorRangeModel::new(f32::NAN)).is_err());
+    }
+
+    #[test]
+    fn anchor_true_position_scores_higher_than_a_wrong_one() {
+        let model = AnchorRangeModel::new(0.15);
+        let truth = (1.3, 2.1);
+        let obs = anchors_for(truth);
+        let l_true = model.batch_log_likelihood(truth.0, truth.1, &obs);
+        let l_wrong = model.batch_log_likelihood(3.0, 0.8, &obs);
+        assert!(
+            l_true > l_wrong,
+            "true {l_true} should beat wrong {l_wrong}"
+        );
+        // A perfect-range position scores each anchor at the normalizer.
+        let per_anchor = -(core::f32::consts::TAU.sqrt() * 0.15).ln();
+        assert!((l_true - 3.0 * per_anchor).abs() < 1e-4);
+    }
+
+    #[test]
+    fn non_finite_anchor_ranges_are_skipped_on_every_path() {
+        let model = AnchorRangeModel::new(0.2);
+        let mut obs = anchors_for((2.0, 2.0));
+        obs.push_anchor(AnchorRange::new(1.0, 1.0, f32::NAN));
+        obs.push_anchor(AnchorRange::new(1.0, 3.0, f32::INFINITY));
+        let clean = anchors_for((2.0, 2.0));
+        let scored = model.batch_log_likelihood(2.0, 2.0, &obs);
+        let reference = model.batch_log_likelihood(2.0, 2.0, &clean);
+        assert!(scored.is_finite(), "non-finite range leaked into the sum");
+        assert_eq!(scored.to_bits(), reference.to_bits());
+        assert!(model
+            .range_log_likelihood(2.0, 2.0, &AnchorRange::new(1.0, 1.0, f32::NAN))
+            .is_none());
+        // All-skipped (and anchor-free) batches are neutral on every path.
+        let all_bad = ObservationBatch::new().with_anchors(&[
+            AnchorRange::new(0.0, 0.0, f32::NAN),
+            AnchorRange::new(1.0, 0.0, f32::NEG_INFINITY),
+        ]);
+        assert_eq!(model.batch_log_likelihood(2.0, 2.0, &all_bad), 0.0);
+        assert_eq!(
+            model.batch_log_likelihood(2.0, 2.0, &ObservationBatch::new()),
+            0.0
+        );
+        let mut lanes = [1.0f32; crate::kernel::LANES];
+        model.batch_log_likelihood_lanes(
+            &[2.0; crate::kernel::LANES],
+            &[2.0; crate::kernel::LANES],
+            &all_bad,
+            &mut lanes,
+        );
+        assert_eq!(lanes, [0.0; crate::kernel::LANES]);
+    }
+
+    #[test]
+    fn anchor_lane_and_avx2_paths_match_scalar_bit_for_bit() {
+        const LANES: usize = crate::kernel::LANES;
+        let model = AnchorRangeModel::new(0.17);
+        let mut obs = anchors_for((1.7, 2.9));
+        obs.push_anchor(AnchorRange::new(2.5, 2.5, f32::NAN));
+        let mut xs = [0.0f32; LANES];
+        let mut ys = [0.0f32; LANES];
+        for l in 0..LANES {
+            xs[l] = 0.4 + 0.41 * l as f32;
+            ys[l] = 3.6 - 0.37 * l as f32;
+        }
+        let mut lane_out = [0.0f32; LANES];
+        model.batch_log_likelihood_lanes(&xs, &ys, &obs, &mut lane_out);
+        for l in 0..LANES {
+            let scalar = model.batch_log_likelihood(xs[l], ys[l], &obs);
+            assert_eq!(lane_out[l].to_bits(), scalar.to_bits(), "lane {l}");
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            let mut avx_out = [0.0f32; LANES];
+            model.batch_log_likelihood_avx2(&xs, &ys, &obs, &mut avx_out);
+            for l in 0..LANES {
+                assert_eq!(avx_out[l].to_bits(), lane_out[l].to_bits(), "avx lane {l}");
+            }
+        }
     }
 }

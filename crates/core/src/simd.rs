@@ -31,9 +31,9 @@
 use core::arch::x86_64::*;
 
 use crate::kernel::LANES;
-use crate::observation::BeamEndPointModel;
+use crate::observation::{AnchorRangeModel, BeamEndPointModel};
 use mcl_gridmap::DistanceField;
-use mcl_sensor::BeamBatch;
+use mcl_sensor::{BeamBatch, ObservationBatch};
 
 // The lane kernels and the 256-bit registers must agree on the group width.
 const _: () = assert!(LANES == 8, "AVX2 bodies assume 8 f32 lanes");
@@ -187,6 +187,92 @@ unsafe fn score_beams<D: DistanceField + ?Sized>(
         let d = _mm256_min_ps(edt_v, rmax_v);
         // log_normalizer − d² / denom, accumulated in beam order per lane.
         let term = _mm256_sub_ps(norm_v, _mm256_div_ps(_mm256_mul_ps(d, d), denom_v));
+        log_sum = _mm256_add_ps(log_sum, term);
+        used += 1;
+    }
+    _mm256_storeu_ps(out.as_mut_ptr(), log_sum);
+    used
+}
+
+/// Scores one [`LANES`]-wide group of particle positions against the anchor
+/// set of `batch` — the AVX2 body of `anchor_log_likelihoods_avx2`,
+/// bit-identical to [`AnchorRangeModel::batch_log_likelihood`] per lane.
+///
+/// The residual arithmetic (subtract pair, squared norm, square root,
+/// range residual, Eq. 1 log-term) runs as 8-wide register ops; `vsqrtps`
+/// is a correctly-rounded IEEE 754 op, so it matches `f32::sqrt` exactly,
+/// and no FMA is emitted.
+pub(crate) fn score_anchor_group(
+    model: &AnchorRangeModel,
+    x: &[f32; LANES],
+    y: &[f32; LANES],
+    batch: &ObservationBatch,
+    out: &mut [f32; LANES],
+) {
+    debug_assert!(available());
+    // Same constant expression the scalar body folds out of `2.0 · σ · σ`:
+    // identical expression, identical roundings.
+    let denom = 2.0 * model.sigma_uwb() * model.sigma_uwb();
+    // SAFETY: `available` was checked by the caller (debug-asserted above),
+    // so the AVX2 target feature is present.
+    let used = unsafe {
+        score_anchors(
+            batch.anchor_x_m(),
+            batch.anchor_y_m(),
+            batch.anchor_range_m(),
+            model.log_normalizer(),
+            denom,
+            x,
+            y,
+            out,
+        )
+    };
+    if used == 0 {
+        *out = [0.0; LANES];
+    }
+}
+
+/// The register-resident anchor loop of [`score_anchor_group`]. Non-finite
+/// ranges are skipped with the scalar predicate; returns the number of
+/// anchors scored.
+///
+/// # Safety
+///
+/// Callers must ensure the `avx2` target feature is available.
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)] // the full lane-group register set
+unsafe fn score_anchors(
+    anchor_x: &[f32],
+    anchor_y: &[f32],
+    ranges: &[f32],
+    log_normalizer: f32,
+    denom: f32,
+    x: &[f32; LANES],
+    y: &[f32; LANES],
+    out: &mut [f32; LANES],
+) -> usize {
+    let x_v = _mm256_loadu_ps(x.as_ptr());
+    let y_v = _mm256_loadu_ps(y.as_ptr());
+    let norm_v = _mm256_set1_ps(log_normalizer);
+    let denom_v = _mm256_set1_ps(denom);
+    let mut log_sum = _mm256_setzero_ps();
+    let mut used = 0usize;
+    for i in 0..ranges.len() {
+        // The scalar path's skipping predicate, verbatim.
+        let z = ranges[i];
+        if !z.is_finite() {
+            continue;
+        }
+        let ax = _mm256_set1_ps(anchor_x[i]);
+        let ay = _mm256_set1_ps(anchor_y[i]);
+        // dx = x − ax, dy = y − ay, dist = √(dx·dx + dy·dy), r = dist − z,
+        // with the scalar body's association and one rounding per op.
+        let dx = _mm256_sub_ps(x_v, ax);
+        let dy = _mm256_sub_ps(y_v, ay);
+        let dist = _mm256_sqrt_ps(_mm256_add_ps(_mm256_mul_ps(dx, dx), _mm256_mul_ps(dy, dy)));
+        let r = _mm256_sub_ps(dist, _mm256_set1_ps(z));
+        // log_normalizer − r² / denom, accumulated in anchor order per lane.
+        let term = _mm256_sub_ps(norm_v, _mm256_div_ps(_mm256_mul_ps(r, r), denom_v));
         log_sum = _mm256_add_ps(log_sum, term);
         used += 1;
     }

@@ -5,7 +5,7 @@
 use crate::fleet::{DroneConfig, FleetError};
 use crate::protocol::{decode_response, encode_request, read_frame, ErrorCode, Request, Response};
 use mcl_core::MotionDelta;
-use mcl_sensor::Beam;
+use mcl_sensor::{AnchorRange, Beam};
 use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -106,6 +106,24 @@ impl FleetClient {
             drone_id: drone,
             delta,
             beams: beams.to_vec(),
+            ranges: Vec::new(),
+        })
+    }
+
+    /// Pushes one fused ToF+UWB frame (a v2 wire frame) without waiting.
+    /// Non-finite ranges mark denied anchors and are skipped by the filter.
+    pub fn push_fused_frame(
+        &mut self,
+        drone: u64,
+        delta: MotionDelta,
+        beams: &[Beam],
+        ranges: &[AnchorRange],
+    ) -> io::Result<()> {
+        self.send_buffered(&Request::Frame {
+            drone_id: drone,
+            delta,
+            beams: beams.to_vec(),
+            ranges: ranges.to_vec(),
         })
     }
 

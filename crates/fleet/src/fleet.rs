@@ -8,7 +8,7 @@ use crate::stats::FleetStats;
 use mcl_core::adaptive::AdaptiveConfig;
 use mcl_core::{pool, KernelBackend, MclConfig, MotionDelta};
 use mcl_gridmap::{EuclideanDistanceField, OccupancyGrid};
-use mcl_sensor::Beam;
+use mcl_sensor::{AnchorRange, Beam};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
@@ -336,7 +336,8 @@ impl Fleet {
                 drone_id,
                 delta,
                 beams,
-            } => self.submit_frame(token, drone_id, delta, beams, reply),
+                ranges,
+            } => self.submit_frame(token, drone_id, delta, beams, ranges, reply),
             Request::Deregister { drone_id } => {
                 self.shard_of(drone_id).submit(Command::Deregister {
                     token,
@@ -353,6 +354,7 @@ impl Fleet {
         drone: u64,
         delta: MotionDelta,
         beams: Vec<Beam>,
+        ranges: Vec<AnchorRange>,
         reply: &Arc<Outbox>,
     ) -> Result<(), FleetError> {
         self.shard_of(drone).submit(Command::Frame {
@@ -361,6 +363,7 @@ impl Fleet {
             frame: FrameCmd {
                 delta,
                 beams,
+                ranges,
                 enqueued: Instant::now(),
                 reply: Arc::clone(reply),
             },
@@ -490,7 +493,21 @@ impl FleetHandle {
         beams: Vec<Beam>,
     ) -> Result<(), FleetError> {
         self.fleet
-            .submit_frame(self.token, drone, delta, beams, &self.outbox)
+            .submit_frame(self.token, drone, delta, beams, Vec::new(), &self.outbox)
+    }
+
+    /// Pushes one fused odometry+ToF+UWB frame: like [`Self::push_frame`]
+    /// plus the step's anchor ranges, scored together in one update.
+    /// Non-finite ranges mark denied anchors and are skipped by the filter.
+    pub fn push_fused_frame(
+        &mut self,
+        drone: u64,
+        delta: MotionDelta,
+        beams: Vec<Beam>,
+        ranges: Vec<AnchorRange>,
+    ) -> Result<(), FleetError> {
+        self.fleet
+            .submit_frame(self.token, drone, delta, beams, ranges, &self.outbox)
     }
 
     /// Deregisters `drone` and waits for the ack.

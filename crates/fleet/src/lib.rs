@@ -4,8 +4,8 @@
 //! same filter into a *service*: one process hosting thousands of concurrent
 //! [`MonteCarloLocalization`](mcl_core::MonteCarloLocalization) instances —
 //! one per registered drone — behind a length-prefixed binary protocol
-//! (register drone / push odometry+ToF frame / stream pose estimates /
-//! deregister).
+//! (register drone / push odometry+ToF frame — optionally with a v2 UWB
+//! anchor-range block / stream pose estimates / deregister).
 //!
 //! ## Architecture
 //!

@@ -14,10 +14,22 @@
 //! bytes, non-finite floats and oversized beam lists are all rejected with a
 //! typed [`ProtocolError`] so the server can answer malformed input with an
 //! [`ErrorCode::MalformedFrame`] response instead of guessing.
+//!
+//! # Protocol versions
+//!
+//! The original (v1) observation frame carries odometry plus ToF beams. The
+//! v2 frame appends an optional UWB anchor-range block — a count-prefixed
+//! list of `(anchor x, anchor y, measured range)` f32 triples — under its own
+//! message tag, so v1 decoders and v1 byte streams are untouched: a
+//! [`Request::Frame`] with no ranges still encodes to the exact v1 bytes, and
+//! v1 frames decode to an empty range list. Anchor positions must be finite;
+//! the measured range transports raw bits, because a denied / NLOS anchor
+//! legitimately reports NaN and the filter's anchor kernel drops non-finite
+//! ranges as missing measurements.
 
 use mcl_core::{KernelBackend, MotionDelta};
 use mcl_gridmap::Pose2;
-use mcl_sensor::Beam;
+use mcl_sensor::{AnchorRange, Beam};
 use std::io::{self, Read, Write};
 
 /// Hard ceiling on one frame's payload (type byte + body).
@@ -31,13 +43,22 @@ pub const MAX_FRAME_BYTES: usize = 64 * 1024;
 /// most 16 beams per step; 512 leaves generous headroom for richer rigs).
 pub const MAX_BEAMS_PER_FRAME: usize = 512;
 
+/// Hard ceiling on UWB anchor ranges per v2 observation frame (real
+/// deployments install a handful of anchors; 64 leaves generous headroom).
+pub const MAX_ANCHORS_PER_FRAME: usize = 64;
+
 /// Bytes of one encoded beam: azimuth, range, origin x/y/theta.
 const BEAM_BYTES: usize = 5 * 4;
+
+/// Bytes of one encoded anchor range: anchor x, anchor y, measured range.
+const ANCHOR_BYTES: usize = 3 * 4;
 
 /// Message type tags (client → server).
 const MSG_REGISTER: u8 = 0x01;
 const MSG_FRAME: u8 = 0x02;
 const MSG_DEREGISTER: u8 = 0x03;
+/// v2 observation frame: the v1 frame body followed by a UWB anchor block.
+const MSG_FRAME_V2: u8 = 0x04;
 /// Message type tags (server → client).
 const MSG_REGISTERED: u8 = 0x81;
 const MSG_POSE: u8 = 0x82;
@@ -133,8 +154,8 @@ pub enum Request {
         /// Enable KLD-adaptive population control for this drone.
         adaptive: bool,
     },
-    /// One odometry increment plus the beams observed after it — exactly one
-    /// [`Response::Pose`] comes back per frame.
+    /// One odometry increment plus the observations made after it — exactly
+    /// one [`Response::Pose`] comes back per frame.
     Frame {
         /// Target drone.
         drone_id: u64,
@@ -142,6 +163,9 @@ pub enum Request {
         delta: MotionDelta,
         /// Beams of this observation (may be empty: odometry-only step).
         beams: Vec<Beam>,
+        /// UWB anchor ranges of this observation. Empty for v1 clients —
+        /// an empty list encodes to the exact v1 frame bytes.
+        ranges: Vec<AnchorRange>,
     },
     /// Retire the drone's filter and free its slot.
     Deregister {
@@ -262,8 +286,16 @@ pub fn encode_request(request: &Request, out: &mut Vec<u8>) {
             drone_id,
             delta,
             beams,
+            ranges,
         } => {
-            out.push(MSG_FRAME);
+            // A frame without anchor ranges emits the v1 tag and body so v1
+            // byte streams (and the determinism harness pinned to them) are
+            // reproduced bit-exactly.
+            out.push(if ranges.is_empty() {
+                MSG_FRAME
+            } else {
+                MSG_FRAME_V2
+            });
             put_u64(out, *drone_id);
             put_f32(out, delta.dx);
             put_f32(out, delta.dy);
@@ -276,6 +308,15 @@ pub fn encode_request(request: &Request, out: &mut Vec<u8>) {
                 put_f32(out, beam.origin_body.x);
                 put_f32(out, beam.origin_body.y);
                 put_f32(out, beam.origin_body.theta);
+            }
+            if !ranges.is_empty() {
+                debug_assert!(ranges.len() <= MAX_ANCHORS_PER_FRAME);
+                put_u16(out, ranges.len() as u16);
+                for range in ranges {
+                    put_f32(out, range.anchor_x_m);
+                    put_f32(out, range.anchor_y_m);
+                    put_f32(out, range.range_m);
+                }
             }
         }
         Request::Deregister { drone_id } => {
@@ -409,7 +450,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
                 adaptive,
             }
         }
-        MSG_FRAME => {
+        MSG_FRAME | MSG_FRAME_V2 => {
             let drone_id = cur.u64()?;
             let delta = MotionDelta {
                 dx: cur.f32_finite("odometry dx")?,
@@ -422,12 +463,14 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
             }
             // Pre-check the remaining length so a hostile count cannot force
             // a large reservation before the Truncated error would surface.
-            if cur.bytes.len() != count * BEAM_BYTES {
-                return Err(if cur.bytes.len() < count * BEAM_BYTES {
-                    ProtocolError::Truncated
-                } else {
-                    ProtocolError::TrailingBytes
-                });
+            // A v2 body must still carry its anchor count after the beams.
+            let beam_bytes = count * BEAM_BYTES;
+            let floor = beam_bytes + if tag == MSG_FRAME_V2 { 2 } else { 0 };
+            if cur.bytes.len() < floor {
+                return Err(ProtocolError::Truncated);
+            }
+            if tag == MSG_FRAME && cur.bytes.len() > beam_bytes {
+                return Err(ProtocolError::TrailingBytes);
             }
             let mut beams = Vec::with_capacity(count);
             for _ in 0..count {
@@ -444,10 +487,38 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
                     origin_body: Pose2 { x, y, theta },
                 });
             }
+            let mut ranges = Vec::new();
+            if tag == MSG_FRAME_V2 {
+                let acount = cur.u16()? as usize;
+                if acount > MAX_ANCHORS_PER_FRAME {
+                    return Err(ProtocolError::BadValue("anchor count"));
+                }
+                if cur.bytes.len() != acount * ANCHOR_BYTES {
+                    return Err(if cur.bytes.len() < acount * ANCHOR_BYTES {
+                        ProtocolError::Truncated
+                    } else {
+                        ProtocolError::TrailingBytes
+                    });
+                }
+                ranges.reserve_exact(acount);
+                for _ in 0..acount {
+                    let anchor_x_m = cur.f32_finite("anchor x")?;
+                    let anchor_y_m = cur.f32_finite("anchor y")?;
+                    // Raw bits: a denied/NLOS anchor reports NaN and the
+                    // filter's skip rule must see it unchanged.
+                    let range_m = cur.f32_raw()?;
+                    ranges.push(AnchorRange {
+                        anchor_x_m,
+                        anchor_y_m,
+                        range_m,
+                    });
+                }
+            }
             Request::Frame {
                 drone_id,
                 delta,
                 beams,
+                ranges,
             }
         }
         MSG_DEREGISTER => Request::Deregister {
@@ -590,13 +661,149 @@ mod tests {
                     },
                 },
             ],
+            ranges: Vec::new(),
         });
         roundtrip_request(Request::Frame {
             drone_id: 9,
             delta: MotionDelta::new(0.0, 0.0, 0.0),
             beams: Vec::new(),
+            ranges: Vec::new(),
         });
         roundtrip_request(Request::Deregister { drone_id: 1 });
+    }
+
+    #[test]
+    fn fused_frames_roundtrip_with_raw_range_bits() {
+        // Beams plus anchors, and anchors without beams.
+        roundtrip_request(Request::Frame {
+            drone_id: 11,
+            delta: MotionDelta::new(0.03, 0.0, -0.001),
+            beams: vec![Beam {
+                azimuth_body_rad: 0.5,
+                range_m: 1.25,
+                origin_body: Pose2 {
+                    x: 0.02,
+                    y: 0.0,
+                    theta: 0.0,
+                },
+            }],
+            ranges: vec![
+                AnchorRange::new(0.2, 0.2, 3.125),
+                AnchorRange::new(7.0, 4.6, 0.875),
+            ],
+        });
+        roundtrip_request(Request::Frame {
+            drone_id: 12,
+            delta: MotionDelta::new(0.0, 0.0, 0.0),
+            beams: Vec::new(),
+            ranges: vec![AnchorRange::new(1.0, 2.0, 0.5)],
+        });
+        // A denied anchor's NaN range must round-trip bit-exactly.
+        let request = Request::Frame {
+            drone_id: 13,
+            delta: MotionDelta::new(0.0, 0.0, 0.0),
+            beams: Vec::new(),
+            ranges: vec![AnchorRange::new(0.5, 0.5, f32::NAN)],
+        };
+        let mut framed = Vec::new();
+        encode_request(&request, &mut framed);
+        match decode_request(&framed[4..]).unwrap() {
+            Request::Frame { ranges, .. } => {
+                assert_eq!(ranges.len(), 1);
+                assert_eq!(ranges[0].range_m.to_bits(), f32::NAN.to_bits());
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn beam_only_frames_encode_to_v1_bytes() {
+        // The fused request type must not perturb v1 byte streams: a frame
+        // with no anchor ranges carries the v1 tag and nothing extra.
+        let request = Request::Frame {
+            drone_id: 3,
+            delta: MotionDelta::new(0.05, -0.01, 0.002),
+            beams: vec![Beam {
+                azimuth_body_rad: 0.25,
+                range_m: 1.125,
+                origin_body: Pose2 {
+                    x: 0.01,
+                    y: -0.02,
+                    theta: 0.5,
+                },
+            }],
+            ranges: Vec::new(),
+        };
+        let mut framed = Vec::new();
+        encode_request(&request, &mut framed);
+        assert_eq!(framed[4], MSG_FRAME);
+        // len = tag + drone id + delta + beam count + one beam.
+        let len = u32::from_le_bytes(framed[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, 1 + 8 + 12 + 2 + BEAM_BYTES);
+        // And a fused frame uses the v2 tag with the anchor block appended.
+        let fused = Request::Frame {
+            drone_id: 3,
+            delta: MotionDelta::new(0.05, -0.01, 0.002),
+            beams: Vec::new(),
+            ranges: vec![AnchorRange::new(0.0, 0.0, 1.0)],
+        };
+        let mut framed = Vec::new();
+        encode_request(&fused, &mut framed);
+        assert_eq!(framed[4], MSG_FRAME_V2);
+        let len = u32::from_le_bytes(framed[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, 1 + 8 + 12 + 2 + 2 + ANCHOR_BYTES);
+    }
+
+    #[test]
+    fn malformed_v2_payloads_are_rejected() {
+        let encode = |ranges: Vec<AnchorRange>| {
+            let mut framed = Vec::new();
+            encode_request(
+                &Request::Frame {
+                    drone_id: 1,
+                    delta: MotionDelta::new(0.0, 0.0, 0.0),
+                    beams: Vec::new(),
+                    ranges,
+                },
+                &mut framed,
+            );
+            framed[4..].to_vec()
+        };
+        // v2 tag with the anchor block chopped off entirely.
+        let payload = encode(vec![AnchorRange::new(0.0, 0.0, 1.0)]);
+        let no_block = &payload[..payload.len() - 2 - ANCHOR_BYTES];
+        assert_eq!(decode_request(no_block), Err(ProtocolError::Truncated));
+        // Anchor count larger than the body.
+        let mut payload = encode(vec![AnchorRange::new(0.0, 0.0, 1.0)]);
+        let count_at = payload.len() - ANCHOR_BYTES - 2;
+        payload[count_at..count_at + 2].copy_from_slice(&5u16.to_le_bytes());
+        assert_eq!(decode_request(&payload), Err(ProtocolError::Truncated));
+        // Anchor count smaller than the body (trailing anchor bytes).
+        let mut payload = encode(vec![
+            AnchorRange::new(0.0, 0.0, 1.0),
+            AnchorRange::new(1.0, 1.0, 2.0),
+        ]);
+        let count_at = payload.len() - 2 * ANCHOR_BYTES - 2;
+        payload[count_at..count_at + 2].copy_from_slice(&1u16.to_le_bytes());
+        assert_eq!(decode_request(&payload), Err(ProtocolError::TrailingBytes));
+        // Anchor count above the hard ceiling.
+        let mut payload = encode(vec![AnchorRange::new(0.0, 0.0, 1.0)]);
+        let count_at = payload.len() - ANCHOR_BYTES - 2;
+        payload[count_at..count_at + 2]
+            .copy_from_slice(&((MAX_ANCHORS_PER_FRAME + 1) as u16).to_le_bytes());
+        assert_eq!(
+            decode_request(&payload),
+            Err(ProtocolError::BadValue("anchor count"))
+        );
+        // Non-finite anchor position (unlike the measured range, anchor
+        // coordinates are surveyed constants and must be finite).
+        let mut payload = encode(vec![AnchorRange::new(0.0, 0.0, 1.0)]);
+        let x_at = payload.len() - ANCHOR_BYTES;
+        payload[x_at..x_at + 4].copy_from_slice(&f32::INFINITY.to_le_bytes());
+        assert_eq!(
+            decode_request(&payload),
+            Err(ProtocolError::BadValue("anchor x"))
+        );
     }
 
     #[test]
@@ -679,6 +886,7 @@ mod tests {
                 drone_id: 1,
                 delta: MotionDelta::new(0.0, 0.0, 0.0),
                 beams: Vec::new(),
+                ranges: Vec::new(),
             },
             &mut framed,
         );
@@ -693,6 +901,7 @@ mod tests {
                 drone_id: 1,
                 delta: MotionDelta::new(0.0, 0.0, 0.0),
                 beams: Vec::new(),
+                ranges: Vec::new(),
             },
             &mut framed,
         );

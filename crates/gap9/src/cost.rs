@@ -167,6 +167,12 @@ pub struct CostModel {
     pub observation_base_cycles: f64,
     /// Observation: cycles per particle per beam (end-point + EDT lookup + exp).
     pub observation_per_beam_cycles: f64,
+    /// Observation: cycles per particle per UWB anchor range in a fused
+    /// update (squared distance, one sqrt, the Gaussian exponent — no
+    /// end-point rotation and no EDT gather, so well under the per-beam
+    /// cost). Charged only through [`CostModel::with_fused_observation`];
+    /// beam-only updates never read it.
+    pub observation_per_anchor_cycles: f64,
     /// Motion: cycles per particle (three Gaussian draws + pose composition).
     pub motion_cycles: f64,
     /// Resampling: cycles per particle on one core (weight walk + 16-byte copy).
@@ -234,6 +240,7 @@ impl Default for CostModel {
         CostModel {
             observation_base_cycles: 207.0,
             observation_per_beam_cycles: 200.0,
+            observation_per_anchor_cycles: 40.0,
             motion_cycles: 1076.0,
             resampling_per_particle_cycles: 60.0,
             resampling_serial_cycles: 4200.0,
@@ -257,6 +264,21 @@ impl Default for CostModel {
 }
 
 impl CostModel {
+    /// The model for a fused update scoring `anchors` UWB anchor ranges into
+    /// the same per-particle accumulator after the beams. The anchor term
+    /// does not depend on the beam count, so folding it into the
+    /// per-particle base (`observation_base_cycles +=
+    /// observation_per_anchor_cycles × anchors`) is exact under
+    /// [`CostModel::kernel_item_cycles`] and keeps every downstream
+    /// signature unchanged. `anchors == 0` returns the model unmodified.
+    pub fn with_fused_observation(self, anchors: usize) -> Self {
+        CostModel {
+            observation_base_cycles: self.observation_base_cycles
+                + self.observation_per_anchor_cycles * anchors as f64,
+            ..self
+        }
+    }
+
     /// Per-item cycles of `step`'s kernel: the cost of processing **one**
     /// particle (or, for resampling, drawing one new particle) on one core,
     /// including the L2 access penalty when the buffers live in L2.
@@ -786,6 +808,29 @@ mod tests {
 
     const BEAMS: usize = 16; // two 8-column sensors, the paper's configuration
     const F400: f64 = 400e6;
+
+    #[test]
+    fn fused_observation_charges_per_anchor_and_is_identity_at_zero() {
+        let model = CostModel::default();
+        assert_eq!(model.with_fused_observation(0), model);
+        let fused = model.with_fused_observation(4);
+        // Only the observation step grows, by exactly anchors × per-anchor,
+        // independent of the beam count and the memory level.
+        for &(beams, in_l2) in &[(1usize, false), (BEAMS, false), (BEAMS, true)] {
+            let delta = fused.kernel_item_cycles(McStep::Observation, beams, in_l2, false)
+                - model.kernel_item_cycles(McStep::Observation, beams, in_l2, false);
+            assert!((delta - 4.0 * model.observation_per_anchor_cycles).abs() < 1e-9);
+        }
+        for step in [McStep::Motion, McStep::Resampling, McStep::PoseComputation] {
+            assert_eq!(
+                fused.kernel_item_cycles(step, BEAMS, true, true),
+                model.kernel_item_cycles(step, BEAMS, true, true)
+            );
+        }
+        // An anchor range is much cheaper than a beam: no end-point rotation,
+        // no EDT gather.
+        assert!(model.observation_per_anchor_cycles < 0.5 * model.observation_per_beam_cycles);
+    }
 
     #[test]
     fn single_core_per_particle_times_match_table_one() {

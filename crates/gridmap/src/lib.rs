@@ -58,4 +58,4 @@ pub use edt::{
 pub use geometry::{Point2, Pose2};
 pub use grid::{CellIndex, CellState, GridError, OccupancyGrid};
 pub use maze::{DroneMaze, MazeConfig};
-pub use worldgen::WorldKind;
+pub use worldgen::{uwb_anchor_positions, WorldKind};

@@ -218,6 +218,37 @@ fn snap(value: f32) -> f32 {
     (value / RESOLUTION).round() * RESOLUTION
 }
 
+/// Wall inset of the UWB anchor deployment, metres (the usual mounting offset
+/// of the cited infrastructure systems, matching
+/// `mcl_baselines::UwbLocalizer::corner_anchors`).
+pub const UWB_ANCHOR_INSET_M: f32 = 0.2;
+
+/// Deterministic UWB anchor placement for a `width_m × height_m` arena:
+/// the four corners first (0.2 m inside the walls, the deployment of the
+/// cited infrastructure systems), then the four wall midpoints. `count` is
+/// clamped to the eight available mounting spots.
+///
+/// The first four positions coincide with
+/// `mcl_baselines::UwbLocalizer::corner_anchors`, so fusion scenarios and the
+/// trilateration baseline range against the same infrastructure. Placement
+/// depends only on the arena dimensions — no seed — so every sequence of a
+/// scenario sees the same anchors.
+pub fn uwb_anchor_positions(width_m: f32, height_m: f32, count: usize) -> Vec<(f32, f32)> {
+    let inset = UWB_ANCHOR_INSET_M;
+    let (w, h) = (width_m, height_m);
+    let spots = [
+        (inset, inset),
+        (w - inset, inset),
+        (w - inset, h - inset),
+        (inset, h - inset),
+        (w * 0.5, inset),
+        (w - inset, h * 0.5),
+        (w * 0.5, h - inset),
+        (inset, h * 0.5),
+    ];
+    spots[..count.min(spots.len())].to_vec()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +404,23 @@ mod tests {
             mismatches > 0,
             "the distinguishing crate must break exact symmetry"
         );
+    }
+
+    #[test]
+    fn anchor_positions_are_deterministic_inset_and_clamped() {
+        let four = uwb_anchor_positions(6.0, 4.0, 4);
+        assert_eq!(
+            four,
+            vec![(0.2, 0.2), (5.8, 0.2), (5.8, 3.8), (0.2, 3.8)],
+            "corner deployment must match the UWB baseline layout"
+        );
+        let eight = uwb_anchor_positions(6.0, 4.0, 99);
+        assert_eq!(eight.len(), 8, "count is clamped to the mounting spots");
+        assert_eq!(&eight[..4], &four[..], "corners come first");
+        for &(x, y) in &eight {
+            assert!((0.0..=6.0).contains(&x) && (0.0..=4.0).contains(&y));
+        }
+        assert!(uwb_anchor_positions(6.0, 4.0, 0).is_empty());
     }
 
     #[test]

@@ -154,9 +154,11 @@ impl OnboardPipeline {
             // Data movement happens every step, compute only when the gate opens.
             let mut latency = self.i2c.rig_transfer_s(mode, frame_limit)
                 + self.spi.update_transfer_s(mode, frame_limit);
+            let mut observations = mcl_sensor::ObservationBatch::from_beams(&beams);
+            observations.partition_in_range(self.filter.config().r_max);
             let outcome = self
                 .filter
-                .update(&beams)
+                .update_observations(&observations)
                 .expect("pipeline initialized the filter");
             let mcl_pose = match outcome {
                 UpdateOutcome::Applied(estimate) => {

@@ -17,6 +17,8 @@
 //!   2D beams consumed by the observation model.
 //! * [`batch`] — per-update flattening of a frame's valid beams into contiguous
 //!   arrays ([`BeamBatch`]) for the data-parallel correction kernel.
+//! * [`fusion`] — the sensor-agnostic [`ObservationBatch`]: ToF beams and/or
+//!   UWB anchor ranges ([`AnchorRange`]) for the multi-sensor correction step.
 //! * [`model`] — the sensor itself: cast one ray per zone, apply range noise,
 //!   raise error flags.
 //! * [`rig`] — one- and two-sensor mounting configurations on the drone body.
@@ -42,6 +44,7 @@
 
 pub mod batch;
 pub mod config;
+pub mod fusion;
 pub mod measurement;
 pub mod model;
 pub mod raycast;
@@ -50,6 +53,7 @@ pub mod zones;
 
 pub use batch::BeamBatch;
 pub use config::{SensorConfig, ZoneMode, SENSOR_POWER_MW};
+pub use fusion::{AnchorRange, ObservationBatch};
 pub use measurement::{Beam, TargetStatus, ToFFrame, ZoneMeasurement};
 pub use model::ToFSensor;
 pub use raycast::raycast_distance;

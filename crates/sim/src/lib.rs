@@ -55,7 +55,9 @@ pub use metrics::{
     ConvergenceCriterion, ResultAggregator, SequenceResult, StressTimeline, TrajectoryErrorTracker,
 };
 pub use odometry::{OdometryConfig, OdometryModel};
-pub use runner::{run_sequence, sequence_traffic, RunnerConfig, TrafficStep};
+pub use runner::{
+    run_sequence, sequence_traffic, RunnerConfig, SensingMode, TrafficStep, UwbRig, MAX_UWB_ANCHORS,
+};
 pub use scenario::PaperScenario;
 pub use sequence::{Sequence, SequenceConfig, SequenceGenerator, SequenceStep};
 pub use suite::{run_suite, ScenarioSpec, ScenarioSuite, StressEvent, SuiteOutcome, SuiteScenario};

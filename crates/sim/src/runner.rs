@@ -4,18 +4,140 @@
 //! initialized filter exactly like the on-board pipeline would see it: the
 //! odometry increment of every 15 Hz step is fed to
 //! [`MonteCarloLocalization::predict`], the ToF frames are flattened into a
-//! [`BeamBatch`] (once per step) and offered to
-//! [`MonteCarloLocalization::update_batch`] (which applies its own `d_xy` /
-//! `d_θ` gating), and the published estimate is scored against the ground truth
-//! by a [`TrajectoryErrorTracker`].
+//! [`BeamBatch`] (once per step), wrapped into an [`ObservationBatch`] —
+//! together with synthesized UWB anchor ranges when the runner's
+//! [`SensingMode`] asks for them — and offered to
+//! [`MonteCarloLocalization::update_observations`] (which applies its own
+//! `d_xy` / `d_θ` gating), and the published estimate is scored against the
+//! ground truth by a [`TrajectoryErrorTracker`].
+//!
+//! UWB ranges are synthesized at replay time from the step's ground truth and
+//! the runner's [`UwbRig`]: recorded sequences stay pure ToF recordings, and
+//! the same sequence can be replayed ToF-only, UWB-only or fused. The
+//! synthesis RNG is keyed on `(rig seed, sequence seed)`, so replays are
+//! deterministic and independent of the filter's worker count or backend.
 
 use crate::metrics::{ConvergenceCriterion, SequenceResult, TrajectoryErrorTracker};
 use crate::sequence::Sequence;
 use mcl_core::{MonteCarloLocalization, MotionDelta};
 use mcl_gridmap::DistanceField;
 use mcl_num::Scalar;
-use mcl_sensor::{Beam, BeamBatch, SensorRig};
+use mcl_sensor::{model::gaussian, AnchorRange, Beam, BeamBatch, ObservationBatch, SensorRig};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Which sensor modalities the runner feeds the filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SensingMode {
+    /// ToF beams only — the paper's configuration and the default; byte-for-
+    /// byte the pre-fusion replay.
+    #[default]
+    TofOnly,
+    /// UWB anchor ranges only — infrastructure localization with no
+    /// on-board perception. Ranges carry no heading information, so the
+    /// convergence criterion's yaw gate makes this mode structurally weak on
+    /// its own.
+    UwbOnly,
+    /// ToF beams and UWB anchor ranges fused in one [`ObservationBatch`].
+    Fused,
+}
+
+impl SensingMode {
+    /// True when the mode feeds ToF beams to the filter.
+    pub fn uses_tof(self) -> bool {
+        self != SensingMode::UwbOnly
+    }
+
+    /// True when the mode feeds UWB anchor ranges to the filter.
+    pub fn uses_uwb(self) -> bool {
+        self != SensingMode::TofOnly
+    }
+}
+
+/// Maximum number of UWB anchors a [`UwbRig`] can carry (fixed capacity keeps
+/// [`RunnerConfig`] `Copy`).
+pub const MAX_UWB_ANCHORS: usize = 8;
+
+/// The UWB infrastructure a replay ranges against: anchor positions, the
+/// synthesized measurement noise, and an optional NLOS denial window during
+/// which every anchor reports a non-finite range (a fully UWB-denied stretch
+/// of the flight — the measurements exist on the wire but carry no
+/// information, exercising the filter's non-finite skip rule end to end).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UwbRig {
+    /// Anchor positions `(x, y)` in the map frame; only the first
+    /// [`UwbRig::anchor_count`] entries are live.
+    anchors: [[f32; 2]; MAX_UWB_ANCHORS],
+    count: usize,
+    /// Standard deviation of the synthesized range noise, metres (defaults to
+    /// the UWB trilateration baseline's 0.15 m).
+    pub range_noise_std_m: f32,
+    /// Seed of the range-noise stream (combined with the sequence seed).
+    pub seed: u64,
+    /// Start of the NLOS denial window as a fraction of the sequence length.
+    pub denied_from: f32,
+    /// End (exclusive) of the NLOS denial window as a fraction of the
+    /// sequence length. A window with `denied_to <= denied_from` (the
+    /// default) never denies anything.
+    pub denied_to: f32,
+}
+
+impl Default for UwbRig {
+    fn default() -> Self {
+        UwbRig {
+            anchors: [[0.0; 2]; MAX_UWB_ANCHORS],
+            count: 0,
+            range_noise_std_m: 0.15,
+            seed: 0x0b5e,
+            denied_from: 0.0,
+            denied_to: 0.0,
+        }
+    }
+}
+
+impl UwbRig {
+    /// A rig ranging against `positions` (at most [`MAX_UWB_ANCHORS`]; the
+    /// surplus is ignored) with the default noise model.
+    pub fn from_positions(positions: &[(f32, f32)]) -> Self {
+        let mut rig = UwbRig::default();
+        for &(x, y) in positions.iter().take(MAX_UWB_ANCHORS) {
+            rig.anchors[rig.count] = [x, y];
+            rig.count += 1;
+        }
+        rig
+    }
+
+    /// Returns a copy with the NLOS denial window set (fractions of the
+    /// sequence length).
+    pub fn with_denied_window(mut self, from: f32, to: f32) -> Self {
+        self.denied_from = from;
+        self.denied_to = to;
+        self
+    }
+
+    /// The live anchor positions.
+    pub fn anchor_positions(&self) -> &[[f32; 2]] {
+        &self.anchors[..self.count]
+    }
+
+    /// Number of live anchors.
+    pub fn anchor_count(&self) -> usize {
+        self.count
+    }
+
+    /// True when the rig has no anchors (UWB sensing is then inert even in
+    /// [`SensingMode::UwbOnly`]).
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// True when `fraction` of the sequence falls inside the denial window.
+    pub fn denied_at(&self, fraction: f32) -> bool {
+        self.denied_from < self.denied_to
+            && fraction >= self.denied_from
+            && fraction < self.denied_to
+    }
+}
 
 /// Options of the sequence runner.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -25,6 +147,11 @@ pub struct RunnerConfig {
     pub sensor_count: usize,
     /// The convergence / success criterion.
     pub criterion: ConvergenceCriterion,
+    /// Which sensor modalities the replay feeds the filter.
+    pub sensing: SensingMode,
+    /// The UWB infrastructure, consulted only when
+    /// [`RunnerConfig::sensing`]`.uses_uwb()`.
+    pub uwb: UwbRig,
 }
 
 impl Default for RunnerConfig {
@@ -32,6 +159,8 @@ impl Default for RunnerConfig {
         RunnerConfig {
             sensor_count: 2,
             criterion: ConvergenceCriterion::default(),
+            sensing: SensingMode::default(),
+            uwb: UwbRig::default(),
         }
     }
 }
@@ -43,6 +172,13 @@ impl RunnerConfig {
             sensor_count: 1,
             ..RunnerConfig::default()
         }
+    }
+
+    /// Returns a copy replaying under `sensing` against `rig`.
+    pub fn with_uwb(mut self, sensing: SensingMode, rig: UwbRig) -> Self {
+        self.sensing = sensing;
+        self.uwb = rig;
+        self
     }
 }
 
@@ -101,16 +237,47 @@ pub fn run_sequence<S: Scalar, D: DistanceField>(
     // timeline and score exactly the paper's three metrics.
     let mut tracker =
         TrajectoryErrorTracker::with_timeline(runner.criterion, sequence.stress.clone());
-    for step in &sequence.steps {
+    let use_uwb = runner.sensing.uses_uwb() && !runner.uwb.is_empty();
+    // One noise stream per replay, keyed on the rig and the sequence — the
+    // draws happen outside the filter, so the synthesized ranges (and with
+    // them the whole replay) are bit-identical for every worker count and
+    // kernel backend.
+    let mut uwb_rng = rand::rngs::StdRng::seed_from_u64(
+        runner.uwb.seed ^ sequence.seed.rotate_left(17) ^ 0x05B5_EED0,
+    );
+    let samples = sequence.steps.len().max(1);
+    for (index, step) in sequence.steps.iter().enumerate() {
         filter.predict(step.odometry);
-        let frame_limit = runner.sensor_count.min(step.frames.len());
-        let mut batch = BeamBatch::from_frames(&step.frames[..frame_limit]);
-        // Hoist the r_max test out of the per-particle correction loop: the
-        // partitioned batch takes the branch-free kernel path (bit-identical
-        // scores, see `BeamBatch::partition_in_range`).
-        batch.partition_in_range(filter.config().r_max);
+        let mut observations = if runner.sensing.uses_tof() {
+            let frame_limit = runner.sensor_count.min(step.frames.len());
+            let mut batch = BeamBatch::from_frames(&step.frames[..frame_limit]);
+            // Hoist the r_max test out of the per-particle correction loop:
+            // the partitioned batch takes the branch-free kernel path
+            // (bit-identical scores, see `BeamBatch::partition_in_range`).
+            batch.partition_in_range(filter.config().r_max);
+            ObservationBatch::from_beam_batch(batch)
+        } else {
+            ObservationBatch::new()
+        };
+        if use_uwb {
+            // Denied (NLOS) stretches still deliver a measurement per anchor,
+            // just a useless one — the non-finite skip rule in the kernel
+            // (and the UWB baseline's solver) is what keeps them harmless.
+            let denied = runner.uwb.denied_at(index as f32 / samples as f32);
+            for &[ax, ay] in runner.uwb.anchor_positions() {
+                let range = if denied {
+                    f32::NAN
+                } else {
+                    let dx = step.ground_truth.x - ax;
+                    let dy = step.ground_truth.y - ay;
+                    let true_range = (dx * dx + dy * dy).sqrt();
+                    true_range + gaussian(&mut uwb_rng, 0.0, runner.uwb.range_noise_std_m)
+                };
+                observations.push_anchor(AnchorRange::new(ax, ay, range));
+            }
+        }
         let outcome = filter
-            .update_batch(&batch)
+            .update_observations(&observations)
             .expect("filter was initialized, update cannot fail");
         // An applied update already carries the pose estimate; recomputing it
         // would run the pose-reduction kernel a second time per step.
@@ -136,11 +303,15 @@ pub fn run_sequence<S: Scalar, D: DistanceField>(
 
 #[cfg(test)]
 mod tests {
+    // `traffic_replay_is_bit_identical_to_run_sequence` deliberately replays
+    // through the deprecated beam-only shim to pin its equivalence.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::sequence::{SequenceConfig, SequenceGenerator};
     use crate::trajectory::TrajectoryConfig;
     use mcl_core::MclConfig;
-    use mcl_gridmap::{DroneMaze, EuclideanDistanceField};
+    use mcl_gridmap::{uwb_anchor_positions, DroneMaze, EuclideanDistanceField};
 
     fn scenario() -> (DroneMaze, Sequence) {
         let maze = DroneMaze::paper_layout(17);
@@ -244,6 +415,117 @@ mod tests {
             assert_eq!(estimate.pose.theta.to_bits(), expect.pose.theta.to_bits());
             assert_eq!(estimate.neff.to_bits(), expect.neff.to_bits());
         }
+    }
+
+    #[test]
+    fn uwb_rig_capacity_denial_window_and_mode_predicates() {
+        let rig = UwbRig::from_positions(&[(0.0, 0.0); 12]);
+        assert_eq!(rig.anchor_count(), MAX_UWB_ANCHORS);
+        assert!(UwbRig::default().is_empty());
+        let rig = UwbRig::from_positions(&[(1.0, 2.0)]).with_denied_window(0.25, 0.5);
+        assert_eq!(rig.anchor_positions(), &[[1.0, 2.0]]);
+        assert!(!rig.denied_at(0.24) && rig.denied_at(0.25));
+        assert!(rig.denied_at(0.49) && !rig.denied_at(0.5));
+        assert!(!UwbRig::default().denied_at(0.0), "empty window denies");
+        assert!(SensingMode::TofOnly.uses_tof() && !SensingMode::TofOnly.uses_uwb());
+        assert!(!SensingMode::UwbOnly.uses_tof() && SensingMode::UwbOnly.uses_uwb());
+        assert!(SensingMode::Fused.uses_tof() && SensingMode::Fused.uses_uwb());
+        assert_eq!(SensingMode::default(), SensingMode::TofOnly);
+    }
+
+    #[test]
+    fn tof_only_replay_is_bit_identical_to_the_pre_fusion_path() {
+        // The default (ToF-only) runner must replay the exact floating-point
+        // sequence the pre-redesign runner produced — pinned here against an
+        // inline replica of the old update_batch loop.
+        let (maze, sequence) = scenario();
+        let config = MclConfig::default().with_particles(256).with_seed(9);
+        let runner = RunnerConfig::default();
+
+        let edt = EuclideanDistanceField::compute(maze.map(), 1.5);
+        let mut old_style = MonteCarloLocalization::<f32, _>::new(config, edt).unwrap();
+        old_style.initialize_uniform(maze.map(), 11).unwrap();
+        let mut expected = Vec::new();
+        for step in &sequence.steps {
+            old_style.predict(step.odometry);
+            let frame_limit = runner.sensor_count.min(step.frames.len());
+            let mut batch = BeamBatch::from_frames(&step.frames[..frame_limit]);
+            batch.partition_in_range(old_style.config().r_max);
+            let outcome = old_style.update_batch(&batch).unwrap();
+            expected.push(match outcome.estimate() {
+                Some(estimate) => *estimate,
+                None => old_style.estimate(),
+            });
+        }
+
+        let edt = EuclideanDistanceField::compute(maze.map(), 1.5);
+        let mut new_style = MonteCarloLocalization::<f32, _>::new(config, edt).unwrap();
+        new_style.initialize_uniform(maze.map(), 11).unwrap();
+        let mut tracker_feed = Vec::new();
+        for step in &sequence.steps {
+            new_style.predict(step.odometry);
+            let frame_limit = runner.sensor_count.min(step.frames.len());
+            let mut batch = BeamBatch::from_frames(&step.frames[..frame_limit]);
+            batch.partition_in_range(new_style.config().r_max);
+            let outcome = new_style
+                .update_observations(&ObservationBatch::from_beam_batch(batch))
+                .unwrap();
+            tracker_feed.push(match outcome.estimate() {
+                Some(estimate) => *estimate,
+                None => new_style.estimate(),
+            });
+        }
+        for (a, b) in tracker_feed.iter().zip(&expected) {
+            assert_eq!(a.pose.x.to_bits(), b.pose.x.to_bits());
+            assert_eq!(a.pose.y.to_bits(), b.pose.y.to_bits());
+            assert_eq!(a.pose.theta.to_bits(), b.pose.theta.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_replay_is_deterministic_and_scores_every_step() {
+        let (maze, sequence) = scenario();
+        let rig = UwbRig::from_positions(&uwb_anchor_positions(
+            maze.map().width_m(),
+            maze.map().height_m(),
+            4,
+        ));
+        let runner = RunnerConfig::default().with_uwb(SensingMode::Fused, rig);
+        let run = |seed: u64| {
+            let edt = EuclideanDistanceField::compute(maze.map(), 1.5);
+            let mut filter = MonteCarloLocalization::<f32, _>::new(
+                MclConfig::default().with_particles(256).with_seed(seed),
+                edt,
+            )
+            .unwrap();
+            filter.initialize_uniform(maze.map(), 11).unwrap();
+            run_sequence(&mut filter, &sequence, &runner)
+        };
+        let a = run(3);
+        let b = run(3);
+        assert_eq!(a, b, "fused replay is not deterministic");
+        assert_eq!(a.steps, sequence.len());
+    }
+
+    #[test]
+    fn uwb_only_replay_runs_without_any_tof_frames() {
+        let (maze, sequence) = scenario();
+        let rig = UwbRig::from_positions(&uwb_anchor_positions(
+            maze.map().width_m(),
+            maze.map().height_m(),
+            4,
+        ));
+        let runner = RunnerConfig::default().with_uwb(SensingMode::UwbOnly, rig);
+        let edt = EuclideanDistanceField::compute(maze.map(), 1.5);
+        let mut filter = MonteCarloLocalization::<f32, _>::new(
+            MclConfig::default().with_particles(512).with_seed(5),
+            edt,
+        )
+        .unwrap();
+        filter.initialize_uniform(maze.map(), 6).unwrap();
+        let result = run_sequence(&mut filter, &sequence, &runner);
+        assert_eq!(result.steps, sequence.len());
+        assert!(filter.counters().updates_applied > 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! [`PaperScenario::quick`] variant.
 
 use crate::metrics::SequenceResult;
-use crate::runner::{run_sequence, RunnerConfig};
+use crate::runner::{run_sequence, RunnerConfig, SensingMode, UwbRig};
 use crate::sequence::{Sequence, SequenceConfig, SequenceGenerator};
 use crate::trajectory::TrajectoryConfig;
 use mcl_core::precision::{MapPrecision, ParticlePrecision, PipelineConfig};
@@ -31,6 +31,8 @@ pub struct PaperScenario {
     sequences: Vec<Sequence>,
     sequence_config: SequenceConfig,
     r_max: f32,
+    sensing: SensingMode,
+    uwb: UwbRig,
 }
 
 impl PaperScenario {
@@ -88,7 +90,31 @@ impl PaperScenario {
             sequences,
             sequence_config,
             r_max,
+            sensing: SensingMode::TofOnly,
+            uwb: UwbRig::default(),
         }
+    }
+
+    /// Returns the scenario evaluated under `sensing` against `rig` — the
+    /// UWB infrastructure is part of the environment, so every evaluation of
+    /// the scenario (serial, batched, suite) ranges against the same anchors.
+    /// The default ([`SensingMode::TofOnly`], no anchors) is byte-identical
+    /// to the pre-fusion evaluation.
+    pub fn with_sensing(mut self, sensing: SensingMode, rig: UwbRig) -> Self {
+        self.sensing = sensing;
+        self.uwb = rig;
+        self
+    }
+
+    /// The sensor modalities evaluations of this scenario feed the filter.
+    pub fn sensing(&self) -> SensingMode {
+        self.sensing
+    }
+
+    /// The UWB infrastructure of the scenario (empty unless configured via
+    /// [`PaperScenario::with_sensing`]).
+    pub fn uwb_rig(&self) -> &UwbRig {
+        &self.uwb
     }
 
     /// The maze environment.
@@ -206,6 +232,8 @@ impl PaperScenario {
     ) -> SequenceResult {
         let runner = RunnerConfig {
             sensor_count: pipeline.sensor_count,
+            sensing: self.sensing,
+            uwb: self.uwb,
             ..RunnerConfig::default()
         };
         let mut config = self

@@ -15,10 +15,18 @@
 //!   the [`Sequence`] so the metrics can score recovery time
 //!   after a kidnap and the ATE inside dropout windows.
 //!
-//! A [`ScenarioSpec`] names one (world × stress) combination and builds a
-//! regular [`PaperScenario`] from it, so the whole existing evaluation
-//! machinery — `evaluate`, `run_batch`, the figure binaries — works on every
-//! suite scenario unchanged. [`ScenarioSuite::standard`] registers the named
+//! * **Sensing modes** — every spec also names which modalities the filter
+//!   consumes ([`SensingMode`]): ToF only, UWB anchor ranges only, or the
+//!   fused pipeline. The registry carries two fusion triplets
+//!   (`corridor-blind-*`, `hall-dust-*`) in which a mid-flight dust cloud
+//!   blinds both ToF sensors and a later NLOS window denies every UWB anchor
+//!   — each single-sensor leg flies blind through "its" window and fails,
+//!   while the fused leg always has one live modality and succeeds.
+//!
+//! A [`ScenarioSpec`] names one (world × stress × sensing) combination and
+//! builds a regular [`PaperScenario`] from it, so the whole existing
+//! evaluation machinery — `evaluate`, `run_batch`, the figure binaries —
+//! works on every suite scenario unchanged. [`ScenarioSuite::standard`] registers the named
 //! scenarios (the paper world, three-plus generated worlds and the stress
 //! variants); [`run_suite`] sweeps the full
 //! (scenario × pipeline × particles × backend × seed) grid through
@@ -48,12 +56,14 @@
 //! ```
 
 use crate::batch::{run_batch, BatchJob, BatchOutcome};
+use crate::odometry::OdometryConfig;
+use crate::runner::{SensingMode, UwbRig};
 use crate::scenario::PaperScenario;
 use crate::sequence::{Sequence, SequenceConfig, SequenceGenerator};
 use crate::trajectory::{Trajectory, TrajectoryConfig, TrajectoryGenerator};
 use mcl_core::precision::PipelineConfig;
 use mcl_core::KernelBackend;
-use mcl_gridmap::{DroneMaze, WorldKind};
+use mcl_gridmap::{uwb_anchor_positions, DroneMaze, WorldKind};
 use mcl_sensor::{model::gaussian, TargetStatus};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -105,6 +115,26 @@ pub struct ScenarioSpec {
     pub duration_s: f32,
     /// Stress events injected into every sequence.
     pub stress: Vec<StressEvent>,
+    /// Odometry quality of the recorded sequences. The fusion triplets degrade
+    /// it (strong gyro bias) so that flying blind through a stress window
+    /// accumulates a success-breaking drift, while any live modality tracks
+    /// the bias easily through the filter's process noise.
+    pub odometry: OdometryConfig,
+    /// Which sensing modalities the filter consumes during replay.
+    pub sensing: SensingMode,
+    /// Number of UWB anchors installed in the world (0–8, placed by
+    /// [`uwb_anchor_positions`]). `MCL_UWB_ANCHORS` overrides this at build
+    /// time for UWB-equipped specs.
+    pub uwb_anchors: usize,
+    /// Optional NLOS denial window `(from, to)` as fractions of the sequence:
+    /// every anchor reports NaN inside it (all measurements dropped).
+    pub uwb_denied: Option<(f32, f32)>,
+}
+
+/// Parses an `MCL_UWB_ANCHORS` override: a usable count or `None` to keep the
+/// spec's own value.
+fn parse_anchor_override(value: Option<&str>) -> Option<usize> {
+    value?.trim().parse().ok()
 }
 
 impl ScenarioSpec {
@@ -119,15 +149,27 @@ impl ScenarioSpec {
                 region: Some(maze.physical_region()),
                 ..TrajectoryConfig::default()
             },
+            odometry: self.odometry,
             ..SequenceConfig::default()
         };
+        let (width_m, height_m) = (maze.map().width_m(), maze.map().height_m());
         let generator = SequenceGenerator::new(sequence_config);
         let sequences = (0..self.num_sequences)
             .map(|id| {
                 self.build_sequence(&maze, &generator, id, seed.wrapping_add(id as u64 * 101))
             })
             .collect();
-        PaperScenario::from_parts(maze, sequences, sequence_config)
+        let anchors = if self.sensing.uses_uwb() {
+            parse_anchor_override(std::env::var("MCL_UWB_ANCHORS").ok().as_deref())
+                .unwrap_or(self.uwb_anchors)
+        } else {
+            self.uwb_anchors
+        };
+        let mut rig = UwbRig::from_positions(&uwb_anchor_positions(width_m, height_m, anchors));
+        if let Some((from, to)) = self.uwb_denied {
+            rig = rig.with_denied_window(from, to);
+        }
+        PaperScenario::from_parts(maze, sequences, sequence_config).with_sensing(self.sensing, rig)
     }
 
     /// The kidnap step indices for a sequence of `samples` steps: sorted,
@@ -297,7 +339,53 @@ impl ScenarioSuite {
             num_sequences,
             duration_s,
             stress,
+            odometry: OdometryConfig::default(),
+            sensing: SensingMode::TofOnly,
+            uwb_anchors: 0,
+            uwb_denied: None,
         };
+        // One fusion leg: the same world, dust cloud (both ToF sensors blinded
+        // over `dust`) and UWB NLOS denial window, differing only in which
+        // modalities the filter consumes. The dust and denial windows are
+        // disjoint, so the fused leg always has at least one live modality
+        // while each single-sensor leg flies blind through "its" window.
+        let fusion = |name, world, sensing, dust: (f32, f32), denied| ScenarioSpec {
+            name,
+            world,
+            num_sequences,
+            duration_s,
+            stress: vec![
+                StressEvent::SensorDropout {
+                    sensor: 0,
+                    from: dust.0,
+                    to: dust.1,
+                },
+                StressEvent::SensorDropout {
+                    sensor: 1,
+                    from: dust.0,
+                    to: dust.1,
+                },
+            ],
+            // A strong gyro bias (still well inside the filter's 0.1 rad/step
+            // yaw process noise): any live modality corrects it, but a blind
+            // window integrates it into >1 m of cross-track drift.
+            odometry: OdometryConfig {
+                yaw_drift_rad_per_s: 0.12,
+                scale_error_std: 0.06,
+                ..OdometryConfig::default()
+            },
+            sensing,
+            uwb_anchors: 4,
+            uwb_denied: Some(denied),
+        };
+        // Corridor: dust mid-flight, NLOS denial to the end of the flight.
+        let corridor =
+            |name, sensing| fusion(name, WorldKind::Corridor, sensing, (0.3, 0.6), (0.65, 1.0));
+        // Warehouse: the aliased aisles defeat ToF-only global localization
+        // outright; dust mid-flight (UWB holds), NLOS denial to the end (ToF
+        // tracks through the racks, all within beam range in 0.8 m aisles).
+        let warehouse_nlos =
+            |name, sensing| fusion(name, WorldKind::Warehouse, sensing, (0.2, 0.5), (0.6, 1.0));
         ScenarioSuite {
             specs: vec![
                 spec("paper", WorldKind::PaperMaze, vec![]),
@@ -335,6 +423,12 @@ impl ScenarioSuite {
                         extra_std_m: 0.15,
                     }],
                 ),
+                corridor("corridor-blind-tof", SensingMode::TofOnly),
+                corridor("corridor-blind-uwb", SensingMode::UwbOnly),
+                corridor("corridor-blind-fused", SensingMode::Fused),
+                warehouse_nlos("warehouse-nlos-tof", SensingMode::TofOnly),
+                warehouse_nlos("warehouse-nlos-uwb", SensingMode::UwbOnly),
+                warehouse_nlos("warehouse-nlos-fused", SensingMode::Fused),
             ],
         }
     }
@@ -610,6 +704,60 @@ mod tests {
         let sequence = &scenario.sequences()[0];
         assert_eq!(sequence.len(), 1);
         assert!(sequence.stress.kidnap_times_s.is_empty());
+    }
+
+    #[test]
+    fn fusion_triplets_share_the_environment_and_differ_only_in_sensing() {
+        for (tof, uwb, fused) in [
+            (
+                "corridor-blind-tof",
+                "corridor-blind-uwb",
+                "corridor-blind-fused",
+            ),
+            (
+                "warehouse-nlos-tof",
+                "warehouse-nlos-uwb",
+                "warehouse-nlos-fused",
+            ),
+        ] {
+            let legs = [quick_spec(tof), quick_spec(uwb), quick_spec(fused)];
+            assert_eq!(legs[0].sensing, SensingMode::TofOnly);
+            assert_eq!(legs[1].sensing, SensingMode::UwbOnly);
+            assert_eq!(legs[2].sensing, SensingMode::Fused);
+            let built: Vec<_> = legs.iter().map(|spec| spec.build(3)).collect();
+            // All three legs fly through the bit-identical recorded world —
+            // only the modalities the filter consumes differ.
+            assert_eq!(built[0].sequences(), built[1].sequences(), "{tof}/{uwb}");
+            assert_eq!(built[0].sequences(), built[2].sequences(), "{tof}/{fused}");
+            for scenario in &built {
+                assert_eq!(scenario.uwb_rig().anchor_count(), 4);
+                assert!(!scenario.uwb_rig().is_empty());
+            }
+            // The dust cloud silences both mounted sensors, and the denial
+            // window is disjoint from it — the fused leg always has one live
+            // modality.
+            let dust_windows = &built[0].sequences()[0].stress.dropout_windows_s;
+            assert_eq!(dust_windows.len(), 2);
+            let (denied_from, denied_to) = legs[0].uwb_denied.unwrap();
+            for event in &legs[0].stress {
+                if let StressEvent::SensorDropout { from, to, .. } = *event {
+                    assert!(
+                        denied_to <= from || denied_from >= to,
+                        "dust [{from}, {to}] overlaps denial [{denied_from}, {denied_to}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn anchor_override_parses_counts_and_rejects_junk() {
+        assert_eq!(super::parse_anchor_override(None), None);
+        assert_eq!(super::parse_anchor_override(Some("")), None);
+        assert_eq!(super::parse_anchor_override(Some("eight")), None);
+        assert_eq!(super::parse_anchor_override(Some("-2")), None);
+        assert_eq!(super::parse_anchor_override(Some("6")), Some(6));
+        assert_eq!(super::parse_anchor_override(Some(" 3 ")), Some(3));
     }
 
     #[test]

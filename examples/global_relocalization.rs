@@ -13,7 +13,7 @@
 //! Run with `cargo run --release --example global_relocalization`.
 
 use tof_mcl::core::{MclConfig, MonteCarloLocalization};
-use tof_mcl::sensor::SensorRig;
+use tof_mcl::sensor::{ObservationBatch, SensorRig};
 use tof_mcl::sim::suite::ScenarioSuite;
 use tof_mcl::sim::{ConvergenceCriterion, TrajectoryErrorTracker};
 
@@ -54,7 +54,11 @@ fn main() {
     for (i, step) in sequence.steps.iter().enumerate() {
         filter.predict(step.odometry);
         let beams = SensorRig::frames_to_beams(&step.frames);
-        let _ = filter.update(&beams).expect("filter is initialized");
+        let mut observations = ObservationBatch::from_beams(&beams);
+        observations.partition_in_range(filter.config().r_max);
+        let _ = filter
+            .update_observations(&observations)
+            .expect("filter is initialized");
         let estimate = filter.estimate();
         tracker.record(step.timestamp_s, &estimate, &step.ground_truth);
         let error = estimate.pose.translation_distance(&step.ground_truth);

@@ -5,7 +5,7 @@
 use tof_mcl::core::precision::PipelineConfig;
 use tof_mcl::core::{MclConfig, MonteCarloLocalization};
 use tof_mcl::platform::{OnboardPipeline, PipelineConfig as OnboardConfig};
-use tof_mcl::sensor::SensorRig;
+use tof_mcl::sensor::{ObservationBatch, SensorRig};
 use tof_mcl::sim::{PaperScenario, RunnerConfig};
 
 #[test]
@@ -89,8 +89,10 @@ fn sequential_and_parallel_filters_stay_bit_identical_over_a_flight() {
         sequential.predict(step.odometry);
         parallel.predict(step.odometry);
         let beams = SensorRig::frames_to_beams(&step.frames);
-        let _ = sequential.update(&beams).unwrap();
-        let _ = parallel.update(&beams).unwrap();
+        let mut obs = ObservationBatch::from_beams(&beams);
+        obs.partition_in_range(sequential.config().r_max);
+        let _ = sequential.update_observations(&obs).unwrap();
+        let _ = parallel.update_observations(&obs).unwrap();
     }
     assert_eq!(
         sequential.particles().current(),

@@ -18,7 +18,7 @@ use tof_mcl::fleet::protocol::{
 };
 use tof_mcl::fleet::{DroneConfig, Fleet, FleetConfig, FleetError, FleetServer, FleetWorld};
 use tof_mcl::gridmap::{MapBuilder, Pose2};
-use tof_mcl::sensor::Beam;
+use tof_mcl::sensor::{AnchorRange, Beam};
 
 const ACK: Duration = Duration::from_secs(30);
 
@@ -132,6 +132,7 @@ fn malformed_payload_is_answered_and_the_connection_survives() {
                 dtheta: 0.0,
             },
             beams: Vec::new(),
+            ranges: Vec::new(),
         },
         &mut buf,
     );
@@ -424,6 +425,90 @@ fn register_deregister_storm_leaks_nothing() {
     ));
     client.deregister(9999).unwrap().unwrap();
     drop(client);
+    wait_for_empty(&fleet);
+    fleet.shutdown();
+}
+
+/// Malformed v2 (fused) frames are answered per drone with `MalformedFrame`
+/// and the connection survives; a well-formed v2 frame — even one whose UWB
+/// ranges are all NaN (denied anchors) — is applied and answered with a pose.
+#[test]
+fn malformed_v2_frames_are_rejected_but_valid_fused_frames_serve() {
+    let fleet = start_fleet(FleetConfig::from_env());
+    let server = FleetServer::serve(Arc::clone(&fleet), "127.0.0.1:0").unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(ACK)).unwrap();
+    send_register(&mut stream, 21);
+    assert!(matches!(
+        read_response(&mut stream),
+        Some(Response::Registered { drone_id: 21, .. })
+    ));
+
+    let fused = Request::Frame {
+        drone_id: 21,
+        delta: nudge(),
+        beams: one_beam(),
+        ranges: vec![
+            AnchorRange::new(0.2, 0.2, 1.5),
+            AnchorRange::new(3.8, 3.8, f32::NAN),
+        ],
+    };
+    let mut buf = Vec::new();
+    encode_request(&fused, &mut buf);
+
+    // Chop the anchor block off the v2 frame: the truncated body must be
+    // answered with MalformedFrame, not applied.
+    let anchor_block = 2 + 2 * (3 * 4);
+    let body_len = (buf.len() - 4 - anchor_block) as u32;
+    let mut mangled = buf[..buf.len() - anchor_block].to_vec();
+    mangled[..4].copy_from_slice(&body_len.to_le_bytes());
+    stream.write_all(&mangled).unwrap();
+    assert!(matches!(
+        read_response(&mut stream),
+        Some(Response::Error {
+            code: ErrorCode::MalformedFrame,
+            ..
+        })
+    ));
+
+    // A non-finite anchor *position* (unlike a range) is also malformed.
+    let mut bad_anchor = buf.clone();
+    let x_at = buf.len() - 2 * (3 * 4);
+    bad_anchor[x_at..x_at + 4].copy_from_slice(&f32::INFINITY.to_le_bytes());
+    stream.write_all(&bad_anchor).unwrap();
+    assert!(matches!(
+        read_response(&mut stream),
+        Some(Response::Error {
+            code: ErrorCode::MalformedFrame,
+            ..
+        })
+    ));
+
+    // The intact fused frame is applied on the same connection.
+    stream.write_all(&buf).unwrap();
+    assert!(matches!(
+        read_response(&mut stream),
+        Some(Response::Pose(pose)) if pose.drone_id == 21 && pose.update == 1
+    ));
+
+    // The typed client path speaks v2 too.
+    let mut client = FleetClient::connect(server.local_addr()).unwrap();
+    client.set_read_timeout(Some(ACK)).unwrap();
+    client
+        .register(22, DroneConfig::new(64, 22))
+        .unwrap()
+        .unwrap();
+    client
+        .push_fused_frame(22, nudge(), &one_beam(), &[AnchorRange::new(1.0, 1.0, 0.8)])
+        .unwrap();
+    client.flush().unwrap();
+    assert!(matches!(
+        client.recv().unwrap(),
+        Some(Response::Pose(pose)) if pose.drone_id == 22 && pose.update == 1
+    ));
+    client.deregister(22).unwrap().unwrap();
+    drop(client);
+    drop(stream);
     wait_for_empty(&fleet);
     fleet.shutdown();
 }

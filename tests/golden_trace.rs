@@ -30,7 +30,7 @@
 use tof_mcl::core::kernel::KernelBackend;
 use tof_mcl::core::{MclConfig, MonteCarloLocalization, MotionDelta};
 use tof_mcl::gridmap::{EuclideanDistanceField, MapBuilder, Pose2};
-use tof_mcl::sensor::{SensorConfig, SensorRig};
+use tof_mcl::sensor::{AnchorRange, ObservationBatch, SensorConfig, SensorRig};
 
 use rand::SeedableRng;
 
@@ -46,9 +46,43 @@ const GOLDEN_POSE_BITS: [[u32; 3]; 8] = [
     [0x3FCA4FF1, 0x3F57293E, 0x3E840D8E],
 ];
 
+/// `(x, y, theta)` estimate bits of the *fused* replay (same corridor, same
+/// beams, plus three UWB anchors per step — one denied with a NaN range, so
+/// the non-finite skip predicate is on the pinned path too).
+const GOLDEN_FUSED_POSE_BITS: [[u32; 3]; 8] = [
+    [0x3F27DCF1, 0x3F19AAE0, 0x3E1E580A],
+    [0x3F4BC135, 0x3F1B9577, 0x3E2E9458],
+    [0x3F6DF9D8, 0x3F2B642F, 0x3E30A1D8],
+    [0x3F87AC50, 0x3F38F517, 0x3E3E2A95],
+    [0x3F991FD9, 0x3F45FF57, 0x3E54D813],
+    [0x3FA9E0EA, 0x3F4891EA, 0x3E6CB919],
+    [0x3FB9D249, 0x3F54624C, 0x3E6B88F7],
+    [0x3FC69FAE, 0x3F5323D9, 0x3E86E0F0],
+];
+
+/// The fixed UWB anchors of the fused replay: two corridor corners plus one
+/// permanently denied anchor (its measured range is always NaN).
+const TRACE_ANCHORS: [[f32; 2]; 3] = [[0.2, 0.2], [3.8, 1.4], [2.0, 0.2]];
+
+/// Deterministic measured range to `TRACE_ANCHORS[k]` from `truth`: true
+/// distance plus a small step-indexed ripple (no RNG draws, so the beam
+/// noise stream is untouched by the fused variant). Anchor 2 is denied.
+fn trace_range(truth: &Pose2, k: usize, step: usize) -> f32 {
+    if k == 2 {
+        return f32::NAN;
+    }
+    let dx = truth.x - TRACE_ANCHORS[k][0];
+    let dy = truth.y - TRACE_ANCHORS[k][1];
+    let ripple = 0.04 * (step as f32 * 0.9 + k as f32).sin();
+    (dx * dx + dy * dy).sqrt() + ripple
+}
+
 /// Replays the fixed corridor sequence under `backend` and returns the
-/// per-step estimate bits.
-fn trace(backend: KernelBackend) -> Vec<[u32; 3]> {
+/// per-step estimate bits. With `fused`, every update also scores the
+/// [`TRACE_ANCHORS`] ranges through the anchor kernel; without it, the replay
+/// drives the deprecated beam-only `update` shim — pinning that the shim
+/// still reproduces the pre-redesign numerics bit for bit.
+fn trace(backend: KernelBackend, fused: bool) -> Vec<[u32; 3]> {
     // A 4 m × 1.6 m corridor with a mid pillar: walls near enough that most
     // beams land within r_max, far corridor axis beams beyond it.
     let map = MapBuilder::new(4.0, 1.6, 0.05)
@@ -77,7 +111,19 @@ fn trace(backend: KernelBackend) -> Vec<[u32; 3]> {
         truth = next;
         filter.predict(delta);
         let beams = rig.observe(&map, &truth, step as f64 / 15.0, &mut rng);
-        let outcome = filter.update(&beams).unwrap();
+        let outcome = if fused {
+            let mut observations = ObservationBatch::from_beams(&beams);
+            observations.partition_in_range(filter.config().r_max);
+            for (k, [ax, ay]) in TRACE_ANCHORS.iter().enumerate() {
+                observations.push_anchor(AnchorRange::new(*ax, *ay, trace_range(&truth, k, step)));
+            }
+            filter.update_observations(&observations).unwrap()
+        } else {
+            // The deprecated shim on purpose: this trace is the bit-exact
+            // anchor proving the beam-only path survived the API redesign.
+            #[allow(deprecated)]
+            filter.update(&beams).unwrap()
+        };
         let estimate = outcome.estimate().expect("0.13 m step opens the gate");
         bits.push([
             estimate.pose.x.to_bits(),
@@ -88,12 +134,15 @@ fn trace(backend: KernelBackend) -> Vec<[u32; 3]> {
     bits
 }
 
-#[test]
-fn corridor_trace_matches_the_pinned_estimates_under_both_backends() {
+fn check_trace(fused: bool, golden: &[[u32; 3]; 8]) {
     for backend in KernelBackend::ALL {
-        let got = trace(backend);
+        let got = trace(backend, fused);
         if std::env::var("MCL_BLESS").is_ok_and(|v| !v.is_empty()) {
-            println!("// {} backend:", backend.name());
+            println!(
+                "// {} backend ({}):",
+                backend.name(),
+                if fused { "fused" } else { "beam-only" }
+            );
             for step in &got {
                 println!(
                     "    [0x{:08X}, 0x{:08X}, 0x{:08X}],",
@@ -102,7 +151,7 @@ fn corridor_trace_matches_the_pinned_estimates_under_both_backends() {
             }
             continue;
         }
-        for (step, (got, want)) in got.iter().zip(GOLDEN_POSE_BITS.iter()).enumerate() {
+        for (step, (got, want)) in got.iter().zip(golden.iter()).enumerate() {
             assert_eq!(
                 got,
                 want,
@@ -118,6 +167,23 @@ fn corridor_trace_matches_the_pinned_estimates_under_both_backends() {
             );
         }
     }
+}
+
+#[test]
+fn corridor_trace_matches_the_pinned_estimates_under_both_backends() {
+    check_trace(false, &GOLDEN_POSE_BITS);
+}
+
+#[test]
+fn fused_corridor_trace_matches_the_pinned_estimates_under_both_backends() {
+    check_trace(true, &GOLDEN_FUSED_POSE_BITS);
+}
+
+#[test]
+fn fused_trace_differs_from_the_beam_only_trace() {
+    // The anchor kernel must actually perturb the weights: a fused batch
+    // whose anchors silently score zero would leave the trace unchanged.
+    assert_ne!(GOLDEN_FUSED_POSE_BITS[0], GOLDEN_POSE_BITS[0]);
 }
 
 #[test]

@@ -17,18 +17,22 @@
 //!   `GAP9` — uneven chunking creates additional intra-chunk tails);
 //! * across warm-pool reruns (the shared worker pool must not make a second,
 //!   warm dispatch differ from the first);
+//! * for **fused ToF + UWB batches** (including a denied NaN-range anchor)
+//!   as well as beam-only ones — the anchor-range kernel is held to the same
+//!   bit-identity contract as the beam kernel, full-filter, across every
+//!   worker count;
 //! * for binary16 storage, within [`F16_BACKEND_ULP_BOUND`] f16 ULPs — the
 //!   bound is asserted exactly, not approximated with a float tolerance.
 
 use proptest::prelude::*;
 use tof_mcl::core::kernel::{self, KernelBackend, LANES};
 use tof_mcl::core::{
-    AdaptiveConfig, BeamEndPointModel, ClusterLayout, MclConfig, MonteCarloLocalization,
-    MotionDelta, MotionModel, Particle, ParticleBuffer,
+    AdaptiveConfig, AnchorRangeModel, BeamEndPointModel, ClusterLayout, MclConfig,
+    MonteCarloLocalization, MotionDelta, MotionModel, Particle, ParticleBuffer,
 };
 use tof_mcl::gridmap::{EuclideanDistanceField, MapBuilder, OccupancyGrid, Pose2};
 use tof_mcl::num::{Scalar, F16};
-use tof_mcl::sensor::{Beam, BeamBatch};
+use tof_mcl::sensor::{AnchorRange, Beam, BeamBatch, ObservationBatch};
 
 /// Maximum distance, in binary16 ULPs, between a particle component stored by
 /// the `Lanes` backend and the same component stored by `Scalar`, for F16
@@ -88,6 +92,18 @@ fn synthetic_beams(salt: u64) -> Vec<Beam> {
         .collect()
 }
 
+/// A deterministic UWB anchor set inside the 4 m × 4 m arena: two usable
+/// anchors with salt-varied measured ranges plus one denied anchor whose
+/// range is NaN, so the fused legs keep the non-finite skip rule on the
+/// pinned path.
+fn synthetic_anchors(salt: u64) -> Vec<AnchorRange> {
+    vec![
+        AnchorRange::new(0.4, 0.4, 1.1 + 0.07 * ((salt % 13) as f32)),
+        AnchorRange::new(3.6, 3.2, 2.3 - 0.05 * ((salt % 7) as f32)),
+        AnchorRange::new(2.0, 0.4, f32::NAN),
+    ]
+}
+
 fn buffer<S: Scalar>(n: usize, salt: u64) -> ParticleBuffer<S> {
     (0..n)
         .map(|i| {
@@ -129,10 +145,11 @@ fn assert_buffers_bit_identical(a: &ParticleBuffer<f32>, b: &ParticleBuffer<f32>
 /// each tail class, and the uneven layouts cut chunks that produce further
 /// `chunk_len % LANES` classes.
 #[test]
-fn all_four_kernels_are_bit_identical_across_every_tail_length_and_layout() {
+fn all_five_kernels_are_bit_identical_across_every_tail_length_and_layout() {
     let map = arena();
     let edt = EuclideanDistanceField::compute(&map, 1.5);
     let model = BeamEndPointModel::new(0.25, 1.5);
+    let anchor_model = AnchorRangeModel::new(0.2);
     let motion = MotionModel::new([0.08, 0.08, 0.05]);
     let delta = MotionDelta::new(0.11, 0.015, 0.04);
     let beams = synthetic_beams(1);
@@ -213,6 +230,48 @@ fn all_four_kernels_are_bit_identical_across_every_tail_length_and_layout() {
                     }
                 }
 
+                // Anchor-range kernel. It *accumulates* onto the beam logs
+                // (that is the fused contract), so seed both sides with a
+                // deterministic non-zero prefix; the batch carries a denied
+                // NaN anchor to keep the skip predicate on the pinned path.
+                let fused =
+                    ObservationBatch::new().with_anchors(&synthetic_anchors(tail as u64 + 2));
+                let seed_logs = |logs: &mut [f32]| {
+                    for (i, slot) in logs.iter_mut().enumerate() {
+                        *slot = -0.25 * ((i % 17) as f32);
+                    }
+                };
+                let mut scalar_logs = vec![0.0f32; n];
+                seed_logs(&mut scalar_logs);
+                layout.for_each_split(
+                    (scalar.as_slice(), scalar_logs.as_mut_slice()),
+                    |_, (chunk, out)| {
+                        kernel::anchor_log_likelihoods(chunk, &anchor_model, &fused, out);
+                    },
+                );
+                let mut batched_logs = vec![0.0f32; n];
+                seed_logs(&mut batched_logs);
+                layout.for_each_split(
+                    (batched.as_slice(), batched_logs.as_mut_slice()),
+                    |_, (chunk, out)| {
+                        kernel::anchor_log_likelihoods_with(
+                            backend,
+                            chunk,
+                            &anchor_model,
+                            &fused,
+                            out,
+                        );
+                    },
+                );
+                for (i, (a, b)) in scalar_logs.iter().zip(batched_logs.iter()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{} anchor n={n} log[{i}]",
+                        backend.name()
+                    );
+                }
+
                 // Resampling scatter (near-sorted indices, like a systematic plan).
                 let indices: Vec<usize> = (0..n).map(|i| (i * 2).min(n - 1)).collect();
                 let uniform = 1.0f32 / n as f32;
@@ -253,11 +312,16 @@ fn all_four_kernels_are_bit_identical_across_every_tail_length_and_layout() {
 }
 
 /// Runs a full filter (uniform init + three gated updates) under `backend`
-/// and returns the particle buffer and final estimate.
+/// and returns the particle buffer and final estimate. A non-empty `anchors`
+/// slice turns every update into a fused ToF + UWB batch scored through the
+/// anchor-range kernel; an empty slice runs the exact beam-only sequence the
+/// deprecated shims pin.
+#[allow(clippy::too_many_arguments)]
 fn run_filter<S: Scalar, D: tof_mcl::gridmap::DistanceField + Clone>(
     map: &OccupancyGrid,
     edt: &D,
     beams: &[Beam],
+    anchors: &[AnchorRange],
     n: usize,
     seed: u64,
     workers: usize,
@@ -271,9 +335,11 @@ fn run_filter<S: Scalar, D: tof_mcl::gridmap::DistanceField + Clone>(
     let mut filter = MonteCarloLocalization::<S, _>::new(config, edt.clone()).unwrap();
     filter.initialize_uniform(map, seed).unwrap();
     let delta = MotionDelta::new(0.12, 0.01, 0.05);
+    let mut observations = ObservationBatch::from_beams(beams).with_anchors(anchors);
+    observations.partition_in_range(filter.config().r_max);
     for _ in 0..3 {
         filter.predict(delta);
-        let outcome = filter.update(beams).unwrap();
+        let outcome = filter.update_observations(&observations).unwrap();
         assert!(outcome.is_applied());
     }
     let estimate = filter.estimate();
@@ -285,8 +351,9 @@ proptest! {
 
     /// Full-filter equivalence for f32 storage: for every seed, particle
     /// count (the `+ tail` term sweeps the `n % LANES` classes with the
-    /// case index), worker layout and a warm-pool rerun, the `Lanes` and
-    /// `Avx2` filters are bit-identical to the `Scalar` filter.
+    /// case index), worker layout, observation mix (beam-only *and* fused
+    /// ToF + UWB) and a warm-pool rerun, the `Lanes` and `Avx2` filters are
+    /// bit-identical to the `Scalar` filter.
     #[test]
     fn batched_filters_are_bit_identical_to_scalar_for_f32(
         seed in 0u64..300,
@@ -297,19 +364,26 @@ proptest! {
         let map = arena();
         let edt = EuclideanDistanceField::compute(&map, 1.5);
         let beams = synthetic_beams(seed);
-        for workers in [1usize, 3, 8] {
-            let (scalar_particles, scalar_estimate) =
-                run_filter::<f32, _>(&map, &edt, &beams, n, seed, workers, KernelBackend::Scalar);
+        // Cartesian sweep: every worker layout under a beam-only batch and a
+        // fused ToF + UWB batch (two usable anchors plus a denied NaN one).
+        for (workers, anchors) in [1usize, 3, 8]
+            .into_iter()
+            .flat_map(|w| [(w, Vec::new()), (w, synthetic_anchors(seed))])
+        {
+            let (scalar_particles, scalar_estimate) = run_filter::<f32, _>(
+                &map, &edt, &beams, &anchors, n, seed, workers, KernelBackend::Scalar,
+            );
             for backend in [KernelBackend::Lanes, KernelBackend::Avx2] {
                 // Two runs: the second re-dispatches on the already-warm
                 // shared pool and must not drift.
                 for rerun in 0..2 {
                     let (particles, estimate) =
-                        run_filter::<f32, _>(&map, &edt, &beams, n, seed, workers, backend);
+                        run_filter::<f32, _>(&map, &edt, &beams, &anchors, n, seed, workers, backend);
                     prop_assert_eq!(
                         &scalar_particles,
                         &particles,
-                        "{} workers={} rerun={} diverged", backend.name(), workers, rerun
+                        "{} workers={} rerun={} anchors={} diverged",
+                        backend.name(), workers, rerun, anchors.len()
                     );
                     prop_assert_eq!(scalar_estimate.pose.x.to_bits(), estimate.pose.x.to_bits());
                     prop_assert_eq!(scalar_estimate.pose.y.to_bits(), estimate.pose.y.to_bits());
@@ -335,7 +409,9 @@ proptest! {
     /// [`F16_BACKEND_ULP_BOUND`]: the bound itself is asserted per component,
     /// not approximated with a floating tolerance. (The `<=` against the
     /// currently-zero bound is deliberate — the comparison *is* the contract,
-    /// and stays valid if the bound is ever relaxed above zero.)
+    /// and stays valid if the bound is ever relaxed above zero.) The sweep
+    /// covers both beam-only and fused ToF + UWB batches, so the anchor
+    /// kernel is held to the same zero-ULP bound on f16 storage.
     #[allow(clippy::absurd_extreme_comparisons)]
     #[test]
     fn batched_filters_stay_within_the_stated_f16_ulp_bound(
@@ -347,12 +423,16 @@ proptest! {
         let map = arena();
         let edt = EuclideanDistanceField::compute(&map, 1.5);
         let beams = synthetic_beams(seed);
-        for workers in [1usize, 8] {
-            let (scalar_particles, scalar_estimate) =
-                run_filter::<F16, _>(&map, &edt, &beams, n, seed, workers, KernelBackend::Scalar);
+        for (workers, anchors) in [1usize, 8]
+            .into_iter()
+            .flat_map(|w| [(w, Vec::new()), (w, synthetic_anchors(seed))])
+        {
+            let (scalar_particles, scalar_estimate) = run_filter::<F16, _>(
+                &map, &edt, &beams, &anchors, n, seed, workers, KernelBackend::Scalar,
+            );
             for backend in [KernelBackend::Lanes, KernelBackend::Avx2] {
                 let (particles, estimate) =
-                    run_filter::<F16, _>(&map, &edt, &beams, n, seed, workers, backend);
+                    run_filter::<F16, _>(&map, &edt, &beams, &anchors, n, seed, workers, backend);
                 for i in 0..n {
                     let (a, b) = (scalar_particles.get(i), particles.get(i));
                     for (sa, sb, component) in [
@@ -364,8 +444,9 @@ proptest! {
                         let ulps = f16_ulp_distance(sa, sb);
                         prop_assert!(
                             ulps <= F16_BACKEND_ULP_BOUND,
-                            "{} {}[{}] off by {} ULPs (> {}) at workers={}",
-                            backend.name(), component, i, ulps, F16_BACKEND_ULP_BOUND, workers
+                            "{} {}[{}] off by {} ULPs (> {}) at workers={} anchors={}",
+                            backend.name(), component, i, ulps, F16_BACKEND_ULP_BOUND,
+                            workers, anchors.len()
                         );
                     }
                 }
@@ -381,7 +462,8 @@ proptest! {
 /// The paper's FP16_QM configuration — binary16 particles over the 8-bit
 /// quantized distance field — is where the Avx2 backend takes its gather
 /// path through the quantized codes. Full-filter equivalence across every
-/// backend must hold there too, at the same zero-ULP bound.
+/// backend must hold there too, at the same zero-ULP bound, for beam-only
+/// and fused ToF + UWB batches alike.
 #[allow(clippy::absurd_extreme_comparisons)]
 #[test]
 fn every_backend_matches_scalar_on_the_quantized_f16_pipeline() {
@@ -390,19 +472,24 @@ fn every_backend_matches_scalar_on_the_quantized_f16_pipeline() {
     for (seed, tail) in [(3u64, 1usize), (11, 5), (29, 0)] {
         let n = 6 * LANES + tail;
         let beams = synthetic_beams(seed);
-        for workers in [1usize, 8] {
+        for (workers, anchors) in [1usize, 8]
+            .into_iter()
+            .flat_map(|w| [(w, Vec::new()), (w, synthetic_anchors(seed))])
+        {
             let (scalar_particles, scalar_estimate) = run_filter::<F16, _>(
                 &map,
                 &quantized,
                 &beams,
+                &anchors,
                 n,
                 seed,
                 workers,
                 KernelBackend::Scalar,
             );
             for backend in [KernelBackend::Lanes, KernelBackend::Avx2] {
-                let (particles, estimate) =
-                    run_filter::<F16, _>(&map, &quantized, &beams, n, seed, workers, backend);
+                let (particles, estimate) = run_filter::<F16, _>(
+                    &map, &quantized, &beams, &anchors, n, seed, workers, backend,
+                );
                 for i in 0..n {
                     let (a, b) = (scalar_particles.get(i), particles.get(i));
                     for (sa, sb, component) in [
@@ -439,11 +526,14 @@ fn every_backend_matches_scalar_on_the_quantized_f16_pipeline() {
 
 /// Runs a KLD-adaptive filter (uniform init + eight gated updates) under
 /// `backend` and returns the final particle buffer, the estimate and the
-/// per-update population trajectory.
+/// per-update population trajectory. Like [`run_filter`], a non-empty
+/// `anchors` slice makes every update a fused ToF + UWB batch.
+#[allow(clippy::too_many_arguments)]
 fn run_adaptive_filter(
     map: &OccupancyGrid,
     edt: &EuclideanDistanceField,
     beams: &[Beam],
+    anchors: &[AnchorRange],
     n: usize,
     seed: u64,
     workers: usize,
@@ -458,10 +548,12 @@ fn run_adaptive_filter(
     let mut filter = MonteCarloLocalization::<f32, _>::new(config, edt.clone()).unwrap();
     filter.initialize_uniform(map, seed).unwrap();
     let delta = MotionDelta::new(0.12, 0.01, 0.05);
+    let mut observations = ObservationBatch::from_beams(beams).with_anchors(anchors);
+    observations.partition_in_range(filter.config().r_max);
     let mut populations = Vec::new();
     for _ in 0..8 {
         filter.predict(delta);
-        let outcome = filter.update(beams).unwrap();
+        let outcome = filter.update_observations(&observations).unwrap();
         assert!(outcome.is_applied());
         populations.push(filter.particles().len());
     }
@@ -481,18 +573,31 @@ fn adaptive_filters_are_bit_identical_across_backends_while_resizing() {
     let edt = EuclideanDistanceField::compute(&map, 1.5);
     for (seed, n) in [(5u64, 96usize), (17, 257), (41, 512)] {
         let beams = synthetic_beams(seed);
-        for workers in [1usize, 3, 8] {
-            let (scalar_particles, scalar_estimate, scalar_populations) =
-                run_adaptive_filter(&map, &edt, &beams, n, seed, workers, KernelBackend::Scalar);
-            // The run must actually exercise resizing, otherwise this test
-            // degenerates into the fixed-size equivalence suite above.
+        for (workers, anchors) in [1usize, 3, 8]
+            .into_iter()
+            .flat_map(|w| [(w, Vec::new()), (w, synthetic_anchors(seed))])
+        {
+            let (scalar_particles, scalar_estimate, scalar_populations) = run_adaptive_filter(
+                &map,
+                &edt,
+                &beams,
+                &anchors,
+                n,
+                seed,
+                workers,
+                KernelBackend::Scalar,
+            );
+            // The beam-only run must actually exercise resizing, otherwise
+            // this test degenerates into the fixed-size equivalence suite
+            // above. (The fused legs keep whatever trajectory the anchors
+            // induce — the contract under test is backend agreement.)
             assert!(
-                scalar_populations.iter().any(|&p| p != n),
+                !anchors.is_empty() || scalar_populations.iter().any(|&p| p != n),
                 "seed={seed}: population never left {n}: {scalar_populations:?}"
             );
             for backend in [KernelBackend::Lanes, KernelBackend::Avx2] {
                 let (particles, estimate, populations) =
-                    run_adaptive_filter(&map, &edt, &beams, n, seed, workers, backend);
+                    run_adaptive_filter(&map, &edt, &beams, &anchors, n, seed, workers, backend);
                 assert_eq!(
                     scalar_populations,
                     populations,

@@ -24,7 +24,7 @@ use tof_mcl::core::{
     MotionModel, Particle, ParticleBuffer, PoseEstimate,
 };
 use tof_mcl::gridmap::{EuclideanDistanceField, MapBuilder, OccupancyGrid, Pose2};
-use tof_mcl::sensor::Beam;
+use tof_mcl::sensor::{Beam, ObservationBatch};
 
 /// The worker count the CI matrix injects, if any.
 fn env_workers() -> Option<usize> {
@@ -84,9 +84,11 @@ fn run_filter(
     let mut filter = MonteCarloLocalization::<f32, _>::new(config, edt.clone()).unwrap();
     filter.initialize_uniform(map, seed).unwrap();
     let delta = MotionDelta::new(0.12, 0.01, 0.06);
+    let mut observations = ObservationBatch::from_beams(beams);
+    observations.partition_in_range(filter.config().r_max);
     for _ in 0..updates {
         filter.predict(delta);
-        let outcome = filter.update(beams).unwrap();
+        let outcome = filter.update_observations(&observations).unwrap();
         assert!(outcome.is_applied(), "gate must be open every update");
     }
     (filter.particles().to_particles(), filter.estimate())
@@ -316,10 +318,12 @@ fn run_adaptive_filter(
     let mut filter = MonteCarloLocalization::<f32, _>::new(config, edt.clone()).unwrap();
     filter.initialize_uniform(map, seed).unwrap();
     let delta = MotionDelta::new(0.12, 0.01, 0.06);
+    let mut observations = ObservationBatch::from_beams(beams);
+    observations.partition_in_range(filter.config().r_max);
     let mut populations = Vec::new();
     for _ in 0..6 {
         filter.predict(delta);
-        let outcome = filter.update(beams).unwrap();
+        let outcome = filter.update_observations(&observations).unwrap();
         assert!(outcome.is_applied(), "gate must be open every update");
         populations.push(filter.particles().len());
     }

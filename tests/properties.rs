@@ -15,7 +15,7 @@ use tof_mcl::gridmap::{
     Pose2,
 };
 use tof_mcl::num::{angular_difference, normalize_angle, Quantizer, F16};
-use tof_mcl::sensor::{raycast_distance, Beam};
+use tof_mcl::sensor::{raycast_distance, Beam, ObservationBatch};
 
 /// Independent restatement of the batched beam-end-point log-likelihood
 /// (Eq. 1 with the beam end point resolved in the body frame and rotated by
@@ -362,7 +362,9 @@ proptest! {
             filter.initialize_uniform(&map, seed).unwrap();
             for _ in 0..3 {
                 filter.predict(delta);
-                let outcome = filter.update(&beams).unwrap();
+                let mut obs = ObservationBatch::from_beams(&beams);
+                obs.partition_in_range(filter.config().r_max);
+                let outcome = filter.update_observations(&obs).unwrap();
                 prop_assert!(outcome.is_applied());
             }
             prop_assert_eq!(
